@@ -1,0 +1,96 @@
+// Ablation: connection-level (bidirectional) correlation.
+//
+// The paper watermarks one direction.  A real connection offers two: the
+// keystroke direction and the echo/output direction.  Requiring both
+// watermarks to decode (policy kBoth) multiplies the per-direction
+// false-positive probabilities while keeping detection close to the
+// single-direction rate; kEither does the opposite trade.
+
+#include <cstdio>
+
+#include "sscor/correlation/connection_correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+
+namespace {
+
+using namespace sscor;
+
+Connection transform(const Connection& connection, DurationUs delta,
+                     double chaff_rate, std::uint64_t seed) {
+  const traffic::UniformPerturber fwd_pert(delta, mix_seeds(seed, 1));
+  const traffic::PoissonChaffInjector fwd_chaff(chaff_rate,
+                                                mix_seeds(seed, 2));
+  const traffic::UniformPerturber rev_pert(delta, mix_seeds(seed, 3));
+  const traffic::PoissonChaffInjector rev_chaff(chaff_rate,
+                                                mix_seeds(seed, 4));
+  return Connection{
+      fwd_chaff.apply(fwd_pert.apply(connection.client_to_server)),
+      rev_chaff.apply(rev_pert.apply(connection.server_to_client))};
+}
+
+}  // namespace
+
+int main() {
+  constexpr DurationUs kDelta = seconds(std::int64_t{7});
+  constexpr double kChaff = 5.0;  // the paper's worst FP regime
+  constexpr int kConnections = 16;
+
+  const traffic::InteractiveSessionModel model;
+  std::printf("== ablation: bidirectional connection correlation ==\n");
+  std::printf("Delta=7s, lambda_c=%.0f per direction, %d connections\n\n",
+              kChaff, kConnections);
+
+  std::vector<WatermarkedConnection> marked;
+  std::vector<Connection> downstream;
+  for (int i = 0; i < kConnections; ++i) {
+    const Connection connection =
+        model.generate_connection(1000, 0, 9100 + i);
+    marked.push_back(ConnectionCorrelator::embed(connection,
+                                                 WatermarkParams{},
+                                                 mix_seeds(0xb1d1, i)));
+    downstream.push_back(
+        transform(Connection{marked[i].forward.flow,
+                             marked[i].reverse.flow},
+                  kDelta, kChaff, 9200 + i));
+  }
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  TextTable table({"policy", "detection", "fp_rate"});
+  const struct {
+    const char* name;
+    ConnectionPolicy policy;
+  } policies[] = {
+      {"forward only (paper)", ConnectionPolicy::kForwardOnly},
+      {"either direction", ConnectionPolicy::kEither},
+      {"both directions", ConnectionPolicy::kBoth},
+  };
+  for (const auto& entry : policies) {
+    const ConnectionCorrelator correlator(config, Algorithm::kGreedyPlus,
+                                          entry.policy);
+    int detected = 0;
+    int fp = 0;
+    int fp_trials = 0;
+    for (int i = 0; i < kConnections; ++i) {
+      detected += correlator.correlate(marked[i], downstream[i]).correlated;
+      for (int j = 0; j < kConnections; j += 3) {
+        if (i == j) continue;
+        ++fp_trials;
+        fp += correlator.correlate(marked[i], downstream[j]).correlated;
+      }
+    }
+    table.add_row(
+        {entry.name,
+         TextTable::cell(static_cast<double>(detected) / kConnections, 3),
+         TextTable::cell(static_cast<double>(fp) / fp_trials, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: requiring both directions multiplies the FP rates of "
+      "two independent watermarks while detection stays near the "
+      "single-direction level.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: packet loss and re-packetization (paper §6, future work).
+//
+// The algorithms assume every upstream packet crosses the stepping stone
+// as a single packet.  This bench injects loss and coalescing after the
+// perturb+chaff pipeline and measures how fast Greedy+ detection degrades
+// — quantifying the open problem the paper closes with.
+
+#include <cstdio>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr DurationUs kDelta = seconds(std::int64_t{4});
+  constexpr int kFlows = 20;
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(WatermarkParams{}, 0x1055);
+
+  std::printf("== ablation: packet loss / re-packetization ==\n");
+  std::printf("Greedy+ detection, Delta=4s, lambda_c=1, %d flows\n\n",
+              kFlows);
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+
+  TextTable table({"drop probability", "merge window", "strict detection",
+                   "matching complete", "robust detection"});
+  const double drops[] = {0.0, 0.001, 0.005, 0.02, 0.05};
+  const DurationUs merges[] = {0, millis(5), millis(20)};
+  for (const double drop : drops) {
+    for (const DurationUs merge : merges) {
+      if (drop > 0.0 && merge > 0) continue;  // sweep one axis at a time
+      int detected = 0;
+      int complete = 0;
+      int robust_detected = 0;
+      Rng rng(0xadd);
+      RobustOptions robust;
+      robust.max_unmatched_fraction = 0.10;
+      for (int i = 0; i < kFlows; ++i) {
+        const Flow flow = model.generate(1000, 0, 40 + i);
+        const auto marked =
+            embedder.embed(flow, Watermark::random(24, rng));
+        const traffic::UniformPerturber perturber(kDelta, 50 + i);
+        const traffic::PoissonChaffInjector chaff(1.0, 60 + i);
+        const traffic::LossRepacketizationModel fault(drop, merge, 70 + i);
+        const Flow downstream =
+            fault.apply(chaff.apply(perturber.apply(marked.flow)));
+        const auto result = correlator.correlate(marked, downstream);
+        detected += result.correlated;
+        complete += result.matching_complete;
+        robust_detected +=
+            run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                   marked.flow, downstream, config, robust)
+                .correlated;
+      }
+      table.add_row({TextTable::cell(drop, 3), format_duration(merge),
+                     TextTable::cell(static_cast<double>(detected) / kFlows, 2),
+                     TextTable::cell(static_cast<double>(complete) / kFlows, 2),
+                     TextTable::cell(
+                         static_cast<double>(robust_detected) / kFlows, 2)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: loss and re-packetization break the strict algorithms' "
+      "complete-matching precondition — the limitation the paper names as "
+      "future work — while the loss-tolerant mode (run_greedy_plus_robust, "
+      "10%% unmatched budget) keeps detecting through moderate faults.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: several watermarks in one flow.
+//
+// A deployment may watermark the same flow at multiple monitoring points
+// (different agencies, nested traces), each with its own key.  Every
+// additional embedding adds its own packet delays, which is timing noise
+// to every *other* watermark.  This bench embeds k independent watermarks
+// sequentially and decodes each one positionally, measuring how detection
+// degrades with k — the flow's usable watermark capacity.
+
+#include <cstdio>
+#include <vector>
+
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr int kFlows = 20;
+  const traffic::InteractiveSessionModel model;
+
+  std::printf("== ablation: multiple independent watermarks per flow ==\n");
+  std::printf("positional decode, threshold 7/24, %d flows\n\n", kFlows);
+
+  TextTable table({"watermarks k", "mean detection over the k",
+                   "worst watermark"});
+  for (const int k : {1, 2, 3, 4, 6}) {
+    double hits_total = 0;
+    double worst = 1.0;
+    std::vector<double> per_mark(k, 0.0);
+    Rng rng(0x3a3a);
+    for (int i = 0; i < kFlows; ++i) {
+      Flow current = model.generate(1000, 0, 5100 + i);
+      std::vector<WatermarkedFlow> marks;
+      for (int m = 0; m < k; ++m) {
+        const Embedder embedder(WatermarkParams{},
+                                mix_seeds(5200 + i, m));
+        marks.push_back(
+            embedder.embed(current, Watermark::random(24, rng)));
+        current = marks.back().flow;  // stack the next mark on top
+      }
+      for (int m = 0; m < k; ++m) {
+        // Decode each watermark from the final (fully stacked) flow.  The
+        // schedules were derived on intermediate flows, but sizes match,
+        // so positional decoding applies directly.
+        const auto decoded =
+            decode_positional(marks[m].schedule, current);
+        const bool hit =
+            decoded &&
+            decoded->hamming_distance(marks[m].watermark) <= 7;
+        per_mark[m] += hit;
+        hits_total += hit;
+      }
+    }
+    for (int m = 0; m < k; ++m) {
+      worst = std::min(worst, per_mark[m] / kFlows);
+    }
+    table.add_row({std::to_string(k),
+                   TextTable::cell(hits_total / (kFlows * k), 3),
+                   TextTable::cell(worst, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: each additional watermark adds bounded delay noise to "
+      "the others; capacity degrades gradually because the embedding delay "
+      "a dominates the cross-talk until several marks stack up.\n");
+  return 0;
+}

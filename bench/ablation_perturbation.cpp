@@ -1,0 +1,66 @@
+// Ablation: the perturbation model.
+//
+// DESIGN.md §6 documents why the experiment harness uses the
+// order-preserving epoch-uniform delay process (UniformPerturber): an
+// attacker who draws i.i.d. Uniform[0, Delta] delays and forwards FIFO
+// (IidSortPerturber) smears packets across the whole delay window and
+// erases any IPD watermark once Delta greatly exceeds the mean IPD — the
+// Donoho-style theoretical limit.  Under that adversary the paper's own
+// figure 3 (basic watermark robust to perturbation, destroyed only by
+// chaff) would be impossible, which is the evidence the authors'
+// perturbation preserved local IPD structure.  This bench shows both
+// regimes side by side.
+
+#include <cstdio>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr int kFlows = 20;
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(WatermarkParams{}, 0x5eed);
+
+  std::printf("== ablation: perturbation model vs watermark survival ==\n");
+  std::printf("basic watermark scheme (positional decode), no chaff, "
+              "%d flows\n\n", kFlows);
+
+  TextTable table({"max delay", "epoch-uniform detection",
+                   "iid+sort detection"});
+  for (const std::int64_t delta_s : {0LL, 1LL, 2LL, 4LL, 7LL, 8LL}) {
+    const DurationUs delta = seconds(delta_s);
+    int epoch_hits = 0;
+    int iid_hits = 0;
+    Rng rng(0xd1ce);
+    for (int i = 0; i < kFlows; ++i) {
+      const Flow flow = model.generate(1000, 0, 900 + i);
+      const auto marked =
+          embedder.embed(flow, Watermark::random(24, rng));
+      const traffic::UniformPerturber epoch(delta, 1000 + i);
+      const traffic::IidSortPerturber iid(delta, 1000 + i);
+      const auto decode_hit = [&](const Flow& downstream) {
+        const auto decoded =
+            decode_positional(marked.schedule, downstream);
+        return decoded &&
+               decoded->hamming_distance(marked.watermark) <= 7;
+      };
+      epoch_hits += decode_hit(epoch.apply(marked.flow));
+      iid_hits += decode_hit(iid.apply(marked.flow));
+    }
+    table.add_row({std::to_string(delta_s) + " s",
+                   TextTable::cell(static_cast<double>(epoch_hits) / kFlows, 2),
+                   TextTable::cell(static_cast<double>(iid_hits) / kFlows, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: under the order-preserving epoch-uniform process the "
+      "basic watermark survives the full 0-8s range (as in the paper's "
+      "figure 3 at lambda_c=0); under iid+sort it collapses once the delay "
+      "bound dwarfs the mean IPD.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: packet reordering (the paper's assumption 3 under attack).
+//
+// The order constraint is load-bearing: pruning, the Greedy+ repair, and
+// Greedy*'s enumeration all assume upstream order survives downstream.
+// This bench reorders a fraction of packets (displacing them by up to
+// max_displacement) and measures how detection degrades — unlike loss,
+// reordering keeps every packet present, so matching stays complete and
+// the damage shows up purely as watermark distortion.
+
+#include <cstdio>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr DurationUs kDelta = seconds(std::int64_t{4});
+  constexpr int kFlows = 20;
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(WatermarkParams{}, 0x0dd5);
+
+  std::printf("== ablation: packet reordering (assumption 3) ==\n");
+  std::printf("Greedy+/Greedy, Delta=4s, lambda_c=1, displacement up to "
+              "2s, %d flows\n\n", kFlows);
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator plus(config, Algorithm::kGreedyPlus);
+  const Correlator greedy(config, Algorithm::kGreedy);
+
+  TextTable table({"reordered fraction", "Greedy+ detection",
+                   "Greedy detection"});
+  for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    int plus_hits = 0;
+    int greedy_hits = 0;
+    Rng rng(0xbead);
+    for (int i = 0; i < kFlows; ++i) {
+      const Flow flow = model.generate(1000, 0, 7100 + i);
+      const auto marked = embedder.embed(flow, Watermark::random(24, rng));
+      const traffic::UniformPerturber perturber(kDelta, 7200 + i);
+      const traffic::PoissonChaffInjector chaff(1.0, 7300 + i);
+      const traffic::ReorderingModel reorder(fraction,
+                                             seconds(std::int64_t{2}),
+                                             7400 + i);
+      const Flow downstream =
+          reorder.apply(chaff.apply(perturber.apply(marked.flow)));
+      plus_hits += plus.correlate(marked, downstream).correlated;
+      greedy_hits += greedy.correlate(marked, downstream).correlated;
+    }
+    table.add_row({TextTable::cell(fraction, 2),
+                   TextTable::cell(static_cast<double>(plus_hits) / kFlows, 2),
+                   TextTable::cell(
+                       static_cast<double>(greedy_hits) / kFlows, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: detection survives light reordering (the matching "
+      "windows still contain the displaced packets) and erodes as the "
+      "reordered fraction grows; Greedy, which never uses the order "
+      "constraint, is the most tolerant.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: probabilistic watermark (ref [7], used by the paper) vs the
+// quantization watermark of Wang & Reeves CCS'03 (ref [6]).
+//
+// Both embed 24 bits by delaying selected packets; they fail differently.
+// QIM tolerates IPD jitter up to about half its quantization step, then
+// collapses; the probabilistic scheme has a baseline embedding error from
+// the natural IPD variance but degrades gracefully.  Under the
+// order-preserving epoch-uniform perturbation both survive (delays of
+// nearby packets are correlated); under iid jitter the step threshold of
+// QIM is clearly visible.  Positional decoding, no chaff: this isolates
+// the watermark itself, not the matching machinery.
+
+#include <cstdio>
+
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+#include "sscor/watermark/quantization.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr int kFlows = 20;
+  const traffic::InteractiveSessionModel model;
+
+  std::printf("== ablation: probabilistic [7] vs quantization [6] "
+              "watermark ==\n");
+  std::printf("positional decode, threshold 7/24, %d flows\n\n", kFlows);
+
+  TextTable table({"iid jitter", "probabilistic (a=600ms)",
+                   "QIM (s=400ms)"});
+  for (const std::int64_t jitter_ms :
+       {int64_t{0}, int64_t{50}, int64_t{100}, int64_t{200}, int64_t{400},
+        int64_t{1000}, int64_t{4000}}) {
+    int prob_hits = 0;
+    int qim_hits = 0;
+    Rng rng(0xfade);
+    for (int i = 0; i < kFlows; ++i) {
+      const Flow flow = model.generate(1000, 0, 1500 + i);
+      const Watermark wm = Watermark::random(24, rng);
+
+      const Embedder prob_embedder(WatermarkParams{}, 1600 + i);
+      const auto prob_marked = prob_embedder.embed(flow, wm);
+      const QimEmbedder qim_embedder(QimParams{}, 1600 + i);
+      const auto qim_marked = qim_embedder.embed(flow, wm);
+
+      const traffic::IidSortPerturber jitter(millis(jitter_ms), 1700 + i);
+      const auto prob_decoded = decode_positional(
+          prob_marked.schedule, jitter.apply(prob_marked.flow));
+      const auto qim_decoded =
+          decode_qim_positional(qim_marked.schedule, QimParams{}.step,
+                                jitter.apply(qim_marked.flow));
+      prob_hits += prob_decoded && prob_decoded->hamming_distance(wm) <= 7;
+      qim_hits += qim_decoded && qim_decoded->hamming_distance(wm) <= 7;
+    }
+    table.add_row({std::to_string(jitter_ms) + " ms",
+                   TextTable::cell(static_cast<double>(prob_hits) / kFlows, 2),
+                   TextTable::cell(static_cast<double>(qim_hits) / kFlows, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: QIM holds until the jitter approaches s/2 = 200ms and "
+      "then collapses; the probabilistic scheme starts slightly noisier "
+      "but degrades gracefully — the trade-off that motivated ref [7].\n");
+  return 0;
+}

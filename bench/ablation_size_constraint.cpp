@@ -1,0 +1,108 @@
+// Ablation: the quantized-packet-size matching constraint (paper §3.2).
+//
+// The paper only speculates: "We expect the false positive rate and
+// computation cost to decrease dramatically if quantized packet size
+// constraint can also be used", and warns it breaks "if attackers can
+// actively add inner-packet paddings".  This bench measures both sides:
+//
+//   * naive chaff   — the attacker injects chaff with its own size
+//                     distribution; the constraint prunes it away.
+//   * mimicry chaff — the attacker draws chaff sizes from the same
+//                     SSH-block distribution as real traffic; the
+//                     constraint loses most of its power.
+
+#include <cstdio>
+#include <memory>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/stats.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr DurationUs kDelta = seconds(std::int64_t{7});
+  constexpr double kChaffRate = 4.0;
+  constexpr int kFlows = 24;
+
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(WatermarkParams{}, 0xab1a);
+
+  struct Variant {
+    const char* name;
+    std::shared_ptr<const traffic::SizeModel> chaff_sizes;
+    bool use_constraint;
+  };
+  const Variant variants[] = {
+      {"timing only, naive chaff",
+       std::make_shared<traffic::TelnetSizeModel>(), false},
+      {"timing+size, naive chaff",
+       std::make_shared<traffic::TelnetSizeModel>(), true},
+      {"timing only, mimicry chaff",
+       std::make_shared<traffic::SshSizeModel>(), false},
+      {"timing+size, mimicry chaff",
+       std::make_shared<traffic::SshSizeModel>(), true},
+  };
+
+  std::printf("== ablation: quantized-size matching constraint ==\n");
+  std::printf("Delta = 7s, lambda_c = %.1f, %d flows\n\n", kChaffRate,
+              kFlows);
+  TextTable table({"variant", "detection", "fp_rate", "mean_cost"});
+
+  for (const Variant& variant : variants) {
+    CorrelatorConfig config;
+    config.max_delay = kDelta;
+    if (variant.use_constraint) {
+      config.size_constraint = SizeConstraint{16};
+    }
+    const Correlator correlator(config, Algorithm::kGreedyPlus);
+
+    std::vector<WatermarkedFlow> marked;
+    std::vector<Flow> downstream;
+    Rng rng(0xf00d);
+    for (int i = 0; i < kFlows; ++i) {
+      const Flow flow = model.generate(1000, 0, 100 + i);
+      marked.push_back(
+          embedder.embed(flow, Watermark::random(24, rng)));
+      const traffic::UniformPerturber perturber(kDelta, 200 + i);
+      const traffic::PoissonChaffInjector chaff(kChaffRate, 300 + i,
+                                                variant.chaff_sizes);
+      downstream.push_back(chaff.apply(perturber.apply(marked[i].flow)));
+    }
+
+    int detected = 0;
+    int false_positives = 0;
+    int fp_trials = 0;
+    RunningStats cost;
+    for (int i = 0; i < kFlows; ++i) {
+      const auto hit = correlator.correlate(marked[i], downstream[i]);
+      detected += hit.correlated;
+      cost.add(static_cast<double>(hit.cost));
+      for (int j = 0; j < kFlows; j += 5) {
+        if (j == i) continue;
+        ++fp_trials;
+        false_positives +=
+            correlator.correlate(marked[i], downstream[j]).correlated;
+      }
+    }
+    table.add_row({variant.name,
+                   TextTable::cell(static_cast<double>(detected) / kFlows, 3),
+                   TextTable::cell(static_cast<double>(false_positives) /
+                                       fp_trials,
+                                   3),
+                   TextTable::cell(cost.mean(), 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: the size constraint crushes the FP rate in both cases "
+      "- even distribution-level mimicry fails because a false match must "
+      "reproduce the upstream flow's per-packet size *sequence*; only an "
+      "attacker who actively pads the real packets (the paper's warning "
+      "about inner-packet padding) defeats it.  Note the measured cost "
+      "rises: our cost metric honestly counts the size reads during "
+      "window filtering, which dominate the savings in later phases.\n");
+  return 0;
+}

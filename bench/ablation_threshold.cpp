@@ -1,0 +1,84 @@
+// Ablation: where Greedy+ and Greedy* actually diverge.
+//
+// On the main corpus, matching feasibility — not watermark distance — is
+// what rejects uncorrelated pairs, so Greedy+ and Greedy* take identical
+// early exits and their costs coincide (EXPERIMENTS.md discusses this
+// divergence from the paper's figures 9/10).  Tightening the Hamming
+// threshold forces pairs into the final phases, where Greedy+'s local
+// search and Greedy*'s bounded enumeration genuinely differ: Greedy*
+// climbs toward its cost bound while Greedy+ stays cheap.
+
+#include <cstdio>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/stats.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main() {
+  using namespace sscor;
+  constexpr DurationUs kDelta = seconds(std::int64_t{7});
+  constexpr double kChaff = 5.0;
+  constexpr int kFlows = 16;
+
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(WatermarkParams{}, 0x7788);
+
+  std::vector<WatermarkedFlow> marked;
+  std::vector<Flow> downstream;
+  Rng rng(0x99aa);
+  for (int i = 0; i < kFlows; ++i) {
+    const Flow flow = model.generate(1000, 0, 800 + i);
+    marked.push_back(embedder.embed(flow, Watermark::random(24, rng)));
+    const traffic::UniformPerturber perturber(kDelta, 810 + i);
+    const traffic::PoissonChaffInjector chaff(kChaff, 820 + i);
+    downstream.push_back(chaff.apply(perturber.apply(marked[i].flow)));
+  }
+
+  std::printf("== ablation: Hamming threshold vs Greedy+/Greedy* cost ==\n");
+  std::printf("uncorrelated pairs, Delta=7s, lambda_c=%.0f\n\n", kChaff);
+
+  TextTable table({"threshold h", "plus_fp", "star_fp", "plus_cost",
+                   "star_cost", "star_bound_hits"});
+  for (const std::uint32_t h : {0u, 1u, 2u, 4u, 7u}) {
+    CorrelatorConfig config;
+    config.max_delay = kDelta;
+    config.hamming_threshold = h;
+    const Correlator plus(config, Algorithm::kGreedyPlus);
+    const Correlator star(config, Algorithm::kGreedyStar);
+    RunningStats plus_cost;
+    RunningStats star_cost;
+    int plus_fp = 0;
+    int star_fp = 0;
+    int bound_hits = 0;
+    int trials = 0;
+    for (int i = 0; i < kFlows; ++i) {
+      for (int j = 0; j < kFlows; j += 3) {
+        if (i == j) continue;
+        ++trials;
+        const auto p = plus.correlate(marked[i], downstream[j]);
+        const auto s = star.correlate(marked[i], downstream[j]);
+        plus_cost.add(static_cast<double>(p.cost));
+        star_cost.add(static_cast<double>(s.cost));
+        plus_fp += p.correlated;
+        star_fp += s.correlated;
+        bound_hits += s.cost_bound_hit;
+      }
+    }
+    table.add_row({std::to_string(h),
+                   TextTable::cell(static_cast<double>(plus_fp) / trials, 3),
+                   TextTable::cell(static_cast<double>(star_fp) / trials, 3),
+                   TextTable::cell(plus_cost.mean(), 0),
+                   TextTable::cell(star_cost.mean(), 0),
+                   std::to_string(bound_hits) + "/" + std::to_string(trials)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "expectation: at tight thresholds Greedy* burns up to its 10^6 bound "
+      "on uncorrelated pairs while Greedy+ stays an order of magnitude "
+      "cheaper — the regime behind the paper's figures 9/10.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: watermark design parameters.
+//
+// The paper fixes l=24, r=4, h=7, a=600ms (Table 1).  This bench sweeps
+// the redundancy r, the Hamming threshold h, and the embedding delay a at
+// two operating points chosen to expose each effect: detection is
+// measured with no chaff (lambda_c = 0), where decoding degenerates to the
+// positional scheme and watermark quality is the only thing that matters;
+// the false-positive rate is measured at lambda_c = 3, where matching
+// freedom exists.  (At lambda_c > 0 detection saturates regardless of the
+// watermark: extra matching candidates let the decoder recover even a
+// weakly embedded watermark — the paper's "chaff helps the detection
+// rate".)
+
+#include <cstdio>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace {
+
+using namespace sscor;
+
+constexpr DurationUs kDelta = seconds(std::int64_t{7});
+constexpr double kChaff = 3.0;
+constexpr int kFlows = 20;
+
+struct Rates {
+  double detection;
+  double fp;
+};
+
+Rates measure(const WatermarkParams& params, std::uint32_t threshold) {
+  const traffic::InteractiveSessionModel model;
+  const Embedder embedder(params, 0xbeef);
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  config.hamming_threshold = threshold;
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+
+  std::vector<WatermarkedFlow> marked;
+  std::vector<Flow> chaff_free;   // detection corpus (lambda_c = 0)
+  std::vector<Flow> chaffed;      // FP corpus (lambda_c = kChaff)
+  Rng rng(0xcafe);
+  for (int i = 0; i < kFlows; ++i) {
+    const Flow flow = model.generate(1000, 0, 5000 + i);
+    marked.push_back(embedder.embed(flow, Watermark::random(params.bits, rng)));
+    const traffic::UniformPerturber perturber(kDelta, 6000 + i);
+    const traffic::PoissonChaffInjector chaff(kChaff, 7000 + i);
+    chaff_free.push_back(perturber.apply(marked[i].flow));
+    chaffed.push_back(chaff.apply(chaff_free.back()));
+  }
+  int detected = 0;
+  int fp = 0;
+  int fp_trials = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    detected += correlator.correlate(marked[i], chaff_free[i]).correlated;
+    for (int j = 0; j < kFlows; j += 4) {
+      if (j == i) continue;
+      ++fp_trials;
+      fp += correlator.correlate(marked[i], chaffed[j]).correlated;
+    }
+  }
+  return Rates{static_cast<double>(detected) / kFlows,
+               static_cast<double>(fp) / fp_trials};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ablation: watermark parameters (Greedy+, Delta=7s; "
+              "detection at lambda_c=0, FP at lambda_c=3) ==\n\n");
+
+  {
+    TextTable table({"redundancy r", "detection", "fp_rate"});
+    for (const std::uint32_t r : {1u, 2u, 4u, 8u}) {
+      WatermarkParams params;
+      params.redundancy = r;
+      const Rates rates = measure(params, 7);
+      table.add_row({std::to_string(r), TextTable::cell(rates.detection, 3),
+                     TextTable::cell(rates.fp, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  {
+    TextTable table({"threshold h (of 24)", "detection", "fp_rate"});
+    for (const std::uint32_t h : {2u, 4u, 7u, 10u}) {
+      const Rates rates = measure(WatermarkParams{}, h);
+      table.add_row({std::to_string(h), TextTable::cell(rates.detection, 3),
+                     TextTable::cell(rates.fp, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  {
+    TextTable table({"embedding delay a", "detection", "fp_rate"});
+    for (const std::int64_t ms : {int64_t{100}, int64_t{300}, int64_t{600},
+                                  int64_t{1200}}) {
+      WatermarkParams params;
+      params.embedding_delay = millis(ms);
+      const Rates rates = measure(params, 7);
+      table.add_row({std::to_string(ms) + " ms",
+                     TextTable::cell(rates.detection, 3),
+                     TextTable::cell(rates.fp, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf(
+      "expectation: chaff-free detection climbs with r and a (they must "
+      "overcome the natural IPD variance) and with h; Table 1's r=4, "
+      "a=600ms, h=7 sits where detection saturates while the FP rate is "
+      "still low.\n");
+  return 0;
+}

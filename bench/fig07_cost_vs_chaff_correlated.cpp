@@ -1,0 +1,22 @@
+// Figure 7: computation cost (packets accessed) changing with the chaff
+// rate for correlated flow pairs, Delta = 7s.
+
+#include "sscor/experiment/bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sscor::experiment;
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  SweepSpec spec;
+  spec.metric = Metric::kCostCorrelated;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = kFig3FixedDelay;
+
+  return run_figure_bench(
+      "fig07", "cost vs chaff rate (Delta = 7s), correlated flows", options,
+      spec,
+      "Greedy has a near-constant and the smallest cost; Greedy* shows a "
+      "bump (bigger matching sets) that optimisation flattens as chaff "
+      "grows further; Greedy+ and Greedy* stay well below the Zhang "
+      "scheme (the paper reports up to ~4x).");
+}

@@ -1,0 +1,20 @@
+// Figure 8: computation cost (packets accessed) changing with the maximum
+// delay for correlated flow pairs, lambda_c = 3.
+
+#include "sscor/experiment/bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sscor::experiment;
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  SweepSpec spec;
+  spec.metric = Metric::kCostCorrelated;
+  spec.axis = SweepAxis::kMaxDelay;
+  spec.fixed_chaff = kFig4FixedChaff;
+
+  return run_figure_bench(
+      "fig08", "cost vs max delay (lambda_c = 3), correlated flows", options,
+      spec,
+      "same ordering as figure 7: Greedy flattest and cheapest, Greedy+ "
+      "and Greedy* below the Zhang scheme across the delay range.");
+}

@@ -1,0 +1,198 @@
+// Wall-clock microbenchmarks (google-benchmark) of the library's kernels:
+// traffic generation, watermark embedding, matching, and the decoding
+// algorithms.  Complements the figure benches, which measure the paper's
+// implementation-independent packets-accessed metric.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/correlation/online.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/flow/flow_extractor.hpp"
+#include "sscor/flow/pcap_synth.hpp"
+#include "sscor/watermark/quantization.hpp"
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/matching/candidate_sets.hpp"
+#include "sscor/matching/match_windows.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace {
+
+using namespace sscor;
+
+constexpr DurationUs kDelta = seconds(std::int64_t{7});
+
+struct Fixture {
+  WatermarkedFlow marked;
+  Flow downstream;
+};
+
+const Fixture& fixture(double chaff_rate) {
+  static std::map<double, Fixture> cache;
+  auto it = cache.find(chaff_rate);
+  if (it == cache.end()) {
+    const traffic::InteractiveSessionModel model;
+    const Flow flow = model.generate(1000, 0, 7);
+    Rng rng(11);
+    const Embedder embedder(WatermarkParams{}, 13);
+    Fixture f{embedder.embed(flow, Watermark::random(24, rng)), Flow{}};
+    const traffic::UniformPerturber perturber(kDelta, 17);
+    const traffic::PoissonChaffInjector chaff(chaff_rate, 19);
+    f.downstream = chaff.apply(perturber.apply(f.marked.flow));
+    it = cache.emplace(chaff_rate, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_GenerateInteractiveFlow(benchmark::State& state) {
+  const traffic::InteractiveSessionModel model;
+  const auto packets = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.generate(packets, 0, seed++));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_GenerateInteractiveFlow)->Arg(1000)->Arg(10000);
+
+void BM_EmbedWatermark(benchmark::State& state) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 3);
+  Rng rng(5);
+  const Watermark wm = Watermark::random(24, rng);
+  const Embedder embedder(WatermarkParams{}, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.embed(flow, wm));
+  }
+}
+BENCHMARK(BM_EmbedWatermark);
+
+void BM_PositionalDecode(benchmark::State& state) {
+  const Fixture& f = fixture(0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        decode_positional(f.marked.schedule, f.downstream));
+  }
+}
+BENCHMARK(BM_PositionalDecode);
+
+void BM_MatchingScan(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<double>(state.range(0)));
+  const auto up = f.marked.flow.timestamps();
+  const auto down = f.downstream.timestamps();
+  for (auto _ : state) {
+    CostMeter cost;
+    benchmark::DoNotOptimize(scan_match_windows(up, down, kDelta, cost));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * down.size()));
+}
+BENCHMARK(BM_MatchingScan)->Arg(0)->Arg(3)->Arg(5);
+
+void BM_CandidateBuildAndPrune(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    CostMeter cost;
+    auto sets = CandidateSets::build(f.marked.flow, f.downstream, kDelta,
+                                     std::nullopt, cost);
+    benchmark::DoNotOptimize(sets.prune(cost));
+  }
+}
+BENCHMARK(BM_CandidateBuildAndPrune)->Arg(0)->Arg(3)->Arg(5);
+
+void BM_Correlate(benchmark::State& state, Algorithm algorithm,
+                  double chaff) {
+  const Fixture& f = fixture(chaff);
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator correlator(config, algorithm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlator.correlate(f.marked, f.downstream));
+  }
+}
+BENCHMARK_CAPTURE(BM_Correlate, greedy_chaff3, Algorithm::kGreedy, 3.0);
+BENCHMARK_CAPTURE(BM_Correlate, greedy_plus_chaff3, Algorithm::kGreedyPlus,
+                  3.0);
+BENCHMARK_CAPTURE(BM_Correlate, greedy_star_chaff3, Algorithm::kGreedyStar,
+                  3.0);
+BENCHMARK_CAPTURE(BM_Correlate, greedy_plus_chaff5, Algorithm::kGreedyPlus,
+                  5.0);
+
+void BM_QimEmbed(benchmark::State& state) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 3);
+  Rng rng(5);
+  const Watermark wm = Watermark::random(24, rng);
+  const QimEmbedder embedder(QimParams{}, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.embed(flow, wm));
+  }
+}
+BENCHMARK(BM_QimEmbed);
+
+void BM_RobustCorrelate(benchmark::State& state) {
+  const Fixture& f = fixture(3.0);
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_greedy_plus_robust(f.marked.schedule, f.marked.watermark,
+                               f.marked.flow, f.downstream, config));
+  }
+}
+BENCHMARK(BM_RobustCorrelate);
+
+void BM_OnlineIngest(benchmark::State& state) {
+  const Fixture& f = fixture(3.0);
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  for (auto _ : state) {
+    OnlineCorrelator online(f.marked, config);
+    for (const auto& p : f.downstream.packets()) {
+      if (!online.ingest(p)) break;
+    }
+    online.finish();
+    benchmark::DoNotOptimize(online.result());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.downstream.size()));
+}
+BENCHMARK(BM_OnlineIngest);
+
+void BM_PcapSynthAndExtract(benchmark::State& state) {
+  const Fixture& f = fixture(3.0);
+  const net::FiveTuple tuple{net::Ipv4Address::parse("10.0.0.1"),
+                             net::Ipv4Address::parse("10.0.0.2"), 1111, 22,
+                             net::IpProtocol::kTcp};
+  for (auto _ : state) {
+    const auto records =
+        synthesize_capture({SynthesisInput{tuple, &f.downstream}});
+    benchmark::DoNotOptimize(
+        extract_flows(records, pcap::LinkType::kRawIp));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.downstream.size()));
+}
+BENCHMARK(BM_PcapSynthAndExtract);
+
+void BM_ZhangPassive(benchmark::State& state) {
+  const Fixture& f = fixture(3.0);
+  ZhangPassiveParams params;
+  params.max_delay = kDelta;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zhang_passive_correlate(f.marked.flow, f.downstream, params));
+  }
+}
+BENCHMARK(BM_ZhangPassive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Section 4.2: the experiments repeated on synthetic tcplib traces.  The
+// paper reports the results are "consistent with the real world data"; this
+// binary reruns all four metrics on the tcplib corpus on a reduced axis
+// grid so one run shows the same shapes.
+
+#include <cstdio>
+
+#include "sscor/experiment/bench_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sscor::experiment;
+  ExperimentConfig defaults;
+  defaults.corpus = Corpus::kTcplib;
+  defaults.flows = 40;  // paper: 100 tcplib traces; --flows=100 for full
+  defaults.fp_pairs = 400;
+  BenchOptions options = parse_bench_options(argc, argv, defaults);
+
+  struct Entry {
+    const char* id;
+    const char* title;
+    Metric metric;
+    SweepAxis axis;
+  };
+  const Entry entries[] = {
+      {"synthetic-fig03", "detection vs chaff", Metric::kDetectionRate,
+       SweepAxis::kChaffRate},
+      {"synthetic-fig04", "detection vs delay", Metric::kDetectionRate,
+       SweepAxis::kMaxDelay},
+      {"synthetic-fig05", "FP vs chaff", Metric::kFalsePositiveRate,
+       SweepAxis::kChaffRate},
+      {"synthetic-fig06", "FP vs delay", Metric::kFalsePositiveRate,
+       SweepAxis::kMaxDelay},
+      {"synthetic-fig07", "cost vs chaff (correlated)",
+       Metric::kCostCorrelated, SweepAxis::kChaffRate},
+      {"synthetic-fig08", "cost vs delay (correlated)",
+       Metric::kCostCorrelated, SweepAxis::kMaxDelay},
+      {"synthetic-fig09", "cost vs chaff (uncorrelated)",
+       Metric::kCostUncorrelated, SweepAxis::kChaffRate},
+      {"synthetic-fig10", "cost vs delay (uncorrelated)",
+       Metric::kCostUncorrelated, SweepAxis::kMaxDelay},
+  };
+
+  int status = 0;
+  for (const Entry& entry : entries) {
+    SweepSpec spec;
+    spec.metric = entry.metric;
+    spec.axis = entry.axis;
+    spec.fixed_delay = kFig3FixedDelay;
+    spec.fixed_chaff = kFig4FixedChaff;
+    // Reduced grids keep the whole suite fast; shapes are unchanged.
+    spec.chaff_rates = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+    spec.max_delays = {0, sscor::seconds(std::int64_t{2}),
+                       sscor::seconds(std::int64_t{4}),
+                       sscor::seconds(std::int64_t{6}),
+                       sscor::seconds(std::int64_t{8})};
+    BenchOptions one = options;
+    one.csv_path = std::string(entry.id) + ".csv";
+    status |= run_figure_bench(entry.id, entry.title, one, spec,
+                               "consistent with the real-world-substitute "
+                               "corpus (paper section 4.2)");
+    std::printf("\n");
+  }
+  return status;
+}

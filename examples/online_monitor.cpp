@@ -1,0 +1,81 @@
+// Online monitoring demo: streaming correlation with early rejection.
+//
+// A monitoring point near the victim sees candidate flows packet by
+// packet.  The OnlineCorrelator decides most negatives long before the
+// streams end (an upstream packet whose matching window closes empty, or
+// enough watermark bits provably unmatchable), while the true downstream
+// flow is confirmed at end of stream with a verdict bit-identical to the
+// offline run.
+//
+//   $ ./online_monitor [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sscor/correlation/online.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sscor;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  constexpr DurationUs kDelta = seconds(std::int64_t{5});
+
+  const traffic::InteractiveSessionModel model;
+  const Flow origin = model.generate(1000, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  const WatermarkedFlow marked =
+      embedder.embed(origin, Watermark::random(24, rng));
+
+  const traffic::UniformPerturber perturber(kDelta, mix_seeds(seed, 4));
+  const traffic::PoissonChaffInjector chaff(2.0, mix_seeds(seed, 5));
+
+  struct Candidate {
+    const char* name;
+    Flow flow;
+  };
+  const Candidate candidates[] = {
+      {"attack-downstream", chaff.apply(perturber.apply(marked.flow))},
+      {"unrelated-session",
+       chaff.apply(perturber.apply(model.generate(1000, 0,
+                                                  mix_seeds(seed, 6))))},
+      {"hour-late-replay", marked.flow.shifted(seconds(std::int64_t{3600}))},
+      {"short-burst", model.generate(150, 0, mix_seeds(seed, 7))},
+  };
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+
+  std::printf("streaming %zu candidate flows against the watermarked "
+              "origin (Delta=%s)\n\n",
+              std::size(candidates), format_duration(kDelta).c_str());
+  TextTable table({"candidate", "verdict", "packets consumed",
+                   "of stream", "early?", "doomed bits"});
+  for (const auto& candidate : candidates) {
+    OnlineCorrelator online(marked, config);
+    std::size_t consumed = 0;
+    for (const auto& packet : candidate.flow.packets()) {
+      ++consumed;
+      if (!online.ingest(packet)) break;
+    }
+    online.finish();
+    const CorrelationResult result = online.result();
+    table.add_row(
+        {candidate.name, result.correlated ? "CORRELATED" : "-",
+         std::to_string(consumed) + "/" +
+             std::to_string(candidate.flow.size()),
+         TextTable::cell(100.0 * static_cast<double>(consumed) /
+                             static_cast<double>(candidate.flow.size()),
+                         1) +
+             "%",
+         online.early_rejected() ? "yes" : "no",
+         std::to_string(online.provably_mismatched_bits())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Capture-file pipeline: correlate flows between two pcap files.
+//
+//   $ ./pcap_pipeline                      # self-contained demo
+//   $ ./pcap_pipeline up.pcap down.pcap --key=N --watermark=BITS \
+//                     [--max-delay-s=7] [--threshold=7]
+//
+// With no arguments the demo synthesizes a two-monitor scenario into
+// /tmp (upstream capture with the watermarked flow; downstream capture
+// with its perturbed+chaffed copy plus a decoy), then runs the same code
+// path a real deployment would: read pcap -> extract flows -> correlate
+// every downstream flow against every upstream flow.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/flow/flow_extractor.hpp"
+#include "sscor/flow/pcap_synth.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace {
+
+using namespace sscor;
+
+struct Options {
+  std::string upstream_path;
+  std::string downstream_path;
+  std::uint64_t key = 0xfeedface;
+  std::string watermark_bits;  // empty in demo mode (we know the demo's)
+  DurationUs max_delay = seconds(std::int64_t{7});
+  std::uint32_t threshold = 7;
+};
+
+/// Builds the demo captures and returns the embedded watermark.
+Watermark synthesize_demo(const Options& options) {
+  const traffic::InteractiveSessionModel model;
+  const Flow session = model.generate(1000, 0, 11);
+  Rng rng(13);
+  const Watermark wm = Watermark::random(24, rng);
+  const Embedder embedder(WatermarkParams{}, options.key);
+  const WatermarkedFlow marked = embedder.embed(session, wm);
+
+  const traffic::UniformPerturber perturber(options.max_delay, 17);
+  const traffic::PoissonChaffInjector chaff(2.0, 19);
+  const Flow downstream = chaff.apply(perturber.apply(marked.flow));
+  const Flow decoy_raw = model.generate(1000, 0, 23);
+  const Flow decoy = chaff.apply(perturber.apply(decoy_raw));
+
+  const net::FiveTuple up_tuple{net::Ipv4Address::parse("192.0.2.10"),
+                                net::Ipv4Address::parse("192.0.2.20"), 40123,
+                                22, net::IpProtocol::kTcp};
+  const net::FiveTuple down_tuple{net::Ipv4Address::parse("192.0.2.20"),
+                                  net::Ipv4Address::parse("192.0.2.30"),
+                                  51234, 22, net::IpProtocol::kTcp};
+  const net::FiveTuple decoy_tuple{net::Ipv4Address::parse("192.0.2.21"),
+                                   net::Ipv4Address::parse("192.0.2.31"),
+                                   52345, 22, net::IpProtocol::kTcp};
+  write_capture_file(options.upstream_path,
+                     {SynthesisInput{up_tuple, &marked.flow}});
+  write_capture_file(options.downstream_path,
+                     {SynthesisInput{down_tuple, &downstream},
+                      SynthesisInput{decoy_tuple, &decoy}});
+  std::printf("demo captures written:\n  %s (1 flow)\n  %s (2 flows)\n\n",
+              options.upstream_path.c_str(),
+              options.downstream_path.c_str());
+  return wm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string watermark_override;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--key=")) {
+      options.key = std::strtoull(arg.data() + 6, nullptr, 0);
+    } else if (arg.starts_with("--watermark=")) {
+      watermark_override = std::string(arg.substr(12));
+    } else if (arg.starts_with("--max-delay-s=")) {
+      options.max_delay = seconds(std::strtod(arg.data() + 14, nullptr));
+    } else if (arg.starts_with("--threshold=")) {
+      options.threshold =
+          static_cast<std::uint32_t>(std::strtoul(arg.data() + 12, nullptr, 10));
+    } else if (!arg.starts_with("--")) {
+      positional.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Watermark watermark;
+  const bool demo_mode = positional.empty();
+  if (demo_mode) {
+    options.upstream_path = "/tmp/sscor_upstream.pcap";
+    options.downstream_path = "/tmp/sscor_downstream.pcap";
+    watermark = synthesize_demo(options);
+  } else if (positional.size() == 2 && !watermark_override.empty()) {
+    options.upstream_path = positional[0];
+    options.downstream_path = positional[1];
+    watermark = Watermark::parse(watermark_override);
+  } else {
+    std::fprintf(stderr,
+                 "usage: pcap_pipeline [up.pcap down.pcap --key=N "
+                 "--watermark=BITS] [--max-delay-s=S] [--threshold=H]\n");
+    return 2;
+  }
+
+  try {
+    const auto upstream_flows =
+        extract_flows_from_file(options.upstream_path);
+    const auto downstream_flows =
+        extract_flows_from_file(options.downstream_path);
+    std::printf("extracted %zu upstream and %zu downstream flow(s)\n\n",
+                upstream_flows.size(), downstream_flows.size());
+
+    CorrelatorConfig config;
+    config.max_delay = options.max_delay;
+    config.hamming_threshold = options.threshold;
+    const Correlator correlator(config, Algorithm::kGreedyPlus);
+
+    WatermarkParams params;
+    params.bits = static_cast<std::uint32_t>(watermark.size());
+    int matches = 0;
+    for (const auto& up : upstream_flows) {
+      // Re-derive the schedule from the shared key, exactly as the
+      // detection side of a deployment does.
+      const WatermarkedFlow handle{
+          up.flow, KeySchedule::create(params, up.flow.size(), options.key),
+          watermark};
+      for (const auto& down : downstream_flows) {
+        const CorrelationResult r = correlator.correlate(handle, down.flow);
+        std::printf("%-45s -> %-45s : %s (hamming %s, cost %llu)\n",
+                    up.tuple.to_string().c_str(),
+                    down.tuple.to_string().c_str(),
+                    r.correlated ? "CORRELATED" : "-",
+                    r.matching_complete ? std::to_string(r.hamming).c_str()
+                                        : "n/a",
+                    static_cast<unsigned long long>(r.cost));
+        matches += r.correlated;
+      }
+    }
+    std::printf("\n%d correlated pair(s) found\n", matches);
+    return demo_mode ? (matches == 1 ? 0 : 1) : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

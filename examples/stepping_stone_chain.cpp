@@ -1,0 +1,88 @@
+// Stepping-stone chain demo: the paper's motivating scenario end to end.
+//
+// An attacker types through a chain  origin -> relay1 -> relay2 -> victim.
+// The defender watermarks the flow observed near the origin, then examines
+// every outgoing flow near the victim — the attack flow (two hops of
+// perturbation + chaff away) buried among unrelated interactive sessions —
+// and ranks all candidates by decoded watermark distance.
+//
+//   $ ./stepping_stone_chain [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sscor;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20050605;
+
+  constexpr DurationUs kDelta = seconds(std::int64_t{6});
+  constexpr std::size_t kBackgroundFlows = 8;
+
+  // --- The attack session, watermarked where it enters the network. ---
+  const traffic::InteractiveSessionModel model;
+  const Flow attack_session = model.generate(1200, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  const WatermarkedFlow marked =
+      embedder.embed(attack_session, Watermark::random(24, rng));
+  std::printf("watermarked the suspected origin flow: %zu packets, "
+              "watermark %s\n",
+              marked.flow.size(), marked.watermark.to_string().c_str());
+
+  // --- Two stepping stones, each perturbing and injecting chaff. ---
+  traffic::TransformPipeline relay1;
+  relay1.add(std::make_shared<traffic::UniformPerturber>(kDelta / 2,
+                                                         mix_seeds(seed, 4)));
+  relay1.add(std::make_shared<traffic::PoissonChaffInjector>(
+      1.5, mix_seeds(seed, 5)));
+  traffic::TransformPipeline relay2;
+  relay2.add(std::make_shared<traffic::UniformPerturber>(kDelta / 2,
+                                                         mix_seeds(seed, 6)));
+  relay2.add(std::make_shared<traffic::PoissonChaffInjector>(
+      1.5, mix_seeds(seed, 7)));
+  const Flow at_victim = relay2.apply(relay1.apply(marked.flow));
+  std::printf("after 2 stepping stones: %zu packets (%zu chaff)\n\n",
+              at_victim.size(), at_victim.chaff_count());
+
+  // --- Candidate flows observed near the victim. ---
+  std::vector<Flow> candidates;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kBackgroundFlows; ++i) {
+    Flow f = model.generate(1200, 0, mix_seeds(seed, 100 + i));
+    const traffic::UniformPerturber jitter(kDelta / 2,
+                                           mix_seeds(seed, 200 + i));
+    candidates.push_back(jitter.apply(f));
+    names.push_back("background-" + std::to_string(i));
+  }
+  const std::size_t attack_slot = kBackgroundFlows / 2;
+  candidates.insert(candidates.begin() + attack_slot, at_victim);
+  names.insert(names.begin() + attack_slot, "attack-chain");
+
+  // --- Correlate every candidate against the watermarked origin flow. ---
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+
+  TextTable table({"candidate", "verdict", "hamming", "cost"});
+  std::string identified = "(none)";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CorrelationResult r = correlator.correlate(marked, candidates[i]);
+    if (r.correlated) identified = names[i];
+    table.add_row({names[i], r.correlated ? "CORRELATED" : "-",
+                   r.matching_complete ? std::to_string(r.hamming) : "n/a",
+                   std::to_string(r.cost)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("identified downstream flow: %s\n", identified.c_str());
+  return identified == "attack-chain" ? 0 : 1;
+}

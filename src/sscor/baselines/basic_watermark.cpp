@@ -1,0 +1,28 @@
+#include "sscor/baselines/basic_watermark.hpp"
+
+#include "sscor/watermark/decoder.hpp"
+
+namespace sscor {
+
+DetectionOutcome BasicWatermarkDetector::detect(
+    const WatermarkedFlow& watermarked, const Flow& suspicious) const {
+  DetectionOutcome outcome;
+  const auto decoded = decode_positional(watermarked.schedule, suspicious);
+  // Cost: the positional decoder reads two timestamps per pair.
+  outcome.cost = static_cast<std::uint64_t>(
+                     watermarked.schedule.params().total_pairs()) *
+                 2;
+  if (!decoded) {
+    // Flow shorter than the highest pair index: cannot decode.
+    outcome.correlated = false;
+    outcome.score = static_cast<double>(watermarked.watermark.size());
+    return outcome;
+  }
+  const std::size_t hamming =
+      decoded->hamming_distance(watermarked.watermark);
+  outcome.correlated = hamming <= hamming_threshold_;
+  outcome.score = static_cast<double>(hamming);
+  return outcome;
+}
+
+}  // namespace sscor

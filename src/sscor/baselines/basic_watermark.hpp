@@ -1,0 +1,31 @@
+// The basic watermark scheme (ref [7]) as a baseline detector.
+//
+// Decodes the watermark positionally — pair indices address the suspicious
+// flow directly — which is exactly what the original IPD watermarking
+// scheme does.  Robust to timing perturbation (the watermark displacement
+// `a` outweighs bounded random jitter in expectation) but destroyed by
+// chaff, which shifts every packet position; this is the failure the
+// paper's figure 3 demonstrates and the matching-based algorithms repair.
+
+#pragma once
+
+#include "sscor/baselines/detector.hpp"
+
+namespace sscor {
+
+class BasicWatermarkDetector final : public Detector {
+ public:
+  /// `hamming_threshold` as in the main algorithms (7 of 24 in the paper).
+  explicit BasicWatermarkDetector(std::uint32_t hamming_threshold)
+      : hamming_threshold_(hamming_threshold) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override;
+
+  std::string name() const override { return "BasicWM"; }
+
+ private:
+  std::uint32_t hamming_threshold_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,61 @@
+// Packet-counting baseline after Blum, Song & Venkataraman (RAID 2004),
+// the paper's reference [1]: "Detection of interactive stepping stones
+// with maximum delay bound: algorithms and confidence bounds".
+//
+// Idea: if f' relays f with per-packet delay at most Delta, then every
+// packet of f has crossed by Delta later, so the cumulative counts obey
+// n_down(t) >= n_up(t - Delta) at every instant (chaff only adds to the
+// downstream count).  The detector samples the count difference
+// n_up(t - Delta) - n_down(t) on a time grid and reports a stepping stone
+// when its maximum stays at or below a small slack.  Chaff in the
+// downstream direction can only *mask* deficits, so — like every passive
+// counting scheme — its false-positive rate grows with the chaff rate.
+
+#pragma once
+
+#include "sscor/baselines/detector.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct BlumCountingParams {
+  /// The maximum tolerable delay Delta.
+  DurationUs max_delay = seconds(std::int64_t{7});
+  /// Sampling grid step.
+  DurationUs grid_step = seconds(std::int64_t{1});
+  /// Allowed count deficit (their confidence slack).
+  std::int64_t slack = 2;
+};
+
+struct BlumCountingResult {
+  bool correlated = false;
+  /// max over the grid of n_up(t - Delta) - n_down(t).
+  std::int64_t max_deficit = 0;
+  std::uint64_t cost = 0;
+};
+
+BlumCountingResult blum_counting_correlate(const Flow& upstream,
+                                           const Flow& downstream,
+                                           const BlumCountingParams& params);
+
+class BlumCountingDetector final : public Detector {
+ public:
+  explicit BlumCountingDetector(BlumCountingParams params)
+      : params_(params) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override {
+    const auto r =
+        blum_counting_correlate(watermarked.flow, suspicious, params_);
+    DetectionOutcome outcome{r.correlated, r.cost, std::nullopt};
+    outcome.score = static_cast<double>(r.max_deficit);
+    return outcome;
+  }
+
+  std::string name() const override { return "Blum"; }
+
+ private:
+  BlumCountingParams params_;
+};
+
+}  // namespace sscor

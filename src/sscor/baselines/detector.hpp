@@ -1,0 +1,66 @@
+// A uniform detector interface so the experiment harness can sweep our four
+// algorithms and the baseline schemes through the same code path.
+//
+// Every detector answers: "is `suspicious` a downstream flow of the
+// (watermarked) upstream flow?" and reports the paper's cost metric.
+// Passive baselines ignore the watermark fields and look only at the
+// upstream flow's timing.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+
+struct DetectionOutcome {
+  bool correlated = false;
+  std::uint64_t cost = 0;
+  /// Optional continuous statistic behind the decision, oriented so that
+  /// *smaller means more likely correlated* (Hamming distance for the
+  /// watermark schemes, deviation seconds for Zhang, count deficit for
+  /// Blum).  Lets the ROC bench sweep the decision threshold without
+  /// re-running the detector.
+  std::optional<double> score;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                                  const Flow& suspicious) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Adapts a Correlator (BruteForce/Greedy/Greedy+/Greedy*) to Detector.
+class CorrelatorDetector final : public Detector {
+ public:
+  CorrelatorDetector(CorrelatorConfig config, Algorithm algorithm)
+      : correlator_(config, algorithm) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override {
+    const CorrelationResult r = correlator_.correlate(watermarked, suspicious);
+    DetectionOutcome outcome{r.correlated, r.cost, std::nullopt};
+    // Rejections before decoding carry no meaningful distance; report the
+    // worst score so threshold sweeps treat them as maximally unlikely.
+    outcome.score = r.matching_complete
+                        ? static_cast<double>(r.hamming)
+                        : static_cast<double>(watermarked.watermark.size());
+    return outcome;
+  }
+
+  std::string name() const override {
+    return to_string(correlator_.algorithm());
+  }
+
+ private:
+  Correlator correlator_;
+};
+
+}  // namespace sscor

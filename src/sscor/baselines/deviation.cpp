@@ -1,0 +1,41 @@
+#include "sscor/baselines/deviation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace sscor {
+
+DeviationResult deviation_correlate(const Flow& upstream,
+                                    const Flow& downstream,
+                                    const DeviationParams& params) {
+  DeviationResult result;
+  result.min_deviation = std::numeric_limits<DurationUs>::max();
+  const std::size_t n = upstream.size();
+  const std::size_t m = downstream.size();
+  if (n == 0 || m < n) {
+    return result;
+  }
+  const std::vector<TimeUs> up = upstream.timestamps();
+  const std::vector<TimeUs> down = downstream.timestamps();
+
+  const std::size_t alignments =
+      std::min<std::size_t>(m - n + 1, params.max_alignments);
+  for (std::size_t offset = 0; offset < alignments; ++offset) {
+    DurationUs lo = std::numeric_limits<DurationUs>::max();
+    DurationUs hi = std::numeric_limits<DurationUs>::min();
+    for (std::size_t i = 0; i < n; ++i) {
+      const DurationUs gap = down[offset + i] - up[i];
+      lo = std::min(lo, gap);
+      hi = std::max(hi, gap);
+      // Early abandon once this alignment cannot beat the best.
+      if (hi - lo >= result.min_deviation) break;
+    }
+    result.cost += 2 * n;  // pessimistic: a full pass per alignment
+    result.min_deviation = std::min(result.min_deviation, hi - lo);
+  }
+  result.correlated = result.min_deviation <= params.deviation_threshold;
+  return result;
+}
+
+}  // namespace sscor

@@ -1,0 +1,51 @@
+// Yoda & Etoh's deviation-based correlation (ESORICS 2000), the paper's
+// reference [10], as an additional related-work baseline.
+//
+// The deviation between flows f (n packets) and f' (m >= n packets) is the
+// smallest, over all contiguous alignments of f against n consecutive
+// packets of f', of the spread (max - min) of the pairwise gaps
+// t'_{j+i} - t_i.  Two flows relaying the same connection differ by a
+// near-constant shift, so their deviation is small.
+
+#pragma once
+
+#include "sscor/baselines/detector.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct DeviationParams {
+  /// Report correlated when the minimum deviation is at most this.
+  DurationUs deviation_threshold = seconds(std::int64_t{7});
+  /// Cap on alignments examined (the full scan is O(n * (m - n))).
+  std::size_t max_alignments = 4096;
+};
+
+struct DeviationResult {
+  bool correlated = false;
+  DurationUs min_deviation = 0;
+  std::uint64_t cost = 0;
+};
+
+DeviationResult deviation_correlate(const Flow& upstream,
+                                    const Flow& downstream,
+                                    const DeviationParams& params);
+
+class DeviationDetector final : public Detector {
+ public:
+  explicit DeviationDetector(DeviationParams params) : params_(params) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override {
+    const auto r =
+        deviation_correlate(watermarked.flow, suspicious, params_);
+    return DetectionOutcome{r.correlated, r.cost};
+  }
+
+  std::string name() const override { return "YodaEtoh"; }
+
+ private:
+  DeviationParams params_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,47 @@
+#include "sscor/baselines/onoff.hpp"
+
+#include <algorithm>
+
+namespace sscor {
+
+std::vector<TimeUs> off_period_ends(const Flow& flow,
+                                    DurationUs idle_threshold) {
+  std::vector<TimeUs> ends;
+  for (std::size_t i = 0; i + 1 < flow.size(); ++i) {
+    if (flow.ipd(i) >= idle_threshold) {
+      ends.push_back(flow.timestamp(i + 1));
+    }
+  }
+  return ends;
+}
+
+OnOffResult onoff_correlate(const Flow& a, const Flow& b,
+                            const OnOffParams& params) {
+  OnOffResult result;
+  const auto ends_a = off_period_ends(a, params.idle_threshold);
+  const auto ends_b = off_period_ends(b, params.idle_threshold);
+  result.cost = a.size() + b.size();  // one pass over each flow
+  if (ends_a.size() < params.min_off_periods ||
+      ends_b.size() < params.min_off_periods) {
+    return result;
+  }
+
+  // Count a-ends with a b-end within the coincidence window (two-pointer).
+  std::size_t coincidences = 0;
+  std::size_t j = 0;
+  for (const TimeUs t : ends_a) {
+    while (j < ends_b.size() && ends_b[j] < t - params.coincidence_delta) {
+      ++j;
+    }
+    if (j < ends_b.size() && ends_b[j] <= t + params.coincidence_delta) {
+      ++coincidences;
+    }
+  }
+  result.cost += ends_a.size() + ends_b.size();
+  result.score = static_cast<double>(coincidences) /
+                 static_cast<double>(std::min(ends_a.size(), ends_b.size()));
+  result.correlated = result.score >= params.score_threshold;
+  return result;
+}
+
+}  // namespace sscor

@@ -1,0 +1,61 @@
+// Zhang & Paxson's ON/OFF correlation (USENIX Security 2000), the paper's
+// reference [12], as an additional related-work baseline.
+//
+// Interactive flows alternate ON periods (activity) and OFF periods (idle
+// longer than `idle_threshold`).  Two flows of the same connection chain
+// end their OFF periods at nearly the same instants.  The detector counts
+// OFF-period ends of the two flows that coincide within `coincidence_delta`
+// and normalises by the smaller OFF count.
+
+#pragma once
+
+#include <vector>
+
+#include "sscor/baselines/detector.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct OnOffParams {
+  /// An idle gap of at least this much starts an OFF period.
+  DurationUs idle_threshold = millis(500);
+  /// OFF-period ends within this of each other coincide.  Must cover the
+  /// maximum delay between the monitoring points.
+  DurationUs coincidence_delta = seconds(std::int64_t{7});
+  /// Correlation score threshold for the stepping-stone decision.
+  double score_threshold = 0.3;
+  /// Minimum OFF periods per flow for a meaningful decision.
+  std::size_t min_off_periods = 4;
+};
+
+struct OnOffResult {
+  bool correlated = false;
+  double score = 0.0;  ///< coincidences / min(off counts)
+  std::uint64_t cost = 0;
+};
+
+/// Timestamps at which `flow`'s OFF periods end (the first packet after
+/// each idle gap).
+std::vector<TimeUs> off_period_ends(const Flow& flow,
+                                    DurationUs idle_threshold);
+
+OnOffResult onoff_correlate(const Flow& a, const Flow& b,
+                            const OnOffParams& params);
+
+class OnOffDetector final : public Detector {
+ public:
+  explicit OnOffDetector(OnOffParams params) : params_(params) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override {
+    const auto r = onoff_correlate(watermarked.flow, suspicious, params_);
+    return DetectionOutcome{r.correlated, r.cost};
+  }
+
+  std::string name() const override { return "OnOff"; }
+
+ private:
+  OnOffParams params_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,91 @@
+#include "sscor/baselines/zhang_passive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sscor/matching/cost_meter.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+namespace {
+
+/// Attempts an order-preserving matching with every matched per-packet
+/// delay in [delay_lo, delay_hi], allowing up to `max_skips` upstream
+/// packets to stay unmatched.  Greedy earliest-feasible: pointwise
+/// minimises the matched timestamps, so it succeeds whenever any such
+/// matching exists.  On success returns the half-spread of the matched
+/// delays.
+std::optional<DurationUs> try_window(std::span<const TimeUs> up,
+                                     std::span<const TimeUs> down,
+                                     DurationUs delay_lo, DurationUs delay_hi,
+                                     std::size_t max_skips, CostMeter& cost) {
+  DurationUs min_delay = std::numeric_limits<DurationUs>::max();
+  DurationUs max_delay = std::numeric_limits<DurationUs>::min();
+  std::size_t skips = 0;
+  std::size_t j = 0;
+  for (const TimeUs t : up) {
+    // Advance to the first unused downstream packet inside the window.
+    while (j < down.size()) {
+      cost.count();
+      if (down[j] >= t + delay_lo) break;
+      ++j;
+    }
+    if (j == down.size() || down[j] > t + delay_hi) {
+      // No candidate for this packet; tolerate a bounded number of skips
+      // (the pointer does not advance — later packets may still match).
+      if (++skips > max_skips) return std::nullopt;
+      continue;
+    }
+    const DurationUs delay = down[j] - t;
+    min_delay = std::min(min_delay, delay);
+    max_delay = std::max(max_delay, delay);
+    ++j;  // each downstream packet matches at most one upstream packet
+  }
+  if (min_delay > max_delay) return std::nullopt;  // nothing matched
+  return (max_delay - min_delay + 1) / 2;
+}
+
+}  // namespace
+
+ZhangPassiveResult zhang_passive_correlate(const Flow& upstream,
+                                           const Flow& downstream,
+                                           const ZhangPassiveParams& params) {
+  require(params.deviation_threshold >= 0, "threshold must be non-negative");
+  require(params.max_delay >= 0, "max delay must be non-negative");
+
+  ZhangPassiveResult result;
+  require(params.grid_step > 0, "grid step must be positive");
+  const auto max_skips = static_cast<std::size_t>(
+      params.skip_tolerance * static_cast<double>(upstream.size()));
+  if (upstream.empty() || downstream.empty() ||
+      upstream.size() > downstream.size() + max_skips) {
+    return result;  // enough matches are impossible
+  }
+  const std::vector<TimeUs> up = upstream.timestamps();
+  const std::vector<TimeUs> down = downstream.timestamps();
+  CostMeter cost;
+  // The scheme reports the *smallest* deviation, so every candidate shift
+  // over [0, max_delay] is scanned (no early exit on the first feasible
+  // window) — this full minimisation is what makes the passive scheme
+  // costly on correlated flows (paper figures 7/8).
+  const DurationUs window_width = 2 * params.deviation_threshold;
+  const DurationUs c_max = params.max_delay;
+  for (DurationUs c = 0;; c += params.grid_step) {
+    const DurationUs hi = std::min(params.max_delay, c + window_width);
+    const auto deviation = try_window(up, down, c, hi, max_skips, cost);
+    if (deviation && (!result.smallest_deviation ||
+                      *deviation < *result.smallest_deviation)) {
+      result.smallest_deviation = *deviation;
+    }
+    if (c >= c_max) break;
+  }
+  result.cost = cost.accesses();
+  result.correlated = result.smallest_deviation.has_value() &&
+                      *result.smallest_deviation <=
+                          params.deviation_threshold;
+  return result;
+}
+
+}  // namespace sscor

@@ -1,0 +1,77 @@
+// Passive packet-matching baseline — reconstruction of Zhang, Persaud,
+// Johnson & Guan, "Stepping stone attack attribution in non-cooperative IP
+// networks" (Iowa State TR 2005-02-1), the paper's reference [11].
+//
+// The technical report is not publicly archived, so this is a documented
+// reconstruction (DESIGN.md §6) of everything the paper states about it:
+// a *passive* scheme (no traffic manipulation) that finds possible
+// corresponding packets by matching, computes a "smallest deviation", and
+// reports a stepping stone when that deviation is at most a threshold
+// (3 seconds in Table 1).
+//
+// Reconstruction: the flows are correlated when a complete order-preserving
+// matching of upstream to downstream packets exists whose per-packet delays
+// all fit in a window [c, c + 2*threshold] within [0, max_delay] — i.e.
+// the downstream flow is the upstream flow time-shifted by c with jitter at
+// most +-threshold around the window centre.  The detector slides c over a
+// grid and reports the smallest achieved half-spread as the deviation.
+// A greedy earliest-feasible scan decides each window in O(n + m).
+
+#pragma once
+
+#include <optional>
+
+#include "sscor/baselines/detector.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct ZhangPassiveParams {
+  /// Deviation threshold (Table 1: 3 seconds).
+  DurationUs deviation_threshold = seconds(std::int64_t{3});
+  /// The timing constraint Delta shared with the active algorithms.
+  DurationUs max_delay = seconds(std::int64_t{7});
+  /// Grid step for the window start c.
+  DurationUs grid_step = millis(500);
+  /// Fraction of upstream packets allowed to stay unmatched (the scheme
+  /// tolerates a little loss; this is also what keeps it cheap — no
+  /// backtracking on a failed packet).
+  double skip_tolerance = 0.02;
+};
+
+struct ZhangPassiveResult {
+  bool correlated = false;
+  /// Smallest half-spread of matched delays over all feasible windows;
+  /// nullopt when no window admits a complete matching.
+  std::optional<DurationUs> smallest_deviation;
+  std::uint64_t cost = 0;
+};
+
+/// Runs the scheme on a flow pair (watermark-free: purely passive).
+ZhangPassiveResult zhang_passive_correlate(const Flow& upstream,
+                                           const Flow& downstream,
+                                           const ZhangPassiveParams& params);
+
+class ZhangPassiveDetector final : public Detector {
+ public:
+  explicit ZhangPassiveDetector(ZhangPassiveParams params)
+      : params_(params) {}
+
+  DetectionOutcome detect(const WatermarkedFlow& watermarked,
+                          const Flow& suspicious) const override {
+    const auto r =
+        zhang_passive_correlate(watermarked.flow, suspicious, params_);
+    DetectionOutcome outcome{r.correlated, r.cost, std::nullopt};
+    outcome.score = r.smallest_deviation
+                        ? to_seconds(*r.smallest_deviation)
+                        : to_seconds(params_.max_delay) + 1.0;
+    return outcome;
+  }
+
+  std::string name() const override { return "Zhang"; }
+
+ private:
+  ZhangPassiveParams params_;
+};
+
+}  // namespace sscor

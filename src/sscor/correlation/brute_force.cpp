@@ -1,0 +1,149 @@
+#include "sscor/correlation/brute_force.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "sscor/correlation/decode_plan.hpp"
+#include "sscor/matching/candidate_sets.hpp"
+#include "sscor/watermark/decoder.hpp"
+
+namespace sscor {
+namespace {
+
+class BruteForceSearch {
+ public:
+  BruteForceSearch(const DecodePlan& plan, const CandidateSets& sets,
+                   std::span<const TimeUs> down_ts, CostMeter& cost,
+                   std::uint32_t threshold, bool stop_at_threshold)
+      : plan_(plan),
+        sets_(sets),
+        down_ts_(down_ts),
+        cost_(cost),
+        threshold_(threshold),
+        stop_at_threshold_(stop_at_threshold) {
+    // Map upstream packet index -> slot (at most one; pairs are disjoint).
+    slot_of_.assign(sets.upstream_size(),
+                    std::numeric_limits<std::uint32_t>::max());
+    for (std::uint32_t s = 0; s < plan.slots().size(); ++s) {
+      slot_of_[plan.slots()[s].up_index] = s;
+    }
+    slot_down_index_.assign(plan.slots().size(), 0);
+    best_hamming_ = std::numeric_limits<std::uint32_t>::max();
+  }
+
+  void run() { dfs(0, -1); }
+
+  std::uint32_t best_hamming() const { return best_hamming_; }
+  const Watermark& best_watermark() const { return best_watermark_; }
+  bool bound_hit() const { return bound_hit_; }
+  bool found_any() const {
+    return best_hamming_ != std::numeric_limits<std::uint32_t>::max();
+  }
+
+ private:
+  void dfs(std::size_t i, std::int64_t prev) {
+    if (bound_hit_ || done_) return;
+    if (i == sets_.upstream_size()) {
+      evaluate_leaf();
+      return;
+    }
+    const auto set = sets_.set(i);
+    const std::uint32_t slot = slot_of_[i];
+    for (const std::uint32_t candidate : set) {
+      cost_.count();
+      if (cost_.exhausted()) {
+        bound_hit_ = true;
+        return;
+      }
+      if (static_cast<std::int64_t>(candidate) <= prev) continue;
+      if (slot != std::numeric_limits<std::uint32_t>::max()) {
+        slot_down_index_[slot] = candidate;
+      }
+      dfs(i + 1, candidate);
+      if (bound_hit_ || done_) return;
+    }
+  }
+
+  void evaluate_leaf() {
+    std::vector<std::uint8_t> bits(plan_.bit_count());
+    std::uint32_t hamming = 0;
+    for (std::uint32_t bit = 0; bit < plan_.bit_count(); ++bit) {
+      DurationUs sum = 0;
+      for (std::uint32_t pair = 0; pair < plan_.pairs_per_bit(); ++pair) {
+        const PairSlots& ps = plan_.pair_slots(bit, pair);
+        cost_.count(2);
+        const DurationUs ipd = down_ts_[slot_down_index_[ps.second_slot]] -
+                               down_ts_[slot_down_index_[ps.first_slot]];
+        sum += ps.group1 ? ipd : -ipd;
+      }
+      bits[bit] = decode_bit(sum);
+      hamming += bits[bit] != plan_.target().bit(bit);
+    }
+    if (hamming < best_hamming_) {
+      best_hamming_ = hamming;
+      best_watermark_ = Watermark(std::move(bits));
+      if (stop_at_threshold_ && best_hamming_ <= threshold_) {
+        done_ = true;
+      }
+    }
+  }
+
+  const DecodePlan& plan_;
+  const CandidateSets& sets_;
+  std::span<const TimeUs> down_ts_;
+  CostMeter& cost_;
+  std::uint32_t threshold_;
+  bool stop_at_threshold_;
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> slot_down_index_;
+  std::uint32_t best_hamming_ = 0;
+  Watermark best_watermark_;
+  bool bound_hit_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+CorrelationResult run_brute_force(const KeySchedule& schedule,
+                                  const Watermark& target,
+                                  const Flow& upstream, const Flow& downstream,
+                                  const CorrelatorConfig& config,
+                                  const BruteForceOptions& options) {
+  CostMeter cost(config.cost_bound);
+  CorrelationResult result;
+  result.algorithm = Algorithm::kBruteForce;
+
+  auto sets = CandidateSets::build(upstream, downstream, config.max_delay,
+                                   config.size_constraint, cost);
+  if (!sets.complete() || (options.prune && !sets.prune(cost))) {
+    result.correlated = false;
+    result.matching_complete = false;
+    result.hamming = static_cast<std::uint32_t>(target.size());
+    result.cost = cost.accesses();
+    return result;
+  }
+
+  const DecodePlan plan(schedule, target);
+  const std::vector<TimeUs> down_ts = downstream.timestamps();
+  BruteForceSearch search(plan, sets, down_ts, cost,
+                          config.hamming_threshold,
+                          options.stop_at_threshold);
+  search.run();
+
+  result.cost_bound_hit = search.bound_hit();
+  result.cost = cost.accesses();
+  if (!search.found_any()) {
+    // No complete order-consistent assignment exists (possible without
+    // pruning); equivalent to incomplete matching.
+    result.correlated = false;
+    result.matching_complete = false;
+    result.hamming = static_cast<std::uint32_t>(target.size());
+    return result;
+  }
+  result.best_watermark = search.best_watermark();
+  result.hamming = search.best_hamming();
+  result.correlated = result.hamming <= config.hamming_threshold;
+  return result;
+}
+
+}  // namespace sscor

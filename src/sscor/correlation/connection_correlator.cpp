@@ -1,0 +1,61 @@
+#include "sscor/correlation/connection_correlator.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+ConnectionCorrelator::ConnectionCorrelator(CorrelatorConfig config,
+                                           Algorithm algorithm,
+                                           ConnectionPolicy policy)
+    : correlator_(config, algorithm), policy_(policy) {}
+
+WatermarkedConnection ConnectionCorrelator::embed(
+    const Connection& connection, const WatermarkParams& params,
+    std::uint64_t key) {
+  const std::uint64_t reverse_key = mix_seeds(key, 0x5e7e);
+  Rng wm_rng(mix_seeds(key, 0xb175));
+  const Watermark forward_wm = Watermark::random(params.bits, wm_rng);
+  const Watermark reverse_wm = Watermark::random(params.bits, wm_rng);
+
+  const Embedder forward_embedder(params, key);
+  const Embedder reverse_embedder(params, reverse_key);
+  return WatermarkedConnection{
+      forward_embedder.embed(connection.client_to_server, forward_wm),
+      reverse_embedder.embed(connection.server_to_client, reverse_wm)};
+}
+
+ConnectionResult ConnectionCorrelator::correlate(
+    const WatermarkedConnection& watermarked,
+    const Connection& suspicious) const {
+  ConnectionResult result;
+  result.forward = correlator_.correlate(watermarked.forward,
+                                         suspicious.client_to_server);
+  switch (policy_) {
+    case ConnectionPolicy::kForwardOnly:
+      result.correlated = result.forward.correlated;
+      return result;
+    case ConnectionPolicy::kEither:
+      if (result.forward.correlated) {
+        result.correlated = true;
+        return result;  // no need to decode the reverse direction
+      }
+      result.reverse = correlator_.correlate(watermarked.reverse,
+                                             suspicious.server_to_client);
+      result.reverse_decoded = true;
+      result.correlated = result.reverse.correlated;
+      return result;
+    case ConnectionPolicy::kBoth:
+      if (!result.forward.correlated) {
+        result.correlated = false;
+        return result;
+      }
+      result.reverse = correlator_.correlate(watermarked.reverse,
+                                             suspicious.server_to_client);
+      result.reverse_decoded = true;
+      result.correlated = result.reverse.correlated;
+      return result;
+  }
+  throw InternalError("unhandled connection policy");
+}
+
+}  // namespace sscor

@@ -1,0 +1,51 @@
+#include "sscor/correlation/correlator.hpp"
+
+#include "sscor/correlation/brute_force.hpp"
+#include "sscor/correlation/greedy.hpp"
+#include "sscor/correlation/greedy_plus.hpp"
+#include "sscor/correlation/greedy_star.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return "BruteForce";
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kGreedyPlus:
+      return "Greedy+";
+    case Algorithm::kGreedyStar:
+      return "Greedy*";
+  }
+  return "unknown";
+}
+
+Correlator::Correlator(CorrelatorConfig config, Algorithm algorithm)
+    : config_(config), algorithm_(algorithm) {
+  require(config.max_delay >= 0, "max delay must be non-negative");
+  require(config.cost_bound > 0, "cost bound must be positive");
+}
+
+CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
+                                        const Flow& suspicious) const {
+  switch (algorithm_) {
+    case Algorithm::kBruteForce:
+      return run_brute_force(watermarked.schedule, watermarked.watermark,
+                             watermarked.flow, suspicious, config_);
+    case Algorithm::kGreedy: {
+      const DecodePlan plan(watermarked.schedule, watermarked.watermark);
+      return run_greedy(plan, watermarked.flow, suspicious, config_);
+    }
+    case Algorithm::kGreedyPlus:
+      return run_greedy_plus(watermarked.schedule, watermarked.watermark,
+                             watermarked.flow, suspicious, config_);
+    case Algorithm::kGreedyStar:
+      return run_greedy_star(watermarked.schedule, watermarked.watermark,
+                             watermarked.flow, suspicious, config_);
+  }
+  throw InternalError("unhandled algorithm");
+}
+
+}  // namespace sscor

@@ -1,0 +1,38 @@
+// The public entry point of the correlation engine.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   Embedder embedder(WatermarkParams{}, secret_key);
+//   WatermarkedFlow wm = embedder.embed(upstream_flow, watermark);
+//   ... the flow traverses stepping stones, is perturbed and chaffed ...
+//   Correlator correlator(config, Algorithm::kGreedyPlus);
+//   CorrelationResult r = correlator.correlate(wm, suspicious_flow);
+//   if (r.correlated) { /* suspicious_flow is downstream of upstream_flow */ }
+
+#pragma once
+
+#include "sscor/correlation/result.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+
+class Correlator {
+ public:
+  Correlator(CorrelatorConfig config, Algorithm algorithm);
+
+  /// Decides whether `suspicious` is a downstream flow of the watermarked
+  /// flow, by decoding the best watermark achievable over matching-packet
+  /// subsequences and comparing it to the embedded one.
+  CorrelationResult correlate(const WatermarkedFlow& watermarked,
+                              const Flow& suspicious) const;
+
+  const CorrelatorConfig& config() const { return config_; }
+  Algorithm algorithm() const { return algorithm_; }
+
+ private:
+  CorrelatorConfig config_;
+  Algorithm algorithm_;
+};
+
+}  // namespace sscor

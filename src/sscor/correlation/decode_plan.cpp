@@ -1,0 +1,83 @@
+#include "sscor/correlation/decode_plan.hpp"
+
+#include <algorithm>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+DecodePlan::DecodePlan(const KeySchedule& schedule, const Watermark& target)
+    : target_(target),
+      bit_count_(schedule.params().bits),
+      pairs_per_bit_(2 * schedule.params().redundancy) {
+  require(target.size() == bit_count_,
+          "target watermark length does not match the schedule");
+
+  struct Pending {
+    SlotInfo info;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(static_cast<std::size_t>(bit_count_) * pairs_per_bit_ * 2);
+
+  for (std::uint32_t bit = 0; bit < bit_count_; ++bit) {
+    const BitPlan& plan = schedule.bit_plan(bit);
+    const bool want_one = target.bit(bit) == 1;
+    std::uint32_t pair_id = 0;
+    for (const auto* group : {&plan.group1, &plan.group2}) {
+      const bool group1 = group == &plan.group1;
+      // A group-1 pair wants a large IPD iff the wanted bit is 1.
+      const bool want_large = want_one == group1;
+      for (const auto& pair : *group) {
+        for (const bool is_first : {true, false}) {
+          SlotInfo info;
+          info.up_index = is_first ? pair.first : pair.second;
+          info.bit = static_cast<std::uint16_t>(bit);
+          info.pair = static_cast<std::uint16_t>(pair_id);
+          info.is_first = is_first;
+          info.group1 = group1;
+          // Large IPD: first packet early, second packet late.
+          info.prefer_earliest = (is_first == want_large);
+          pending.push_back(Pending{info});
+        }
+        ++pair_id;
+      }
+    }
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.info.up_index < b.info.up_index;
+            });
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    check_invariant(
+        pending[i].info.up_index != pending[i - 1].info.up_index,
+        "key schedule produced overlapping pairs");
+  }
+
+  slots_.reserve(pending.size());
+  pair_slots_.resize(static_cast<std::size_t>(bit_count_) * pairs_per_bit_);
+  bit_slots_.resize(bit_count_);
+  for (std::uint32_t slot = 0; slot < pending.size(); ++slot) {
+    const SlotInfo& info = pending[slot].info;
+    slots_.push_back(info);
+    auto& ps = pair_slots_[static_cast<std::size_t>(info.bit) *
+                               pairs_per_bit_ +
+                           info.pair];
+    ps.group1 = info.group1;
+    (info.is_first ? ps.first_slot : ps.second_slot) = slot;
+    bit_slots_[info.bit].push_back(slot);
+  }
+}
+
+const PairSlots& DecodePlan::pair_slots(std::uint32_t bit,
+                                        std::uint32_t pair) const {
+  return pair_slots_.at(static_cast<std::size_t>(bit) * pairs_per_bit_ +
+                        pair);
+}
+
+std::span<const std::uint32_t> DecodePlan::bit_slots(
+    std::uint32_t bit) const {
+  return bit_slots_.at(bit);
+}
+
+}  // namespace sscor

@@ -1,0 +1,73 @@
+// The decode plan: the key schedule re-indexed for matching-based decoding.
+//
+// Matching-based algorithms repeatedly ask "which watermark bit / pair /
+// role does upstream packet x play, and does the wanted bit prefer its
+// earliest or latest match?".  DecodePlan flattens the key schedule into a
+// slot table sorted by upstream index (the order the order-constraint cares
+// about) and answers those queries in O(1).
+//
+// Greedy preference (paper §3.3.2, figure 2): to make an IPD as large as
+// possible choose the *first* match of its first packet and the *last*
+// match of its second; to make it small, the opposite.  A pair in group 1
+// wants a large IPD iff the wanted bit is 1; group 2 wants the opposite.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sscor/watermark/key_schedule.hpp"
+#include "sscor/watermark/watermark.hpp"
+
+namespace sscor {
+
+/// One relevant upstream packet (a pair endpoint).
+struct SlotInfo {
+  std::uint32_t up_index = 0;  ///< position in the upstream flow
+  std::uint16_t bit = 0;       ///< watermark bit this packet carries
+  std::uint16_t pair = 0;      ///< pair index within the bit (group1 first)
+  bool is_first = false;       ///< first element of its pair (else second)
+  bool group1 = false;         ///< pair belongs to group 1
+  bool prefer_earliest = false;  ///< greedy choice for the wanted bit
+};
+
+/// Slot indices of one pair's two endpoints.
+struct PairSlots {
+  std::uint32_t first_slot = 0;
+  std::uint32_t second_slot = 0;
+  bool group1 = false;
+};
+
+class DecodePlan {
+ public:
+  /// `target` is the embedded watermark the decoder tries to recover; its
+  /// length must equal the schedule's bit count.
+  DecodePlan(const KeySchedule& schedule, const Watermark& target);
+
+  /// Slots sorted by upstream index (strictly increasing — the key
+  /// schedule's pairs are disjoint).
+  std::span<const SlotInfo> slots() const { return slots_; }
+
+  std::uint32_t bit_count() const { return bit_count_; }
+  std::uint32_t pairs_per_bit() const { return pairs_per_bit_; }
+
+  /// The two slots of pair `pair` (0 .. pairs_per_bit-1, group-1 pairs
+  /// first) of bit `bit`.
+  const PairSlots& pair_slots(std::uint32_t bit, std::uint32_t pair) const;
+
+  /// All slots carrying `bit`, in increasing upstream order.
+  std::span<const std::uint32_t> bit_slots(std::uint32_t bit) const;
+
+  const Watermark& target() const { return target_; }
+
+ private:
+  Watermark target_;
+  std::uint32_t bit_count_ = 0;
+  std::uint32_t pairs_per_bit_ = 0;
+  std::vector<SlotInfo> slots_;
+  std::vector<PairSlots> pair_slots_;            // [bit * pairs_per_bit + pair]
+  std::vector<std::vector<std::uint32_t>> bit_slots_;  // [bit] -> slot ids
+};
+
+}  // namespace sscor

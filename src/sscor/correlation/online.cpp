@@ -1,0 +1,174 @@
+#include "sscor/correlation/online.hpp"
+
+#include <limits>
+
+#include "sscor/util/error.hpp"
+#include "sscor/watermark/decoder.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+/// The configured algorithm rejects on any unmatched upstream packet.
+bool requires_complete_matching(Algorithm algorithm) {
+  return algorithm != Algorithm::kGreedy;
+}
+
+}  // namespace
+
+OnlineCorrelator::OnlineCorrelator(WatermarkedFlow watermarked,
+                                   CorrelatorConfig config,
+                                   Algorithm algorithm)
+    : watermarked_(std::move(watermarked)),
+      config_(config),
+      algorithm_(algorithm),
+      plan_(watermarked_.schedule, watermarked_.watermark),
+      up_ts_(watermarked_.flow.timestamps()) {
+  require(config.max_delay >= 0, "max delay must be non-negative");
+  windows_.resize(up_ts_.size());
+  window_final_.assign(up_ts_.size(), false);
+  slot_of_.assign(up_ts_.size(), kNoSlot);
+  for (std::uint32_t s = 0; s < plan_.slots().size(); ++s) {
+    slot_of_[plan_.slots()[s].up_index] = s;
+  }
+  final_slots_per_bit_.assign(plan_.bit_count(), 0);
+  bit_checked_.assign(plan_.bit_count(), false);
+}
+
+bool OnlineCorrelator::ingest(const PacketRecord& packet) {
+  require(!finished_, "ingest after finish()");
+  require(downstream_.empty() ||
+              packet.timestamp >= downstream_.back().timestamp,
+          "downstream packets must arrive in timestamp order");
+  if (decided()) return false;
+
+  const auto j = static_cast<std::uint32_t>(downstream_.size());
+  downstream_.push_back(packet);
+
+  // Windows whose upper bound this arrival crosses are now final.  (Must
+  // run before the lo pass so a window that opens and closes on the same
+  // arrival ends up empty: lo == hi == j.)
+  while (hi_cursor_ < up_ts_.size() &&
+         packet.timestamp > up_ts_[hi_cursor_] + config_.max_delay) {
+    // lo may not have been assigned yet (no packet reached t_i): empty.
+    if (hi_cursor_ >= lo_cursor_) {
+      // The window never opened — this arrival is already past it, so it
+      // finalises empty (lo == hi == j).
+      windows_[hi_cursor_].lo = j;
+      lo_cursor_ = hi_cursor_ + 1;
+    }
+    windows_[hi_cursor_].hi = j;
+    finalize_window(hi_cursor_);
+    ++hi_cursor_;
+    if (decided()) return false;
+  }
+
+  // Windows this arrival opens (first packet at or after t_i).
+  while (lo_cursor_ < up_ts_.size() &&
+         up_ts_[lo_cursor_] <= packet.timestamp) {
+    windows_[lo_cursor_].lo = j;
+    ++lo_cursor_;
+  }
+  return !decided();
+}
+
+void OnlineCorrelator::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const auto m = static_cast<std::uint32_t>(downstream_.size());
+  while (hi_cursor_ < up_ts_.size()) {
+    if (hi_cursor_ >= lo_cursor_) {
+      windows_[hi_cursor_].lo = m;  // never opened: empty
+      lo_cursor_ = hi_cursor_ + 1;
+    }
+    windows_[hi_cursor_].hi = m;
+    finalize_window(hi_cursor_);
+    ++hi_cursor_;
+    if (early_rejected_) break;
+  }
+}
+
+bool OnlineCorrelator::decided() const {
+  return early_rejected_ || finished_;
+}
+
+double OnlineCorrelator::finalized_fraction() const {
+  if (up_ts_.empty()) return 1.0;
+  return static_cast<double>(hi_cursor_) /
+         static_cast<double>(up_ts_.size());
+}
+
+void OnlineCorrelator::finalize_window(std::uint32_t index) {
+  window_final_[index] = true;
+  if (windows_[index].empty() &&
+      requires_complete_matching(algorithm_)) {
+    early_rejected_ = true;
+    return;
+  }
+  if (slot_of_[index] != kNoSlot) {
+    check_bit_of(index);
+  }
+}
+
+void OnlineCorrelator::check_bit_of(std::uint32_t up_index) {
+  const std::uint32_t slot = slot_of_[up_index];
+  const std::uint16_t bit = plan_.slots()[slot].bit;
+  if (bit_checked_[bit]) return;
+  const auto slots_of_bit = plan_.bit_slots(bit);
+  if (++final_slots_per_bit_[bit] < slots_of_bit.size()) return;
+  bit_checked_[bit] = true;
+
+  // Greedy bound over the (now final) windows: if even the per-pair
+  // extremes cannot decode this bit as its target value, no selection ever
+  // will.
+  DurationUs extreme = 0;
+  bool any_pair = false;
+  for (std::uint32_t pair = 0; pair < plan_.pairs_per_bit(); ++pair) {
+    const PairSlots& ps = plan_.pair_slots(bit, pair);
+    const SlotInfo& first = plan_.slots()[ps.first_slot];
+    const SlotInfo& second = plan_.slots()[ps.second_slot];
+    const MatchWindow& wf = windows_[first.up_index];
+    const MatchWindow& ws = windows_[second.up_index];
+    if (wf.empty() || ws.empty()) continue;
+    const TimeUs t_first =
+        downstream_[first.prefer_earliest ? wf.lo : wf.hi - 1].timestamp;
+    const TimeUs t_second =
+        downstream_[second.prefer_earliest ? ws.lo : ws.hi - 1].timestamp;
+    const DurationUs ipd = t_second - t_first;
+    extreme += ps.group1 ? ipd : -ipd;
+    any_pair = true;
+  }
+  const std::uint8_t target = plan_.target().bit(bit);
+  const bool matchable = any_pair && decode_bit(extreme) == target;
+  if (!matchable) {
+    ++doomed_bits_;
+    if (doomed_bits_ > config_.hamming_threshold) {
+      early_rejected_ = true;
+    }
+  }
+}
+
+CorrelationResult OnlineCorrelator::result() {
+  require(decided(), "result() before the stream is decided");
+  if (cached_result_) return *cached_result_;
+
+  if (early_rejected_) {
+    CorrelationResult result;
+    result.algorithm = algorithm_;
+    result.correlated = false;
+    result.matching_complete = false;
+    result.hamming = doomed_bits_;
+    result.cost = downstream_.size();  // one pass over the stream so far
+    cached_result_ = result;
+    return result;
+  }
+
+  const Flow downstream(std::vector<PacketRecord>(downstream_.begin(),
+                                                  downstream_.end()));
+  const Correlator offline(config_, algorithm_);
+  cached_result_ = offline.correlate(watermarked_, downstream);
+  return *cached_result_;
+}
+
+}  // namespace sscor

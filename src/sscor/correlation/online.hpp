@@ -1,0 +1,101 @@
+// Online (streaming) correlation.
+//
+// A deployed tracer watches live traffic: downstream packets arrive one at
+// a time, and waiting for the whole capture before deciding wastes both
+// memory bandwidth and reaction time.  OnlineCorrelator ingests packets in
+// arrival order and maintains the matching windows of every upstream
+// packet incrementally (two monotone cursors, O(1) amortised per packet).
+// A window is *final* once a packet beyond its upper bound has arrived —
+// nothing later can enter it.  Finality enables two sound early exits,
+// long before the stream ends:
+//
+//  * an upstream packet whose window finalises empty can never be matched
+//    — under the paper's assumptions the pair is immediately negative;
+//  * per watermark bit, once all of its windows are final, the greedy
+//    extreme over those windows lower-bounds every order-consistent
+//    decoding of that bit (the paper's Greedy bound); if the number of
+//    provably-unmatchable bits exceeds the Hamming threshold, no future
+//    packet can save the pair.
+//
+// The final verdict (when neither early exit fired) is produced by the
+// configured offline algorithm over the buffered flow and is bit-identical
+// to running it offline — a property the test suite checks.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/correlation/decode_plan.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/matching/match_windows.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+
+class OnlineCorrelator {
+ public:
+  /// `watermarked` is copied; the upstream side is fully known up front
+  /// (the defender produced it).
+  OnlineCorrelator(WatermarkedFlow watermarked, CorrelatorConfig config,
+                   Algorithm algorithm = Algorithm::kGreedyPlus);
+
+  /// Feeds the next downstream packet; timestamps must be non-decreasing.
+  /// Returns true while the pair is still undecided (callers may stop
+  /// feeding once it returns false).
+  bool ingest(const PacketRecord& packet);
+
+  /// Declares the stream over: every window still open is finalised at
+  /// the current end of stream.
+  void finish();
+
+  /// True once an early exit fired or finish() was called.
+  bool decided() const;
+
+  /// True when the pair was rejected before the stream ended.
+  bool early_rejected() const { return early_rejected_; }
+
+  /// Fraction of upstream packets whose matching window is final.
+  double finalized_fraction() const;
+
+  /// Watermark bits already provably unmatchable (greedy bound over final
+  /// windows).  Monotically non-decreasing; the pair is rejected when it
+  /// exceeds the Hamming threshold.
+  std::uint32_t provably_mismatched_bits() const { return doomed_bits_; }
+
+  /// Packets ingested so far.
+  std::size_t packets_seen() const { return downstream_.size(); }
+
+  /// The verdict.  Available after decided(); early rejections synthesise
+  /// a negative result, otherwise the configured offline algorithm runs
+  /// over the buffered flow.
+  CorrelationResult result();
+
+ private:
+  void finalize_window(std::uint32_t index);
+  void check_bit_of(std::uint32_t up_index);
+
+  WatermarkedFlow watermarked_;
+  CorrelatorConfig config_;
+  Algorithm algorithm_;
+  DecodePlan plan_;
+
+  std::vector<TimeUs> up_ts_;
+  std::vector<PacketRecord> downstream_;
+  std::vector<MatchWindow> windows_;
+  std::vector<bool> window_final_;
+  /// slot id for relevant upstream packets, kMissingSlot otherwise.
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::uint32_t> final_slots_per_bit_;
+  std::vector<bool> bit_checked_;
+
+  std::uint32_t lo_cursor_ = 0;  ///< next upstream index awaiting its lo
+  std::uint32_t hi_cursor_ = 0;  ///< next upstream index awaiting its hi
+  std::uint32_t doomed_bits_ = 0;
+  bool early_rejected_ = false;
+  bool finished_ = false;
+  std::optional<CorrelationResult> cached_result_;
+};
+
+}  // namespace sscor

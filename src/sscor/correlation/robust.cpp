@@ -1,0 +1,152 @@
+#include "sscor/correlation/robust.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sscor/correlation/decode_plan.hpp"
+#include "sscor/matching/candidate_sets.hpp"
+#include "sscor/watermark/decoder.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr std::uint32_t kMissing = 0xffffffffu;
+
+/// Decodes one bit from the current per-slot downstream choices, skipping
+/// pairs with a missing endpoint.  Bits with no surviving pair decode as a
+/// mismatch (conservative).  Returns the decoded bit.
+std::uint8_t decode_bit_robust(const DecodePlan& plan, std::uint32_t bit,
+                               const std::vector<std::uint32_t>& choice,
+                               std::span<const TimeUs> down_ts,
+                               CostMeter& cost) {
+  DurationUs sum = 0;
+  bool any = false;
+  for (std::uint32_t pair = 0; pair < plan.pairs_per_bit(); ++pair) {
+    const PairSlots& ps = plan.pair_slots(bit, pair);
+    if (choice[ps.first_slot] == kMissing ||
+        choice[ps.second_slot] == kMissing) {
+      continue;
+    }
+    cost.count(2);
+    const DurationUs ipd =
+        down_ts[choice[ps.second_slot]] - down_ts[choice[ps.first_slot]];
+    sum += ps.group1 ? ipd : -ipd;
+    any = true;
+  }
+  if (!any) {
+    return static_cast<std::uint8_t>(1 - plan.target().bit(bit));
+  }
+  return decode_bit(sum);
+}
+
+std::uint32_t hamming_of(const DecodePlan& plan,
+                         const std::vector<std::uint8_t>& bits) {
+  std::uint32_t distance = 0;
+  for (std::uint32_t b = 0; b < plan.bit_count(); ++b) {
+    distance += bits[b] != plan.target().bit(b);
+  }
+  return distance;
+}
+
+}  // namespace
+
+CorrelationResult run_greedy_plus_robust(const KeySchedule& schedule,
+                                         const Watermark& target,
+                                         const Flow& upstream,
+                                         const Flow& downstream,
+                                         const CorrelatorConfig& config,
+                                         const RobustOptions& options) {
+  CostMeter cost;
+  CorrelationResult result;
+  result.algorithm = Algorithm::kGreedyPlus;
+
+  auto sets = CandidateSets::build(upstream, downstream, config.max_delay,
+                                   config.size_constraint, cost);
+  const auto budget = static_cast<std::size_t>(
+      options.max_unmatched_fraction *
+      static_cast<double>(upstream.size()));
+  result.matching_complete = sets.empty_count() == 0;
+
+  // Phase 1 (gap-aware): prune, treating lost packets as gaps.
+  if (!sets.prune_allowing_gaps(cost, budget)) {
+    result.correlated = false;
+    result.matching_complete = false;
+    result.hamming = static_cast<std::uint32_t>(target.size());
+    result.cost = cost.accesses();
+    return result;
+  }
+
+  const DecodePlan plan(schedule, target);
+  const std::vector<TimeUs> down_ts = downstream.timestamps();
+  const auto slots = plan.slots();
+
+  // Phase 2: greedy on the pruned sets (per-bit extremes), skipping
+  // missing slots.
+  std::vector<std::uint32_t> choice(slots.size(), kMissing);
+  for (std::uint32_t s = 0; s < slots.size(); ++s) {
+    const auto set = sets.set(slots[s].up_index);
+    if (set.empty()) continue;
+    choice[s] = slots[s].prefer_earliest ? set.front() : set.back();
+    cost.count();
+  }
+  std::vector<std::uint8_t> greedy_bits(plan.bit_count());
+  std::uint32_t greedy_hamming = 0;
+  for (std::uint32_t bit = 0; bit < plan.bit_count(); ++bit) {
+    greedy_bits[bit] = decode_bit_robust(plan, bit, choice, down_ts, cost);
+    greedy_hamming += greedy_bits[bit] != target.bit(bit);
+  }
+  if (greedy_hamming > config.hamming_threshold) {
+    result.correlated = false;
+    result.hamming = greedy_hamming;
+    result.best_watermark = Watermark(std::move(greedy_bits));
+    result.cost = cost.accesses();
+    return result;
+  }
+
+  // Phase 3: order repair over the surviving slots (backward pass; keep
+  // first-matches, re-point last-matches below the successor's choice).
+  std::int64_t bound = std::numeric_limits<std::int64_t>::max();
+  for (std::uint32_t s = slots.size(); s-- > 0;) {
+    if (choice[s] == kMissing) continue;
+    if (static_cast<std::int64_t>(choice[s]) < bound) {
+      bound = choice[s];
+      continue;
+    }
+    const auto set = sets.set(slots[s].up_index);
+    // Largest candidate strictly below `bound`; gap-aware pruning keeps
+    // minima strictly increasing across non-empty sets, so one exists.
+    std::uint32_t lo = 0;
+    auto hi = static_cast<std::uint32_t>(set.size());
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      cost.count();
+      if (static_cast<std::int64_t>(set[mid]) < bound) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == 0) {
+      // No candidate fits below the successor (can happen next to gaps):
+      // treat this packet as lost as well.
+      choice[s] = kMissing;
+      continue;
+    }
+    choice[s] = set[lo - 1];
+    bound = choice[s];
+  }
+
+  std::vector<std::uint8_t> bits(plan.bit_count());
+  for (std::uint32_t bit = 0; bit < plan.bit_count(); ++bit) {
+    bits[bit] = decode_bit_robust(plan, bit, choice, down_ts, cost);
+  }
+  result.hamming = hamming_of(plan, bits);
+  result.best_watermark = Watermark(std::move(bits));
+  result.correlated = result.hamming <= config.hamming_threshold;
+  result.cost = cost.accesses();
+  return result;
+}
+
+}  // namespace sscor

@@ -1,0 +1,80 @@
+#include "sscor/correlation/traceback.hpp"
+
+#include <algorithm>
+
+namespace sscor {
+
+TracebackEngine::TracebackEngine(CorrelatorConfig config, Algorithm algorithm)
+    : config_(config),
+      correlator_(config, algorithm),
+      complete_matching_(algorithm != Algorithm::kGreedy) {}
+
+std::size_t TracebackEngine::register_flow(WatermarkedFlow flow) {
+  traced_.push_back(std::move(flow));
+  return traced_.size() - 1;
+}
+
+bool TracebackEngine::prefilter_rejects(const WatermarkedFlow& traced,
+                                        const Flow& candidate) const {
+  if (!complete_matching_) return false;  // Greedy never hard-rejects
+  const Flow& up = traced.flow;
+  if (up.empty()) return false;
+  // A complete matching needs one distinct downstream packet per upstream
+  // packet...
+  if (candidate.size() < up.size()) return true;
+  if (candidate.empty()) return true;
+  // ...and the first/last upstream packets must have candidates within
+  // [0, max_delay]:
+  if (candidate.end_time() < up.start_time()) return true;
+  if (candidate.start_time() > up.end_time() + config_.max_delay) {
+    return true;
+  }
+  // The last upstream packet needs a match no later than its bound; the
+  // candidate must extend at least to the last upstream timestamp.
+  if (candidate.end_time() < up.end_time()) return true;
+  // The first upstream packet needs a match no earlier than itself;
+  // everything before up.start_time() is unusable, so the candidate must
+  // still have up.size() packets from that point on.  (Cheap variant:
+  // check the time bound only; the packet-count refinement happens in the
+  // matcher.)
+  if (candidate.start_time() > up.start_time() + config_.max_delay) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<TracebackEngine::Match> TracebackEngine::trace(
+    const Flow& candidate, TraceStats* stats) const {
+  std::vector<Match> matches;
+  for (std::size_t id = 0; id < traced_.size(); ++id) {
+    if (stats) ++stats->candidates_checked;
+    if (prefilter_rejects(traced_[id], candidate)) {
+      if (stats) ++stats->prefiltered;
+      continue;
+    }
+    CorrelationResult result = correlator_.correlate(traced_[id], candidate);
+    if (stats) stats->total_cost += result.cost;
+    if (result.correlated) {
+      matches.push_back(Match{id, std::move(result)});
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              return a.result.hamming < b.result.hamming;
+            });
+  return matches;
+}
+
+std::vector<std::pair<std::size_t, TracebackEngine::Match>>
+TracebackEngine::trace_all(std::span<const Flow> candidates,
+                           TraceStats* stats) const {
+  std::vector<std::pair<std::size_t, Match>> out;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    for (auto& match : trace(candidates[c], stats)) {
+      out.emplace_back(c, std::move(match));
+    }
+  }
+  return out;
+}
+
+}  // namespace sscor

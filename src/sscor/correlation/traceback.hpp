@@ -1,0 +1,74 @@
+// TracebackEngine: the operational layer over the correlator.
+//
+// A deployment watermarks many suspected origin flows and must screen many
+// candidate downstream flows against all of them.  The engine keeps the
+// registered (watermarked) flows, applies a cheap O(1) prefilter before
+// running the full correlator — a candidate that cannot possibly host a
+// complete order-preserving matching is skipped outright — and returns
+// ranked matches.  The prefilter is *sound* for the complete-matching
+// algorithms: every pair it skips would have been rejected by the
+// correlator anyway (a property the test suite checks), so it changes cost
+// only, never decisions.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+
+class TracebackEngine {
+ public:
+  explicit TracebackEngine(CorrelatorConfig config,
+                           Algorithm algorithm = Algorithm::kGreedyPlus);
+
+  /// Registers a traced (watermarked) flow; returns its id.
+  std::size_t register_flow(WatermarkedFlow flow);
+
+  std::size_t flow_count() const { return traced_.size(); }
+  const WatermarkedFlow& traced(std::size_t id) const {
+    return traced_.at(id);
+  }
+
+  struct Match {
+    std::size_t traced_id = 0;
+    CorrelationResult result;
+  };
+
+  struct TraceStats {
+    std::size_t candidates_checked = 0;
+    std::size_t prefiltered = 0;  ///< skipped without running the correlator
+    std::uint64_t total_cost = 0;
+  };
+
+  /// Returns true when the candidate can be rejected without decoding:
+  /// the traced flow's packets cannot all be matched (too few downstream
+  /// packets, or the time spans cannot overlap within the delay bound).
+  bool prefilter_rejects(const WatermarkedFlow& traced,
+                         const Flow& candidate) const;
+
+  /// Correlates `candidate` against every registered flow; returns the
+  /// correlated ones sorted by ascending Hamming distance.  `stats` (if
+  /// given) accumulates screening counters.
+  std::vector<Match> trace(const Flow& candidate,
+                           TraceStats* stats = nullptr) const;
+
+  /// Screens many candidates; returns one entry per (candidate, traced)
+  /// correlated pair, candidate-major order.
+  std::vector<std::pair<std::size_t, Match>> trace_all(
+      std::span<const Flow> candidates, TraceStats* stats = nullptr) const;
+
+ private:
+  CorrelatorConfig config_;
+  Correlator correlator_;
+  bool complete_matching_;  ///< the algorithm rejects unmatched packets
+  std::vector<WatermarkedFlow> traced_;
+};
+
+}  // namespace sscor

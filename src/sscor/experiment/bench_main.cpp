@@ -1,0 +1,115 @@
+#include "sscor/experiment/bench_main.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string_view>
+
+namespace sscor::experiment {
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--flows=N] [--packets=N] [--fp-pairs=N] [--seed=N]\n"
+      "          [--corpus=interactive|tcplib] [--full] [--csv=PATH]\n"
+      "  --flows     number of traces (default 91; paper: 91)\n"
+      "  --packets   packets per trace (default 1000; paper: >1000)\n"
+      "  --fp-pairs  sampled uncorrelated pairs per point (default 300)\n"
+      "  --full      evaluate every uncorrelated pair (n*(n-1), slow)\n"
+      "  --corpus    trace generator (default interactive)\n"
+      "  --threads   evaluation worker threads (default: all cores)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool consume(std::string_view arg, std::string_view prefix,
+             std::string_view& value) {
+  if (!arg.starts_with(prefix)) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 ExperimentConfig defaults) {
+  BenchOptions options;
+  options.config = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (consume(arg, "--flows=", value)) {
+      options.config.flows = std::strtoull(value.data(), nullptr, 10);
+    } else if (consume(arg, "--packets=", value)) {
+      options.config.packets_per_flow =
+          std::strtoull(value.data(), nullptr, 10);
+    } else if (consume(arg, "--fp-pairs=", value)) {
+      options.config.fp_pairs = std::strtoull(value.data(), nullptr, 10);
+    } else if (consume(arg, "--seed=", value)) {
+      options.config.master_seed = std::strtoull(value.data(), nullptr, 10);
+    } else if (consume(arg, "--threads=", value)) {
+      options.config.threads =
+          static_cast<unsigned>(std::strtoul(value.data(), nullptr, 10));
+    } else if (consume(arg, "--csv=", value)) {
+      options.csv_path = std::string(value);
+    } else if (consume(arg, "--corpus=", value)) {
+      if (value == "interactive") {
+        options.config.corpus = Corpus::kInteractive;
+      } else if (value == "tcplib") {
+        options.config.corpus = Corpus::kTcplib;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--full") {
+      options.full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.full) {
+    options.config.fp_pairs =
+        options.config.flows * (options.config.flows - 1);
+  }
+  return options;
+}
+
+int run_figure_bench(const std::string& figure_id, const std::string& title,
+                     const BenchOptions& options, const SweepSpec& spec,
+                     const std::string& expectation) {
+  try {
+    std::printf("== %s: %s ==\n", figure_id.c_str(), title.c_str());
+    std::printf("metric: %s\n", to_string(spec.metric).c_str());
+    std::printf("corpus: %s | flows: %zu | packets/flow: %zu"
+                " | fp pairs/point: %zu | seed: %llu\n\n",
+                to_string(options.config.corpus).c_str(),
+                options.config.flows, options.config.packets_per_flow,
+                options.config.fp_pairs,
+                static_cast<unsigned long long>(options.config.master_seed));
+
+    const auto progress = [](std::size_t index, std::size_t count,
+                             const std::string& label) {
+      std::fprintf(stderr, "[%zu/%zu] %s\n", index + 1, count,
+                   label.c_str());
+    };
+    const TextTable table = run_sweep(options.config, spec, progress);
+    std::printf("%s\n", table.to_string().c_str());
+
+    const std::string csv =
+        options.csv_path.empty() ? figure_id + ".csv" : options.csv_path;
+    table.write_csv(csv);
+    std::printf("csv written: %s\n", csv.c_str());
+    if (!expectation.empty()) {
+      std::printf("\npaper expectation: %s\n", expectation.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace sscor::experiment

@@ -1,0 +1,31 @@
+// Shared main() scaffolding for the figure-reproduction bench binaries:
+// command-line scaling flags, the standard header block, CSV output next to
+// the binary, and the paper-expectation footnote.
+
+#pragma once
+
+#include <string>
+
+#include "sscor/experiment/sweep.hpp"
+
+namespace sscor::experiment {
+
+struct BenchOptions {
+  ExperimentConfig config;
+  std::string csv_path;  ///< empty: derive from the figure id
+  bool full = false;     ///< --full: paper-scale FP pairs (all n*(n-1))
+};
+
+/// Parses --flows=N --packets=N --fp-pairs=N --seed=N --full --csv=PATH
+/// --corpus=interactive|tcplib.  Exits with a usage message on bad flags.
+BenchOptions parse_bench_options(int argc, char** argv,
+                                 ExperimentConfig defaults = {});
+
+/// Runs one figure sweep end to end: prints the header, runs with progress
+/// on stderr, prints the table, writes the CSV, prints `expectation`.
+/// Returns the process exit code.
+int run_figure_bench(const std::string& figure_id, const std::string& title,
+                     const BenchOptions& options, const SweepSpec& spec,
+                     const std::string& expectation);
+
+}  // namespace sscor::experiment

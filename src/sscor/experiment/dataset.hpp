@@ -1,0 +1,52 @@
+// Dataset construction: watermarked upstream flows and their adversarially
+// transformed downstream flows, exactly as the paper's evaluation does it:
+// embed a random watermark into each trace, add uniform timing perturbation
+// with maximum equal to the timing constraint Delta, then add Poisson chaff
+// at rate lambda_c.  Everything is a deterministic function of the master
+// seed.
+
+#pragma once
+
+#include <vector>
+
+#include "sscor/experiment/config.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor::experiment {
+
+class Dataset {
+ public:
+  /// Generates `config.flows` traces from the configured corpus and embeds
+  /// a fresh random watermark into each.
+  static Dataset build(const ExperimentConfig& config);
+
+  std::size_t size() const { return flows_.size(); }
+
+  const WatermarkedFlow& upstream(std::size_t i) const {
+    return flows_.at(i);
+  }
+
+  /// The downstream flow of trace `i` under maximum perturbation
+  /// `max_perturbation` and chaff rate `chaff_rate` (pkt/s); deterministic
+  /// in (master seed, i, parameters).
+  Flow downstream(std::size_t i, DurationUs max_perturbation,
+                  double chaff_rate) const;
+
+  /// Downstream flows of every trace at one sweep point.
+  std::vector<Flow> downstream_all(DurationUs max_perturbation,
+                                   double chaff_rate) const;
+
+  /// Deterministic sample of `count` ordered pairs (i, j), i != j, used for
+  /// the false-positive evaluation (upstream i against downstream j).
+  std::vector<std::pair<std::size_t, std::size_t>> sample_fp_pairs(
+      std::size_t count) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  std::vector<WatermarkedFlow> flows_;
+};
+
+}  // namespace sscor::experiment

@@ -1,0 +1,101 @@
+#include "sscor/experiment/evaluation.hpp"
+
+#include "sscor/baselines/basic_watermark.hpp"
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/util/parallel.hpp"
+
+namespace sscor::experiment {
+
+std::vector<std::unique_ptr<Detector>> paper_detectors(
+    const ExperimentConfig& config, DurationUs max_delay) {
+  CorrelatorConfig cc;
+  cc.max_delay = max_delay;
+  cc.hamming_threshold = config.hamming_threshold;
+  cc.cost_bound = config.cost_bound;
+
+  ZhangPassiveParams zp;
+  zp.deviation_threshold = config.zhang_threshold;
+  zp.max_delay = max_delay;
+
+  std::vector<std::unique_ptr<Detector>> detectors;
+  detectors.push_back(
+      std::make_unique<CorrelatorDetector>(cc, Algorithm::kGreedy));
+  detectors.push_back(
+      std::make_unique<CorrelatorDetector>(cc, Algorithm::kGreedyPlus));
+  detectors.push_back(
+      std::make_unique<CorrelatorDetector>(cc, Algorithm::kGreedyStar));
+  detectors.push_back(
+      std::make_unique<BasicWatermarkDetector>(config.hamming_threshold));
+  detectors.push_back(std::make_unique<ZhangPassiveDetector>(zp));
+  return detectors;
+}
+
+std::vector<DetectorMetrics> evaluate_point(
+    const Dataset& dataset,
+    const std::vector<std::unique_ptr<Detector>>& detectors,
+    const EvaluationRequest& request) {
+  const unsigned threads = dataset.config().threads;
+
+  // Downstream flows are shared by every detector; generate them in
+  // parallel (each is an independent function of the seed).
+  std::vector<Flow> downstream(dataset.size());
+  parallel_for(
+      dataset.size(),
+      [&](std::size_t i) {
+        downstream[i] =
+            dataset.downstream(i, request.max_delay, request.chaff_rate);
+      },
+      threads);
+
+  std::vector<DetectorMetrics> metrics(detectors.size());
+  for (std::size_t d = 0; d < detectors.size(); ++d) {
+    metrics[d].detector = detectors[d]->name();
+  }
+
+  if (request.run_detection) {
+    std::vector<DetectionOutcome> outcomes(dataset.size());
+    for (std::size_t d = 0; d < detectors.size(); ++d) {
+      parallel_for(
+          dataset.size(),
+          [&](std::size_t i) {
+            outcomes[i] =
+                detectors[d]->detect(dataset.upstream(i), downstream[i]);
+          },
+          threads);
+      // Reduce sequentially so the statistics are schedule-independent.
+      std::size_t detected = 0;
+      for (const auto& outcome : outcomes) {
+        detected += outcome.correlated;
+        metrics[d].cost_correlated.add(static_cast<double>(outcome.cost));
+      }
+      metrics[d].detection_rate =
+          static_cast<double>(detected) / static_cast<double>(dataset.size());
+    }
+  }
+
+  if (request.run_false_positive) {
+    const auto pairs = dataset.sample_fp_pairs(dataset.config().fp_pairs);
+    std::vector<DetectionOutcome> outcomes(pairs.size());
+    for (std::size_t d = 0; d < detectors.size(); ++d) {
+      parallel_for(
+          pairs.size(),
+          [&](std::size_t k) {
+            const auto& [i, j] = pairs[k];
+            outcomes[k] =
+                detectors[d]->detect(dataset.upstream(i), downstream[j]);
+          },
+          threads);
+      std::size_t false_positives = 0;
+      for (const auto& outcome : outcomes) {
+        false_positives += outcome.correlated;
+        metrics[d].cost_uncorrelated.add(static_cast<double>(outcome.cost));
+      }
+      metrics[d].false_positive_rate =
+          static_cast<double>(false_positives) /
+          static_cast<double>(pairs.size());
+    }
+  }
+  return metrics;
+}
+
+}  // namespace sscor::experiment

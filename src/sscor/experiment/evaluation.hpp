@@ -1,0 +1,46 @@
+// Detection-rate / false-positive-rate / cost evaluation at one sweep point
+// (one (Delta, lambda_c) combination), for any set of detectors.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sscor/baselines/detector.hpp"
+#include "sscor/experiment/dataset.hpp"
+#include "sscor/util/stats.hpp"
+
+namespace sscor::experiment {
+
+struct DetectorMetrics {
+  std::string detector;
+  /// Fraction of (upstream_i, downstream_i) pairs reported correlated.
+  double detection_rate = 0.0;
+  /// Fraction of sampled (upstream_i, downstream_j), i != j, pairs
+  /// reported correlated.
+  double false_positive_rate = 0.0;
+  RunningStats cost_correlated;
+  RunningStats cost_uncorrelated;
+};
+
+struct EvaluationRequest {
+  DurationUs max_delay = 0;   ///< Delta; also the maximum perturbation
+  double chaff_rate = 0.0;    ///< lambda_c, pkt/s
+  bool run_detection = true;
+  bool run_false_positive = true;
+};
+
+/// Builds the detector line-up the paper compares: Greedy, Greedy+,
+/// Greedy*, the basic watermark scheme, and the Zhang passive scheme, all
+/// configured for `max_delay`.
+std::vector<std::unique_ptr<Detector>> paper_detectors(
+    const ExperimentConfig& config, DurationUs max_delay);
+
+/// Evaluates every detector at one sweep point.  Downstream flows are
+/// generated once and shared across detectors.
+std::vector<DetectorMetrics> evaluate_point(
+    const Dataset& dataset,
+    const std::vector<std::unique_ptr<Detector>>& detectors,
+    const EvaluationRequest& request);
+
+}  // namespace sscor::experiment

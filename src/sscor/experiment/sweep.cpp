@@ -1,0 +1,114 @@
+#include "sscor/experiment/sweep.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::experiment {
+namespace {
+
+double metric_value(Metric metric, const DetectorMetrics& m) {
+  switch (metric) {
+    case Metric::kDetectionRate:
+      return m.detection_rate;
+    case Metric::kFalsePositiveRate:
+      return m.false_positive_rate;
+    case Metric::kCostCorrelated:
+      return m.cost_correlated.mean();
+    case Metric::kCostUncorrelated:
+      return m.cost_uncorrelated.mean();
+  }
+  throw InternalError("unhandled metric");
+}
+
+bool needs_detection(Metric metric) {
+  return metric == Metric::kDetectionRate ||
+         metric == Metric::kCostCorrelated;
+}
+
+}  // namespace
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kDetectionRate:
+      return "detection rate";
+    case Metric::kFalsePositiveRate:
+      return "false positive rate";
+    case Metric::kCostCorrelated:
+      return "cost (packets accessed), correlated flows";
+    case Metric::kCostUncorrelated:
+      return "cost (packets accessed), uncorrelated flows";
+  }
+  return "unknown";
+}
+
+TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
+                    const ProgressFn& progress) {
+  std::vector<double> chaff_rates = spec.chaff_rates;
+  std::vector<DurationUs> max_delays = spec.max_delays;
+  if (chaff_rates.empty()) {
+    chaff_rates.assign(std::begin(kChaffRates), std::end(kChaffRates));
+  }
+  if (max_delays.empty()) {
+    for (const auto s : kMaxDelaysSeconds) max_delays.push_back(seconds(s));
+  }
+
+  struct Point {
+    DurationUs delay;
+    double chaff;
+    std::string label;
+  };
+  std::vector<Point> points;
+  if (spec.axis == SweepAxis::kChaffRate) {
+    for (const double rate : chaff_rates) {
+      points.push_back(
+          {spec.fixed_delay, rate, TextTable::cell(rate, 1)});
+    }
+  } else {
+    for (const DurationUs delay : max_delays) {
+      points.push_back(
+          {delay, spec.fixed_chaff, TextTable::cell(to_seconds(delay), 0)});
+    }
+  }
+
+  const Dataset dataset = Dataset::build(config);
+
+  const std::string x_header = spec.axis == SweepAxis::kChaffRate
+                                   ? "chaff_rate_pps"
+                                   : "max_delay_s";
+  std::vector<std::string> header{x_header};
+  {
+    // Column names come from the detector line-up (delay value irrelevant).
+    const auto detectors = paper_detectors(config, points.front().delay);
+    for (const auto& d : detectors) header.push_back(d->name());
+  }
+  TextTable table(header);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const auto& point = points[p];
+    if (progress) {
+      progress(p, points.size(),
+               x_header + "=" + point.label);
+    }
+    const auto detectors = paper_detectors(config, point.delay);
+    EvaluationRequest request;
+    request.max_delay = point.delay;
+    request.chaff_rate = point.chaff;
+    request.run_detection = needs_detection(spec.metric);
+    request.run_false_positive = !request.run_detection;
+    const auto metrics = evaluate_point(dataset, detectors, request);
+
+    std::vector<std::string> row{point.label};
+    for (const auto& m : metrics) {
+      const double value = metric_value(spec.metric, m);
+      const int precision =
+          (spec.metric == Metric::kCostCorrelated ||
+           spec.metric == Metric::kCostUncorrelated)
+              ? 0
+              : 4;
+      row.push_back(TextTable::cell(value, precision));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace sscor::experiment

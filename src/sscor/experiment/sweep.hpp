@@ -1,0 +1,53 @@
+// Sweep drivers that regenerate the paper's figures 3-10.
+//
+// Each figure is one metric over one swept axis with the other parameter
+// fixed; run_sweep produces the table of series (one column per detector)
+// that the corresponding bench binary prints and writes as CSV.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sscor/experiment/evaluation.hpp"
+#include "sscor/util/table.hpp"
+
+namespace sscor::experiment {
+
+enum class Metric {
+  kDetectionRate,
+  kFalsePositiveRate,
+  kCostCorrelated,
+  kCostUncorrelated,
+};
+
+std::string to_string(Metric metric);
+
+enum class SweepAxis {
+  kChaffRate,  ///< sweep lambda_c, Delta fixed   (figures 3, 5, 7, 9)
+  kMaxDelay,   ///< sweep Delta, lambda_c fixed   (figures 4, 6, 8, 10)
+};
+
+struct SweepSpec {
+  Metric metric = Metric::kDetectionRate;
+  SweepAxis axis = SweepAxis::kChaffRate;
+  /// The fixed parameter: Delta when sweeping chaff, lambda_c when
+  /// sweeping delay.
+  DurationUs fixed_delay = kFig3FixedDelay;
+  double fixed_chaff = kFig4FixedChaff;
+  /// Axis values; defaults to the paper's grids when empty.
+  std::vector<double> chaff_rates;
+  std::vector<DurationUs> max_delays;
+};
+
+/// Progress callback: (point index, point count, human-readable label).
+using ProgressFn =
+    std::function<void(std::size_t, std::size_t, const std::string&)>;
+
+/// Runs the sweep over the paper's five-detector line-up and returns the
+/// table: first column the swept axis, one column per detector.
+TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
+                    const ProgressFn& progress = {});
+
+}  // namespace sscor::experiment

@@ -1,0 +1,40 @@
+#include "sscor/flow/clock_model.hpp"
+
+#include <vector>
+
+namespace sscor {
+
+ClockModel::ClockModel(DurationUs offset, double drift_ppm,
+                       TimeUs reference_epoch)
+    : offset_(offset), drift_ppm_(drift_ppm),
+      reference_epoch_(reference_epoch) {}
+
+TimeUs ClockModel::to_reference(TimeUs remote) const {
+  // remote = reference + offset + drift * (remote - epoch); solve for
+  // reference.
+  const double drift = drift_ppm_ / 1e6;
+  const double elapsed = static_cast<double>(remote - reference_epoch_);
+  return remote - offset_ -
+         static_cast<DurationUs>(drift * elapsed +
+                                 (drift * elapsed >= 0 ? 0.5 : -0.5));
+}
+
+TimeUs ClockModel::to_remote(TimeUs reference) const {
+  // Invert to_reference numerically: at ppm-scale drift the mapping is
+  // within microseconds of the identity-plus-offset guess, so a couple of
+  // fixed-point corrections converge exactly.
+  TimeUs guess = reference + offset_;
+  for (int i = 0; i < 3; ++i) {
+    guess -= to_reference(guess) - reference;
+  }
+  return guess;
+}
+
+Flow ClockModel::adjust(const Flow& flow) const {
+  std::vector<PacketRecord> packets(flow.packets().begin(),
+                                    flow.packets().end());
+  for (auto& p : packets) p.timestamp = to_reference(p.timestamp);
+  return Flow(std::move(packets), flow.id());
+}
+
+}  // namespace sscor

@@ -1,0 +1,44 @@
+// Clock adjustment between monitoring points.
+//
+// Packet timestamps captured at different hosts are not directly comparable.
+// The paper assumes the skews between clocks are *known* so timestamps can
+// be adjusted before matching; ClockModel makes that assumption explicit and
+// testable: it maps a remote monitor's clock onto the reference clock given
+// a fixed offset and a linear drift rate.
+
+#pragma once
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+class ClockModel {
+ public:
+  /// `offset` is remote-minus-reference at remote time `reference_epoch`;
+  /// `drift_ppm` is the remote clock's drift in parts per million.
+  ClockModel(DurationUs offset, double drift_ppm,
+             TimeUs reference_epoch = 0);
+
+  /// Identity model (perfectly synchronised clocks).
+  static ClockModel identity() { return ClockModel(0, 0.0, 0); }
+
+  /// Maps a remote-clock timestamp onto the reference clock.
+  TimeUs to_reference(TimeUs remote) const;
+
+  /// Maps a reference-clock timestamp onto the remote clock (inverse).
+  TimeUs to_remote(TimeUs reference) const;
+
+  /// Adjusts every timestamp of `flow` onto the reference clock.
+  Flow adjust(const Flow& flow) const;
+
+  DurationUs offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  DurationUs offset_;
+  double drift_ppm_;
+  TimeUs reference_epoch_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,26 @@
+// Bidirectional connections.
+//
+// The paper's tracing problem is stated over connections h1 <-> h2 but its
+// algorithms operate on unidirectional flows.  Connection bundles the two
+// directions so the library can model realistic interactive sessions
+// (keystrokes one way, echoes and command output the other) and correlate
+// at connection granularity (see sscor/correlation/connection_correlator).
+
+#pragma once
+
+#include "sscor/flow/flow.hpp"
+
+namespace sscor {
+
+struct Connection {
+  Flow client_to_server;  ///< keystrokes
+  Flow server_to_client;  ///< echoes and command output
+
+  /// Both directions together, time-ordered (what a capture of the
+  /// five-tuple pair would contain).
+  Flow merged() const {
+    return merge_flows(client_to_server, server_to_client);
+  }
+};
+
+}  // namespace sscor

@@ -1,0 +1,79 @@
+// A unidirectional packet flow: the unit every algorithm in this library
+// consumes and produces.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sscor/flow/packet.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+/// Summary statistics of a flow's timing behaviour.
+struct FlowStats {
+  std::size_t packets = 0;
+  DurationUs duration = 0;
+  double mean_rate_pps = 0.0;    ///< packets per second over the duration
+  double mean_ipd_seconds = 0.0;
+  double median_ipd_seconds = 0.0;
+  double max_ipd_seconds = 0.0;
+};
+
+/// An ordered sequence of packets.  Class invariant: timestamps are
+/// non-decreasing (the paper's order constraint presumes FIFO links).
+class Flow {
+ public:
+  Flow() = default;
+
+  /// Builds a flow from packets; sorts them (stably) by timestamp.
+  explicit Flow(std::vector<PacketRecord> packets, std::string id = {});
+
+  /// Builds a flow with the given timestamps and zero-size packets.
+  static Flow from_timestamps(std::span<const TimeUs> timestamps,
+                              std::string id = {});
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+
+  const PacketRecord& packet(std::size_t i) const { return packets_.at(i); }
+  TimeUs timestamp(std::size_t i) const { return packets_.at(i).timestamp; }
+  std::span<const PacketRecord> packets() const { return packets_; }
+
+  TimeUs start_time() const;
+  TimeUs end_time() const;
+  DurationUs duration() const;
+
+  /// All timestamps as a flat vector (convenience for the matcher).
+  std::vector<TimeUs> timestamps() const;
+
+  /// Inter-packet delay between consecutive packets i and i+1.
+  DurationUs ipd(std::size_t i) const;
+
+  FlowStats stats() const;
+
+  /// Number of packets flagged as chaff (ground truth; evaluation only).
+  std::size_t chaff_count() const;
+
+  /// Returns a copy whose timestamps are shifted by `delta`.
+  Flow shifted(DurationUs delta) const;
+
+  /// Appends a packet; it must not precede the current last packet.
+  void append(PacketRecord packet);
+
+ private:
+  std::vector<PacketRecord> packets_;
+  std::string id_;
+};
+
+/// Merges two flows into one time-ordered flow (used for chaff injection
+/// and for building multi-connection captures).
+Flow merge_flows(const Flow& a, const Flow& b, std::string id = {});
+
+}  // namespace sscor

@@ -1,0 +1,78 @@
+#include "sscor/flow/flow_extractor.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "sscor/net/byte_order.hpp"
+#include "sscor/net/headers.hpp"
+#include "sscor/pcap/pcapng_reader.hpp"
+
+namespace sscor {
+namespace {
+
+/// Strips link-layer framing, returning the bytes from the IP header on, or
+/// an empty span when the record is not IPv4.
+std::span<const std::uint8_t> ip_bytes(const pcap::Record& record,
+                                       pcap::LinkType link_type) {
+  std::span<const std::uint8_t> data = record.data;
+  switch (link_type) {
+    case pcap::LinkType::kRawIp:
+      return data;
+    case pcap::LinkType::kEthernet: {
+      if (data.size() < pcap::kEthernetHeaderBytes) return {};
+      const std::uint16_t ethertype =
+          net::load_be16(data.subspan<12, 2>());
+      if (ethertype != pcap::kEtherTypeIpv4) return {};
+      return data.subspan(pcap::kEthernetHeaderBytes);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<ExtractedFlow> extract_flows(
+    const std::vector<pcap::Record>& records, pcap::LinkType link_type,
+    const ExtractorOptions& options) {
+  std::unordered_map<net::FiveTuple, std::vector<PacketRecord>,
+                     net::FiveTupleHash>
+      grouped;
+  std::vector<net::FiveTuple> order;  // deterministic output ordering
+
+  for (const auto& record : records) {
+    const auto bytes = ip_bytes(record, link_type);
+    if (bytes.empty()) continue;
+    const auto parsed = net::parse_tcp_packet(bytes);
+    if (!parsed) continue;
+    if (options.payload_only && parsed->payload.empty()) continue;
+    if (options.skip_control &&
+        (parsed->tcp.flags & (net::kTcpSyn | net::kTcpFin | net::kTcpRst))) {
+      continue;
+    }
+    const auto tuple = parsed->tuple();
+    auto [it, inserted] = grouped.try_emplace(tuple);
+    if (inserted) order.push_back(tuple);
+    it->second.push_back(PacketRecord{
+        record.timestamp, static_cast<std::uint32_t>(parsed->payload.size()),
+        false});
+  }
+
+  std::vector<ExtractedFlow> flows;
+  flows.reserve(order.size());
+  for (const auto& tuple : order) {
+    auto& packets = grouped.at(tuple);
+    if (packets.size() < options.min_packets) continue;
+    flows.push_back(
+        ExtractedFlow{tuple, Flow(std::move(packets), tuple.to_string())});
+  }
+  return flows;
+}
+
+std::vector<ExtractedFlow> extract_flows_from_file(
+    const std::string& path, const ExtractorOptions& options) {
+  // Auto-detects classic pcap vs pcapng from the magic number.
+  const pcap::LoadedCapture capture = pcap::read_capture_auto(path);
+  return extract_flows(capture.records, capture.link_type, options);
+}
+
+}  // namespace sscor

@@ -1,0 +1,45 @@
+// Turning raw captures into unidirectional flows.
+//
+// Groups the TCP/IPv4 packets of a pcap capture by five-tuple (one flow per
+// direction), preserving capture timestamps and payload sizes.  This is the
+// entry point for running the correlator on real capture files.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/net/five_tuple.hpp"
+#include "sscor/pcap/pcap_format.hpp"
+
+namespace sscor {
+
+struct ExtractedFlow {
+  net::FiveTuple tuple;
+  Flow flow;
+};
+
+struct ExtractorOptions {
+  /// Skip packets with no TCP payload (pure ACKs carry no keystroke timing).
+  bool payload_only = true;
+  /// Skip SYN/FIN/RST control packets.
+  bool skip_control = true;
+  /// Drop flows with fewer packets than this after filtering.
+  std::size_t min_packets = 2;
+};
+
+/// Extracts unidirectional flows from decoded pcap records.
+/// `link_type` tells the extractor whether an Ethernet header precedes the
+/// IP header.  Non-IPv4/TCP records are skipped, not errors.
+std::vector<ExtractedFlow> extract_flows(
+    const std::vector<pcap::Record>& records, pcap::LinkType link_type,
+    const ExtractorOptions& options = {});
+
+/// Convenience: reads `path` (classic pcap or pcapng, auto-detected) and
+/// extracts flows using its declared link type.
+std::vector<ExtractedFlow> extract_flows_from_file(
+    const std::string& path, const ExtractorOptions& options = {});
+
+}  // namespace sscor

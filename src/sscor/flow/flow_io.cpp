@@ -1,0 +1,74 @@
+#include "sscor/flow/flow_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr const char* kMagic = "# sscor-flow v1";
+
+}  // namespace
+
+void write_flow_text(std::ostream& out, const Flow& flow) {
+  out << kMagic;
+  if (!flow.id().empty()) out << ' ' << flow.id();
+  out << '\n';
+  for (const auto& p : flow.packets()) {
+    out << p.timestamp << ' ' << p.size << ' ' << (p.is_chaff ? 1 : 0)
+        << '\n';
+  }
+  if (!out) throw IoError("flow text write failed");
+}
+
+void write_flow_file(const std::string& path, const Flow& flow) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open flow file for writing: " + path);
+  write_flow_text(out, flow);
+}
+
+Flow read_flow_text(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.compare(0, std::string(kMagic).size(), kMagic) != 0) {
+    throw IoError("missing sscor-flow header");
+  }
+  std::string id;
+  if (header.size() > std::string(kMagic).size() + 1) {
+    id = header.substr(std::string(kMagic).size() + 1);
+  }
+
+  std::vector<PacketRecord> packets;
+  std::string line;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    PacketRecord p;
+    int chaff = 0;
+    if (!(fields >> p.timestamp >> p.size >> chaff) ||
+        (chaff != 0 && chaff != 1)) {
+      throw IoError("malformed flow line " + std::to_string(line_number) +
+                    ": " + line);
+    }
+    p.is_chaff = chaff == 1;
+    if (!packets.empty() && p.timestamp < packets.back().timestamp) {
+      throw IoError("timestamps must be non-decreasing at line " +
+                    std::to_string(line_number));
+    }
+    packets.push_back(p);
+  }
+  return Flow(std::move(packets), std::move(id));
+}
+
+Flow read_flow_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open flow file: " + path);
+  return read_flow_text(in);
+}
+
+}  // namespace sscor

@@ -1,0 +1,28 @@
+// The packet record used by every timing algorithm.
+//
+// Correlation operates on per-packet capture timestamps plus (optionally)
+// packet sizes; nothing else from the wire survives encryption.  The
+// `is_chaff` flag is ground-truth annotation carried by synthetic flows for
+// evaluation and tests — the correlation algorithms never read it (the whole
+// point of the paper is that chaff is indistinguishable).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct PacketRecord {
+  TimeUs timestamp = 0;
+  /// TCP payload size in bytes; used only by the optional quantized-size
+  /// matching constraint.
+  std::uint32_t size = 0;
+  /// Ground truth for evaluation only; invisible to the algorithms.
+  bool is_chaff = false;
+
+  friend bool operator==(const PacketRecord&, const PacketRecord&) = default;
+};
+
+}  // namespace sscor

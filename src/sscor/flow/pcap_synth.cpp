@@ -1,0 +1,45 @@
+#include "sscor/flow/pcap_synth.hpp"
+
+#include <algorithm>
+
+#include "sscor/net/headers.hpp"
+#include "sscor/pcap/pcap_writer.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+std::vector<pcap::Record> synthesize_capture(
+    const std::vector<SynthesisInput>& inputs) {
+  std::vector<pcap::Record> records;
+  for (const auto& input : inputs) {
+    require(input.flow != nullptr, "synthesis input has no flow");
+    std::uint32_t seq = 1;  // post-SYN relative sequence number
+    for (const auto& packet : input.flow->packets()) {
+      pcap::Record record;
+      record.timestamp = packet.timestamp;
+      record.data = net::encode_tcp_packet(input.tuple, seq, /*ack=*/1,
+                                           net::kTcpAck | net::kTcpPsh,
+                                           packet.size);
+      record.original_length = static_cast<std::uint32_t>(record.data.size());
+      seq += std::max<std::uint32_t>(packet.size, 1);
+      records.push_back(std::move(record));
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const pcap::Record& a, const pcap::Record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return records;
+}
+
+void write_capture_file(const std::string& path,
+                        const std::vector<SynthesisInput>& inputs) {
+  const auto records = synthesize_capture(inputs);
+  pcap::PcapWriter writer(path, pcap::LinkType::kRawIp);
+  for (const auto& record : records) {
+    writer.write(record);
+  }
+  writer.flush();
+}
+
+}  // namespace sscor

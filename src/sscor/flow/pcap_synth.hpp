@@ -1,0 +1,34 @@
+// Synthesis of pcap captures from flows.
+//
+// Renders abstract flows back into well-formed TCP/IPv4 packets inside a
+// classic pcap file, so the full pipeline (generate -> capture file ->
+// extract -> correlate) can be exercised end-to-end and the output can be
+// inspected with standard tools.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/net/five_tuple.hpp"
+#include "sscor/pcap/pcap_format.hpp"
+
+namespace sscor {
+
+struct SynthesisInput {
+  net::FiveTuple tuple;
+  const Flow* flow = nullptr;  ///< not owned; must outlive the call
+};
+
+/// Renders the given flows as one interleaved capture (records sorted by
+/// timestamp).  Each packet is encoded with `packet.size` payload bytes and
+/// monotonically advancing TCP sequence numbers per flow.
+std::vector<pcap::Record> synthesize_capture(
+    const std::vector<SynthesisInput>& inputs);
+
+/// Renders and writes the capture to `path` as a raw-IP pcap file.
+void write_capture_file(const std::string& path,
+                        const std::vector<SynthesisInput>& inputs);
+
+}  // namespace sscor

@@ -1,0 +1,141 @@
+#include "sscor/matching/candidate_sets.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sscor/traffic/size_model.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+CandidateSets CandidateSets::build(const Flow& upstream,
+                                   const Flow& downstream,
+                                   DurationUs max_delay,
+                                   const std::optional<SizeConstraint>& size,
+                                   CostMeter& cost) {
+  const std::vector<TimeUs> up_ts = upstream.timestamps();
+  const std::vector<TimeUs> down_ts = downstream.timestamps();
+  const auto windows = scan_match_windows(up_ts, down_ts, max_delay, cost);
+
+  CandidateSets out;
+  out.sets_.resize(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& window = windows[i];
+    auto& set = out.sets_[i];
+    set.reserve(window.size());
+    if (!size) {
+      for (std::uint32_t j = window.lo; j < window.hi; ++j) {
+        set.push_back(j);
+      }
+      continue;
+    }
+    const std::uint32_t quantized_up =
+        traffic::quantize_size(upstream.packet(i).size, size->block_bytes);
+    for (std::uint32_t j = window.lo; j < window.hi; ++j) {
+      cost.count();  // examining the candidate's size is a packet access
+      if (traffic::quantize_size(downstream.packet(j).size,
+                                 size->block_bytes) == quantized_up) {
+        set.push_back(j);
+      }
+    }
+  }
+  return out;
+}
+
+bool CandidateSets::complete() const {
+  return std::all_of(sets_.begin(), sets_.end(),
+                     [](const auto& set) { return !set.empty(); });
+}
+
+std::size_t CandidateSets::empty_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(sets_.begin(), sets_.end(),
+                    [](const auto& set) { return set.empty(); }));
+}
+
+bool CandidateSets::prune_allowing_gaps(CostMeter& cost,
+                                        std::size_t max_empty) {
+  std::size_t empties = empty_count();
+  if (empties > max_empty) return false;
+
+  std::int64_t floor = -1;
+  for (auto& set : sets_) {
+    if (set.empty()) continue;
+    std::size_t drop = 0;
+    while (drop < set.size() &&
+           static_cast<std::int64_t>(set[drop]) <= floor) {
+      cost.count();
+      ++drop;
+    }
+    if (drop > 0) set.erase(set.begin(), set.begin() + drop);
+    cost.count();
+    if (set.empty()) {
+      // A packet just lost its last candidate: treat it as lost too, if
+      // the budget allows.
+      if (++empties > max_empty) return false;
+      continue;
+    }
+    floor = set.front();
+  }
+
+  std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
+  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
+    auto& set = *it;
+    if (set.empty()) continue;
+    std::size_t drop = 0;
+    while (drop < set.size() &&
+           static_cast<std::int64_t>(set[set.size() - 1 - drop]) >= ceiling) {
+      cost.count();
+      ++drop;
+    }
+    if (drop > 0) set.erase(set.end() - static_cast<std::ptrdiff_t>(drop),
+                            set.end());
+    cost.count();
+    if (set.empty()) {
+      if (++empties > max_empty) return false;
+      continue;
+    }
+    ceiling = set.back();
+  }
+  pruned_ = true;
+  return true;
+}
+
+bool CandidateSets::prune(CostMeter& cost) {
+  // Forward pass: the i-th packet's candidate must exceed the smallest
+  // feasible candidate of packet i-1, so drop any prefix at or below it.
+  std::int64_t floor = -1;
+  for (auto& set : sets_) {
+    std::size_t drop = 0;
+    while (drop < set.size() &&
+           static_cast<std::int64_t>(set[drop]) <= floor) {
+      cost.count();
+      ++drop;
+    }
+    if (drop > 0) set.erase(set.begin(), set.begin() + drop);
+    cost.count();  // reading the new minimum
+    if (set.empty()) return false;
+    floor = set.front();
+  }
+
+  // Backward pass: symmetric, with strictly decreasing maxima.
+  std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
+  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
+    auto& set = *it;
+    std::size_t drop = 0;
+    while (drop < set.size() &&
+           static_cast<std::int64_t>(set[set.size() - 1 - drop]) >= ceiling) {
+      cost.count();
+      ++drop;
+    }
+    if (drop > 0) set.erase(set.end() - static_cast<std::ptrdiff_t>(drop),
+                            set.end());
+    cost.count();
+    if (set.empty()) return false;
+    ceiling = set.back();
+  }
+  pruned_ = true;
+  return true;
+}
+
+}  // namespace sscor

@@ -1,0 +1,72 @@
+// Materialised matching sets with optional size filtering and the
+// duplicate-first/last pruning of the Greedy+ algorithm's first phase.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/matching/cost_meter.hpp"
+#include "sscor/matching/match_windows.hpp"
+
+namespace sscor {
+
+/// Optional matching constraint from quantized packet sizes (paper §3.2):
+/// a downstream packet can match an upstream packet only when their payload
+/// sizes round up to the same multiple of `block_bytes` (an SSH block
+/// cipher pads to the block boundary, so sizes survive re-encryption only
+/// modulo the block).
+struct SizeConstraint {
+  std::uint32_t block_bytes = 16;
+};
+
+/// Per-upstream-packet candidate lists (sorted downstream indices).
+class CandidateSets {
+ public:
+  /// Builds candidate sets for every upstream packet using the O(m)
+  /// matching scan, then applies the optional size constraint (reading a
+  /// packet size counts as an access).
+  static CandidateSets build(const Flow& upstream, const Flow& downstream,
+                             DurationUs max_delay,
+                             const std::optional<SizeConstraint>& size,
+                             CostMeter& cost);
+
+  std::size_t upstream_size() const { return sets_.size(); }
+
+  std::span<const std::uint32_t> set(std::size_t i) const {
+    return sets_.at(i);
+  }
+
+  /// True when every upstream packet has at least one candidate — the
+  /// paper's necessary condition for the flows to share a connection chain.
+  bool complete() const;
+
+  /// Phase-1 pruning: removes candidates that cannot occur in any complete
+  /// order-preserving assignment (generalises the paper's "remove duplicate
+  /// first or last packets").  A forward pass enforces strictly increasing
+  /// set minima, a backward pass strictly decreasing set maxima.  Returns
+  /// false when some set empties, i.e. no complete assignment exists.
+  /// Each removed or inspected candidate counts one access.
+  bool prune(CostMeter& cost);
+
+  /// Gap-tolerant variant for the loss-robust correlator: upstream packets
+  /// with empty candidate sets (lost or merged downstream) are skipped by
+  /// the chains instead of failing.  Returns false when more than
+  /// `max_empty` sets are empty or when pruning empties a non-empty set
+  /// beyond that budget.
+  bool prune_allowing_gaps(CostMeter& cost, std::size_t max_empty);
+
+  /// Number of upstream packets currently without any candidate.
+  std::size_t empty_count() const;
+
+  bool pruned() const { return pruned_; }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> sets_;
+  bool pruned_ = false;
+};
+
+}  // namespace sscor

@@ -1,0 +1,40 @@
+// The paper's implementation-independent cost metric.
+//
+// §4: "we define computation cost as the number of packets had to be
+// accessed to compute the best watermark or the smallest deviation".  Every
+// algorithm (ours and the baselines) counts through a CostMeter: one unit
+// per packet record (timestamp or size) examined.  A shared optional budget
+// lets Greedy* and Brute Force stop at a bound, as the paper does with
+// Greedy*'s 10^6 limit.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sscor {
+
+class CostMeter {
+ public:
+  CostMeter() = default;
+
+  /// Creates a meter that reports exhaustion once `bound` accesses are
+  /// counted.
+  explicit CostMeter(std::uint64_t bound) : bound_(bound) {}
+
+  void count(std::uint64_t n = 1) { accesses_ += n; }
+
+  std::uint64_t accesses() const { return accesses_; }
+
+  std::uint64_t bound() const { return bound_; }
+
+  /// True once the budget is spent.  Algorithms with a bound poll this and
+  /// return their best-so-far result.
+  bool exhausted() const { return accesses_ >= bound_; }
+
+ private:
+  std::uint64_t accesses_ = 0;
+  std::uint64_t bound_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+}  // namespace sscor

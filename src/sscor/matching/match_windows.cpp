@@ -1,0 +1,117 @@
+#include "sscor/matching/match_windows.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+std::vector<MatchWindow> scan_match_windows(
+    std::span<const TimeUs> upstream, std::span<const TimeUs> downstream,
+    DurationUs max_delay, CostMeter& cost) {
+  require(max_delay >= 0, "maximum delay must be non-negative");
+  std::vector<MatchWindow> windows;
+  windows.reserve(upstream.size());
+
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  const auto m = static_cast<std::uint32_t>(downstream.size());
+  for (const TimeUs t : upstream) {
+    // First downstream packet no earlier than t.
+    while (lo < m) {
+      cost.count();
+      if (downstream[lo] >= t) break;
+      ++lo;
+    }
+    if (hi < lo) hi = lo;
+    // First downstream packet strictly later than t + max_delay.
+    while (hi < m) {
+      cost.count();
+      if (downstream[hi] > t + max_delay) break;
+      ++hi;
+    }
+    windows.push_back(MatchWindow{lo, hi});
+  }
+  return windows;
+}
+
+std::vector<MatchWindow> scan_match_windows_paper_heuristic(
+    std::span<const TimeUs> upstream, std::span<const TimeUs> downstream,
+    DurationUs max_delay, CostMeter& cost) {
+  require(max_delay >= 0, "maximum delay must be non-negative");
+  std::vector<MatchWindow> windows;
+  windows.reserve(upstream.size());
+  const auto m = static_cast<std::uint32_t>(downstream.size());
+
+  auto forward_to = [&](std::uint32_t from, TimeUs value) {
+    // First index >= from with downstream[index] >= value.
+    std::uint32_t j = from;
+    while (j < m) {
+      cost.count();
+      if (downstream[j] >= value) break;
+      ++j;
+    }
+    return j;
+  };
+
+  for (std::size_t i = 0; i < upstream.size(); ++i) {
+    const TimeUs t = upstream[i];
+    MatchWindow window;
+    if (i == 0) {
+      window.lo = forward_to(0, t);
+      window.hi = forward_to(window.lo, t + max_delay + 1);
+    } else {
+      const MatchWindow& prev = windows.back();
+      const DurationUs dt = t - upstream[i - 1];
+      if (dt <= max_delay / 2) {
+        // The new window overlaps the old one near its start: scan
+        // forward from the previous first packet.
+        window.lo = forward_to(prev.lo, t);
+      } else if (dt <= max_delay) {
+        // Overlap near the old end: scan backward from the previous last
+        // packet for the first index with timestamp >= t.
+        std::uint32_t j = std::max(prev.hi, prev.lo);
+        while (j > prev.lo) {
+          cost.count();
+          if (downstream[j - 1] < t) break;
+          --j;
+        }
+        // If everything in the old window is >= t, the first match may
+        // still be at prev.lo; if nothing is, continue forward from the
+        // old end.
+        window.lo = (j == prev.hi) ? forward_to(prev.hi, t) : j;
+      } else {
+        // Disjoint windows: scan forward from one past the previous end.
+        window.lo = forward_to(prev.hi, t);
+      }
+      window.hi = forward_to(std::max(window.lo, prev.hi), t + max_delay + 1);
+    }
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+MatchWindow find_match_window(TimeUs upstream_time,
+                              std::span<const TimeUs> downstream,
+                              DurationUs max_delay, CostMeter& cost) {
+  require(max_delay >= 0, "maximum delay must be non-negative");
+  // Branchless-ish binary searches; each probe examines one packet.
+  auto lower_bound = [&](TimeUs value) {
+    std::uint32_t lo = 0;
+    auto hi = static_cast<std::uint32_t>(downstream.size());
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      cost.count();
+      if (downstream[mid] < value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  MatchWindow window;
+  window.lo = lower_bound(upstream_time);
+  window.hi = lower_bound(upstream_time + max_delay + 1);
+  return window;
+}
+
+}  // namespace sscor

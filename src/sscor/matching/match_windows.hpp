@@ -1,0 +1,59 @@
+// Matching-set computation under the timing constraint (paper §3.2).
+//
+// The matching set of upstream packet p_i in suspicious flow f' is
+//   M(p_i) = { p'_j : 0 <= t'_j - t_i <= Delta }.
+// Because f' is time-ordered, every matching set is one contiguous index
+// window [lo, hi).  Windows of consecutive upstream packets are monotone
+// (t_i non-decreasing implies lo/hi non-decreasing), so the scan walks two
+// forward-only pointers and touches each downstream packet at most twice —
+// the O(m) bound of the paper's scan heuristic.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sscor/matching/cost_meter.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+/// A half-open range [lo, hi) of downstream packet indices.
+struct MatchWindow {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  bool empty() const { return lo >= hi; }
+  std::uint32_t size() const { return empty() ? 0 : hi - lo; }
+
+  friend bool operator==(const MatchWindow&, const MatchWindow&) = default;
+};
+
+/// Computes M(p_i) for every upstream timestamp with the two-pointer scan.
+/// Each pointer advance counts one packet access on `cost`.
+std::vector<MatchWindow> scan_match_windows(
+    std::span<const TimeUs> upstream, std::span<const TimeUs> downstream,
+    DurationUs max_delay, CostMeter& cost);
+
+/// The paper's own scan heuristic (§3.2), verbatim: starting from
+/// M(p_i) = [lo, hi), M(p_{i+1}) is found by scanning forward from lo when
+/// t_{i+1} - t_i <= Delta/2, backward from hi-1 when Delta/2 < t_{i+1} -
+/// t_i <= Delta, and forward from hi when the windows cannot overlap.
+/// Produces exactly the same windows as scan_match_windows (a tested
+/// property) with the same O(m) bound; kept as the faithful reference and
+/// for the cost-accounting comparison in the micro benchmarks.
+std::vector<MatchWindow> scan_match_windows_paper_heuristic(
+    std::span<const TimeUs> upstream, std::span<const TimeUs> downstream,
+    DurationUs max_delay, CostMeter& cost);
+
+/// Computes the matching window of a single timestamp by binary search —
+/// O(log m) accesses.  Used by the standalone Greedy algorithm, which only
+/// needs the embedding packets' windows and therefore avoids the full scan
+/// (this is what keeps its measured cost nearly flat in chaff; see
+/// DESIGN.md §4).
+MatchWindow find_match_window(TimeUs upstream_time,
+                              std::span<const TimeUs> downstream,
+                              DurationUs max_delay, CostMeter& cost);
+
+}  // namespace sscor

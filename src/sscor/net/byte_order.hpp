@@ -1,0 +1,61 @@
+// Endian-explicit loads and stores for wire formats.
+//
+// The pcap and header codecs never reinterpret_cast packed structs over raw
+// buffers; they assemble integers byte-by-byte, which is alignment-safe and
+// independent of host endianness.
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace sscor::net {
+
+constexpr std::uint16_t load_be16(std::span<const std::uint8_t, 2> b) {
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+constexpr std::uint32_t load_be32(std::span<const std::uint8_t, 4> b) {
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+constexpr std::uint16_t load_le16(std::span<const std::uint8_t, 2> b) {
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+constexpr std::uint32_t load_le32(std::span<const std::uint8_t, 4> b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+constexpr void store_be16(std::span<std::uint8_t, 2> b, std::uint16_t v) {
+  b[0] = static_cast<std::uint8_t>(v >> 8);
+  b[1] = static_cast<std::uint8_t>(v);
+}
+
+constexpr void store_be32(std::span<std::uint8_t, 4> b, std::uint32_t v) {
+  b[0] = static_cast<std::uint8_t>(v >> 24);
+  b[1] = static_cast<std::uint8_t>(v >> 16);
+  b[2] = static_cast<std::uint8_t>(v >> 8);
+  b[3] = static_cast<std::uint8_t>(v);
+}
+
+constexpr void store_le16(std::span<std::uint8_t, 2> b, std::uint16_t v) {
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+constexpr void store_le32(std::span<std::uint8_t, 4> b, std::uint32_t v) {
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+  b[2] = static_cast<std::uint8_t>(v >> 16);
+  b[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace sscor::net

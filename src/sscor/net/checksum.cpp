@@ -1,0 +1,31 @@
+#include "sscor/net/checksum.hpp"
+
+namespace sscor::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint16_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint16_t>(data[i] << 8);
+  }
+}
+
+void ChecksumAccumulator::add_word(std::uint16_t word) { sum_ += word; }
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+}  // namespace sscor::net

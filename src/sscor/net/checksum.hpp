@@ -1,0 +1,32 @@
+// RFC 1071 internet checksum, used for IPv4 header and TCP checksums.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sscor::net {
+
+/// Incremental internet-checksum accumulator.  Feed byte ranges (and the TCP
+/// pseudo-header) in any order of 16-bit-aligned chunks; a trailing odd byte
+/// is only valid in the final chunk.
+class ChecksumAccumulator {
+ public:
+  /// Adds a byte range.  `data` is treated as a sequence of big-endian
+  /// 16-bit words; an odd final byte is padded with zero.
+  void add(std::span<const std::uint8_t> data);
+
+  /// Adds one 16-bit word already in host order.
+  void add_word(std::uint16_t word);
+
+  /// Returns the one's-complement checksum in host order.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// One-shot checksum over a buffer.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace sscor::net

@@ -1,0 +1,50 @@
+#include "sscor/net/five_tuple.hpp"
+
+#include <cstdio>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::net {
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned d = 0;
+  char trailing = 0;
+  const int fields =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  require(fields == 4 && a <= 255 && b <= 255 && c <= 255 && d <= 255,
+          "malformed IPv4 address: " + text);
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c),
+                     static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::string FiveTuple::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst_ip.to_string() + ":" + std::to_string(dst_port) +
+         (protocol == IpProtocol::kTcp ? " tcp" : " udp");
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(t.src_ip.value);
+  mix(t.dst_ip.value);
+  mix(static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port);
+  mix(static_cast<std::uint64_t>(t.protocol));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace sscor::net

@@ -1,0 +1,62 @@
+// Connection identification: IPv4 addresses, ports, and the classic
+// five-tuple used to group captured packets into flows.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sscor::net {
+
+/// An IPv4 address held in host order.
+struct Ipv4Address {
+  std::uint32_t value = 0;
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) |
+                       static_cast<std::uint32_t>(d)};
+  }
+
+  /// Parses dotted-quad notation; throws InvalidArgument on malformed input.
+  static Ipv4Address parse(const std::string& text);
+
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+};
+
+/// IP protocol numbers we recognise.
+enum class IpProtocol : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// The classic 5-tuple identifying one direction of a transport connection.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProtocol protocol = IpProtocol::kTcp;
+
+  /// The same connection seen from the opposite direction.
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const FiveTuple&) const = default;
+};
+
+/// FNV-1a style hash so FiveTuple can key unordered_map.
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+}  // namespace sscor::net

@@ -1,0 +1,143 @@
+#include "sscor/net/headers.hpp"
+
+#include "sscor/net/byte_order.hpp"
+#include "sscor/net/checksum.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::net {
+namespace {
+
+void add_pseudo_header(ChecksumAccumulator& acc, Ipv4Address src,
+                       Ipv4Address dst, std::uint16_t tcp_length) {
+  acc.add_word(static_cast<std::uint16_t>(src.value >> 16));
+  acc.add_word(static_cast<std::uint16_t>(src.value & 0xffff));
+  acc.add_word(static_cast<std::uint16_t>(dst.value >> 16));
+  acc.add_word(static_cast<std::uint16_t>(dst.value & 0xffff));
+  acc.add_word(6);  // protocol TCP
+  acc.add_word(tcp_length);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_tcp_packet(const FiveTuple& tuple,
+                                            std::uint32_t seq,
+                                            std::uint32_t ack,
+                                            std::uint8_t flags,
+                                            std::size_t payload_size) {
+  sscor::require(tuple.protocol == IpProtocol::kTcp,
+                 "encode_tcp_packet requires a TCP five-tuple");
+  const std::size_t total =
+      kIpv4MinHeaderBytes + kTcpMinHeaderBytes + payload_size;
+  sscor::require(total <= 0xffff, "packet exceeds IPv4 total length");
+
+  std::vector<std::uint8_t> out(total, 0);
+  auto ip = std::span<std::uint8_t>(out).first(kIpv4MinHeaderBytes);
+  auto tcp = std::span<std::uint8_t>(out).subspan(kIpv4MinHeaderBytes,
+                                                  kTcpMinHeaderBytes);
+
+  // IPv4 header.
+  ip[0] = 0x45;  // version 4, IHL 5 words
+  ip[1] = 0;
+  store_be16(ip.subspan<2, 2>(), static_cast<std::uint16_t>(total));
+  store_be16(ip.subspan<4, 2>(), 0);       // identification
+  store_be16(ip.subspan<6, 2>(), 0x4000);  // don't fragment
+  ip[8] = 64;                              // TTL
+  ip[9] = 6;                               // TCP
+  store_be16(ip.subspan<10, 2>(), 0);      // checksum placeholder
+  store_be32(ip.subspan<12, 4>(), tuple.src_ip.value);
+  store_be32(ip.subspan<16, 4>(), tuple.dst_ip.value);
+  const std::uint16_t ip_csum = internet_checksum(ip);
+  store_be16(ip.subspan<10, 2>(), ip_csum);
+
+  // TCP header.
+  store_be16(tcp.subspan<0, 2>(), tuple.src_port);
+  store_be16(tcp.subspan<2, 2>(), tuple.dst_port);
+  store_be32(tcp.subspan<4, 4>(), seq);
+  store_be32(tcp.subspan<8, 4>(), ack);
+  tcp[12] = 5 << 4;  // data offset 5 words
+  tcp[13] = flags;
+  store_be16(tcp.subspan<14, 2>(), 65535);  // window
+  store_be16(tcp.subspan<16, 2>(), 0);      // checksum placeholder
+  store_be16(tcp.subspan<18, 2>(), 0);      // urgent pointer
+
+  const auto tcp_length =
+      static_cast<std::uint16_t>(kTcpMinHeaderBytes + payload_size);
+  ChecksumAccumulator acc;
+  add_pseudo_header(acc, tuple.src_ip, tuple.dst_ip, tcp_length);
+  acc.add(std::span<const std::uint8_t>(out).subspan(kIpv4MinHeaderBytes));
+  store_be16(tcp.subspan<16, 2>(), acc.finish());
+  return out;
+}
+
+std::optional<ParsedTcpPacket> parse_tcp_packet(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIpv4MinHeaderBytes) return std::nullopt;
+  if ((bytes[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderBytes || bytes.size() < ihl) return std::nullopt;
+
+  ParsedTcpPacket packet;
+  packet.ip.header_length = static_cast<std::uint8_t>(ihl);
+  packet.ip.dscp_ecn = bytes[1];
+  packet.ip.total_length = load_be16(bytes.subspan<2, 2>());
+  packet.ip.identification = load_be16(bytes.subspan<4, 2>());
+  packet.ip.flags_fragment = load_be16(bytes.subspan<6, 2>());
+  packet.ip.ttl = bytes[8];
+  packet.ip.protocol = bytes[9];
+  packet.ip.checksum = load_be16(bytes.subspan<10, 2>());
+  packet.ip.src.value = load_be32(bytes.subspan<12, 4>());
+  packet.ip.dst.value = load_be32(bytes.subspan<16, 4>());
+
+  if (packet.ip.protocol != 6) return std::nullopt;
+  if (packet.ip.total_length < ihl + kTcpMinHeaderBytes) return std::nullopt;
+  if (bytes.size() < packet.ip.total_length) return std::nullopt;
+
+  auto tcp = bytes.subspan(ihl);
+  packet.tcp.src_port = load_be16(tcp.subspan<0, 2>());
+  packet.tcp.dst_port = load_be16(tcp.subspan<2, 2>());
+  packet.tcp.seq = load_be32(tcp.subspan<4, 4>());
+  packet.tcp.ack = load_be32(tcp.subspan<8, 4>());
+  const std::size_t data_offset = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+  if (data_offset < kTcpMinHeaderBytes ||
+      ihl + data_offset > packet.ip.total_length) {
+    return std::nullopt;
+  }
+  packet.tcp.data_offset = static_cast<std::uint8_t>(data_offset);
+  packet.tcp.flags = tcp[13];
+  packet.tcp.window = load_be16(tcp.subspan<14, 2>());
+  packet.tcp.checksum = load_be16(tcp.subspan<16, 2>());
+  packet.tcp.urgent = load_be16(tcp.subspan<18, 2>());
+
+  const std::size_t payload_offset = ihl + data_offset;
+  const std::size_t payload_size = packet.ip.total_length - payload_offset;
+  auto payload = bytes.subspan(payload_offset, payload_size);
+  packet.payload.assign(payload.begin(), payload.end());
+  return packet;
+}
+
+bool verify_ipv4_checksum(std::span<const std::uint8_t> ip_header) {
+  if (ip_header.size() < kIpv4MinHeaderBytes) return false;
+  const std::size_t ihl = static_cast<std::size_t>(ip_header[0] & 0x0f) * 4;
+  if (ip_header.size() < ihl) return false;
+  // Checksum over the header with the checksum field included must be 0.
+  return internet_checksum(ip_header.first(ihl)) == 0;
+}
+
+bool verify_tcp_checksum(std::span<const std::uint8_t> ip_packet) {
+  if (ip_packet.size() < kIpv4MinHeaderBytes) return false;
+  const std::size_t ihl = static_cast<std::size_t>(ip_packet[0] & 0x0f) * 4;
+  const std::uint16_t total = load_be16(ip_packet.subspan<2, 2>());
+  if (ip_packet.size() < total || total < ihl + kTcpMinHeaderBytes) {
+    return false;
+  }
+  const auto tcp_length = static_cast<std::uint16_t>(total - ihl);
+  ChecksumAccumulator acc;
+  add_pseudo_header(acc,
+                    Ipv4Address{load_be32(ip_packet.subspan<12, 4>())},
+                    Ipv4Address{load_be32(ip_packet.subspan<16, 4>())},
+                    tcp_length);
+  acc.add(ip_packet.subspan(ihl, tcp_length));
+  return acc.finish() == 0;
+}
+
+}  // namespace sscor::net

@@ -1,0 +1,92 @@
+// IPv4 and TCP header encoding/decoding.
+//
+// The pcap synthesizer emits well-formed IPv4/TCP packets (valid checksums,
+// consistent lengths) and the flow extractor parses arbitrary captures back
+// into timestamped flows.  Only the fields the tracing pipeline needs are
+// modelled; options are preserved as opaque bytes on decode and not emitted
+// on encode.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sscor/net/five_tuple.hpp"
+
+namespace sscor::net {
+
+inline constexpr std::size_t kIpv4MinHeaderBytes = 20;
+inline constexpr std::size_t kTcpMinHeaderBytes = 20;
+
+/// Decoded IPv4 header (no options interpretation).
+struct Ipv4Header {
+  std::uint8_t header_length = kIpv4MinHeaderBytes;  ///< bytes, 20..60
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  ///< header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;
+  std::uint16_t checksum = 0;  ///< as read; recomputed on encode
+  Ipv4Address src;
+  Ipv4Address dst;
+};
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+};
+
+/// Decoded TCP header (options kept opaque).
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = kTcpMinHeaderBytes;  ///< bytes, 20..60
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;  ///< as read; recomputed on encode
+  std::uint16_t urgent = 0;
+};
+
+/// A parsed TCP/IPv4 packet: headers plus the TCP payload bytes.
+struct ParsedTcpPacket {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+
+  FiveTuple tuple() const {
+    return FiveTuple{ip.src, ip.dst, tcp.src_port, tcp.dst_port,
+                     IpProtocol::kTcp};
+  }
+};
+
+/// Encodes an IPv4+TCP packet with `payload_size` zero bytes of payload
+/// (content is irrelevant for timing analysis; sizes matter for the
+/// quantized-size matching constraint).  Checksums are computed.
+std::vector<std::uint8_t> encode_tcp_packet(const FiveTuple& tuple,
+                                            std::uint32_t seq,
+                                            std::uint32_t ack,
+                                            std::uint8_t flags,
+                                            std::size_t payload_size);
+
+/// Parses an IPv4+TCP packet from raw bytes (starting at the IP header).
+/// Returns nullopt for non-IPv4, non-TCP, truncated, or malformed input.
+std::optional<ParsedTcpPacket> parse_tcp_packet(
+    std::span<const std::uint8_t> bytes);
+
+/// Verifies the IPv4 header checksum of an encoded packet.
+bool verify_ipv4_checksum(std::span<const std::uint8_t> ip_header);
+
+/// Verifies the TCP checksum (including pseudo-header) of an encoded packet
+/// starting at the IP header.
+bool verify_tcp_checksum(std::span<const std::uint8_t> ip_packet);
+
+}  // namespace sscor::net

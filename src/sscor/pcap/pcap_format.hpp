@@ -1,0 +1,54 @@
+// Classic libpcap capture-file format (the 24-byte global header followed by
+// per-packet record headers).  This module replaces a libpcap dependency:
+// the format is simple enough to implement exactly, and doing so keeps the
+// tracing pipeline runnable on real capture files without external
+// libraries.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sscor/util/time.hpp"
+
+namespace sscor::pcap {
+
+/// Magic numbers from pcap(5).  The byte-swapped variants indicate the file
+/// was written on a machine of opposite endianness.
+inline constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+inline constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
+inline constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+inline constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+
+inline constexpr std::uint16_t kVersionMajor = 2;
+inline constexpr std::uint16_t kVersionMinor = 4;
+
+/// Link types we understand.
+enum class LinkType : std::uint32_t {
+  kEthernet = 1,    ///< 14-byte Ethernet II framing before the IP header
+  kRawIp = 101,     ///< packets begin directly with the IP header
+};
+
+inline constexpr std::size_t kGlobalHeaderBytes = 24;
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// Parsed global header.
+struct GlobalHeader {
+  bool swapped = false;       ///< file endianness differs from big/little read
+  bool nanosecond = false;    ///< timestamps are {sec, nsec} instead of usec
+  std::uint16_t version_major = kVersionMajor;
+  std::uint16_t version_minor = kVersionMinor;
+  std::uint32_t snaplen = 65535;
+  LinkType link_type = LinkType::kRawIp;
+};
+
+/// One captured record: timestamp plus the captured bytes.
+struct Record {
+  TimeUs timestamp = 0;          ///< microseconds since the Unix epoch
+  std::uint32_t original_length = 0;  ///< length on the wire
+  std::vector<std::uint8_t> data;     ///< captured (possibly truncated) bytes
+};
+
+}  // namespace sscor::pcap

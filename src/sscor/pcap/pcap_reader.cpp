@@ -1,0 +1,120 @@
+#include "sscor/pcap/pcap_reader.hpp"
+
+#include <array>
+#include <fstream>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::pcap {
+namespace {
+
+std::uint32_t load32(const std::uint8_t* b, bool swapped) {
+  // Files are written in the native order of the capturing machine; we read
+  // little-endian by default and byte-swap when the magic says otherwise.
+  std::uint32_t v = static_cast<std::uint32_t>(b[0]) |
+                    (static_cast<std::uint32_t>(b[1]) << 8) |
+                    (static_cast<std::uint32_t>(b[2]) << 16) |
+                    (static_cast<std::uint32_t>(b[3]) << 24);
+  if (swapped) {
+    v = ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+        ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+  }
+  return v;
+}
+
+std::uint16_t load16(const std::uint8_t* b, bool swapped) {
+  auto v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  if (swapped) {
+    v = static_cast<std::uint16_t>((v << 8) | (v >> 8));
+  }
+  return v;
+}
+
+}  // namespace
+
+PcapReader::PcapReader(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) throw IoError("cannot open pcap file: " + path);
+  owned_stream_ = std::move(file);
+  stream_ = owned_stream_.get();
+  parse_global_header();
+}
+
+PcapReader::PcapReader(std::istream& stream) : stream_(&stream) {
+  parse_global_header();
+}
+
+void PcapReader::parse_global_header() {
+  std::array<std::uint8_t, kGlobalHeaderBytes> raw{};
+  stream_->read(reinterpret_cast<char*>(raw.data()),
+                static_cast<std::streamsize>(raw.size()));
+  if (stream_->gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw IoError("pcap file shorter than the global header");
+  }
+  const std::uint32_t magic = load32(raw.data(), /*swapped=*/false);
+  switch (magic) {
+    case kMagicMicros:
+      break;
+    case kMagicNanos:
+      header_.nanosecond = true;
+      break;
+    case kMagicMicrosSwapped:
+      header_.swapped = true;
+      break;
+    case kMagicNanosSwapped:
+      header_.swapped = true;
+      header_.nanosecond = true;
+      break;
+    default:
+      throw IoError("unrecognised pcap magic number");
+  }
+  header_.version_major = load16(raw.data() + 4, header_.swapped);
+  header_.version_minor = load16(raw.data() + 6, header_.swapped);
+  header_.snaplen = load32(raw.data() + 16, header_.swapped);
+  const std::uint32_t link = load32(raw.data() + 20, header_.swapped);
+  header_.link_type = static_cast<LinkType>(link);
+}
+
+std::optional<Record> PcapReader::next() {
+  std::array<std::uint8_t, kRecordHeaderBytes> raw{};
+  stream_->read(reinterpret_cast<char*>(raw.data()),
+                static_cast<std::streamsize>(raw.size()));
+  if (stream_->gcount() == 0) return std::nullopt;
+  if (stream_->gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw IoError("truncated pcap record header");
+  }
+  const std::uint32_t ts_sec = load32(raw.data(), header_.swapped);
+  const std::uint32_t ts_frac = load32(raw.data() + 4, header_.swapped);
+  const std::uint32_t incl_len = load32(raw.data() + 8, header_.swapped);
+  const std::uint32_t orig_len = load32(raw.data() + 12, header_.swapped);
+  if (incl_len > header_.snaplen + 65535u) {
+    throw IoError("pcap record length is implausible; corrupt file?");
+  }
+
+  Record record;
+  const std::int64_t frac_us =
+      header_.nanosecond ? static_cast<std::int64_t>(ts_frac) / 1000
+                         : static_cast<std::int64_t>(ts_frac);
+  record.timestamp =
+      static_cast<TimeUs>(ts_sec) * kMicrosPerSecond + frac_us;
+  record.original_length = orig_len;
+  record.data.resize(incl_len);
+  stream_->read(reinterpret_cast<char*>(record.data.data()),
+                static_cast<std::streamsize>(incl_len));
+  if (stream_->gcount() != static_cast<std::streamsize>(incl_len)) {
+    throw IoError("truncated pcap record body");
+  }
+  ++records_read_;
+  return record;
+}
+
+std::vector<Record> read_pcap_file(const std::string& path) {
+  PcapReader reader(path);
+  std::vector<Record> records;
+  while (auto record = reader.next()) {
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+}  // namespace sscor::pcap

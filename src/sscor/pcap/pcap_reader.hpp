@@ -1,0 +1,49 @@
+// Streaming reader for classic pcap capture files.
+//
+// Handles both file endiannesses and both microsecond- and nanosecond-
+// resolution magic numbers; timestamps are normalised to microseconds.
+
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sscor/pcap/pcap_format.hpp"
+
+namespace sscor::pcap {
+
+class PcapReader {
+ public:
+  /// Opens `path` and parses the global header; throws IoError on failure
+  /// or unrecognised magic.
+  explicit PcapReader(const std::string& path);
+
+  /// Reads from an already-open stream (used by tests for in-memory files).
+  /// The stream must outlive the reader.
+  explicit PcapReader(std::istream& stream);
+
+  const GlobalHeader& header() const { return header_; }
+
+  /// Returns the next record, or nullopt at end of file.  Throws IoError on
+  /// a truncated or corrupt record.
+  std::optional<Record> next();
+
+  /// Number of records returned so far.
+  std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  void parse_global_header();
+
+  std::unique_ptr<std::istream> owned_stream_;
+  std::istream* stream_ = nullptr;
+  GlobalHeader header_;
+  std::uint64_t records_read_ = 0;
+};
+
+/// Convenience: reads every record of a capture file.
+std::vector<Record> read_pcap_file(const std::string& path);
+
+}  // namespace sscor::pcap

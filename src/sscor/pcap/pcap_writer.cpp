@@ -1,0 +1,81 @@
+#include "sscor/pcap/pcap_writer.hpp"
+
+#include <array>
+#include <fstream>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::pcap {
+namespace {
+
+void store32(std::uint8_t* b, std::uint32_t v) {
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+  b[2] = static_cast<std::uint8_t>(v >> 16);
+  b[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store16(std::uint8_t* b, std::uint16_t v) {
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, LinkType link_type,
+                       std::uint32_t snaplen)
+    : link_type_(link_type), snaplen_(snaplen) {
+  auto file = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!*file) throw IoError("cannot open pcap file for writing: " + path);
+  owned_stream_ = std::move(file);
+  stream_ = owned_stream_.get();
+  write_global_header();
+}
+
+PcapWriter::PcapWriter(std::ostream& stream, LinkType link_type,
+                       std::uint32_t snaplen)
+    : stream_(&stream), link_type_(link_type), snaplen_(snaplen) {
+  write_global_header();
+}
+
+void PcapWriter::write_global_header() {
+  std::array<std::uint8_t, kGlobalHeaderBytes> raw{};
+  store32(raw.data(), kMagicMicros);
+  store16(raw.data() + 4, kVersionMajor);
+  store16(raw.data() + 6, kVersionMinor);
+  store32(raw.data() + 8, 0);   // thiszone
+  store32(raw.data() + 12, 0);  // sigfigs
+  store32(raw.data() + 16, snaplen_);
+  store32(raw.data() + 20, static_cast<std::uint32_t>(link_type_));
+  stream_->write(reinterpret_cast<const char*>(raw.data()),
+                 static_cast<std::streamsize>(raw.size()));
+  if (!*stream_) throw IoError("failed to write pcap global header");
+}
+
+void PcapWriter::write(const Record& record) {
+  require(record.timestamp >= 0,
+          "pcap stores unsigned timestamps; offset your epoch");
+  const auto incl_len = static_cast<std::uint32_t>(
+      std::min<std::size_t>(record.data.size(), snaplen_));
+  std::array<std::uint8_t, kRecordHeaderBytes> raw{};
+  store32(raw.data(),
+          static_cast<std::uint32_t>(record.timestamp / kMicrosPerSecond));
+  store32(raw.data() + 4,
+          static_cast<std::uint32_t>(record.timestamp % kMicrosPerSecond));
+  store32(raw.data() + 8, incl_len);
+  store32(raw.data() + 12, record.original_length != 0
+                               ? record.original_length
+                               : static_cast<std::uint32_t>(
+                                     record.data.size()));
+  stream_->write(reinterpret_cast<const char*>(raw.data()),
+                 static_cast<std::streamsize>(raw.size()));
+  stream_->write(reinterpret_cast<const char*>(record.data.data()),
+                 static_cast<std::streamsize>(incl_len));
+  if (!*stream_) throw IoError("failed to write pcap record");
+  ++records_written_;
+}
+
+void PcapWriter::flush() { stream_->flush(); }
+
+}  // namespace sscor::pcap

@@ -1,0 +1,45 @@
+// Writer for classic pcap capture files (microsecond resolution, native
+// little-endian byte order, raw-IP or Ethernet link type).
+
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sscor/pcap/pcap_format.hpp"
+
+namespace sscor::pcap {
+
+class PcapWriter {
+ public:
+  /// Creates/truncates `path` and writes the global header.
+  PcapWriter(const std::string& path, LinkType link_type = LinkType::kRawIp,
+             std::uint32_t snaplen = 65535);
+
+  /// Writes to an already-open stream (used by tests for in-memory files).
+  explicit PcapWriter(std::ostream& stream,
+                      LinkType link_type = LinkType::kRawIp,
+                      std::uint32_t snaplen = 65535);
+
+  /// Appends one record; `record.data` is truncated to snaplen on write and
+  /// `original_length` preserved.  Throws IoError on write failure or on a
+  /// negative timestamp (pcap stores unsigned seconds).
+  void write(const Record& record);
+
+  std::uint64_t records_written() const { return records_written_; }
+
+  /// Flushes the underlying stream.
+  void flush();
+
+ private:
+  void write_global_header();
+
+  std::unique_ptr<std::ostream> owned_stream_;
+  std::ostream* stream_ = nullptr;
+  LinkType link_type_;
+  std::uint32_t snaplen_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace sscor::pcap

@@ -1,0 +1,253 @@
+#include "sscor/pcap/pcapng_reader.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "sscor/pcap/pcap_reader.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::pcap {
+namespace {
+
+constexpr std::size_t kMaxBlockBytes = 64 * 1024 * 1024;
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+}  // namespace
+
+PcapngReader::PcapngReader(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) throw IoError("cannot open pcapng file: " + path);
+  owned_stream_ = std::move(file);
+  stream_ = owned_stream_.get();
+}
+
+PcapngReader::PcapngReader(std::istream& stream) : stream_(&stream) {}
+
+std::uint32_t PcapngReader::load32(const std::uint8_t* b) const {
+  std::uint32_t v;
+  std::memcpy(&v, b, sizeof(v));
+  // Files written on big-endian machines need a swap on little-endian
+  // hosts (and vice versa); `swapped_` captures the mismatch directly.
+  return swapped_ ? swap32(v) : v;
+}
+
+std::uint16_t PcapngReader::load16(const std::uint8_t* b) const {
+  std::uint16_t v;
+  std::memcpy(&v, b, sizeof(v));
+  return swapped_ ? static_cast<std::uint16_t>((v << 8) | (v >> 8)) : v;
+}
+
+std::optional<Record> PcapngReader::next() {
+  Record record;
+  while (true) {
+    if (!read_block(&record)) {
+      return std::nullopt;  // clean end of file
+    }
+    if (record.data.empty() && record.original_length == 0) {
+      continue;  // non-packet block; keep scanning
+    }
+    return record;
+  }
+}
+
+bool PcapngReader::read_block(Record* out) {
+  out->data.clear();
+  out->original_length = 0;
+
+  std::array<std::uint8_t, 8> head{};
+  stream_->read(reinterpret_cast<char*>(head.data()),
+                static_cast<std::streamsize>(head.size()));
+  if (stream_->gcount() == 0) return false;
+  if (stream_->gcount() != static_cast<std::streamsize>(head.size())) {
+    throw IoError("truncated pcapng block header");
+  }
+
+  // The SHB's byte order is discovered from its magic, so its type code
+  // (palindromic 0x0a0d0d0a) is readable either way.
+  std::uint32_t raw_type;
+  std::memcpy(&raw_type, head.data(), sizeof(raw_type));
+  if (raw_type == kPcapngSectionHeader) {
+    open_section(load32(head.data() + 4));
+    return true;
+  }
+  require(in_section_, "pcapng data before any section header");
+
+  const std::uint32_t type = load32(head.data());
+  const std::uint32_t total_length = load32(head.data() + 4);
+  if (total_length < 12 || total_length % 4 != 0 ||
+      total_length > kMaxBlockBytes) {
+    throw IoError("implausible pcapng block length");
+  }
+  std::vector<std::uint8_t> body(total_length - 12);
+  stream_->read(reinterpret_cast<char*>(body.data()),
+                static_cast<std::streamsize>(body.size()));
+  if (stream_->gcount() != static_cast<std::streamsize>(body.size())) {
+    throw IoError("truncated pcapng block body");
+  }
+  std::array<std::uint8_t, 4> trailer{};
+  stream_->read(reinterpret_cast<char*>(trailer.data()), 4);
+  if (stream_->gcount() != 4 || load32(trailer.data()) != total_length) {
+    throw IoError("pcapng block trailer length mismatch");
+  }
+
+  switch (type) {
+    case kPcapngInterfaceDescription: {
+      if (body.size() < 8) throw IoError("short interface description");
+      Interface iface;
+      iface.link_type = static_cast<LinkType>(load16(body.data()));
+      iface.snaplen = load32(body.data() + 4);
+      // Options: code(u16) length(u16) value(padded to 4).
+      std::size_t pos = 8;
+      while (pos + 4 <= body.size()) {
+        const std::uint16_t code = load16(body.data() + pos);
+        const std::uint16_t length = load16(body.data() + pos + 2);
+        pos += 4;
+        if (code == 0) break;  // opt_endofopt
+        if (pos + length > body.size()) {
+          throw IoError("pcapng option overruns its block");
+        }
+        if (code == 9 && length >= 1) {  // if_tsresol
+          const std::uint8_t resol = body[pos];
+          if (resol & 0x80) {
+            iface.ticks_per_second = 1ULL << (resol & 0x7f);
+          } else {
+            iface.ticks_per_second = 1;
+            for (std::uint8_t i = 0; i < resol; ++i) {
+              iface.ticks_per_second *= 10;
+            }
+          }
+          require(iface.ticks_per_second > 0, "invalid if_tsresol");
+        }
+        pos += (length + 3u) & ~3u;
+      }
+      if (!first_link_type_) first_link_type_ = iface.link_type;
+      interfaces_.push_back(iface);
+      return true;
+    }
+    case kPcapngEnhancedPacket: {
+      if (body.size() < 20) throw IoError("short enhanced packet block");
+      const std::uint32_t interface_id = load32(body.data());
+      if (interface_id >= interfaces_.size()) {
+        throw IoError("enhanced packet references unknown interface");
+      }
+      const Interface& iface = interfaces_[interface_id];
+      const std::uint64_t ticks =
+          (static_cast<std::uint64_t>(load32(body.data() + 4)) << 32) |
+          load32(body.data() + 8);
+      const std::uint32_t captured = load32(body.data() + 12);
+      const std::uint32_t original = load32(body.data() + 16);
+      if (20 + captured > body.size()) {
+        throw IoError("enhanced packet data overruns its block");
+      }
+      // Convert interface ticks to microseconds without overflowing:
+      // seconds exactly, sub-second remainder scaled.
+      const std::uint64_t tps = iface.ticks_per_second;
+      const std::uint64_t secs = ticks / tps;
+      const std::uint64_t frac = ticks % tps;
+      out->timestamp =
+          static_cast<TimeUs>(secs) * kMicrosPerSecond +
+          static_cast<TimeUs>(
+              (static_cast<unsigned __int128>(frac) * kMicrosPerSecond) /
+              tps);
+      out->original_length = original;
+      out->data.assign(body.begin() + 20, body.begin() + 20 + captured);
+      last_link_type_ = iface.link_type;
+      return true;
+    }
+    case kPcapngSimplePacket: {
+      if (body.size() < 4) throw IoError("short simple packet block");
+      if (interfaces_.empty()) {
+        throw IoError("simple packet block before interface description");
+      }
+      const Interface& iface = interfaces_.front();
+      const std::uint32_t original = load32(body.data());
+      std::uint32_t captured = original;
+      if (iface.snaplen != 0 && captured > iface.snaplen) {
+        captured = iface.snaplen;
+      }
+      if (4 + captured > body.size()) {
+        throw IoError("simple packet data overruns its block");
+      }
+      out->timestamp = 0;  // SPBs carry no timestamp
+      out->original_length = original;
+      out->data.assign(body.begin() + 4, body.begin() + 4 + captured);
+      last_link_type_ = iface.link_type;
+      return true;
+    }
+    default:
+      return true;  // unknown block: skipped
+  }
+}
+
+void PcapngReader::open_section(std::uint32_t total_length_raw) {
+  std::array<std::uint8_t, 4> magic{};
+  stream_->read(reinterpret_cast<char*>(magic.data()), 4);
+  if (stream_->gcount() != 4) throw IoError("truncated section header");
+  std::uint32_t magic_native;
+  std::memcpy(&magic_native, magic.data(), sizeof(magic_native));
+  if (magic_native == kPcapngByteOrderMagic) {
+    swapped_ = false;
+  } else if (swap32(magic_native) == kPcapngByteOrderMagic) {
+    swapped_ = true;
+  } else {
+    throw IoError("bad pcapng byte-order magic");
+  }
+  const std::uint32_t total_length =
+      swapped_ ? swap32(total_length_raw) : total_length_raw;
+  if (total_length < 28 || total_length % 4 != 0 ||
+      total_length > kMaxBlockBytes) {
+    throw IoError("implausible section header length");
+  }
+  // Skip the rest of the SHB: version + section length + options + trailer.
+  std::vector<char> rest(total_length - 12);
+  stream_->read(rest.data(), static_cast<std::streamsize>(rest.size()));
+  if (stream_->gcount() != static_cast<std::streamsize>(rest.size())) {
+    throw IoError("truncated section header body");
+  }
+  in_section_ = true;
+  interfaces_.clear();  // interface ids are per section
+}
+
+std::vector<Record> read_pcapng_file(const std::string& path) {
+  PcapngReader reader(path);
+  std::vector<Record> records;
+  while (auto record = reader.next()) {
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+LoadedCapture read_capture_auto(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw IoError("cannot open capture file: " + path);
+  std::uint32_t magic = 0;
+  probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (probe.gcount() != sizeof(magic)) {
+    throw IoError("capture file shorter than a magic number");
+  }
+  probe.close();
+
+  LoadedCapture capture;
+  if (magic == kPcapngSectionHeader) {
+    PcapngReader reader(path);
+    while (auto record = reader.next()) {
+      capture.records.push_back(std::move(*record));
+    }
+    capture.link_type =
+        reader.first_link_type().value_or(LinkType::kEthernet);
+    return capture;
+  }
+  PcapReader reader(path);
+  capture.link_type = reader.header().link_type;
+  while (auto record = reader.next()) {
+    capture.records.push_back(std::move(*record));
+  }
+  return capture;
+}
+
+}  // namespace sscor::pcap

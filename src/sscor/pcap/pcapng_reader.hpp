@@ -1,0 +1,82 @@
+// Reader for pcapng capture files (the current Wireshark/tcpdump default).
+//
+// Implements the subset needed to recover timestamped packets: Section
+// Header Blocks (both byte orders), Interface Description Blocks (link
+// type, snaplen, if_tsresol option), Enhanced Packet Blocks, and Simple
+// Packet Blocks.  All other block types are skipped.  Timestamps are
+// normalised to microseconds regardless of the interface's declared
+// resolution (power-of-10 or power-of-2).
+
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sscor/pcap/pcap_format.hpp"
+
+namespace sscor::pcap {
+
+/// pcapng block type codes (from the pcapng specification).
+inline constexpr std::uint32_t kPcapngSectionHeader = 0x0a0d0d0a;
+inline constexpr std::uint32_t kPcapngInterfaceDescription = 0x00000001;
+inline constexpr std::uint32_t kPcapngSimplePacket = 0x00000003;
+inline constexpr std::uint32_t kPcapngEnhancedPacket = 0x00000006;
+inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1a2b3c4d;
+
+class PcapngReader {
+ public:
+  explicit PcapngReader(const std::string& path);
+  explicit PcapngReader(std::istream& stream);
+
+  /// Next packet record, or nullopt at end of file.  Throws IoError on
+  /// malformed input.
+  std::optional<Record> next();
+
+  /// Link type of the interface the *last returned* packet was captured
+  /// on (pcapng files may mix interfaces; ours is per-record).
+  LinkType last_link_type() const { return last_link_type_; }
+
+  /// Link type of the first interface seen (convenience for captures with
+  /// a single interface).
+  std::optional<LinkType> first_link_type() const {
+    return first_link_type_;
+  }
+
+ private:
+  struct Interface {
+    LinkType link_type = LinkType::kEthernet;
+    std::uint32_t snaplen = 0;  // 0 = unlimited
+    /// Ticks per second of this interface's timestamps.
+    std::uint64_t ticks_per_second = 1'000'000;
+  };
+
+  void open_section(std::uint32_t first_word);
+  bool read_block(Record* out);
+  std::uint32_t load32(const std::uint8_t* b) const;
+  std::uint16_t load16(const std::uint8_t* b) const;
+
+  std::unique_ptr<std::istream> owned_stream_;
+  std::istream* stream_ = nullptr;
+  bool swapped_ = false;
+  bool in_section_ = false;
+  std::vector<Interface> interfaces_;
+  LinkType last_link_type_ = LinkType::kEthernet;
+  std::optional<LinkType> first_link_type_;
+};
+
+/// Reads every packet of a pcapng file.
+std::vector<Record> read_pcapng_file(const std::string& path);
+
+/// Capture-format auto-detection: reads `path` as classic pcap or pcapng
+/// based on its magic number, returning the records and the (first)
+/// link type.
+struct LoadedCapture {
+  std::vector<Record> records;
+  LinkType link_type = LinkType::kEthernet;
+};
+LoadedCapture read_capture_auto(const std::string& path);
+
+}  // namespace sscor::pcap

@@ -1,0 +1,104 @@
+#include "sscor/simulator/chain_simulator.hpp"
+
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::sim {
+namespace {
+
+/// Applies one link: fixed latency, bounded order-preserving jitter, loss.
+Flow traverse_link(const Flow& input, const LinkParams& link,
+                   std::uint64_t seed) {
+  Flow current = input.shifted(link.latency);
+  if (link.jitter > 0) {
+    const traffic::UniformPerturber jitter(link.jitter,
+                                           mix_seeds(seed, 0x11));
+    current = jitter.apply(current);
+  }
+  if (link.loss > 0.0) {
+    const traffic::LossRepacketizationModel loss(link.loss, 0,
+                                                 mix_seeds(seed, 0x22));
+    current = loss.apply(current);
+  }
+  return current;
+}
+
+/// Applies one relay: bounded holding delay plus chaff injection.
+Flow traverse_relay(const Flow& input, const RelayParams& relay,
+                    std::uint64_t seed) {
+  Flow current = input;
+  if (relay.max_delay > 0) {
+    const traffic::UniformPerturber hold(relay.max_delay,
+                                         mix_seeds(seed, 0x33));
+    current = hold.apply(current);
+  }
+  if (relay.chaff_rate > 0.0) {
+    const traffic::PoissonChaffInjector chaff(relay.chaff_rate,
+                                              mix_seeds(seed, 0x44));
+    current = chaff.apply(current);
+  }
+  return current;
+}
+
+}  // namespace
+
+SteppingStoneChain::SteppingStoneChain(std::uint64_t seed) : seed_(seed) {}
+
+void SteppingStoneChain::add_hop(const LinkParams& link,
+                                 const RelayParams& relay) {
+  require(link.latency >= 0 && link.jitter >= 0,
+          "link delays must be non-negative");
+  require(link.loss >= 0.0 && link.loss < 1.0, "loss must be in [0, 1)");
+  require(relay.max_delay >= 0, "relay delay must be non-negative");
+  require(relay.chaff_rate >= 0.0, "chaff rate must be non-negative");
+  hops_.push_back(Hop{link, relay});
+}
+
+void SteppingStoneChain::set_final_link(const LinkParams& link) {
+  final_link_ = link;
+}
+
+DurationUs SteppingStoneChain::delay_budget(std::size_t from_link,
+                                            std::size_t to_link) const {
+  require(from_link <= to_link && to_link <= hops_.size(),
+          "link indices out of range");
+  DurationUs budget = 0;
+  for (std::size_t k = from_link; k < to_link; ++k) {
+    // Crossing from link k to link k+1 means traversing relay k and the
+    // next link.
+    budget += hops_[k].relay.max_delay;
+    const LinkParams& next =
+        (k + 1 < hops_.size()) ? hops_[k + 1].link : final_link_;
+    budget += next.latency + next.jitter;
+  }
+  return budget;
+}
+
+SteppingStoneChain::Trace SteppingStoneChain::run(
+    const Flow& origin, std::uint64_t run_id) const {
+  require(!hops_.empty(), "the chain needs at least one hop");
+  Trace trace;
+  trace.links.reserve(hops_.size() + 1);
+
+  // Link 0: origin -> first relay.
+  Flow current = traverse_link(
+      origin, hops_.front().link,
+      mix_seeds(seed_, mix_seeds(run_id, 0)));
+  trace.links.push_back(current);
+
+  for (std::size_t k = 0; k < hops_.size(); ++k) {
+    const std::uint64_t hop_seed =
+        mix_seeds(seed_, mix_seeds(run_id, 1000 + k));
+    current = traverse_relay(current, hops_[k].relay, hop_seed);
+    const LinkParams& next_link =
+        (k + 1 < hops_.size()) ? hops_[k + 1].link : final_link_;
+    current = traverse_link(current, next_link, mix_seeds(hop_seed, 0x99));
+    trace.links.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace sscor::sim

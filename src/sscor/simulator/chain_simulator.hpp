@@ -1,0 +1,86 @@
+// Stepping-stone chain simulator.
+//
+// The paper's scenario is a connection chain h1 -> h2 -> ... -> hn with an
+// adversary on the relays and monitors on the links.  This module builds
+// that scenario explicitly: each hop is a network link (propagation
+// latency, bounded jitter, loss) followed by a relay (bounded holding
+// delay, chaff injection), and the simulator returns the flow observed on
+// *every* link, so detection can be run between any two monitoring points
+// — exactly how a deployment taps the first and last links.
+//
+// Packet semantics: links and relays are FIFO; per-packet delays are
+// bounded, so the end-to-end delay between any two links is bounded by the
+// sum of the intermediate budgets (total_delay_budget() computes it — use
+// it as the correlator's Delta).  Chaff injected by one relay is ordinary
+// traffic to every later hop.  Loss violates the paper's assumption 1 and
+// is off by default.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor::sim {
+
+/// One network link between hosts.
+struct LinkParams {
+  DurationUs latency = millis(20);  ///< fixed propagation delay
+  DurationUs jitter = millis(10);   ///< bounded queueing jitter (order-safe)
+  double loss = 0.0;                ///< packet loss probability
+};
+
+/// One stepping-stone relay (the adversary's machine).
+struct RelayParams {
+  /// Maximum intentional holding delay (the paper's timing perturbation).
+  DurationUs max_delay = seconds(std::int64_t{2});
+  /// Chaff injection rate, packets per second.
+  double chaff_rate = 0.0;
+};
+
+class SteppingStoneChain {
+ public:
+  /// `seed` drives every stochastic element of the chain.
+  explicit SteppingStoneChain(std::uint64_t seed);
+
+  /// Appends a hop: the link carrying traffic to the next relay, and that
+  /// relay's behaviour.  Hops act in insertion order.
+  void add_hop(const LinkParams& link, const RelayParams& relay);
+
+  /// The link from the last relay to the destination (defaults to a plain
+  /// LAN link when unset).
+  void set_final_link(const LinkParams& link);
+
+  std::size_t hops() const { return hops_.size(); }
+
+  /// Sum of every delay bound between link `from` and link `to` (0 = the
+  /// origin link, hops() = the final link): the timing constraint Delta a
+  /// correlator between those monitors must use.
+  DurationUs delay_budget(std::size_t from_link, std::size_t to_link) const;
+
+  /// Observations of one run: element k is the flow as seen on link k
+  /// (k = 0: between the origin and the first relay; k = hops(): the
+  /// final link into the destination).
+  struct Trace {
+    std::vector<Flow> links;
+  };
+
+  /// Propagates `origin` through the chain.  Deterministic in the
+  /// simulator seed and `run_id` (vary run_id for repeated runs).
+  Trace run(const Flow& origin, std::uint64_t run_id = 0) const;
+
+ private:
+  struct Hop {
+    LinkParams link;
+    RelayParams relay;
+  };
+
+  std::uint64_t seed_;
+  std::vector<Hop> hops_;
+  LinkParams final_link_;
+};
+
+}  // namespace sscor::sim

@@ -1,0 +1,38 @@
+#include "sscor/traffic/chaff.hpp"
+
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+PoissonChaffInjector::PoissonChaffInjector(
+    double rate_pps, std::uint64_t seed,
+    std::shared_ptr<const SizeModel> size_model)
+    : rate_pps_(rate_pps), seed_(seed), size_model_(std::move(size_model)) {
+  require(rate_pps >= 0, "chaff rate must be non-negative");
+  require(size_model_ != nullptr, "a size model is required");
+}
+
+Flow PoissonChaffInjector::apply(const Flow& input) const {
+  if (rate_pps_ == 0.0 || input.size() < 2) return input;
+  Rng rng(seed_);
+
+  // A homogeneous Poisson process over [start, end]: exponential gaps.
+  const TimeUs start = input.start_time();
+  const TimeUs end = input.end_time();
+  std::vector<PacketRecord> chaff;
+  const double mean_gap = 1.0 / rate_pps_;
+  TimeUs t = start + seconds(rng.exponential(mean_gap));
+  while (t < end) {
+    chaff.push_back(PacketRecord{t, size_model_->sample(rng), true});
+    t += seconds(rng.exponential(mean_gap));
+  }
+
+  Flow chaff_flow(std::move(chaff));
+  return merge_flows(input, chaff_flow, input.id());
+}
+
+}  // namespace sscor::traffic

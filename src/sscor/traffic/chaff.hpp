@@ -1,0 +1,37 @@
+// Chaff injection (the attacker's second countermeasure).
+//
+// Meaningless packets inserted into the downstream flow.  Under encryption
+// they are indistinguishable from real traffic, so the injector gives them
+// timestamps from a Poisson process (as in the paper's evaluation) and
+// payload sizes from the same family as real packets.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sscor/traffic/size_model.hpp"
+#include "sscor/traffic/transform.hpp"
+
+namespace sscor::traffic {
+
+/// Inserts Poisson(rate) chaff over the input flow's lifetime.  The output
+/// flow is time-ordered; chaff packets carry the ground-truth `is_chaff`
+/// flag (for evaluation only).
+class PoissonChaffInjector final : public FlowTransform {
+ public:
+  PoissonChaffInjector(double rate_pps, std::uint64_t seed,
+                       std::shared_ptr<const SizeModel> size_model =
+                           std::make_shared<SshSizeModel>());
+
+  Flow apply(const Flow& input) const override;
+
+  double rate_pps() const { return rate_pps_; }
+
+ private:
+  double rate_pps_;
+  std::uint64_t seed_;
+  std::shared_ptr<const SizeModel> size_model_;
+};
+
+}  // namespace sscor::traffic

@@ -1,0 +1,82 @@
+#include "sscor/traffic/distributions.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::traffic {
+
+ExponentialSampler::ExponentialSampler(double mean) : mean_(mean) {
+  require(mean > 0, "exponential mean must be positive");
+}
+
+double ExponentialSampler::sample(Rng& rng) const {
+  return rng.exponential(mean_);
+}
+
+ParetoSampler::ParetoSampler(double xm, double alpha)
+    : xm_(xm), alpha_(alpha) {
+  require(xm > 0 && alpha > 0, "pareto parameters must be positive");
+}
+
+double ParetoSampler::sample(Rng& rng) const {
+  return rng.pareto(xm_, alpha_);
+}
+
+LogNormalSampler::LogNormalSampler(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  require(sigma >= 0, "lognormal sigma must be non-negative");
+}
+
+double LogNormalSampler::sample(Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  require(points_.size() >= 2, "empirical CDF needs at least two points");
+  require(points_.front().first == 0.0,
+          "empirical CDF must start at probability 0");
+  require(points_.back().first == 1.0,
+          "empirical CDF must end at probability 1");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    require(points_[i].first > points_[i - 1].first,
+            "empirical CDF probabilities must be strictly increasing");
+    require(points_[i].second >= points_[i - 1].second,
+            "empirical CDF values must be non-decreasing");
+  }
+}
+
+double EmpiricalCdf::value_at(double u) const {
+  require(u >= 0.0 && u <= 1.0, "probability out of range");
+  // Binary search for the surrounding segment, then interpolate.
+  std::size_t lo = 0;
+  std::size_t hi = points_.size() - 1;
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (points_[mid].first <= u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [p0, v0] = points_[lo];
+  const auto& [p1, v1] = points_[hi];
+  const double t = (u - p0) / (p1 - p0);
+  return v0 + t * (v1 - v0);
+}
+
+double EmpiricalCdf::sample(Rng& rng) const {
+  return value_at(rng.uniform01());
+}
+
+double EmpiricalCdf::mean() const {
+  // Mean of the piecewise-linear inverse CDF: integrate value over u.
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double width = points_[i].first - points_[i - 1].first;
+    const double avg = 0.5 * (points_[i].second + points_[i - 1].second);
+    total += width * avg;
+  }
+  return total;
+}
+
+}  // namespace sscor::traffic

@@ -1,0 +1,79 @@
+// Inter-arrival distributions for interactive-traffic synthesis.
+//
+// Published measurements of interactive Telnet/SSH traffic (Danzig & Jamin's
+// tcplib; Paxson & Floyd, "Wide-Area Traffic: The Failure of Poisson
+// Modeling") agree that keystroke inter-arrivals are heavy-tailed: a
+// sub-second body from typing and echo, and a Pareto-like tail from human
+// think time.  These samplers are the building blocks for the generators in
+// interactive_model.hpp.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+/// Interface for a positive-valued sampler.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  /// Draws one value (seconds).
+  virtual double sample(Rng& rng) const = 0;
+};
+
+class ExponentialSampler final : public Sampler {
+ public:
+  explicit ExponentialSampler(double mean);
+  double sample(Rng& rng) const override;
+
+ private:
+  double mean_;
+};
+
+class ParetoSampler final : public Sampler {
+ public:
+  /// Scale xm > 0, shape alpha > 0 (alpha <= 1 has infinite mean).
+  ParetoSampler(double xm, double alpha);
+  double sample(Rng& rng) const override;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+class LogNormalSampler final : public Sampler {
+ public:
+  /// mu/sigma are the parameters of the underlying normal.
+  LogNormalSampler(double mu, double sigma);
+  double sample(Rng& rng) const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Piecewise-linear inverse-CDF sampler over an empirical table, the same
+/// mechanism tcplib uses.  The table maps cumulative probability to value.
+class EmpiricalCdf final : public Sampler {
+ public:
+  /// `points` is a list of (cumulative_probability, value) pairs with
+  /// strictly increasing probabilities ending at 1.0 and non-decreasing
+  /// values.  A leading (0, v0) anchor is required.
+  explicit EmpiricalCdf(std::vector<std::pair<double, double>> points);
+
+  double sample(Rng& rng) const override;
+
+  /// Inverse CDF at probability u in [0, 1].
+  double value_at(double u) const;
+
+  /// Approximate mean of the piecewise-linear distribution.
+  double mean() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace sscor::traffic

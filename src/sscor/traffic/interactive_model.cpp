@@ -1,0 +1,157 @@
+#include "sscor/traffic/interactive_model.hpp"
+
+#include <vector>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::traffic {
+
+InteractiveSessionModel::InteractiveSessionModel(
+    InteractiveSessionParams params)
+    : params_(std::move(params)) {
+  require(params_.burst_probability >= 0 && params_.burst_probability < 1,
+          "burst probability must be in [0, 1)");
+  require(params_.mean_burst_length >= 1, "bursts contain >= 1 packet");
+  require(params_.size_model != nullptr, "a size model is required");
+}
+
+Flow InteractiveSessionModel::generate(std::size_t packets, TimeUs start_time,
+                                       std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<PacketRecord> out;
+  out.reserve(packets);
+  TimeUs now = start_time;
+  const auto& p = params_;
+
+  auto push = [&](TimeUs t) {
+    out.push_back(PacketRecord{t, p.size_model->sample(rng), false});
+  };
+
+  while (out.size() < packets) {
+    push(now);
+    if (out.size() >= packets) break;
+    if (rng.bernoulli(p.burst_probability)) {
+      // Server output burst: geometric number of closely spaced packets.
+      std::size_t burst = 1;
+      const double continue_p = 1.0 - 1.0 / p.mean_burst_length;
+      while (rng.bernoulli(continue_p)) ++burst;
+      for (std::size_t i = 0; i < burst && out.size() < packets; ++i) {
+        now += seconds(rng.exponential(p.burst_gap_seconds));
+        push(now);
+      }
+      if (out.size() >= packets) break;
+    }
+    // Human think time until the next keystroke.
+    double gap = 0.0;
+    if (rng.bernoulli(p.tail_probability)) {
+      gap = rng.pareto(p.tail_scale_seconds, p.tail_shape);
+    } else {
+      gap = rng.lognormal(p.think_mu, p.think_sigma);
+    }
+    now += seconds(gap);
+  }
+  out.resize(packets);
+  return Flow(std::move(out));
+}
+
+Connection InteractiveSessionModel::generate_connection(
+    std::size_t keystrokes, TimeUs start_time, std::uint64_t seed) const {
+  Rng rng(mix_seeds(seed, 0xc0));
+  const auto& p = params_;
+  std::vector<PacketRecord> c2s;
+  std::vector<PacketRecord> s2c;
+  c2s.reserve(keystrokes);
+  TimeUs now = start_time;
+
+  // Round-trip echo latency of this session (network + tty processing).
+  const DurationUs echo_delay = millis(rng.uniform_i64(8, 60));
+
+  while (c2s.size() < keystrokes) {
+    // A keystroke travels client -> server and is echoed back.
+    c2s.push_back(PacketRecord{now, p.size_model->sample(rng), false});
+    s2c.push_back(PacketRecord{now + echo_delay,
+                               p.size_model->sample(rng), false});
+    if (rng.bernoulli(p.burst_probability)) {
+      // Command output: a server -> client burst.
+      std::size_t burst = 1;
+      const double continue_p = 1.0 - 1.0 / p.mean_burst_length;
+      while (rng.bernoulli(continue_p)) ++burst;
+      TimeUs t = now + echo_delay;
+      for (std::size_t i = 0; i < burst; ++i) {
+        t += seconds(rng.exponential(p.burst_gap_seconds));
+        s2c.push_back(PacketRecord{t, p.size_model->sample(rng), false});
+      }
+    }
+    double gap = 0.0;
+    if (rng.bernoulli(p.tail_probability)) {
+      gap = rng.pareto(p.tail_scale_seconds, p.tail_shape);
+    } else {
+      gap = rng.lognormal(p.think_mu, p.think_sigma);
+    }
+    now += seconds(gap);
+  }
+  return Connection{Flow(std::move(c2s), "c2s"),
+                    Flow(std::move(s2c), "s2c")};
+}
+
+const EmpiricalCdf& TcplibTelnetModel::interarrival_cdf() {
+  // Piecewise-linear approximation of the telnet packet inter-arrival
+  // distribution shipped with tcplib (Danzig & Jamin 1991): a sub-100ms
+  // body from echo traffic and a think-time tail out to minutes.  Values in
+  // seconds.
+  static const EmpiricalCdf cdf({
+      {0.00, 0.001},
+      {0.08, 0.010},
+      {0.20, 0.050},
+      {0.35, 0.100},
+      {0.50, 0.200},
+      {0.62, 0.400},
+      {0.72, 0.800},
+      {0.80, 1.500},
+      {0.87, 3.000},
+      {0.92, 6.000},
+      {0.96, 12.000},
+      {0.985, 30.000},
+      {0.997, 90.000},
+      {1.00, 300.000},
+  });
+  return cdf;
+}
+
+TcplibTelnetModel::TcplibTelnetModel() = default;
+
+Flow TcplibTelnetModel::generate(std::size_t packets, TimeUs start_time,
+                                 std::uint64_t seed) const {
+  Rng rng(seed);
+  const TelnetSizeModel sizes;
+  std::vector<PacketRecord> out;
+  out.reserve(packets);
+  TimeUs now = start_time;
+  for (std::size_t i = 0; i < packets; ++i) {
+    out.push_back(PacketRecord{now, sizes.sample(rng), false});
+    now += seconds(interarrival_cdf().sample(rng));
+  }
+  return Flow(std::move(out));
+}
+
+PoissonFlowModel::PoissonFlowModel(double rate_pps,
+                                   std::shared_ptr<const SizeModel> size_model)
+    : rate_pps_(rate_pps), size_model_(std::move(size_model)) {
+  require(rate_pps > 0, "rate must be positive");
+  require(size_model_ != nullptr, "a size model is required");
+}
+
+Flow PoissonFlowModel::generate(std::size_t packets, TimeUs start_time,
+                                std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<PacketRecord> out;
+  out.reserve(packets);
+  TimeUs now = start_time;
+  for (std::size_t i = 0; i < packets; ++i) {
+    out.push_back(PacketRecord{now, size_model_->sample(rng), false});
+    now += seconds(rng.exponential(1.0 / rate_pps_));
+  }
+  return Flow(std::move(out));
+}
+
+}  // namespace sscor::traffic

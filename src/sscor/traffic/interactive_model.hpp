@@ -1,0 +1,109 @@
+// Interactive SSH/Telnet flow generators.
+//
+// These stand in for the paper's trace corpora (DESIGN.md §6):
+//
+//  * InteractiveSessionModel — replaces the 91 NLANR Bell-Labs-I SSH/Telnet
+//    traces.  It alternates human think-time gaps (log-normal body with a
+//    Pareto tail) with short server-output bursts (exponential millisecond
+//    gaps), matching the published structure of interactive sessions.
+//
+//  * TcplibTelnetModel — replaces the 100 synthetic tcplib traces.  It is an
+//    empirical-CDF sampler (exactly tcplib's mechanism) over a built-in
+//    telnet inter-arrival table.
+//
+// All generators are deterministic functions of their seed.
+
+#pragma once
+
+#include <memory>
+
+#include "sscor/flow/connection.hpp"
+#include "sscor/flow/flow.hpp"
+#include "sscor/traffic/distributions.hpp"
+#include "sscor/traffic/size_model.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+/// Interface for flow generators.
+class FlowGenerator {
+ public:
+  virtual ~FlowGenerator() = default;
+
+  /// Generates a flow of exactly `packets` packets starting at
+  /// `start_time`; deterministic in `seed`.
+  virtual Flow generate(std::size_t packets, TimeUs start_time,
+                        std::uint64_t seed) const = 0;
+};
+
+/// Parameters of the Bell-Labs-substitute session model.
+struct InteractiveSessionParams {
+  /// Probability a packet opens a server-output burst instead of a
+  /// keystroke exchange.
+  double burst_probability = 0.25;
+  /// Mean additional packets per burst (geometric).
+  double mean_burst_length = 6.0;
+  /// Mean gap between packets inside a burst, seconds.
+  double burst_gap_seconds = 0.025;
+  /// Log-normal think-time body: parameters of the underlying normal of
+  /// seconds.  mu=-0.6, sigma=1.1 gives a ~0.55s median, ~1s mean body.
+  double think_mu = -0.6;
+  double think_sigma = 1.1;
+  /// Pareto think-time tail mixed in with this probability.
+  double tail_probability = 0.08;
+  double tail_scale_seconds = 2.0;
+  double tail_shape = 1.5;
+  /// Payload sizes: SSH block-quantized by default.
+  std::shared_ptr<const SizeModel> size_model =
+      std::make_shared<SshSizeModel>();
+};
+
+class InteractiveSessionModel final : public FlowGenerator {
+ public:
+  explicit InteractiveSessionModel(InteractiveSessionParams params = {});
+
+  Flow generate(std::size_t packets, TimeUs start_time,
+                std::uint64_t seed) const override;
+
+  /// Generates a full bidirectional session: `keystrokes` client-to-server
+  /// packets; each keystroke is echoed server-to-client after a short
+  /// round-trip delay, and server-output bursts travel server-to-client
+  /// (so the reverse direction is larger, as real SSH sessions are).
+  Connection generate_connection(std::size_t keystrokes, TimeUs start_time,
+                                 std::uint64_t seed) const;
+
+  const InteractiveSessionParams& params() const { return params_; }
+
+ private:
+  InteractiveSessionParams params_;
+};
+
+/// tcplib-style telnet generator: i.i.d. inter-arrivals drawn from an
+/// empirical CDF, telnet packet sizes.
+class TcplibTelnetModel final : public FlowGenerator {
+ public:
+  TcplibTelnetModel();
+
+  Flow generate(std::size_t packets, TimeUs start_time,
+                std::uint64_t seed) const override;
+
+  /// The built-in inter-arrival table (seconds).
+  static const EmpiricalCdf& interarrival_cdf();
+};
+
+/// Poisson flow generator (used by tests and as a simple null model).
+class PoissonFlowModel final : public FlowGenerator {
+ public:
+  explicit PoissonFlowModel(double rate_pps,
+                            std::shared_ptr<const SizeModel> size_model =
+                                std::make_shared<SshSizeModel>());
+
+  Flow generate(std::size_t packets, TimeUs start_time,
+                std::uint64_t seed) const override;
+
+ private:
+  double rate_pps_;
+  std::shared_ptr<const SizeModel> size_model_;
+};
+
+}  // namespace sscor::traffic

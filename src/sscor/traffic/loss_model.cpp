@@ -1,0 +1,79 @@
+#include "sscor/traffic/loss_model.hpp"
+
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+LossRepacketizationModel::LossRepacketizationModel(double drop_probability,
+                                                   DurationUs merge_window,
+                                                   std::uint64_t seed)
+    : drop_probability_(drop_probability),
+      merge_window_(merge_window),
+      seed_(seed) {
+  require(drop_probability >= 0.0 && drop_probability < 1.0,
+          "drop probability must be in [0, 1)");
+  require(merge_window >= 0, "merge window must be non-negative");
+}
+
+Flow LossRepacketizationModel::apply(const Flow& input) const {
+  Rng rng(seed_);
+  std::vector<PacketRecord> survivors;
+  survivors.reserve(input.size());
+  for (const auto& p : input.packets()) {
+    if (!rng.bernoulli(drop_probability_)) {
+      survivors.push_back(p);
+    }
+  }
+
+  if (merge_window_ == 0 || survivors.size() < 2) {
+    return Flow(std::move(survivors), input.id());
+  }
+
+  std::vector<PacketRecord> merged;
+  merged.reserve(survivors.size());
+  PacketRecord pending = survivors.front();
+  for (std::size_t i = 1; i < survivors.size(); ++i) {
+    const auto& p = survivors[i];
+    if (p.timestamp - pending.timestamp <= merge_window_) {
+      pending.size += p.size;
+      pending.timestamp = p.timestamp;  // flush at coalescing-timer expiry
+      pending.is_chaff = pending.is_chaff && p.is_chaff;
+    } else {
+      merged.push_back(pending);
+      pending = p;
+    }
+  }
+  merged.push_back(pending);
+  return Flow(std::move(merged), input.id());
+}
+
+ReorderingModel::ReorderingModel(double swap_probability,
+                                 DurationUs max_displacement,
+                                 std::uint64_t seed)
+    : swap_probability_(swap_probability),
+      max_displacement_(max_displacement),
+      seed_(seed) {
+  require(swap_probability >= 0.0 && swap_probability <= 1.0,
+          "swap probability must be in [0, 1]");
+  require(max_displacement >= 0, "displacement must be non-negative");
+}
+
+Flow ReorderingModel::apply(const Flow& input) const {
+  Rng rng(seed_);
+  std::vector<PacketRecord> out(input.packets().begin(),
+                                input.packets().end());
+  for (auto& p : out) {
+    if (rng.bernoulli(swap_probability_)) {
+      p.timestamp += rng.uniform_duration(max_displacement_);
+    }
+  }
+  // The Flow constructor re-sorts by timestamp: displaced packets now sit
+  // after neighbours they originally preceded.
+  return Flow(std::move(out), input.id());
+}
+
+}  // namespace sscor::traffic

@@ -1,0 +1,61 @@
+// Packet loss and re-packetization fault injection.
+//
+// The paper's assumption 1 (every upstream packet crosses the stepping
+// stone as a single packet) breaks when packets are lost or merged by the
+// relay.  The authors list handling this as future work; we provide the
+// fault model so the breakage is measurable (bench/ablation_loss).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/traffic/transform.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor::traffic {
+
+/// Drops packets i.i.d. and merges runs of packets that arrive within
+/// `merge_window` of each other into one packet (sizes summed, timestamp of
+/// the last merged packet — the relay flushes when its coalescing timer
+/// expires).
+class LossRepacketizationModel final : public FlowTransform {
+ public:
+  LossRepacketizationModel(double drop_probability, DurationUs merge_window,
+                           std::uint64_t seed);
+
+  Flow apply(const Flow& input) const override;
+
+  double drop_probability() const { return drop_probability_; }
+  DurationUs merge_window() const { return merge_window_; }
+
+ private:
+  double drop_probability_;
+  DurationUs merge_window_;
+  std::uint64_t seed_;
+};
+
+/// Packet reordering (violates the paper's assumption 3).
+///
+/// Each packet is, with probability `swap_probability`, scheduled up to
+/// `max_displacement` *later* than its neighbours by giving it an extra
+/// private delay before the flow is re-sorted — the way parallel paths or
+/// per-packet load balancing reorder real traffic.  Timestamps remain the
+/// emission times (sorted); the packets' identities move relative to each
+/// other, so an order-preserving matcher pairs some packets wrongly.
+class ReorderingModel final : public FlowTransform {
+ public:
+  ReorderingModel(double swap_probability, DurationUs max_displacement,
+                  std::uint64_t seed);
+
+  Flow apply(const Flow& input) const override;
+
+  double swap_probability() const { return swap_probability_; }
+  DurationUs max_displacement() const { return max_displacement_; }
+
+ private:
+  double swap_probability_;
+  DurationUs max_displacement_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sscor::traffic

@@ -1,0 +1,82 @@
+#include "sscor/traffic/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+UniformPerturber::UniformPerturber(DurationUs max_delay, std::uint64_t seed,
+                                   DurationUs epoch_spacing)
+    : max_delay_(max_delay), seed_(seed), epoch_spacing_(epoch_spacing) {
+  require(max_delay >= 0, "perturbation bound must be non-negative");
+  require(epoch_spacing >= 0, "epoch spacing must be non-negative");
+}
+
+Flow UniformPerturber::apply(const Flow& input) const {
+  if (max_delay_ == 0 || input.empty()) return input;
+  Rng rng(seed_);
+  std::vector<PacketRecord> out(input.packets().begin(),
+                                input.packets().end());
+
+  // Delay process: i.i.d. Uniform[0, max_delay] draws at epochs spaced
+  // K >= max_delay apart, linearly interpolated in between.  The slope of
+  // the delay over time is then at least -max_delay / K >= -1, so
+  // t + w(t) is non-decreasing: packet order is provably preserved while
+  // every packet's delay is exactly within [0, max_delay] and marginally
+  // ~uniform — the paper's "uniformly distributed timing perturbation with
+  // a bounded maximum".
+  const DurationUs spacing = std::max(epoch_spacing_, max_delay_);
+  const TimeUs origin = input.start_time();
+  DurationUs w0 = rng.uniform_duration(max_delay_);
+  DurationUs w1 = rng.uniform_duration(max_delay_);
+  std::int64_t epoch = 0;  // w0 applies at origin + epoch * spacing
+  for (auto& p : out) {
+    while (p.timestamp >= origin + (epoch + 1) * spacing) {
+      ++epoch;
+      w0 = w1;
+      w1 = rng.uniform_duration(max_delay_);
+    }
+    const DurationUs into = p.timestamp - (origin + epoch * spacing);
+    const DurationUs delay =
+        w0 + (w1 - w0) * into / spacing;  // exact integer interpolation
+    p.timestamp += delay;
+  }
+  return Flow(std::move(out), input.id());
+}
+
+IidSortPerturber::IidSortPerturber(DurationUs max_delay, std::uint64_t seed)
+    : max_delay_(max_delay), seed_(seed) {
+  require(max_delay >= 0, "perturbation bound must be non-negative");
+}
+
+Flow IidSortPerturber::apply(const Flow& input) const {
+  Rng rng(seed_);
+  std::vector<TimeUs> departures;
+  departures.reserve(input.size());
+  for (const auto& p : input.packets()) {
+    departures.push_back(p.timestamp + rng.uniform_duration(max_delay_));
+  }
+  std::sort(departures.begin(), departures.end());
+
+  std::vector<PacketRecord> out(input.packets().begin(),
+                                input.packets().end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].timestamp = departures[i];
+  }
+  return Flow(std::move(out), input.id());
+}
+
+ConstantDelay::ConstantDelay(DurationUs delay) : delay_(delay) {
+  require(delay >= 0, "delay must be non-negative");
+}
+
+Flow ConstantDelay::apply(const Flow& input) const {
+  return input.shifted(delay_);
+}
+
+}  // namespace sscor::traffic

@@ -1,0 +1,80 @@
+// Timing perturbation models (the attacker's first countermeasure).
+//
+// The paper evaluates "timing perturbations, uniformly distributed, with a
+// maximum delay from 0 to 8 seconds", under the assumption that packet
+// order is preserved (assumption 3).  Two order-preserving models with
+// Uniform[0, max] per-packet delay marginals are provided:
+//
+//  * UniformPerturber (default, used by the experiment harness): the delay
+//    is a piecewise-linear process interpolating i.i.d. Uniform[0,
+//    max_delay] values drawn at epochs spaced >= max_delay apart — the
+//    behaviour of a relay whose queueing delay drifts with load.  The
+//    interpolation slope is >= -1, so order is provably preserved; the
+//    marginal delay is ~Uniform[0, max_delay]; adjacent packets see
+//    correlated delays, so the flow's local IPD structure survives (which
+//    is precisely why the basic watermark scheme tolerates multi-second
+//    perturbation in the paper's figure 3).
+//
+//  * IidSortPerturber: every packet independently draws Uniform[0,
+//    max_delay] and the relay emits at the sorted departure times (the i-th
+//    packet leaves at the i-th order statistic, which provably stays within
+//    [t_i, t_i + max_delay]).  With max_delay much larger than the mean
+//    IPD this smears packets across the whole window and destroys any
+//    IPD-based watermark — the Donoho-style limit that
+//    bench/ablation_perturbation demonstrates.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/traffic/transform.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor::traffic {
+
+class UniformPerturber final : public FlowTransform {
+ public:
+  /// `epoch_spacing` controls how fast the delay drifts: fresh uniform
+  /// delays are drawn every max(epoch_spacing, max_delay) of flow time
+  /// (never below max_delay — that is what guarantees order preservation).
+  UniformPerturber(DurationUs max_delay, std::uint64_t seed,
+                   DurationUs epoch_spacing = 0);
+
+  Flow apply(const Flow& input) const override;
+
+  DurationUs max_delay() const { return max_delay_; }
+  DurationUs epoch_spacing() const { return epoch_spacing_; }
+
+ private:
+  DurationUs max_delay_;
+  std::uint64_t seed_;
+  DurationUs epoch_spacing_;
+};
+
+/// Independent Uniform[0, max_delay] delays, emitted in FIFO order at the
+/// sorted departure times.
+class IidSortPerturber final : public FlowTransform {
+ public:
+  IidSortPerturber(DurationUs max_delay, std::uint64_t seed);
+
+  Flow apply(const Flow& input) const override;
+
+  DurationUs max_delay() const { return max_delay_; }
+
+ private:
+  DurationUs max_delay_;
+  std::uint64_t seed_;
+};
+
+/// Delays every packet by a constant (propagation delay between hops).
+class ConstantDelay final : public FlowTransform {
+ public:
+  explicit ConstantDelay(DurationUs delay);
+
+  Flow apply(const Flow& input) const override;
+
+ private:
+  DurationUs delay_;
+};
+
+}  // namespace sscor::traffic

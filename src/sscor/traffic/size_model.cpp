@@ -1,0 +1,39 @@
+#include "sscor/traffic/size_model.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::traffic {
+
+SshSizeModel::SshSizeModel(std::uint32_t block_bytes, std::uint32_t min_blocks,
+                           double extra_block_probability)
+    : block_bytes_(block_bytes),
+      min_blocks_(min_blocks),
+      extra_block_probability_(extra_block_probability) {
+  require(block_bytes > 0, "cipher block size must be positive");
+  require(min_blocks > 0, "minimum block count must be positive");
+  require(extra_block_probability >= 0.0 && extra_block_probability < 1.0,
+          "extra block probability must be in [0, 1)");
+}
+
+std::uint32_t SshSizeModel::sample(Rng& rng) const {
+  std::uint32_t blocks = min_blocks_;
+  while (rng.bernoulli(extra_block_probability_) && blocks < 90) {
+    ++blocks;
+  }
+  return blocks * block_bytes_;
+}
+
+std::uint32_t TelnetSizeModel::sample(Rng& rng) const {
+  // ~85% single keystroke bytes, the rest short bursts of echoed output.
+  if (rng.bernoulli(0.85)) {
+    return 1;
+  }
+  return static_cast<std::uint32_t>(rng.uniform_i64(2, 512));
+}
+
+std::uint32_t quantize_size(std::uint32_t size, std::uint32_t block) {
+  require(block > 0, "quantization block must be positive");
+  return (size + block - 1) / block * block;
+}
+
+}  // namespace sscor::traffic

@@ -1,0 +1,64 @@
+// Packet payload-size models.
+//
+// Sizes do not enter the timing watermark, but the paper's §3.2 proposes an
+// optional matching constraint from quantized packet sizes (SSH block
+// ciphers pad payloads to the cipher block boundary).  These models make
+// that constraint — and its ablation — meaningful on synthetic data.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor::traffic {
+
+/// Interface for drawing packet payload sizes.
+class SizeModel {
+ public:
+  virtual ~SizeModel() = default;
+  virtual std::uint32_t sample(Rng& rng) const = 0;
+};
+
+/// SSH-style sizes: a cipher-block-quantized payload.  Keystroke packets
+/// dominate (one block); command output contributes a geometric number of
+/// additional blocks.
+class SshSizeModel final : public SizeModel {
+ public:
+  explicit SshSizeModel(std::uint32_t block_bytes = 16,
+                        std::uint32_t min_blocks = 2,
+                        double extra_block_probability = 0.25);
+
+  std::uint32_t sample(Rng& rng) const override;
+
+  std::uint32_t block_bytes() const { return block_bytes_; }
+
+ private:
+  std::uint32_t block_bytes_;
+  std::uint32_t min_blocks_;
+  double extra_block_probability_;
+};
+
+/// Telnet-style sizes: mostly single-character packets with occasional
+/// larger echo/output segments (not block-quantized).
+class TelnetSizeModel final : public SizeModel {
+ public:
+  TelnetSizeModel() = default;
+  std::uint32_t sample(Rng& rng) const override;
+};
+
+/// A fixed payload size (useful in unit tests).
+class FixedSizeModel final : public SizeModel {
+ public:
+  explicit FixedSizeModel(std::uint32_t size) : size_(size) {}
+  std::uint32_t sample(Rng&) const override { return size_; }
+
+ private:
+  std::uint32_t size_;
+};
+
+/// Rounds `size` up to a multiple of `block` (block > 0); the quantity the
+/// size-based matching constraint compares.
+std::uint32_t quantize_size(std::uint32_t size, std::uint32_t block);
+
+}  // namespace sscor::traffic

@@ -1,0 +1,20 @@
+#include "sscor/traffic/transform.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::traffic {
+
+void TransformPipeline::add(std::shared_ptr<const FlowTransform> transform) {
+  require(transform != nullptr, "pipeline stages must be non-null");
+  stages_.push_back(std::move(transform));
+}
+
+Flow TransformPipeline::apply(const Flow& input) const {
+  Flow current = input;
+  for (const auto& stage : stages_) {
+    current = stage->apply(current);
+  }
+  return current;
+}
+
+}  // namespace sscor::traffic

@@ -1,0 +1,45 @@
+// Adversarial flow transforms.
+//
+// Everything an attacker (or the network) does to a flow between two
+// monitoring points is modelled as a FlowTransform; TransformPipeline
+// composes them in order, e.g. perturb-then-chaff as in the paper's
+// evaluation.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+
+namespace sscor::traffic {
+
+class FlowTransform {
+ public:
+  virtual ~FlowTransform() = default;
+  virtual Flow apply(const Flow& input) const = 0;
+};
+
+/// Applies transforms in sequence.
+class TransformPipeline final : public FlowTransform {
+ public:
+  TransformPipeline() = default;
+
+  void add(std::shared_ptr<const FlowTransform> transform);
+
+  Flow apply(const Flow& input) const override;
+
+  std::size_t size() const { return stages_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const FlowTransform>> stages_;
+};
+
+/// The identity transform (handy for parameter sweeps that include "no
+/// perturbation").
+class IdentityTransform final : public FlowTransform {
+ public:
+  Flow apply(const Flow& input) const override { return input; }
+};
+
+}  // namespace sscor::traffic

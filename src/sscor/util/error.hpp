@@ -1,0 +1,59 @@
+// Error handling for sscor.
+//
+// The library throws exceptions for contract violations and unrecoverable
+// I/O errors (Core Guidelines E.2/E.14): all exception types derive from
+// sscor::Error so callers can catch the library's failures in one place.
+// Recoverable "not found"/"does not correlate" outcomes are ordinary return
+// values, never exceptions.
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace sscor {
+
+/// Base class of every exception thrown by sscor.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A file could not be read/written or has a malformed format.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant failed; indicates a bug in sscor itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws InvalidArgument with `what` unless `condition` holds.
+inline void require(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvalidArgument(std::string(loc.function_name()) + ": " + what);
+  }
+}
+
+/// Throws InternalError with `what` unless `condition` holds.
+inline void check_invariant(
+    bool condition, const std::string& what,
+    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InternalError(std::string(loc.function_name()) +
+                        ": invariant violated: " + what);
+  }
+}
+
+}  // namespace sscor

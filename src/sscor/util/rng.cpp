@@ -1,0 +1,170 @@
+#include "sscor/util/rng.hpp"
+
+#include <cmath>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+  // An all-zero state would be a fixed point; splitmix64 cannot produce four
+  // zero outputs in a row from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  return Rng(mix_seeds((*this)(), salt));
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  require(bound > 0, "uniform_u64 bound must be positive");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "uniform_i64 requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+DurationUs Rng::uniform_duration(DurationUs max_us) {
+  require(max_us >= 0, "uniform_duration requires max_us >= 0");
+  if (max_us == 0) return 0;
+  return uniform_i64(0, max_us);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  require(mean > 0, "exponential mean must be positive");
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  require(xm > 0 && alpha > 0, "pareto parameters must be positive");
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  require(mean >= 0, "poisson mean must be non-negative");
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform01();
+    while (product > limit) {
+      ++count;
+      product *= uniform01();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; exact enough for the
+  // traffic volumes we simulate and avoids O(mean) work.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.5 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  require(k <= n, "cannot sample more elements than the population");
+  // Floyd's algorithm: O(k) expected inserts, output sorted afterwards.
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(k);
+  std::vector<bool> used(n, false);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(uniform_u64(j + 1));
+    if (used[t]) {
+      chosen.push_back(j);
+      used[j] = true;
+    } else {
+      chosen.push_back(t);
+      used[t] = true;
+    }
+  }
+  std::vector<std::uint32_t> sorted;
+  sorted.reserve(k);
+  for (std::uint32_t v = 0; v < n && sorted.size() < k; ++v) {
+    if (used[v]) sorted.push_back(v);
+  }
+  return sorted;
+}
+
+}  // namespace sscor

@@ -1,0 +1,107 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library (traffic generation, watermark
+// key schedules, adversarial perturbation, chaff arrival processes,
+// experiment sweeps) draws from an explicitly seeded generator so that every
+// experiment in EXPERIMENTS.md is exactly reproducible.  We provide our own
+// engine (xoshiro256**, seeded via splitmix64) instead of std::mt19937
+// because its stream is identical across standard-library implementations,
+// small enough to copy by value, and cheap to fork into independent
+// sub-streams.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+/// splitmix64 step; used for seeding and for hashing seeds together.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two seeds into one; used to derive per-flow / per-component streams
+/// from an experiment master seed without correlation between streams.
+constexpr std::uint64_t mix_seeds(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  return splitmix64(s) ^ b;
+}
+
+/// xoshiro256** engine.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()();
+
+  /// Derives an independent generator; `salt` distinguishes sub-streams.
+  Rng fork(std::uint64_t salt);
+
+  /// Uniform integer in [0, bound), bound > 0.  Uses Lemire rejection to
+  /// avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform duration in [0, max_us] inclusive.
+  DurationUs uniform_duration(DurationUs max_us);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean (>= 0).
+  std::uint64_t poisson(double mean);
+
+  /// Samples k distinct integers from [0, n) in increasing order.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace sscor

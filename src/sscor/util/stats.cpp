@@ -1,0 +1,115 @@
+#include "sscor/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile order must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(idx);
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+double rate_per_second(std::uint64_t events, double duration_seconds) {
+  if (duration_seconds <= 0.0) return 0.0;
+  return static_cast<double>(events) / duration_seconds;
+}
+
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z) {
+  require(successes <= trials, "successes cannot exceed trials");
+  require(z > 0, "z must be positive");
+  if (trials == 0) return ProportionInterval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return ProportionInterval{std::max(0.0, centre - margin),
+                            std::min(1.0, centre + margin)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  require(hi > lo, "histogram range must be non-empty");
+  require(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bucket = static_cast<std::int64_t>((x - lo_) / width);
+  bucket = std::clamp<std::int64_t>(
+      bucket, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t bucket) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bucket)) /
+         static_cast<double>(total_);
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_high(std::size_t bucket) const {
+  return bucket_low(bucket + 1);
+}
+
+}  // namespace sscor

@@ -1,0 +1,78 @@
+// Small statistics toolkit used by flow analysis, experiment metrics, and
+// the test suite's distribution checks.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sscor {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation;
+/// `values` need not be sorted.  Throws InvalidArgument when empty.
+double quantile(std::vector<double> values, double q);
+
+/// Empirical-rate helper: events per second given a count over a duration.
+double rate_per_second(std::uint64_t events, double duration_seconds);
+
+/// A two-sided confidence interval for a Bernoulli proportion.
+struct ProportionInterval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// z (default 1.96 ~ 95%).  Well-behaved at 0 and 1, unlike the normal
+/// approximation; used to report detection/FP rates with error bars.
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z = 1.96);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket.  Used by tests to sanity-check generated traffic.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::uint64_t total() const { return total_; }
+  /// Fraction of all samples that fell in `bucket`.
+  double fraction(std::size_t bucket) const;
+  double bucket_low(std::size_t bucket) const;
+  double bucket_high(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sscor

@@ -1,0 +1,45 @@
+// Plain-text table and CSV emission for the experiment harness.
+//
+// Every bench binary prints the same rows the paper's tables/figures report;
+// TextTable renders them aligned for the console and to_csv() produces a
+// machine-readable copy for plotting.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sscor {
+
+/// A rectangular table of strings with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string cell(double value, int precision = 4);
+  static std::string cell(std::uint64_t value);
+  static std::string cell(std::int64_t value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Renders with space-padded, pipe-separated columns.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes escaped).
+  std::string to_csv() const;
+
+  /// Writes the CSV form to `path`, throwing IoError on failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sscor

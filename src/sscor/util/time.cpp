@@ -1,0 +1,26 @@
+#include "sscor/util/time.hpp"
+
+#include <cstdio>
+
+namespace sscor {
+
+std::string format_duration(DurationUs us) {
+  char buf[64];
+  const bool neg = us < 0;
+  const std::int64_t mag = neg ? -us : us;
+  if (mag >= kMicrosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", neg ? "-" : "",
+                  static_cast<double>(mag) /
+                      static_cast<double>(kMicrosPerSecond));
+  } else if (mag >= kMicrosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", neg ? "-" : "",
+                  static_cast<double>(mag) /
+                      static_cast<double>(kMicrosPerMilli));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", neg ? "-" : "",
+                  static_cast<long long>(mag));
+  }
+  return buf;
+}
+
+}  // namespace sscor

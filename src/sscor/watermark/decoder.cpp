@@ -1,0 +1,33 @@
+#include "sscor/watermark/decoder.hpp"
+
+#include <vector>
+
+namespace sscor {
+
+DurationUs bit_difference(const BitPlan& plan,
+                          std::span<const TimeUs> timestamps) {
+  DurationUs sum = 0;
+  for (const auto& pair : plan.group1) {
+    sum += timestamps[pair.second] - timestamps[pair.first];
+  }
+  for (const auto& pair : plan.group2) {
+    sum -= timestamps[pair.second] - timestamps[pair.first];
+  }
+  return sum;
+}
+
+std::optional<Watermark> decode_positional(const KeySchedule& schedule,
+                                           const Flow& suspicious) {
+  if (suspicious.size() <= schedule.max_packet_index()) {
+    return std::nullopt;
+  }
+  const std::vector<TimeUs> timestamps = suspicious.timestamps();
+  std::vector<std::uint8_t> bits;
+  bits.reserve(schedule.params().bits);
+  for (const auto& plan : schedule.bit_plans()) {
+    bits.push_back(decode_bit(bit_difference(plan, timestamps)));
+  }
+  return Watermark(std::move(bits));
+}
+
+}  // namespace sscor

@@ -1,0 +1,41 @@
+// Watermark decoding primitives.
+//
+// Decoding is the sign test of the paper's §3.1: for each bit, recompute
+// D = (1/2r) * sum(group1 IPDs - group2 IPDs) from observed timestamps and
+// decode 1 when D > 0, else 0.  These helpers are shared by the basic
+// (positional) decoder and by the matching-based algorithms in
+// sscor/correlation, which evaluate the same statistic over *chosen*
+// corresponding packets instead of fixed positions.
+
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/key_schedule.hpp"
+#include "sscor/watermark/watermark.hpp"
+
+namespace sscor {
+
+/// Unnormalised D for one bit: sum of group-1 IPDs minus sum of group-2
+/// IPDs, in microseconds, over `timestamps[pair.first/second]`.  (The 1/2r
+/// normalisation never changes the sign test, so we stay in exact integer
+/// arithmetic.)
+DurationUs bit_difference(const BitPlan& plan,
+                          std::span<const TimeUs> timestamps);
+
+/// The sign test: decode 1 when D > 0, else 0.
+constexpr std::uint8_t decode_bit(DurationUs difference) {
+  return difference > 0 ? 1 : 0;
+}
+
+/// Positional decoding, i.e. the basic watermark scheme of ref [7]: pair
+/// indices address the suspicious flow directly, assuming packet i of the
+/// upstream flow is packet i of the suspicious flow.  Correct under pure
+/// timing perturbation; destroyed by chaff, which shifts positions.
+/// Returns nullopt when the flow is shorter than the highest pair index.
+std::optional<Watermark> decode_positional(const KeySchedule& schedule,
+                                           const Flow& suspicious);
+
+}  // namespace sscor

@@ -1,0 +1,53 @@
+#include "sscor/watermark/embedder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+Embedder::Embedder(WatermarkParams params, std::uint64_t key)
+    : params_(params), key_(key) {
+  params_.validate();
+}
+
+WatermarkedFlow Embedder::embed(const Flow& input,
+                                const Watermark& watermark) const {
+  require(watermark.size() == params_.bits,
+          "watermark length does not match the configured bit count");
+  auto schedule = KeySchedule::create(params_, input.size(), key_);
+
+  // Accumulate per-packet delays.  Pairs are disjoint, so each packet is
+  // delayed by either 0 or `a`, but we keep the general accumulation for
+  // clarity and future schedules.
+  std::vector<DurationUs> delay(input.size(), 0);
+  const DurationUs a = params_.embedding_delay;
+  for (std::uint32_t bit = 0; bit < params_.bits; ++bit) {
+    const BitPlan& plan = schedule.bit_plan(bit);
+    const bool one = watermark.bit(bit) == 1;
+    // Raise an IPD: delay its second packet.  Lower an IPD: delay its first.
+    for (const auto& pair : plan.group1) {
+      delay[one ? pair.second : pair.first] += a;
+    }
+    for (const auto& pair : plan.group2) {
+      delay[one ? pair.first : pair.second] += a;
+    }
+  }
+
+  std::vector<PacketRecord> packets(input.packets().begin(),
+                                    input.packets().end());
+  TimeUs previous = std::numeric_limits<TimeUs>::min();
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    packets[i].timestamp =
+        std::max(packets[i].timestamp + delay[i], previous);
+    previous = packets[i].timestamp;
+  }
+
+  WatermarkedFlow out{Flow(std::move(packets), input.id()),
+                      std::move(schedule), watermark};
+  return out;
+}
+
+}  // namespace sscor

@@ -1,0 +1,46 @@
+// The watermark embedder: turns a flow into a watermarked flow by delaying
+// selected packets (a watermarking gateway can only hold packets back, never
+// send them early).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/watermark/key_schedule.hpp"
+#include "sscor/watermark/watermark.hpp"
+
+namespace sscor {
+
+/// The output of embedding: everything the detector side needs.
+struct WatermarkedFlow {
+  Flow flow;             ///< the upstream flow as emitted on the wire
+  KeySchedule schedule;  ///< shared secret: where the bits live
+  Watermark watermark;   ///< the embedded bits
+};
+
+class Embedder {
+ public:
+  /// `key` is the shared watermarking secret.
+  Embedder(WatermarkParams params, std::uint64_t key);
+
+  /// Embeds `watermark` (length must equal params.bits) into `input`.
+  ///
+  /// Per bit: embedding 1 raises each group-1 IPD and lowers each group-2
+  /// IPD by `a` (so the group mean difference D shifts by +a); embedding 0
+  /// does the opposite.  An IPD is raised by delaying its second packet and
+  /// lowered by delaying its first packet.  After the per-packet delays are
+  /// applied, FIFO order is enforced (timestamps made non-decreasing), which
+  /// can clip a lowered IPD at zero — the same physical limit a real
+  /// watermarking gateway faces.
+  WatermarkedFlow embed(const Flow& input, const Watermark& watermark) const;
+
+  const WatermarkParams& params() const { return params_; }
+  std::uint64_t key() const { return key_; }
+
+ private:
+  WatermarkParams params_;
+  std::uint64_t key_;
+};
+
+}  // namespace sscor

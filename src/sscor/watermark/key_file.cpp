@@ -1,0 +1,96 @@
+#include "sscor/watermark/key_file.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr const char* kMagic = "# sscor-key v1";
+
+}  // namespace
+
+void write_secret_text(std::ostream& out, const WatermarkSecret& secret) {
+  secret.params.validate();
+  require(secret.watermark.size() == secret.params.bits,
+          "watermark length does not match the parameters");
+  out << kMagic << '\n';
+  out << "bits " << secret.params.bits << '\n';
+  out << "redundancy " << secret.params.redundancy << '\n';
+  out << "pair_offset " << secret.params.pair_offset << '\n';
+  out << "embedding_delay_us " << secret.params.embedding_delay << '\n';
+  out << "key 0x" << std::hex << secret.key << std::dec << '\n';
+  out << "watermark " << secret.watermark.to_string() << '\n';
+  if (!out) throw IoError("secret write failed");
+}
+
+void write_secret_file(const std::string& path,
+                       const WatermarkSecret& secret) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open key file for writing: " + path);
+  write_secret_text(out, secret);
+}
+
+WatermarkSecret read_secret_text(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header != kMagic) {
+    throw IoError("missing sscor-key header");
+  }
+  std::map<std::string, std::string> fields;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream parts(line);
+    std::string name;
+    std::string value;
+    if (!(parts >> name >> value)) {
+      throw IoError("malformed key-file line: " + line);
+    }
+    fields[name] = value;
+  }
+  auto get = [&](const std::string& name) -> const std::string& {
+    const auto it = fields.find(name);
+    if (it == fields.end()) {
+      throw IoError("key file missing field: " + name);
+    }
+    return it->second;
+  };
+  auto parse_u64 = [](const std::string& text) {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed, 0);
+    if (consumed != text.size()) {
+      throw IoError("malformed number in key file: " + text);
+    }
+    return value;
+  };
+
+  WatermarkSecret secret;
+  try {
+    secret.params.bits = static_cast<std::uint32_t>(parse_u64(get("bits")));
+    secret.params.redundancy =
+        static_cast<std::uint32_t>(parse_u64(get("redundancy")));
+    secret.params.pair_offset =
+        static_cast<std::uint32_t>(parse_u64(get("pair_offset")));
+    secret.params.embedding_delay =
+        static_cast<DurationUs>(parse_u64(get("embedding_delay_us")));
+    secret.key = parse_u64(get("key"));
+  } catch (const std::logic_error&) {  // stoull failures
+    throw IoError("malformed number in key file");
+  }
+  secret.watermark = Watermark::parse(get("watermark"));
+  secret.params.validate();
+  require(secret.watermark.size() == secret.params.bits,
+          "key file watermark length does not match its parameters");
+  return secret;
+}
+
+WatermarkSecret read_secret_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open key file: " + path);
+  return read_secret_text(in);
+}
+
+}  // namespace sscor

@@ -1,0 +1,124 @@
+#include "sscor/watermark/key_schedule.hpp"
+
+#include <algorithm>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor {
+namespace {
+
+/// Selects `count` disjoint pairs (e, e+d) from [0, n).  Random rejection
+/// sampling with a deterministic systematic fallback so the schedule always
+/// succeeds when capacity allows.
+std::vector<std::uint32_t> select_pair_anchors(std::size_t n, std::uint32_t d,
+                                               std::uint32_t count,
+                                               Rng& rng) {
+  std::vector<bool> used(n, false);
+  std::vector<std::uint32_t> anchors;
+  anchors.reserve(count);
+  const auto anchor_bound = static_cast<std::uint64_t>(n - d);
+
+  // Rejection sampling: cheap while the flow is sparsely occupied.
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64ULL * count + 1024;
+  while (anchors.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const auto e = static_cast<std::uint32_t>(rng.uniform_u64(anchor_bound));
+    if (used[e] || used[e + d]) continue;
+    used[e] = used[e + d] = true;
+    anchors.push_back(e);
+  }
+
+  // Systematic fallback: walk the remaining positions from a random start.
+  if (anchors.size() < count) {
+    const auto start = static_cast<std::uint32_t>(rng.uniform_u64(anchor_bound));
+    for (std::uint64_t step = 0; step < anchor_bound && anchors.size() < count;
+         ++step) {
+      const auto e = static_cast<std::uint32_t>((start + step) % anchor_bound);
+      if (used[e] || used[e + d]) continue;
+      used[e] = used[e + d] = true;
+      anchors.push_back(e);
+    }
+  }
+
+  // Last resort for capacity-tight flows where random placement painted
+  // itself into a corner: restart with the dense deterministic layout
+  // (blocks of 2d packets host d pairs each), which always fits
+  // floor(n / 2d) * d pairs.  The create() precondition guarantees that is
+  // enough.
+  if (anchors.size() < count) {
+    std::fill(used.begin(), used.end(), false);
+    anchors.clear();
+    for (std::uint64_t block = 0; anchors.size() < count; ++block) {
+      for (std::uint32_t k = 0; k < d && anchors.size() < count; ++k) {
+        const std::uint64_t e = block * 2 * d + k;
+        check_invariant(e + d < n, "deterministic pair layout overflow");
+        anchors.push_back(static_cast<std::uint32_t>(e));
+      }
+    }
+    rng.shuffle(anchors);
+  }
+  return anchors;
+}
+
+}  // namespace
+
+KeySchedule KeySchedule::create(const WatermarkParams& params,
+                                std::size_t flow_length, std::uint64_t key) {
+  params.validate();
+  const std::uint32_t pairs_needed = params.total_pairs();
+  // floor(n / 2d) * d disjoint pairs always fit (see select_pair_anchors'
+  // deterministic layout); require that much capacity.
+  const std::uint64_t capacity =
+      flow_length / (2 * params.pair_offset) * params.pair_offset;
+  require(capacity >= pairs_needed,
+          "flow has too few packets for the watermark parameters: capacity " +
+              std::to_string(capacity) + " pairs, need " +
+              std::to_string(pairs_needed));
+
+  KeySchedule schedule;
+  schedule.params_ = params;
+  schedule.key_ = key;
+  schedule.flow_length_ = flow_length;
+
+  Rng rng(mix_seeds(key, 0x77617465726d61ULL /* "waterma" */));
+  auto anchors = select_pair_anchors(flow_length, params.pair_offset,
+                                     pairs_needed, rng);
+  // The anchors arrive in selection order, which is already key-dependent;
+  // shuffle again so group assignment is independent of selection order.
+  rng.shuffle(anchors);
+
+  schedule.bit_plans_.resize(params.bits);
+  std::size_t next = 0;
+  for (auto& plan : schedule.bit_plans_) {
+    plan.group1.reserve(params.redundancy);
+    plan.group2.reserve(params.redundancy);
+    for (std::uint32_t i = 0; i < params.redundancy; ++i) {
+      const auto e = anchors[next++];
+      plan.group1.push_back(PacketPair{e, e + params.pair_offset});
+    }
+    for (std::uint32_t i = 0; i < params.redundancy; ++i) {
+      const auto e = anchors[next++];
+      plan.group2.push_back(PacketPair{e, e + params.pair_offset});
+    }
+  }
+
+  schedule.relevant_packets_.reserve(2 * pairs_needed);
+  for (const auto& plan : schedule.bit_plans_) {
+    for (const auto* group : {&plan.group1, &plan.group2}) {
+      for (const auto& pair : *group) {
+        schedule.relevant_packets_.push_back(pair.first);
+        schedule.relevant_packets_.push_back(pair.second);
+      }
+    }
+  }
+  std::sort(schedule.relevant_packets_.begin(),
+            schedule.relevant_packets_.end());
+  return schedule;
+}
+
+std::uint32_t KeySchedule::max_packet_index() const {
+  return relevant_packets_.empty() ? 0 : relevant_packets_.back();
+}
+
+}  // namespace sscor

@@ -1,0 +1,71 @@
+// The watermark key schedule: which packets carry which watermark bit.
+//
+// For each of the l bits, 2r packet pairs <p_e, p_{e+d}> are selected and
+// split randomly into two groups of r.  The selection is a deterministic
+// function of (secret key, parameters, flow length) — the embedder and the
+// detector derive the identical schedule from the shared key, and an
+// attacker without the key cannot locate the embedding packets (the basis of
+// the scheme's robustness to random perturbation).
+//
+// Selection rule: pairs are pairwise disjoint — every packet participates in
+// at most one pair.  The paper requires distinct embedding packets across
+// bits ("each time a different set of embedding packets should be used");
+// full disjointness additionally gives every relevant packet a unique role,
+// which the Greedy+/Greedy* selection-repair phases rely on, and bounds the
+// per-packet embedding delay by `a`.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sscor/watermark/params.hpp"
+
+namespace sscor {
+
+/// One packet pair; indices refer to positions in the upstream flow.
+/// The pair's IPD is timestamp(second) - timestamp(first).
+struct PacketPair {
+  std::uint32_t first = 0;
+  std::uint32_t second = 0;
+};
+
+/// The pairs carrying one watermark bit.  group1/group2 hold r pairs each;
+/// the bit shifts the mean of (group1 IPDs - group2 IPDs).
+struct BitPlan {
+  std::vector<PacketPair> group1;
+  std::vector<PacketPair> group2;
+};
+
+class KeySchedule {
+ public:
+  /// Derives the schedule for a flow of `flow_length` packets.  Throws
+  /// InvalidArgument when the flow is too short to host
+  /// params.total_pairs() disjoint pairs.
+  static KeySchedule create(const WatermarkParams& params,
+                            std::size_t flow_length, std::uint64_t key);
+
+  const WatermarkParams& params() const { return params_; }
+  std::uint64_t key() const { return key_; }
+  std::size_t flow_length() const { return flow_length_; }
+
+  const std::vector<BitPlan>& bit_plans() const { return bit_plans_; }
+  const BitPlan& bit_plan(std::size_t bit) const { return bit_plans_.at(bit); }
+
+  /// All packet indices participating in any pair, sorted ascending.
+  const std::vector<std::uint32_t>& relevant_packets() const {
+    return relevant_packets_;
+  }
+
+  /// Largest packet index used by any pair.
+  std::uint32_t max_packet_index() const;
+
+ private:
+  WatermarkParams params_;
+  std::uint64_t key_ = 0;
+  std::size_t flow_length_ = 0;
+  std::vector<BitPlan> bit_plans_;
+  std::vector<std::uint32_t> relevant_packets_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,37 @@
+// Parameters of the IPD probabilistic watermark (ref [7] of the paper).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+
+struct WatermarkParams {
+  /// Watermark length l in bits.
+  std::uint32_t bits = 24;
+  /// Redundancy r: each bit uses 2r packet pairs (r per group).
+  std::uint32_t redundancy = 4;
+  /// Pair offset d: a pair is <p_e, p_{e+d}>, d >= 1.
+  std::uint32_t pair_offset = 1;
+  /// Embedding delay a: the amount each selected IPD is raised/lowered by.
+  /// The paper's Table 1 prints "6ms" but the scan demonstrably drops '0'
+  /// characters (e.g. "from ( ) to 8 seconds"); 600 ms is the value
+  /// consistent with the reported detection rates under multi-second
+  /// perturbation (see EXPERIMENTS.md).
+  DurationUs embedding_delay = millis(600);
+
+  /// Number of packet pairs needed in a flow for these parameters.
+  std::uint32_t total_pairs() const { return bits * 2 * redundancy; }
+
+  void validate() const {
+    require(bits > 0, "watermark must have at least one bit");
+    require(redundancy > 0, "redundancy must be at least 1");
+    require(pair_offset >= 1, "pair offset d must be >= 1");
+    require(embedding_delay > 0, "embedding delay must be positive");
+  }
+};
+
+}  // namespace sscor

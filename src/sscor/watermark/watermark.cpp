@@ -1,0 +1,55 @@
+#include "sscor/watermark/watermark.hpp"
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+Watermark::Watermark(std::vector<std::uint8_t> bits) : bits_(std::move(bits)) {
+  for (const auto b : bits_) {
+    require(b == 0 || b == 1, "watermark bits must be 0 or 1");
+  }
+}
+
+Watermark Watermark::random(std::size_t length, Rng& rng) {
+  std::vector<std::uint8_t> bits(length);
+  for (auto& b : bits) {
+    b = static_cast<std::uint8_t>(rng.uniform_u64(2));
+  }
+  return Watermark(std::move(bits));
+}
+
+Watermark Watermark::parse(const std::string& text) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(text.size());
+  for (const char c : text) {
+    require(c == '0' || c == '1', "watermark string must be binary");
+    bits.push_back(static_cast<std::uint8_t>(c - '0'));
+  }
+  return Watermark(std::move(bits));
+}
+
+void Watermark::set_bit(std::size_t i, std::uint8_t value) {
+  require(value == 0 || value == 1, "watermark bits must be 0 or 1");
+  bits_.at(i) = value;
+}
+
+std::size_t Watermark::hamming_distance(const Watermark& other) const {
+  require(size() == other.size(),
+          "hamming distance requires equal-length watermarks");
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    distance += bits_[i] != other.bits_[i];
+  }
+  return distance;
+}
+
+std::string Watermark::to_string() const {
+  std::string out;
+  out.reserve(bits_.size());
+  for (const auto b : bits_) {
+    out += static_cast<char>('0' + b);
+  }
+  return out;
+}
+
+}  // namespace sscor

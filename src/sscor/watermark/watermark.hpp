@@ -1,0 +1,44 @@
+// The watermark bit string.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor {
+
+/// An l-bit watermark.  Bits are 0/1 bytes for simple indexed access; l is
+/// small (24 in the paper) so compactness is irrelevant.
+class Watermark {
+ public:
+  Watermark() = default;
+
+  /// Builds from explicit bits (each must be 0 or 1).
+  explicit Watermark(std::vector<std::uint8_t> bits);
+
+  /// Draws `length` uniform random bits.
+  static Watermark random(std::size_t length, Rng& rng);
+
+  /// Parses a string of '0'/'1' characters.
+  static Watermark parse(const std::string& text);
+
+  std::size_t size() const { return bits_.size(); }
+  std::uint8_t bit(std::size_t i) const { return bits_.at(i); }
+  void set_bit(std::size_t i, std::uint8_t value);
+
+  /// Number of differing bit positions; both watermarks must have the same
+  /// length.
+  std::size_t hamming_distance(const Watermark& other) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Watermark&, const Watermark&) = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace sscor

@@ -1,0 +1,201 @@
+// Tests for the baseline detectors: the basic watermark scheme, the Zhang
+// passive-matching reconstruction, ON/OFF, and deviation-based correlation.
+
+#include <gtest/gtest.h>
+
+#include "sscor/baselines/basic_watermark.hpp"
+#include "sscor/baselines/deviation.hpp"
+#include "sscor/baselines/onoff.hpp"
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+namespace {
+
+WatermarkedFlow make_marked(std::uint64_t seed, std::size_t packets = 1000) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(packets, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  WatermarkParams params;
+  const Watermark wm = Watermark::random(params.bits, rng);
+  const Embedder embedder(params, mix_seeds(seed, 3));
+  return embedder.embed(flow, wm);
+}
+
+TEST(BasicWatermark, DetectsPerturbedFlowButNotChaffed) {
+  const BasicWatermarkDetector detector(7);
+  int detected_perturbed = 0;
+  int detected_chaffed = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto marked = make_marked(100 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{7}),
+                                              200 + t);
+    const Flow perturbed = perturber.apply(marked.flow);
+    detected_perturbed += detector.detect(marked, perturbed).correlated;
+
+    const traffic::PoissonChaffInjector chaff(2.0, 300 + t);
+    detected_chaffed += detector.detect(marked, chaff.apply(perturbed))
+                            .correlated;
+  }
+  EXPECT_GE(detected_perturbed, 8) << "robust to bounded perturbation";
+  EXPECT_LE(detected_chaffed, 2) << "chaff destroys positional decoding";
+}
+
+TEST(BasicWatermark, ShortFlowIsNegative) {
+  const auto marked = make_marked(7);
+  const BasicWatermarkDetector detector(7);
+  const Flow stub = Flow::from_timestamps(std::vector<TimeUs>{1, 2, 3});
+  const auto outcome = detector.detect(marked, stub);
+  EXPECT_FALSE(outcome.correlated);
+}
+
+TEST(ZhangPassive, IdenticalFlowsHaveZeroDeviation) {
+  const auto marked = make_marked(11);
+  ZhangPassiveParams params;
+  const auto r = zhang_passive_correlate(marked.flow, marked.flow, params);
+  EXPECT_TRUE(r.correlated);
+  ASSERT_TRUE(r.smallest_deviation.has_value());
+  EXPECT_LE(*r.smallest_deviation, millis(1));
+  EXPECT_GT(r.cost, 0u);
+}
+
+TEST(ZhangPassive, ConstantShiftWithinBoundCorrelates) {
+  const auto marked = make_marked(13);
+  ZhangPassiveParams params;
+  const Flow shifted = marked.flow.shifted(seconds(std::int64_t{5}));
+  EXPECT_TRUE(
+      zhang_passive_correlate(marked.flow, shifted, params).correlated);
+}
+
+TEST(ZhangPassive, ShiftBeyondMaxDelayDoesNot) {
+  const auto marked = make_marked(17);
+  ZhangPassiveParams params;
+  const Flow shifted = marked.flow.shifted(seconds(std::int64_t{30}));
+  EXPECT_FALSE(
+      zhang_passive_correlate(marked.flow, shifted, params).correlated);
+}
+
+TEST(ZhangPassive, FewerDownstreamPacketsThanTolerated) {
+  ZhangPassiveParams params;
+  params.skip_tolerance = 0.0;
+  const Flow up = Flow::from_timestamps(std::vector<TimeUs>{0, 100, 200});
+  const Flow down = Flow::from_timestamps(std::vector<TimeUs>{0, 100});
+  const auto r = zhang_passive_correlate(up, down, params);
+  EXPECT_FALSE(r.correlated);
+  EXPECT_FALSE(r.smallest_deviation.has_value());
+}
+
+TEST(ZhangPassive, SkipToleranceForgivesMissingPackets) {
+  ZhangPassiveParams params;
+  params.max_delay = millis(100);
+  params.deviation_threshold = millis(50);
+  params.skip_tolerance = 0.4;
+  // Upstream has 5 packets; downstream lost one entirely.
+  const Flow up = Flow::from_timestamps(
+      std::vector<TimeUs>{0, seconds(std::int64_t{10}),
+                          seconds(std::int64_t{20}),
+                          seconds(std::int64_t{30}),
+                          seconds(std::int64_t{40})});
+  const Flow down = Flow::from_timestamps(
+      std::vector<TimeUs>{10, seconds(std::int64_t{10}) + 10,
+                          seconds(std::int64_t{30}) + 10,
+                          seconds(std::int64_t{40}) + 10});
+  EXPECT_TRUE(zhang_passive_correlate(up, down, params).correlated);
+  params.skip_tolerance = 0.0;
+  EXPECT_FALSE(zhang_passive_correlate(up, down, params).correlated);
+}
+
+TEST(ZhangPassive, DetectsPerturbedChaffedDownstream) {
+  int detected = 0;
+  constexpr int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto marked = make_marked(500 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{4}),
+                                              600 + t);
+    const traffic::PoissonChaffInjector chaff(2.0, 700 + t);
+    const Flow down = chaff.apply(perturber.apply(marked.flow));
+    ZhangPassiveParams params;
+    params.max_delay = seconds(std::int64_t{4});
+    detected += zhang_passive_correlate(marked.flow, down, params).correlated;
+  }
+  EXPECT_GE(detected, kTrials - 2);
+}
+
+TEST(OnOff, OffPeriodEnds) {
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>{
+      0, millis(100), seconds(std::int64_t{2}), seconds(std::int64_t{2}) + millis(50),
+      seconds(std::int64_t{10})});
+  const auto ends = off_period_ends(flow, millis(500));
+  EXPECT_EQ(ends, (std::vector<TimeUs>{seconds(std::int64_t{2}),
+                                       seconds(std::int64_t{10})}));
+}
+
+TEST(OnOff, CorrelatedVsUncorrelated) {
+  const traffic::InteractiveSessionModel model;
+  OnOffParams params;
+  params.coincidence_delta = millis(300);
+  int correlated_hits = 0;
+  int uncorrelated_hits = 0;
+  constexpr int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    const Flow a = model.generate(600, 0, 900 + t);
+    const traffic::UniformPerturber perturber(millis(200), 1000 + t);
+    const Flow downstream = perturber.apply(a);
+    const Flow other = model.generate(600, 0, 2000 + t);
+    correlated_hits += onoff_correlate(a, downstream, params).correlated;
+    uncorrelated_hits += onoff_correlate(a, other, params).correlated;
+  }
+  EXPECT_GE(correlated_hits, kTrials - 1);
+  // ON/OFF coincidence with a multi-second window is permissive; it only
+  // needs to be clearly weaker on unrelated flows.
+  EXPECT_LT(uncorrelated_hits, correlated_hits);
+}
+
+TEST(OnOff, TooFewOffPeriodsIsNegative) {
+  const Flow steady = Flow::from_timestamps(
+      std::vector<TimeUs>{0, 100, 200, 300, 400});
+  OnOffParams params;
+  EXPECT_FALSE(onoff_correlate(steady, steady, params).correlated);
+}
+
+TEST(Deviation, ShiftedCopyHasZeroDeviation) {
+  const auto marked = make_marked(21);
+  const Flow shifted = marked.flow.shifted(seconds(std::int64_t{3}));
+  DeviationParams params;
+  const auto r = deviation_correlate(marked.flow, shifted, params);
+  EXPECT_TRUE(r.correlated);
+  EXPECT_EQ(r.min_deviation, 0);
+}
+
+TEST(Deviation, UnrelatedFlowsExceedThreshold) {
+  const traffic::InteractiveSessionModel model;
+  const Flow a = model.generate(300, 0, 31);
+  const Flow b = model.generate(400, 0, 32);
+  DeviationParams params;
+  params.deviation_threshold = millis(500);
+  const auto r = deviation_correlate(a, b, params);
+  EXPECT_FALSE(r.correlated);
+}
+
+TEST(Deviation, ImpossibleWhenDownstreamShorter) {
+  const Flow a = Flow::from_timestamps(std::vector<TimeUs>{0, 1, 2});
+  const Flow b = Flow::from_timestamps(std::vector<TimeUs>{0, 1});
+  DeviationParams params;
+  EXPECT_FALSE(deviation_correlate(a, b, params).correlated);
+}
+
+TEST(Detectors, NamesAreStable) {
+  CorrelatorConfig cc;
+  EXPECT_EQ(CorrelatorDetector(cc, Algorithm::kGreedyPlus).name(), "Greedy+");
+  EXPECT_EQ(BasicWatermarkDetector(7).name(), "BasicWM");
+  EXPECT_EQ(ZhangPassiveDetector(ZhangPassiveParams{}).name(), "Zhang");
+  EXPECT_EQ(OnOffDetector(OnOffParams{}).name(), "OnOff");
+  EXPECT_EQ(DeviationDetector(DeviationParams{}).name(), "YodaEtoh");
+}
+
+}  // namespace
+}  // namespace sscor

@@ -1,0 +1,130 @@
+// Tests for bidirectional connections: the session generator's coupled
+// directions and connection-level correlation policies.
+
+#include <gtest/gtest.h>
+
+#include "sscor/correlation/connection_correlator.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+
+namespace sscor {
+namespace {
+
+Connection transform(const Connection& connection, DurationUs delta,
+                     double chaff_rate, std::uint64_t seed) {
+  const traffic::UniformPerturber fwd(delta, mix_seeds(seed, 1));
+  const traffic::PoissonChaffInjector fwd_chaff(chaff_rate,
+                                                mix_seeds(seed, 2));
+  const traffic::UniformPerturber rev(delta, mix_seeds(seed, 3));
+  const traffic::PoissonChaffInjector rev_chaff(chaff_rate,
+                                                mix_seeds(seed, 4));
+  return Connection{fwd_chaff.apply(fwd.apply(connection.client_to_server)),
+                    rev_chaff.apply(rev.apply(connection.server_to_client))};
+}
+
+TEST(ConnectionGenerator, CoupledDirections) {
+  const traffic::InteractiveSessionModel model;
+  const Connection c = model.generate_connection(600, millis(50), 11);
+  ASSERT_EQ(c.client_to_server.size(), 600u);
+  EXPECT_EQ(c.client_to_server.start_time(), millis(50));
+  // Echo traffic plus output bursts: the reverse direction is larger.
+  EXPECT_GT(c.server_to_client.size(), c.client_to_server.size());
+  // Every keystroke is echoed shortly after (the echo is the next
+  // reverse-direction packet at or after the keystroke).
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < c.client_to_server.size(); ++i) {
+    const TimeUs t = c.client_to_server.timestamp(i);
+    while (j < c.server_to_client.size() &&
+           c.server_to_client.timestamp(j) < t) {
+      ++j;
+    }
+    ASSERT_LT(j, c.server_to_client.size()) << "keystroke " << i;
+    EXPECT_LE(c.server_to_client.timestamp(j) - t, millis(60))
+        << "echo too late for keystroke " << i;
+  }
+  // Deterministic.
+  const Connection again = model.generate_connection(600, millis(50), 11);
+  EXPECT_EQ(again.client_to_server.timestamps(),
+            c.client_to_server.timestamps());
+  EXPECT_EQ(again.server_to_client.timestamps(),
+            c.server_to_client.timestamps());
+}
+
+TEST(ConnectionGenerator, MergedInterleavesBothDirections) {
+  const traffic::InteractiveSessionModel model;
+  const Connection c = model.generate_connection(100, 0, 13);
+  const Flow merged = c.merged();
+  EXPECT_EQ(merged.size(),
+            c.client_to_server.size() + c.server_to_client.size());
+}
+
+TEST(ConnectionCorrelator, EmbedProducesIndependentWatermarks) {
+  const traffic::InteractiveSessionModel model;
+  const Connection c = model.generate_connection(1000, 0, 17);
+  const auto marked =
+      ConnectionCorrelator::embed(c, WatermarkParams{}, 0xaa55);
+  EXPECT_NE(marked.forward.watermark, marked.reverse.watermark);
+  EXPECT_NE(marked.forward.schedule.relevant_packets(),
+            marked.reverse.schedule.relevant_packets());
+  EXPECT_EQ(marked.forward.flow.size(), c.client_to_server.size());
+  EXPECT_EQ(marked.reverse.flow.size(), c.server_to_client.size());
+}
+
+TEST(ConnectionCorrelator, PoliciesDecideAsDocumented) {
+  const traffic::InteractiveSessionModel model;
+  const DurationUs delta = seconds(std::int64_t{4});
+  CorrelatorConfig config;
+  config.max_delay = delta;
+
+  const Connection origin = model.generate_connection(1000, 0, 19);
+  const auto marked =
+      ConnectionCorrelator::embed(origin, WatermarkParams{}, 0x77);
+  const Connection downstream = transform(
+      Connection{marked.forward.flow, marked.reverse.flow}, delta, 1.5, 23);
+  const Connection unrelated = transform(
+      model.generate_connection(1000, 0, 29), delta, 1.5, 31);
+
+  for (const auto policy :
+       {ConnectionPolicy::kForwardOnly, ConnectionPolicy::kEither,
+        ConnectionPolicy::kBoth}) {
+    const ConnectionCorrelator correlator(config, Algorithm::kGreedyPlus,
+                                          policy);
+    EXPECT_TRUE(correlator.correlate(marked, downstream).correlated)
+        << static_cast<int>(policy);
+    EXPECT_FALSE(correlator.correlate(marked, unrelated).correlated)
+        << static_cast<int>(policy);
+  }
+}
+
+TEST(ConnectionCorrelator, BothPolicyIsStrictest) {
+  // On random pairs, kBoth accepts a subset of kForwardOnly, which accepts
+  // a subset of kEither.
+  const traffic::InteractiveSessionModel model;
+  const DurationUs delta = seconds(std::int64_t{7});
+  CorrelatorConfig config;
+  config.max_delay = delta;
+  const ConnectionCorrelator both(config, Algorithm::kGreedyPlus,
+                                  ConnectionPolicy::kBoth);
+  const ConnectionCorrelator forward(config, Algorithm::kGreedyPlus,
+                                     ConnectionPolicy::kForwardOnly);
+  const ConnectionCorrelator either(config, Algorithm::kGreedyPlus,
+                                    ConnectionPolicy::kEither);
+
+  for (int t = 0; t < 6; ++t) {
+    const Connection a = model.generate_connection(800, 0, 4100 + t);
+    const auto marked =
+        ConnectionCorrelator::embed(a, WatermarkParams{}, 4200 + t);
+    const Connection candidate =
+        transform(model.generate_connection(800, 0, 4300 + t), delta, 5.0,
+                  4400 + t);
+    const bool b = both.correlate(marked, candidate).correlated;
+    const bool f = forward.correlate(marked, candidate).correlated;
+    const bool e = either.correlate(marked, candidate).correlated;
+    EXPECT_LE(b, f) << "kBoth accepted what kForwardOnly rejected";
+    EXPECT_LE(f, e) << "kForwardOnly accepted what kEither rejected";
+  }
+}
+
+}  // namespace
+}  // namespace sscor

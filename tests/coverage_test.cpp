@@ -1,0 +1,164 @@
+// Targeted tests for paths the broader suites exercise only implicitly:
+// detector scores (the ROC interface), the online correlator under the
+// Greedy algorithm, the robust correlator with the size constraint, and
+// the remaining sweep metrics.
+
+#include <gtest/gtest.h>
+
+#include "sscor/baselines/basic_watermark.hpp"
+#include "sscor/baselines/blum_counting.hpp"
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/correlation/online.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/experiment/sweep.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+namespace {
+
+WatermarkedFlow make_marked(std::uint64_t seed) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  return embedder.embed(flow, Watermark::random(24, rng));
+}
+
+TEST(DetectorScores, SmallerMeansMoreLikelyCorrelated) {
+  const auto marked = make_marked(1);
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{4}), 5);
+  const traffic::PoissonChaffInjector chaff(2.0, 7);
+  const Flow downstream = chaff.apply(perturber.apply(marked.flow));
+  const auto unrelated_marked = make_marked(2);
+  const Flow unrelated =
+      chaff.apply(perturber.apply(unrelated_marked.flow));
+
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  const CorrelatorDetector plus(config, Algorithm::kGreedyPlus);
+  const BasicWatermarkDetector basic(7);
+  ZhangPassiveParams zp;
+  zp.max_delay = config.max_delay;
+  const ZhangPassiveDetector zhang(zp);
+  BlumCountingParams bp;
+  bp.max_delay = config.max_delay;
+  const BlumCountingDetector blum(bp);
+
+  for (const Detector* detector :
+       std::initializer_list<const Detector*>{&plus, &basic, &zhang,
+                                              &blum}) {
+    const auto hit = detector->detect(marked, downstream);
+    const auto miss = detector->detect(marked, unrelated);
+    ASSERT_TRUE(hit.score.has_value()) << detector->name();
+    ASSERT_TRUE(miss.score.has_value()) << detector->name();
+    // Only the chaff-resistant scores are expected to separate: BasicWM
+    // decodes noise under chaff (both scores hover near l/2 = 12) and
+    // Blum's deficit saturates when the chaffed downstream always outruns
+    // the upstream count.
+    if (detector->name() == "Greedy+" || detector->name() == "Zhang") {
+      EXPECT_LT(*hit.score, *miss.score) << detector->name();
+    } else if (detector->name() == "Blum") {
+      EXPECT_LE(*hit.score, *miss.score) << detector->name();
+    }
+  }
+}
+
+TEST(OnlineGreedy, MatchesOfflineGreedyDecision) {
+  // Greedy never requires complete matching, so the online variant's only
+  // early exit is the doomed-bits bound; the final verdicts must agree.
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  for (int t = 0; t < 4; ++t) {
+    const auto marked = make_marked(100 + t);
+    const auto other = make_marked(200 + t);
+    const traffic::UniformPerturber perturber(config.max_delay, 300 + t);
+    for (const Flow* source : {&marked.flow, &other.flow}) {
+      const Flow down = perturber.apply(*source);
+      OnlineCorrelator online(marked, config, Algorithm::kGreedy);
+      for (const auto& p : down.packets()) {
+        if (!online.ingest(p)) break;
+      }
+      online.finish();
+      const auto offline = Correlator(config, Algorithm::kGreedy)
+                               .correlate(marked, down);
+      EXPECT_EQ(online.result().correlated, offline.correlated)
+          << "trial " << t;
+    }
+  }
+}
+
+TEST(OnlineGreedy, DoomedBitsRejectDisjointStreams) {
+  // Greedy has no complete-matching early exit, so a time-disjoint stream
+  // must be rejected through the doomed-bits bound instead (every bit's
+  // windows finalise empty -> unmatched -> provably mismatched).
+  CorrelatorConfig config;
+  config.max_delay = millis(500);
+  const auto marked = make_marked(42);
+  const Flow late = marked.flow.shifted(seconds(std::int64_t{3600}));
+  OnlineCorrelator online(marked, config, Algorithm::kGreedy);
+  std::size_t consumed = 0;
+  for (const auto& p : late.packets()) {
+    ++consumed;
+    if (!online.ingest(p)) break;
+  }
+  EXPECT_TRUE(online.early_rejected());
+  EXPECT_LT(consumed, late.size());
+  EXPECT_GT(online.provably_mismatched_bits(), config.hamming_threshold);
+  EXPECT_FALSE(online.result().correlated);
+}
+
+TEST(Robust, WorksWithSizeConstraint) {
+  const auto marked = make_marked(51);
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{3}), 53);
+  const traffic::PoissonChaffInjector chaff(
+      2.0, 59, std::make_shared<traffic::TelnetSizeModel>());
+  const Flow down = chaff.apply(perturber.apply(marked.flow));
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  config.size_constraint = SizeConstraint{16};
+  const auto r = run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                        marked.flow, down, config);
+  EXPECT_TRUE(r.correlated);
+}
+
+TEST(Sweep, AllFourMetricsProduceTables) {
+  using namespace experiment;
+  ExperimentConfig config;
+  config.flows = 4;
+  config.packets_per_flow = 500;
+  config.fp_pairs = 6;
+  for (const Metric metric :
+       {Metric::kDetectionRate, Metric::kFalsePositiveRate,
+        Metric::kCostCorrelated, Metric::kCostUncorrelated}) {
+    SweepSpec spec;
+    spec.metric = metric;
+    spec.axis = SweepAxis::kChaffRate;
+    spec.fixed_delay = seconds(std::int64_t{2});
+    spec.chaff_rates = {1.0};
+    const TextTable table = run_sweep(config, spec);
+    EXPECT_EQ(table.rows(), 1u) << to_string(metric);
+    EXPECT_EQ(table.columns(), 6u) << to_string(metric);
+  }
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  using namespace experiment;
+  ExperimentConfig config;
+  config.flows = 4;
+  config.packets_per_flow = 500;
+  config.fp_pairs = 6;
+  SweepSpec spec;
+  spec.metric = Metric::kFalsePositiveRate;
+  spec.chaff_rates = {2.0};
+  config.threads = 1;
+  const std::string single = run_sweep(config, spec).to_csv();
+  config.threads = 4;
+  const std::string multi = run_sweep(config, spec).to_csv();
+  EXPECT_EQ(single, multi);
+}
+
+}  // namespace
+}  // namespace sscor

@@ -1,0 +1,157 @@
+// Tests for the experiment harness: dataset construction, evaluation, and
+// the figure sweep driver.
+
+#include <gtest/gtest.h>
+
+#include "sscor/experiment/dataset.hpp"
+#include "sscor/experiment/evaluation.hpp"
+#include "sscor/experiment/sweep.hpp"
+
+namespace sscor::experiment {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.flows = 6;
+  config.packets_per_flow = 600;
+  config.fp_pairs = 10;
+  return config;
+}
+
+TEST(Dataset, BuildIsDeterministic) {
+  const auto config = tiny_config();
+  const Dataset a = Dataset::build(config);
+  const Dataset b = Dataset::build(config);
+  ASSERT_EQ(a.size(), config.flows);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.upstream(i).flow.timestamps(),
+              b.upstream(i).flow.timestamps());
+    EXPECT_EQ(a.upstream(i).watermark, b.upstream(i).watermark);
+  }
+  auto different = config;
+  different.master_seed += 1;
+  const Dataset c = Dataset::build(different);
+  EXPECT_NE(a.upstream(0).flow.timestamps(),
+            c.upstream(0).flow.timestamps());
+}
+
+TEST(Dataset, FlowsDifferAndOverlapInTime) {
+  const Dataset dataset = Dataset::build(tiny_config());
+  for (std::size_t i = 1; i < dataset.size(); ++i) {
+    EXPECT_NE(dataset.upstream(i).flow.timestamps(),
+              dataset.upstream(0).flow.timestamps());
+    EXPECT_LT(dataset.upstream(i).flow.start_time(), seconds(std::int64_t{1}));
+  }
+}
+
+TEST(Dataset, DownstreamPropertiesAndDeterminism) {
+  const Dataset dataset = Dataset::build(tiny_config());
+  const auto delta = seconds(std::int64_t{3});
+  const Flow d1 = dataset.downstream(0, delta, 1.5);
+  const Flow d2 = dataset.downstream(0, delta, 1.5);
+  EXPECT_EQ(d1.timestamps(), d2.timestamps());
+
+  const Flow& upstream = dataset.upstream(0).flow;
+  EXPECT_GT(d1.size(), upstream.size());  // chaff added
+  // Real packets keep bounded delays in upstream order.
+  std::size_t real = 0;
+  for (const auto& p : d1.packets()) {
+    if (p.is_chaff) continue;
+    const DurationUs delay = p.timestamp - upstream.timestamp(real);
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, delta);
+    ++real;
+  }
+  EXPECT_EQ(real, upstream.size());
+
+  // No chaff at rate 0.
+  EXPECT_EQ(dataset.downstream(0, delta, 0.0).size(), upstream.size());
+}
+
+TEST(Dataset, FpPairsValidAndExhaustiveWhenAsked) {
+  const Dataset dataset = Dataset::build(tiny_config());
+  const auto sampled = dataset.sample_fp_pairs(10);
+  EXPECT_EQ(sampled.size(), 10u);
+  for (const auto& [i, j] : sampled) {
+    EXPECT_NE(i, j);
+    EXPECT_LT(i, dataset.size());
+    EXPECT_LT(j, dataset.size());
+  }
+  const auto all = dataset.sample_fp_pairs(10'000);
+  EXPECT_EQ(all.size(), dataset.size() * (dataset.size() - 1));
+}
+
+TEST(Dataset, TcplibCorpus) {
+  auto config = tiny_config();
+  config.corpus = Corpus::kTcplib;
+  const Dataset dataset = Dataset::build(config);
+  EXPECT_EQ(dataset.size(), config.flows);
+  EXPECT_EQ(dataset.upstream(0).flow.size(), config.packets_per_flow);
+}
+
+TEST(Evaluation, PaperDetectorsLineUp) {
+  const auto detectors =
+      paper_detectors(tiny_config(), seconds(std::int64_t{7}));
+  ASSERT_EQ(detectors.size(), 5u);
+  EXPECT_EQ(detectors[0]->name(), "Greedy");
+  EXPECT_EQ(detectors[1]->name(), "Greedy+");
+  EXPECT_EQ(detectors[2]->name(), "Greedy*");
+  EXPECT_EQ(detectors[3]->name(), "BasicWM");
+  EXPECT_EQ(detectors[4]->name(), "Zhang");
+}
+
+TEST(Evaluation, EasyPointHasHighDetectionAndSaneRates) {
+  const auto config = tiny_config();
+  const Dataset dataset = Dataset::build(config);
+  const auto detectors = paper_detectors(config, seconds(std::int64_t{1}));
+  EvaluationRequest request;
+  request.max_delay = seconds(std::int64_t{1});
+  request.chaff_rate = 0.5;
+  const auto metrics = evaluate_point(dataset, detectors, request);
+  ASSERT_EQ(metrics.size(), detectors.size());
+  for (const auto& m : metrics) {
+    EXPECT_GE(m.detection_rate, 0.0);
+    EXPECT_LE(m.detection_rate, 1.0);
+    EXPECT_GE(m.false_positive_rate, 0.0);
+    EXPECT_LE(m.false_positive_rate, 1.0);
+  }
+  // Greedy+ must nail the easy point (tiny perturbation, light chaff).
+  EXPECT_GE(metrics[1].detection_rate, 0.8);
+  EXPECT_GT(metrics[1].cost_correlated.mean(), 0.0);
+}
+
+TEST(Sweep, ProducesOneRowPerAxisValue) {
+  auto config = tiny_config();
+  config.flows = 4;
+  config.fp_pairs = 4;
+  config.packets_per_flow = 500;
+  SweepSpec spec;
+  spec.metric = Metric::kDetectionRate;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = seconds(std::int64_t{2});
+  spec.chaff_rates = {0.0, 1.0};
+  std::size_t progress_calls = 0;
+  const TextTable table =
+      run_sweep(config, spec, [&](std::size_t, std::size_t,
+                                  const std::string&) { ++progress_calls; });
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 6u);  // axis + 5 detectors
+  EXPECT_EQ(progress_calls, 2u);
+
+  SweepSpec delays;
+  delays.metric = Metric::kCostUncorrelated;
+  delays.axis = SweepAxis::kMaxDelay;
+  delays.fixed_chaff = 1.0;
+  delays.max_delays = {0, seconds(std::int64_t{1})};
+  const TextTable table2 = run_sweep(config, delays);
+  EXPECT_EQ(table2.rows(), 2u);
+}
+
+TEST(Sweep, MetricNames) {
+  EXPECT_EQ(to_string(Metric::kDetectionRate), "detection rate");
+  EXPECT_NE(to_string(Metric::kCostCorrelated),
+            to_string(Metric::kCostUncorrelated));
+}
+
+}  // namespace
+}  // namespace sscor::experiment

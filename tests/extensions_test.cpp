@@ -1,0 +1,384 @@
+// Tests for the library extensions beyond the paper's core: the
+// quantization (QIM) watermark, the Blum counting baseline, the
+// loss-tolerant correlator, the online correlator, and the traceback
+// engine.
+
+#include <gtest/gtest.h>
+
+#include "sscor/baselines/blum_counting.hpp"
+#include "sscor/correlation/online.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/correlation/traceback.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+#include "sscor/watermark/quantization.hpp"
+
+namespace sscor {
+namespace {
+
+WatermarkedFlow make_marked(std::uint64_t seed, std::size_t packets = 1000) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(packets, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  return embedder.embed(flow, Watermark::random(24, rng));
+}
+
+// ---------------------------------------------------------------- QIM ---
+
+TEST(Qim, ExactDecodeOnWidelySpacedFlow) {
+  // No FIFO interference when IPDs dwarf the quantization step.
+  QimParams params;
+  std::vector<TimeUs> timestamps;
+  for (int i = 0; i < 500; ++i) {
+    timestamps.push_back(seconds(std::int64_t{10}) * i);
+  }
+  const Flow flow = Flow::from_timestamps(timestamps);
+  Rng rng(3);
+  for (int t = 0; t < 5; ++t) {
+    const Watermark wm = Watermark::random(params.bits, rng);
+    const QimEmbedder embedder(params, 200 + t);
+    const auto marked = embedder.embed(flow, wm);
+    const auto decoded =
+        decode_qim_positional(marked.schedule, params.step, marked.flow);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->hamming_distance(wm), 0u) << "trial " << t;
+  }
+}
+
+TEST(Qim, NearExactDecodeOnInteractiveFlow) {
+  // Dense interactive flows suffer a little FIFO cascade interference
+  // (delaying a pair's second packet pushes neighbours), costing a couple
+  // of the 24 bits — well inside the detection threshold.
+  const traffic::InteractiveSessionModel model;
+  QimParams params;
+  Rng rng(3);
+  for (int t = 0; t < 5; ++t) {
+    const Flow flow = model.generate(1000, 0, 100 + t);
+    const Watermark wm = Watermark::random(params.bits, rng);
+    const QimEmbedder embedder(params, 200 + t);
+    const auto marked = embedder.embed(flow, wm);
+    const auto decoded =
+        decode_qim_positional(marked.schedule, params.step, marked.flow);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_LE(decoded->hamming_distance(wm), 4u) << "trial " << t;
+  }
+}
+
+TEST(Qim, EmbeddingDelaysBounded) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 7);
+  QimParams params;
+  Rng rng(5);
+  const QimEmbedder embedder(params, 11);
+  const auto marked = embedder.embed(flow, Watermark::random(24, rng));
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    const DurationUs delay = marked.flow.timestamp(i) - flow.timestamp(i);
+    EXPECT_GE(delay, 0);
+    // One adjustment of < 2*step per packet plus possible FIFO push.
+    EXPECT_LE(delay, 4 * params.step);
+  }
+}
+
+TEST(Qim, RobustToSmallJitterFragileToLarge) {
+  const traffic::InteractiveSessionModel model;
+  QimParams params;  // step 400ms -> tolerates ~200ms of IPD jitter
+  Rng rng(9);
+  int small_hits = 0;
+  int large_hits = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    const Flow flow = model.generate(1000, 0, 300 + t);
+    const Watermark wm = Watermark::random(params.bits, rng);
+    const QimEmbedder embedder(params, 400 + t);
+    const auto marked = embedder.embed(flow, wm);
+    const auto decode_hit = [&](DurationUs delta, std::uint64_t seed) {
+      // IID jitter directly attacks the quantization cells.
+      const traffic::IidSortPerturber perturber(delta, seed);
+      const auto decoded = decode_qim_positional(
+          marked.schedule, params.step, perturber.apply(marked.flow));
+      return decoded && decoded->hamming_distance(wm) <= 7;
+    };
+    small_hits += decode_hit(millis(80), 500 + t);
+    large_hits += decode_hit(seconds(std::int64_t{4}), 600 + t);
+  }
+  EXPECT_GE(small_hits, 8);
+  EXPECT_LE(large_hits, 2);
+}
+
+// --------------------------------------------------------------- Blum ---
+
+TEST(Blum, RelayedFlowCorrelates) {
+  const auto marked = make_marked(21);
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{5}), 31);
+  const traffic::PoissonChaffInjector chaff(2.0, 37);
+  BlumCountingParams params;
+  params.max_delay = seconds(std::int64_t{5});
+  const auto r = blum_counting_correlate(
+      marked.flow, chaff.apply(perturber.apply(marked.flow)), params);
+  EXPECT_TRUE(r.correlated);
+  EXPECT_LE(r.max_deficit, params.slack);
+  EXPECT_GT(r.cost, 0u);
+}
+
+TEST(Blum, UnrelatedFlowsGoDeficit) {
+  const traffic::InteractiveSessionModel model;
+  const Flow a = model.generate(1000, 0, 41);
+  const Flow b = model.generate(400, 0, 43);  // far fewer packets
+  BlumCountingParams params;
+  const auto r = blum_counting_correlate(a, b, params);
+  EXPECT_FALSE(r.correlated);
+  EXPECT_GT(r.max_deficit, params.slack);
+}
+
+TEST(Blum, EdgeCases) {
+  BlumCountingParams params;
+  EXPECT_TRUE(blum_counting_correlate(Flow{}, Flow{}, params).correlated);
+  const Flow one = Flow::from_timestamps(std::vector<TimeUs>{0});
+  EXPECT_FALSE(blum_counting_correlate(one, Flow{}, params).correlated);
+}
+
+// ------------------------------------------------------------- Robust ---
+
+TEST(Robust, MatchesStrictGreedyPlusWithoutLoss) {
+  const auto marked = make_marked(51);
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{4}), 53);
+  const traffic::PoissonChaffInjector chaff(2.0, 59);
+  const Flow down = chaff.apply(perturber.apply(marked.flow));
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  const auto strict =
+      Correlator(config, Algorithm::kGreedyPlus).correlate(marked, down);
+  const auto robust = run_greedy_plus_robust(
+      marked.schedule, marked.watermark, marked.flow, down, config);
+  EXPECT_EQ(robust.correlated, strict.correlated);
+  EXPECT_TRUE(robust.matching_complete);
+}
+
+TEST(Robust, SurvivesLossThatBreaksStrict) {
+  // With a tight delay bound and no chaff, windows are narrow: a lost
+  // packet usually empties one, which the strict algorithm treats as an
+  // immediate negative (paper assumption 1) while the robust mode keeps
+  // decoding the surviving redundancy.
+  int strict_hits = 0;
+  int robust_hits = 0;
+  constexpr int kTrials = 8;
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{1});
+  for (int t = 0; t < kTrials; ++t) {
+    const auto marked = make_marked(600 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{1}),
+                                              700 + t);
+    const traffic::LossRepacketizationModel loss(0.02, 0, 900 + t);
+    const Flow down = loss.apply(perturber.apply(marked.flow));
+    strict_hits += Correlator(config, Algorithm::kGreedyPlus)
+                       .correlate(marked, down)
+                       .correlated;
+    robust_hits += run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                          marked.flow, down, config)
+                       .correlated;
+  }
+  EXPECT_LE(strict_hits, 2) << "2% loss should break the strict algorithm";
+  EXPECT_GE(robust_hits, kTrials - 2) << "the robust mode should survive";
+}
+
+TEST(Robust, RejectsUnrelatedFlowsAndExcessLoss) {
+  const auto marked = make_marked(61);
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  // Unrelated flow.
+  const auto other = make_marked(62);
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{4}), 63);
+  EXPECT_FALSE(run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                      marked.flow,
+                                      perturber.apply(other.flow), config)
+                   .correlated);
+  // Loss far beyond the tolerance budget.
+  const traffic::LossRepacketizationModel heavy_loss(0.30, 0, 67);
+  const auto r = run_greedy_plus_robust(
+      marked.schedule, marked.watermark, marked.flow,
+      heavy_loss.apply(perturber.apply(marked.flow)), config);
+  EXPECT_FALSE(r.correlated);
+  EXPECT_FALSE(r.matching_complete);
+}
+
+// ------------------------------------------------------------- Online ---
+
+TEST(Online, MatchesOfflineVerdictOnFullStreams) {
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  for (int t = 0; t < 6; ++t) {
+    const auto marked = make_marked(1000 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{4}),
+                                              1100 + t);
+    const traffic::PoissonChaffInjector chaff(2.0, 1200 + t);
+    const Flow down = chaff.apply(perturber.apply(marked.flow));
+
+    OnlineCorrelator online(marked, config);
+    for (const auto& p : down.packets()) {
+      if (!online.ingest(p)) break;
+    }
+    online.finish();
+    const auto streamed = online.result();
+    const auto offline =
+        Correlator(config, Algorithm::kGreedyPlus).correlate(marked, down);
+    EXPECT_EQ(streamed.correlated, offline.correlated) << "trial " << t;
+    if (!online.early_rejected()) {
+      EXPECT_EQ(streamed.hamming, offline.hamming);
+      EXPECT_EQ(streamed.cost, offline.cost);
+    }
+  }
+}
+
+TEST(Online, EarlyRejectsDisjointStreamBeforeItEnds) {
+  const auto marked = make_marked(71);
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{2});
+  // An unrelated flow that starts an hour later: the very first upstream
+  // window finalises empty early in the stream.
+  const Flow late = marked.flow.shifted(seconds(std::int64_t{3600}));
+  OnlineCorrelator online(marked, config);
+  std::size_t consumed = 0;
+  for (const auto& p : late.packets()) {
+    ++consumed;
+    if (!online.ingest(p)) break;
+  }
+  EXPECT_TRUE(online.early_rejected());
+  EXPECT_LT(consumed, late.size() / 10) << "should reject almost instantly";
+  EXPECT_FALSE(online.result().correlated);
+}
+
+TEST(Online, EarlyRejectionAgreesWithOfflineDecision) {
+  // Whenever the online path rejects early, the offline run on the full
+  // stream must also reject (the early exits are sound, never eager).
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  int early = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto marked = make_marked(2000 + t);
+    const auto other = make_marked(3000 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{3}),
+                                              4000 + t);
+    const traffic::PoissonChaffInjector chaff(1.0, 5000 + t);
+    const Flow down = chaff.apply(perturber.apply(other.flow));
+
+    OnlineCorrelator online(marked, config);
+    for (const auto& p : down.packets()) {
+      if (!online.ingest(p)) break;
+    }
+    online.finish();
+    if (online.early_rejected()) {
+      ++early;
+      const auto offline =
+          Correlator(config, Algorithm::kGreedyPlus).correlate(marked, down);
+      EXPECT_FALSE(offline.correlated) << "early exit was not sound";
+    }
+  }
+  EXPECT_GT(early, 0) << "expected at least one early rejection";
+}
+
+TEST(Online, ProgressReporting) {
+  const auto marked = make_marked(81);
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{2});
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{2}), 83);
+  const Flow down = perturber.apply(marked.flow);
+  OnlineCorrelator online(marked, config);
+  EXPECT_DOUBLE_EQ(online.finalized_fraction(), 0.0);
+  std::size_t half = down.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    online.ingest(down.packet(i));
+  }
+  const double mid = online.finalized_fraction();
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 0.9);
+  EXPECT_EQ(online.packets_seen(), half);
+}
+
+// ---------------------------------------------------------- Traceback ---
+
+TEST(Traceback, IdentifiesTheRightOriginAmongMany) {
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  TracebackEngine engine(config);
+  std::vector<WatermarkedFlow> origins;
+  for (int i = 0; i < 5; ++i) {
+    origins.push_back(make_marked(7000 + i));
+    engine.register_flow(origins.back());
+  }
+  ASSERT_EQ(engine.flow_count(), 5u);
+
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{4}), 7100);
+  const traffic::PoissonChaffInjector chaff(2.0, 7101);
+  const Flow downstream = chaff.apply(perturber.apply(origins[3].flow));
+
+  TracebackEngine::TraceStats stats;
+  const auto matches = engine.trace(downstream, &stats);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].traced_id, 3u);
+  EXPECT_EQ(stats.candidates_checked, 5u);
+  EXPECT_GT(stats.total_cost, 0u);
+}
+
+TEST(Traceback, PrefilterIsSound) {
+  // Every pair the prefilter would skip must also be rejected by the full
+  // correlator.
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  TracebackEngine engine(config);
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+  for (int t = 0; t < 6; ++t) {
+    const auto marked = make_marked(7700 + t, 500);
+    const auto other = make_marked(7800 + t, 400);
+    const Flow candidates[] = {
+        other.flow,
+        other.flow.shifted(seconds(std::int64_t{1000})),
+        Flow::from_timestamps(std::vector<TimeUs>{0, 1, 2}),
+        marked.flow.shifted(seconds(std::int64_t{4})),
+    };
+    for (const Flow& candidate : candidates) {
+      if (engine.prefilter_rejects(marked, candidate)) {
+        EXPECT_FALSE(correlator.correlate(marked, candidate).correlated)
+            << "prefilter skipped a pair the correlator accepts";
+      }
+    }
+  }
+}
+
+TEST(Traceback, PrefilterSavesWork) {
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  TracebackEngine engine(config);
+  engine.register_flow(make_marked(8000));
+  // Far-future candidate: prefiltered, zero correlator cost.
+  const Flow far = engine.traced(0).flow.shifted(seconds(std::int64_t{9999}));
+  TracebackEngine::TraceStats stats;
+  EXPECT_TRUE(engine.trace(far, &stats).empty());
+  EXPECT_EQ(stats.prefiltered, 1u);
+  EXPECT_EQ(stats.total_cost, 0u);
+}
+
+TEST(Traceback, TraceAllCoversEveryCandidate) {
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  TracebackEngine engine(config);
+  engine.register_flow(make_marked(8100));
+  engine.register_flow(make_marked(8101));
+
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{4}), 8200);
+  std::vector<Flow> candidates;
+  candidates.push_back(perturber.apply(engine.traced(1).flow));
+  candidates.push_back(perturber.apply(engine.traced(0).flow));
+  const auto results = engine.trace_all(candidates);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].first, 0u);
+  EXPECT_EQ(results[0].second.traced_id, 1u);
+  EXPECT_EQ(results[1].first, 1u);
+  EXPECT_EQ(results[1].second.traced_id, 0u);
+}
+
+}  // namespace
+}  // namespace sscor

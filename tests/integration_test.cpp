@@ -1,0 +1,213 @@
+// End-to-end integration tests: the full tracing pipeline from traffic
+// generation through pcap files, flow extraction, watermark embedding,
+// adversarial transforms, and every correlation algorithm — the complete
+// story the paper tells, on one synthetic testbed.
+
+#include <gtest/gtest.h>
+
+#include "sscor/baselines/basic_watermark.hpp"
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/flow/clock_model.hpp"
+#include "sscor/flow/flow_extractor.hpp"
+#include "sscor/flow/pcap_synth.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+namespace {
+
+constexpr DurationUs kDelta = seconds(std::int64_t{4});
+
+struct Testbed {
+  WatermarkedFlow marked;
+  Flow downstream;        // perturbed + chaffed copy of marked.flow
+  Flow decoy_downstream;  // perturbed + chaffed copy of an unrelated flow
+};
+
+Testbed make_testbed(std::uint64_t seed) {
+  const traffic::InteractiveSessionModel model;
+  const Flow attack = model.generate(1000, 0, mix_seeds(seed, 1));
+  const Flow decoy = model.generate(1000, 0, mix_seeds(seed, 2));
+
+  Rng rng(mix_seeds(seed, 3));
+  WatermarkParams params;
+  const Embedder embedder(params, mix_seeds(seed, 4));
+  Testbed tb{embedder.embed(attack, Watermark::random(params.bits, rng)),
+             Flow{}, Flow{}};
+
+  traffic::TransformPipeline adversary;
+  adversary.add(std::make_shared<traffic::UniformPerturber>(
+      kDelta, mix_seeds(seed, 5)));
+  adversary.add(std::make_shared<traffic::PoissonChaffInjector>(
+      2.0, mix_seeds(seed, 6)));
+  tb.downstream = adversary.apply(tb.marked.flow);
+  tb.decoy_downstream = adversary.apply(decoy);
+  return tb;
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnTheAttackFlow) {
+  int plus_hits = 0;
+  int star_hits = 0;
+  int greedy_hits = 0;
+  int plus_false = 0;
+  int star_false = 0;
+  constexpr int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    const Testbed tb = make_testbed(9000 + t);
+    CorrelatorConfig config;
+    config.max_delay = kDelta;
+    greedy_hits += Correlator(config, Algorithm::kGreedy)
+                       .correlate(tb.marked, tb.downstream)
+                       .correlated;
+    plus_hits += Correlator(config, Algorithm::kGreedyPlus)
+                     .correlate(tb.marked, tb.downstream)
+                     .correlated;
+    star_hits += Correlator(config, Algorithm::kGreedyStar)
+                     .correlate(tb.marked, tb.downstream)
+                     .correlated;
+    plus_false += Correlator(config, Algorithm::kGreedyPlus)
+                      .correlate(tb.marked, tb.decoy_downstream)
+                      .correlated;
+    star_false += Correlator(config, Algorithm::kGreedyStar)
+                      .correlate(tb.marked, tb.decoy_downstream)
+                      .correlated;
+  }
+  EXPECT_EQ(greedy_hits, kTrials);
+  EXPECT_GE(plus_hits, kTrials - 1);
+  EXPECT_GE(star_hits, kTrials - 1);
+  EXPECT_LE(plus_false, 1);
+  EXPECT_LE(star_false, 1);
+}
+
+// The full file-based pipeline: synthesize the stepping-stone scenario into
+// pcap captures (upstream and downstream monitoring points), read them
+// back, extract flows, and correlate.
+TEST(Integration, PcapRoundTripPipeline) {
+  const Testbed tb = make_testbed(77);
+  const net::FiveTuple up_tuple{net::Ipv4Address::parse("10.1.0.1"),
+                                net::Ipv4Address::parse("10.2.0.1"), 38211,
+                                22, net::IpProtocol::kTcp};
+  const net::FiveTuple down_tuple{net::Ipv4Address::parse("10.2.0.1"),
+                                  net::Ipv4Address::parse("10.3.0.1"), 41999,
+                                  22, net::IpProtocol::kTcp};
+  const net::FiveTuple decoy_tuple{net::Ipv4Address::parse("10.2.0.9"),
+                                   net::Ipv4Address::parse("10.3.0.9"),
+                                   51111, 22, net::IpProtocol::kTcp};
+
+  const std::string up_path = testing::TempDir() + "/sscor_up.pcap";
+  const std::string down_path = testing::TempDir() + "/sscor_down.pcap";
+  write_capture_file(up_path, {SynthesisInput{up_tuple, &tb.marked.flow}});
+  write_capture_file(down_path,
+                     {SynthesisInput{down_tuple, &tb.downstream},
+                      SynthesisInput{decoy_tuple, &tb.decoy_downstream}});
+
+  const auto upstream_flows = extract_flows_from_file(up_path);
+  ASSERT_EQ(upstream_flows.size(), 1u);
+  ASSERT_EQ(upstream_flows[0].flow.size(), tb.marked.flow.size());
+
+  const auto downstream_flows = extract_flows_from_file(down_path);
+  ASSERT_EQ(downstream_flows.size(), 2u);
+
+  // Rebuild the watermarked-flow handle around the *extracted* upstream
+  // flow (as a real deployment would: the schedule/key are shared secrets).
+  WatermarkedFlow extracted{upstream_flows[0].flow, tb.marked.schedule,
+                            tb.marked.watermark};
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+  int correlated_count = 0;
+  for (const auto& candidate : downstream_flows) {
+    const auto result = correlator.correlate(extracted, candidate.flow);
+    if (result.correlated) {
+      ++correlated_count;
+      EXPECT_EQ(candidate.tuple, down_tuple) << "wrong flow identified";
+    }
+  }
+  EXPECT_EQ(correlated_count, 1);
+}
+
+// Clocks at the two monitoring points disagree; adjusting with the known
+// skew restores correlation.
+TEST(Integration, ClockSkewAdjustment) {
+  const Testbed tb = make_testbed(88);
+  const ClockModel remote_clock(seconds(std::int64_t{120}), 25.0);
+  // The downstream monitor records remote-clock timestamps.
+  std::vector<PacketRecord> remote_packets(tb.downstream.packets().begin(),
+                                           tb.downstream.packets().end());
+  for (auto& p : remote_packets) p.timestamp = remote_clock.to_remote(p.timestamp);
+  const Flow remote_view(std::move(remote_packets));
+
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const Correlator correlator(config, Algorithm::kGreedyPlus);
+  // Unadjusted: the 2-minute offset pushes everything out of the window.
+  EXPECT_FALSE(correlator.correlate(tb.marked, remote_view).correlated);
+  // Adjusted with the known skew: correlation is restored.
+  const Flow adjusted = remote_clock.adjust(remote_view);
+  EXPECT_TRUE(correlator.correlate(tb.marked, adjusted).correlated);
+}
+
+// A two-hop chain: each relay perturbs within Delta/2 and adds chaff; the
+// total delay stays within Delta, so the watermark still identifies the
+// flow two hops downstream (the paper's connection-chain setting).
+TEST(Integration, TwoHopSteppingStoneChain) {
+  const traffic::InteractiveSessionModel model;
+  WatermarkParams params;
+  int hits = 0;
+  constexpr int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    const Flow attack = model.generate(1000, 0, 6100 + t);
+    Rng rng(6200 + t);
+    const Embedder embedder(params, 6300 + t);
+    const auto marked = embedder.embed(attack,
+                                       Watermark::random(params.bits, rng));
+    const traffic::UniformPerturber hop1(kDelta / 2, 6400 + t);
+    const traffic::PoissonChaffInjector chaff1(1.0, 6500 + t);
+    const traffic::UniformPerturber hop2(kDelta / 2, 6600 + t);
+    const traffic::PoissonChaffInjector chaff2(1.0, 6700 + t);
+    const Flow two_hops_down =
+        chaff2.apply(hop2.apply(chaff1.apply(hop1.apply(marked.flow))));
+
+    CorrelatorConfig config;
+    config.max_delay = kDelta;
+    hits += Correlator(config, Algorithm::kGreedyPlus)
+                .correlate(marked, two_hops_down)
+                .correlated;
+  }
+  EXPECT_GE(hits, kTrials - 1);
+}
+
+// Where the assumptions break (paper §6 future work): loss and
+// re-packetization violate assumption 1 and degrade the matching-based
+// correlation.
+TEST(Integration, LossBreaksMatchingCompleteness) {
+  const Testbed tb = make_testbed(99);
+  const traffic::LossRepacketizationModel loss(0.05, millis(20), 123);
+  const Flow lossy = loss.apply(tb.downstream);
+  CorrelatorConfig config;
+  config.max_delay = kDelta;
+  const auto result = Correlator(config, Algorithm::kGreedyPlus)
+                          .correlate(tb.marked, lossy);
+  // With packets missing, the full matching cannot be complete.
+  EXPECT_FALSE(result.matching_complete);
+  EXPECT_FALSE(result.correlated);
+}
+
+TEST(Integration, BaselinesOnTheSameTestbed) {
+  const Testbed tb = make_testbed(111);
+  const BasicWatermarkDetector basic(7);
+  EXPECT_FALSE(basic.detect(tb.marked, tb.downstream).correlated)
+      << "chaff must destroy the positional decoder";
+  ZhangPassiveParams zp;
+  zp.max_delay = kDelta;
+  const ZhangPassiveDetector zhang(zp);
+  EXPECT_TRUE(zhang.detect(tb.marked, tb.downstream).correlated);
+}
+
+}  // namespace
+}  // namespace sscor

@@ -1,0 +1,142 @@
+// Tests for the serialization layers: flow text I/O and watermark key
+// files.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sscor/flow/flow_io.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/watermark/key_file.hpp"
+
+namespace sscor {
+namespace {
+
+TEST(FlowIo, RoundTripPreservesEverything) {
+  Flow flow({PacketRecord{100, 32, false}, PacketRecord{2'000'000, 48, true},
+             PacketRecord{3'500'000, 16, false}},
+            "trace-7");
+  std::stringstream stream;
+  write_flow_text(stream, flow);
+  const Flow back = read_flow_text(stream);
+  EXPECT_EQ(back.id(), "trace-7");
+  ASSERT_EQ(back.size(), flow.size());
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    EXPECT_EQ(back.packet(i), flow.packet(i));
+  }
+}
+
+TEST(FlowIo, FileRoundTrip) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(200, 0, 5);
+  const std::string path = testing::TempDir() + "/sscor_flow_io.txt";
+  write_flow_file(path, flow);
+  const Flow back = read_flow_file(path);
+  EXPECT_EQ(back.timestamps(), flow.timestamps());
+}
+
+TEST(FlowIo, EmptyFlowAndNoId) {
+  std::stringstream stream;
+  write_flow_text(stream, Flow{});
+  const Flow back = read_flow_text(stream);
+  EXPECT_TRUE(back.empty());
+  EXPECT_TRUE(back.id().empty());
+}
+
+TEST(FlowIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream(
+      "# sscor-flow v1 x\n\n# a comment\n10 1 0\n20 2 1\n");
+  const Flow back = read_flow_text(stream);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back.packet(1).is_chaff);
+}
+
+TEST(FlowIo, RejectsMalformedInput) {
+  {
+    std::stringstream s("not a flow\n");
+    EXPECT_THROW(read_flow_text(s), IoError);
+  }
+  {
+    std::stringstream s("# sscor-flow v1\n10 abc 0\n");
+    EXPECT_THROW(read_flow_text(s), IoError);
+  }
+  {
+    std::stringstream s("# sscor-flow v1\n10 1 7\n");
+    EXPECT_THROW(read_flow_text(s), IoError);
+  }
+  {
+    std::stringstream s("# sscor-flow v1\n20 1 0\n10 1 0\n");
+    EXPECT_THROW(read_flow_text(s), IoError);  // decreasing timestamps
+  }
+  EXPECT_THROW(read_flow_file("/nonexistent/flow.txt"), IoError);
+}
+
+TEST(KeyFile, RoundTrip) {
+  WatermarkSecret secret;
+  secret.params.bits = 24;
+  secret.params.redundancy = 4;
+  secret.params.pair_offset = 2;
+  secret.params.embedding_delay = millis(600);
+  secret.key = 0xdeadbeefcafeULL;
+  Rng rng(1);
+  secret.watermark = Watermark::random(24, rng);
+
+  std::stringstream stream;
+  write_secret_text(stream, secret);
+  const WatermarkSecret back = read_secret_text(stream);
+  EXPECT_EQ(back.params.bits, secret.params.bits);
+  EXPECT_EQ(back.params.redundancy, secret.params.redundancy);
+  EXPECT_EQ(back.params.pair_offset, secret.params.pair_offset);
+  EXPECT_EQ(back.params.embedding_delay, secret.params.embedding_delay);
+  EXPECT_EQ(back.key, secret.key);
+  EXPECT_EQ(back.watermark, secret.watermark);
+
+  // The re-derived schedule matches the embedding side's.
+  const auto a = secret.schedule_for(1000);
+  const auto b = back.schedule_for(1000);
+  EXPECT_EQ(a.relevant_packets(), b.relevant_packets());
+}
+
+TEST(KeyFile, FileRoundTrip) {
+  WatermarkSecret secret;
+  secret.key = 42;
+  Rng rng(2);
+  secret.watermark = Watermark::random(secret.params.bits, rng);
+  const std::string path = testing::TempDir() + "/sscor_key.txt";
+  write_secret_file(path, secret);
+  EXPECT_EQ(read_secret_file(path).key, 42u);
+}
+
+TEST(KeyFile, RejectsMalformedInput) {
+  {
+    std::stringstream s("wrong header\n");
+    EXPECT_THROW(read_secret_text(s), IoError);
+  }
+  {
+    std::stringstream s("# sscor-key v1\nbits 24\n");  // missing fields
+    EXPECT_THROW(read_secret_text(s), IoError);
+  }
+  {
+    std::stringstream s(
+        "# sscor-key v1\nbits 4\nredundancy 1\npair_offset 1\n"
+        "embedding_delay_us 1000\nkey 1\nwatermark 10\n");  // wrong length
+    EXPECT_THROW(read_secret_text(s), Error);
+  }
+  {
+    std::stringstream s(
+        "# sscor-key v1\nbits xx\nredundancy 1\npair_offset 1\n"
+        "embedding_delay_us 1000\nkey 1\nwatermark 1010\n");
+    EXPECT_THROW(read_secret_text(s), IoError);
+  }
+}
+
+TEST(KeyFile, RejectsInconsistentSecretOnWrite) {
+  WatermarkSecret secret;
+  secret.watermark = Watermark::parse("10");  // 2 bits vs params 24
+  std::stringstream stream;
+  EXPECT_THROW(write_secret_text(stream, secret), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sscor

@@ -1,0 +1,155 @@
+// Unit tests for sscor/net: byte order, checksum, headers, five-tuple.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "sscor/net/byte_order.hpp"
+#include "sscor/net/checksum.hpp"
+#include "sscor/net/five_tuple.hpp"
+#include "sscor/net/headers.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::net {
+namespace {
+
+TEST(ByteOrder, RoundTrip16) {
+  std::array<std::uint8_t, 2> buf{};
+  store_be16(buf, 0xabcd);
+  EXPECT_EQ(buf[0], 0xab);
+  EXPECT_EQ(buf[1], 0xcd);
+  EXPECT_EQ(load_be16(buf), 0xabcd);
+  store_le16(buf, 0xabcd);
+  EXPECT_EQ(buf[0], 0xcd);
+  EXPECT_EQ(load_le16(buf), 0xabcd);
+}
+
+TEST(ByteOrder, RoundTrip32) {
+  std::array<std::uint8_t, 4> buf{};
+  store_be32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+  store_le32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(load_le32(buf), 0x01020304u);
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // The classic example from RFC 1071 §3.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0001 + f203 + f4f5 + f6f7 = 2ddf0 -> ddf0 + 2 = ddf2 -> ~ = 220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  // Words: 1234, 5600 -> sum 6834 -> ~ = 97cb.
+  EXPECT_EQ(internet_checksum(data), 0x97cb);
+}
+
+TEST(Checksum, AccumulatorMatchesOneShot) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ChecksumAccumulator acc;
+  acc.add(std::span<const std::uint8_t>(data).first(4));
+  acc.add(std::span<const std::uint8_t>(data).subspan(4));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto addr = Ipv4Address::parse("10.1.2.3");
+  EXPECT_EQ(addr.value, 0x0a010203u);
+  EXPECT_EQ(addr.to_string(), "10.1.2.3");
+  EXPECT_EQ(Ipv4Address::from_octets(255, 255, 255, 255).value, 0xffffffffu);
+  EXPECT_THROW(Ipv4Address::parse("10.1.2"), InvalidArgument);
+  EXPECT_THROW(Ipv4Address::parse("10.1.2.300"), InvalidArgument);
+  EXPECT_THROW(Ipv4Address::parse("10.1.2.3.4"), InvalidArgument);
+  EXPECT_THROW(Ipv4Address::parse("nonsense"), InvalidArgument);
+}
+
+TEST(FiveTuple, ReversedAndEquality) {
+  const FiveTuple t{Ipv4Address::parse("1.2.3.4"),
+                    Ipv4Address::parse("5.6.7.8"), 1000, 22,
+                    IpProtocol::kTcp};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip.to_string(), "5.6.7.8");
+  EXPECT_EQ(r.src_port, 22);
+  EXPECT_EQ(r.reversed(), t);
+  EXPECT_NE(t, r);
+}
+
+TEST(FiveTuple, HashDistinguishesDirections) {
+  const FiveTuple t{Ipv4Address::parse("1.2.3.4"),
+                    Ipv4Address::parse("5.6.7.8"), 1000, 22,
+                    IpProtocol::kTcp};
+  FiveTupleHash hash;
+  EXPECT_NE(hash(t), hash(t.reversed()));
+  EXPECT_EQ(hash(t), hash(t));
+}
+
+TEST(Headers, EncodeParseRoundTrip) {
+  const FiveTuple tuple{Ipv4Address::parse("192.168.0.1"),
+                        Ipv4Address::parse("10.0.0.2"), 40000, 22,
+                        IpProtocol::kTcp};
+  const auto bytes = encode_tcp_packet(tuple, 1234, 777, kTcpAck | kTcpPsh,
+                                       48);
+  ASSERT_EQ(bytes.size(), 20u + 20u + 48u);
+  const auto parsed = parse_tcp_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tuple(), tuple);
+  EXPECT_EQ(parsed->tcp.seq, 1234u);
+  EXPECT_EQ(parsed->tcp.ack, 777u);
+  EXPECT_EQ(parsed->tcp.flags, kTcpAck | kTcpPsh);
+  EXPECT_EQ(parsed->payload.size(), 48u);
+  EXPECT_EQ(parsed->ip.ttl, 64);
+}
+
+TEST(Headers, ChecksumsAreValid) {
+  const FiveTuple tuple{Ipv4Address::parse("1.1.1.1"),
+                        Ipv4Address::parse("2.2.2.2"), 5555, 23,
+                        IpProtocol::kTcp};
+  auto bytes = encode_tcp_packet(tuple, 1, 1, kTcpAck, 13);
+  EXPECT_TRUE(verify_ipv4_checksum(bytes));
+  EXPECT_TRUE(verify_tcp_checksum(bytes));
+  // Corrupt one payload byte: TCP checksum must fail, IP stays valid.
+  bytes[45] ^= 0xff;
+  EXPECT_TRUE(verify_ipv4_checksum(bytes));
+  EXPECT_FALSE(verify_tcp_checksum(bytes));
+  // Corrupt an IP header byte: IP checksum must fail.
+  bytes[8] ^= 0xff;
+  EXPECT_FALSE(verify_ipv4_checksum(bytes));
+}
+
+TEST(Headers, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_tcp_packet({}).has_value());
+  std::vector<std::uint8_t> short_packet(10, 0);
+  EXPECT_FALSE(parse_tcp_packet(short_packet).has_value());
+
+  const FiveTuple tuple{Ipv4Address::parse("1.1.1.1"),
+                        Ipv4Address::parse("2.2.2.2"), 1, 2,
+                        IpProtocol::kTcp};
+  auto bytes = encode_tcp_packet(tuple, 0, 0, 0, 4);
+  // Not IPv4.
+  auto v6 = bytes;
+  v6[0] = 0x65;
+  EXPECT_FALSE(parse_tcp_packet(v6).has_value());
+  // Not TCP.
+  auto udp = bytes;
+  udp[9] = 17;
+  EXPECT_FALSE(parse_tcp_packet(udp).has_value());
+  // Truncated buffer.
+  auto truncated = bytes;
+  truncated.resize(30);
+  EXPECT_FALSE(parse_tcp_packet(truncated).has_value());
+}
+
+TEST(Headers, EncodeRejectsOversizedPayload) {
+  const FiveTuple tuple{Ipv4Address::parse("1.1.1.1"),
+                        Ipv4Address::parse("2.2.2.2"), 1, 2,
+                        IpProtocol::kTcp};
+  EXPECT_THROW(encode_tcp_packet(tuple, 0, 0, 0, 70000),
+               sscor::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sscor::net

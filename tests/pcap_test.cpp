@@ -1,0 +1,145 @@
+// Unit tests for sscor/pcap: classic pcap reading and writing, including
+// byte-swapped and nanosecond-resolution files.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sscor/pcap/pcap_reader.hpp"
+#include "sscor/pcap/pcap_writer.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::pcap {
+namespace {
+
+Record make_record(TimeUs ts, std::initializer_list<std::uint8_t> bytes) {
+  Record r;
+  r.timestamp = ts;
+  r.data.assign(bytes);
+  r.original_length = static_cast<std::uint32_t>(r.data.size());
+  return r;
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, LinkType::kRawIp);
+    writer.write(make_record(1'000'000, {1, 2, 3, 4}));
+    writer.write(make_record(2'500'123, {9, 8, 7}));
+    writer.flush();
+    EXPECT_EQ(writer.records_written(), 2u);
+  }
+  stream.seekg(0);
+  PcapReader reader(stream);
+  EXPECT_EQ(reader.header().link_type, LinkType::kRawIp);
+  EXPECT_FALSE(reader.header().swapped);
+  EXPECT_FALSE(reader.header().nanosecond);
+  EXPECT_EQ(reader.header().version_major, kVersionMajor);
+
+  const auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->timestamp, 1'000'000);
+  EXPECT_EQ(r1->data, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(r1->original_length, 4u);
+
+  const auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->timestamp, 2'500'123);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.records_read(), 2u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/sscor_pcap_test.pcap";
+  {
+    PcapWriter writer(path, LinkType::kEthernet);
+    writer.write(make_record(42, {0xde, 0xad}));
+  }
+  const auto records = read_pcap_file(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp, 42);
+  PcapReader reader(path);
+  EXPECT_EQ(reader.header().link_type, LinkType::kEthernet);
+}
+
+TEST(Pcap, SnaplenTruncatesCapturedBytes) {
+  std::stringstream stream;
+  PcapWriter writer(stream, LinkType::kRawIp, /*snaplen=*/2);
+  writer.write(make_record(1, {1, 2, 3, 4, 5}));
+  stream.seekg(0);
+  PcapReader reader(stream);
+  const auto r = reader.next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->data.size(), 2u);
+  EXPECT_EQ(r->original_length, 5u);
+}
+
+// Hand-builds a big-endian ("swapped" when read on little-endian)
+// nanosecond-resolution capture and checks normalisation.
+TEST(Pcap, ReadsSwappedNanosecondFiles) {
+  auto be32 = [](std::uint32_t v) {
+    return std::string{static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                       static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  auto be16 = [](std::uint16_t v) {
+    return std::string{static_cast<char>(v >> 8), static_cast<char>(v)};
+  };
+  std::string file;
+  file += be32(kMagicNanos);  // big-endian on disk -> swapped for us
+  file += be16(2);
+  file += be16(4);
+  file += be32(0);
+  file += be32(0);
+  file += be32(65535);
+  file += be32(101);          // raw IP
+  file += be32(3);            // ts_sec
+  file += be32(500'000'000);  // ts_nsec = 0.5s
+  file += be32(2);            // incl_len
+  file += be32(2);            // orig_len
+  file += "\xaa\xbb";
+
+  std::stringstream stream(file);
+  PcapReader reader(stream);
+  EXPECT_TRUE(reader.header().swapped);
+  EXPECT_TRUE(reader.header().nanosecond);
+  EXPECT_EQ(reader.header().link_type, LinkType::kRawIp);
+  const auto r = reader.next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->timestamp, 3 * kMicrosPerSecond + 500'000);
+  EXPECT_EQ(r->data.size(), 2u);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream stream(std::string(24, '\0'));
+  EXPECT_THROW(PcapReader reader(stream), IoError);
+}
+
+TEST(Pcap, RejectsTruncatedGlobalHeader) {
+  std::stringstream stream(std::string(10, '\0'));
+  EXPECT_THROW(PcapReader reader(stream), IoError);
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  std::stringstream stream;
+  PcapWriter writer(stream, LinkType::kRawIp);
+  writer.write(make_record(1, {1, 2, 3, 4}));
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 2);  // chop the record body
+  std::stringstream truncated(bytes);
+  PcapReader reader(truncated);
+  EXPECT_THROW(reader.next(), IoError);
+}
+
+TEST(Pcap, RejectsNegativeTimestampOnWrite) {
+  std::stringstream stream;
+  PcapWriter writer(stream, LinkType::kRawIp);
+  EXPECT_THROW(writer.write(make_record(-1, {1})), InvalidArgument);
+}
+
+TEST(Pcap, OpenMissingFileThrows) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/path.pcap"), IoError);
+  EXPECT_THROW(read_pcap_file("/nonexistent/path.pcap"), IoError);
+}
+
+}  // namespace
+}  // namespace sscor::pcap

@@ -1,0 +1,293 @@
+// Tests for the pcapng reader: hand-built fixtures in both byte orders,
+// timestamp-resolution handling, block skipping, malformed input, and
+// format auto-detection; plus randomized robustness ("fuzz-lite") checks
+// for every parser in the capture path.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sscor/flow/flow_io.hpp"
+#include "sscor/net/headers.hpp"
+#include "sscor/pcap/pcap_reader.hpp"
+#include "sscor/pcap/pcap_writer.hpp"
+#include "sscor/pcap/pcapng_reader.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+#include "sscor/watermark/key_file.hpp"
+
+namespace sscor::pcap {
+namespace {
+
+/// Incremental pcapng byte-stream builder with selectable endianness.
+class PcapngBuilder {
+ public:
+  explicit PcapngBuilder(bool big_endian) : big_endian_(big_endian) {}
+
+  PcapngBuilder& section_header() {
+    std::string body;
+    body += u32(kPcapngByteOrderMagic);
+    body += u16(1);  // major
+    body += u16(0);  // minor
+    body += std::string(8, '\xff');  // section length unspecified
+    block(kPcapngSectionHeader, body);
+    return *this;
+  }
+
+  /// `tsresol`: pcapng if_tsresol option byte; 0xff = omit the option.
+  PcapngBuilder& interface(std::uint16_t link_type, std::uint8_t tsresol) {
+    std::string body;
+    body += u16(link_type);
+    body += u16(0);       // reserved
+    body += u32(65535);   // snaplen
+    if (tsresol != 0xff) {
+      body += u16(9);  // if_tsresol
+      body += u16(1);
+      body += std::string(1, static_cast<char>(tsresol));
+      body += std::string(3, '\0');  // padding
+      body += u16(0);                // opt_endofopt
+      body += u16(0);
+    }
+    block(kPcapngInterfaceDescription, body);
+    return *this;
+  }
+
+  PcapngBuilder& enhanced_packet(std::uint32_t interface_id,
+                                 std::uint64_t ticks,
+                                 const std::string& data) {
+    std::string body;
+    body += u32(interface_id);
+    body += u32(static_cast<std::uint32_t>(ticks >> 32));
+    body += u32(static_cast<std::uint32_t>(ticks));
+    body += u32(static_cast<std::uint32_t>(data.size()));
+    body += u32(static_cast<std::uint32_t>(data.size()));
+    body += data;
+    body += std::string((4 - data.size() % 4) % 4, '\0');
+    block(kPcapngEnhancedPacket, body);
+    return *this;
+  }
+
+  PcapngBuilder& unknown_block() {
+    block(0x0bad0000, std::string(8, '\x55'));
+    return *this;
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string u16(std::uint16_t v) {
+    if (big_endian_) {
+      return {static_cast<char>(v >> 8), static_cast<char>(v)};
+    }
+    return {static_cast<char>(v), static_cast<char>(v >> 8)};
+  }
+  std::string u32(std::uint32_t v) {
+    if (big_endian_) {
+      return {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+              static_cast<char>(v >> 8), static_cast<char>(v)};
+    }
+    return {static_cast<char>(v), static_cast<char>(v >> 8),
+            static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  }
+  void block(std::uint32_t type, const std::string& body) {
+    const auto total = static_cast<std::uint32_t>(12 + body.size());
+    bytes_ += u32(type);
+    bytes_ += u32(total);
+    bytes_ += body;
+    bytes_ += u32(total);
+  }
+
+  bool big_endian_;
+  std::string bytes_;
+};
+
+TEST(Pcapng, ReadsMicrosecondPackets) {
+  for (const bool big_endian : {false, true}) {
+    PcapngBuilder builder(big_endian);
+    builder.section_header()
+        .interface(101, 6)  // raw IP, 10^-6 resolution
+        .enhanced_packet(0, 1'500'000, "abcd")
+        .unknown_block()
+        .enhanced_packet(0, 2'750'000, "xy");
+    std::stringstream stream(builder.bytes());
+    PcapngReader reader(stream);
+
+    const auto p1 = reader.next();
+    ASSERT_TRUE(p1.has_value()) << "big_endian=" << big_endian;
+    EXPECT_EQ(p1->timestamp, 1'500'000);
+    EXPECT_EQ(p1->data, (std::vector<std::uint8_t>{'a', 'b', 'c', 'd'}));
+    EXPECT_EQ(reader.last_link_type(), LinkType::kRawIp);
+
+    const auto p2 = reader.next();
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(p2->timestamp, 2'750'000);
+    EXPECT_EQ(p2->data.size(), 2u);
+    EXPECT_FALSE(reader.next().has_value());
+  }
+}
+
+TEST(Pcapng, NanosecondAndPowerOfTwoResolutions) {
+  {
+    PcapngBuilder builder(false);
+    builder.section_header()
+        .interface(1, 9)  // nanoseconds
+        .enhanced_packet(0, 1'500'000'000ULL, "a");
+    std::stringstream stream(builder.bytes());
+    PcapngReader reader(stream);
+    const auto p = reader.next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->timestamp, 1'500'000);
+    EXPECT_EQ(reader.last_link_type(), LinkType::kEthernet);
+  }
+  {
+    PcapngBuilder builder(false);
+    builder.section_header()
+        .interface(101, 0x80 | 10)  // 2^10 = 1024 ticks per second
+        .enhanced_packet(0, 1536, "a");  // 1.5 seconds
+    std::stringstream stream(builder.bytes());
+    PcapngReader reader(stream);
+    const auto p = reader.next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->timestamp, 1'500'000);
+  }
+  {
+    PcapngBuilder builder(false);
+    builder.section_header()
+        .interface(101, 0xff)  // no if_tsresol: default microseconds
+        .enhanced_packet(0, 42, "a");
+    std::stringstream stream(builder.bytes());
+    PcapngReader reader(stream);
+    const auto p = reader.next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->timestamp, 42);
+  }
+}
+
+TEST(Pcapng, RejectsMalformedInput) {
+  {
+    std::stringstream s("\x0a\x0d\x0d\x0a\x04\x00");  // truncated header
+    PcapngReader reader(s);
+    EXPECT_THROW(reader.next(), IoError);
+  }
+  {
+    // Packet block before any section header.
+    PcapngBuilder builder(false);
+    builder.enhanced_packet(0, 0, "a");
+    std::stringstream s(builder.bytes());
+    PcapngReader reader(s);
+    EXPECT_THROW(reader.next(), Error);
+  }
+  {
+    // Enhanced packet referencing an interface that was never described.
+    PcapngBuilder builder(false);
+    builder.section_header().enhanced_packet(3, 0, "a");
+    std::stringstream s(builder.bytes());
+    PcapngReader reader(s);
+    EXPECT_THROW(reader.next(), IoError);
+  }
+  EXPECT_THROW(PcapngReader("/nonexistent/capture.pcapng"), IoError);
+}
+
+TEST(Pcapng, AutoDetectionDispatchesBothFormats) {
+  const std::string ng_path = testing::TempDir() + "/sscor_auto.pcapng";
+  {
+    PcapngBuilder builder(false);
+    builder.section_header().interface(101, 6).enhanced_packet(0, 7, "zz");
+    std::ofstream out(ng_path, std::ios::binary);
+    out << builder.bytes();
+  }
+  const auto ng = read_capture_auto(ng_path);
+  ASSERT_EQ(ng.records.size(), 1u);
+  EXPECT_EQ(ng.records[0].timestamp, 7);
+  EXPECT_EQ(ng.link_type, LinkType::kRawIp);
+
+  const std::string classic_path = testing::TempDir() + "/sscor_auto.pcap";
+  {
+    PcapWriter writer(classic_path, LinkType::kRawIp);
+    Record r;
+    r.timestamp = 9;
+    r.data = {1, 2};
+    r.original_length = 2;
+    writer.write(r);
+  }
+  const auto classic = read_capture_auto(classic_path);
+  ASSERT_EQ(classic.records.size(), 1u);
+  EXPECT_EQ(classic.records[0].timestamp, 9);
+}
+
+// --------------------------------------------------------- fuzz-lite ---
+// Parsers facing untrusted bytes must fail cleanly (throw IoError /
+// return nullopt), never crash or loop.
+
+TEST(FuzzLite, RandomBytesIntoEveryParser) {
+  Rng rng(0xf022);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t size = rng.uniform_u64(512);
+    std::string bytes(size, '\0');
+    for (auto& c : bytes) {
+      c = static_cast<char>(rng.uniform_u64(256));
+    }
+    // TCP/IP header parser: returns nullopt or a packet, never throws.
+    EXPECT_NO_THROW({
+      (void)net::parse_tcp_packet(std::vector<std::uint8_t>(bytes.begin(),
+                                                            bytes.end()));
+    });
+    // Capture readers: either parse or throw IoError.
+    try {
+      std::stringstream s(bytes);
+      PcapReader reader(s);
+      while (reader.next()) {
+      }
+    } catch (const IoError&) {
+    }
+    try {
+      std::stringstream s(bytes);
+      PcapngReader reader(s);
+      while (reader.next()) {
+      }
+    } catch (const Error&) {
+    }
+    // Text formats.
+    try {
+      std::stringstream s(bytes);
+      (void)read_flow_text(s);
+    } catch (const IoError&) {
+    }
+    try {
+      std::stringstream s(bytes);
+      (void)read_secret_text(s);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(FuzzLite, MutatedValidCaptures) {
+  // Take a valid pcapng byte stream and flip random bytes; the reader must
+  // either parse or throw, never hang or crash.
+  PcapngBuilder builder(false);
+  builder.section_header().interface(101, 6);
+  for (int i = 0; i < 10; ++i) {
+    builder.enhanced_packet(0, 1000 * i, "payload");
+  }
+  const std::string original = builder.bytes();
+  Rng rng(0xabcd);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = original;
+    const int flips = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.uniform_u64(mutated.size())] =
+          static_cast<char>(rng.uniform_u64(256));
+    }
+    try {
+      std::stringstream s(mutated);
+      PcapngReader reader(s);
+      int packets = 0;
+      while (reader.next() && packets < 100) ++packets;
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sscor::pcap

@@ -1,0 +1,183 @@
+// Deep property sweeps (parameterized) over randomized instances:
+//
+//  * pruning feasibility == existence of a complete order-preserving
+//    matching (checked against a reference greedy matcher, which is exact
+//    for this interval-structured problem);
+//  * the online correlator is decision-equivalent to the offline one on
+//    random correlated and uncorrelated streams;
+//  * QIM embed/decode round-trips across seeds;
+//  * Zhang deviation is monotone in the window grid resolution.
+
+#include <gtest/gtest.h>
+
+#include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/correlation/online.hpp"
+#include "sscor/matching/candidate_sets.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/watermark/embedder.hpp"
+#include "sscor/watermark/quantization.hpp"
+
+namespace sscor {
+namespace {
+
+/// Reference feasibility check: a complete order-preserving matching of
+/// upstream packets into the downstream flow exists iff greedily assigning
+/// each upstream packet its earliest unused in-window candidate succeeds.
+/// (Earliest-feasible is exact here because candidate sets are contiguous
+/// windows over a totally ordered ground set.)
+bool reference_feasible(const Flow& up, const Flow& down,
+                        DurationUs delta) {
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    const TimeUs t = up.timestamp(i);
+    while (j < down.size() && down.timestamp(j) < t) ++j;
+    if (j == down.size() || down.timestamp(j) > t + delta) return false;
+    ++j;
+  }
+  return true;
+}
+
+class PruneFeasibilityTest : public testing::TestWithParam<int> {};
+
+TEST_P(PruneFeasibilityTest, PruneAgreesWithReferenceMatcher) {
+  Rng rng(40'000 + GetParam());
+  const traffic::PoissonFlowModel model(1.0);
+  for (int round = 0; round < 10; ++round) {
+    const Flow up = model.generate(30, 0, rng());
+    // Random downstream: sometimes related, sometimes not, sometimes too
+    // short — all three outcomes must agree with the reference.
+    Flow down;
+    switch (rng.uniform_u64(3)) {
+      case 0: {
+        const traffic::UniformPerturber pert(millis(800), rng());
+        const traffic::PoissonChaffInjector chaff(0.5, rng());
+        down = chaff.apply(pert.apply(up));
+        break;
+      }
+      case 1:
+        down = model.generate(40, rng.uniform_i64(0, seconds(std::int64_t{20})),
+                              rng());
+        break;
+      default:
+        down = model.generate(15, 0, rng());
+        break;
+    }
+    const DurationUs delta = millis(rng.uniform_i64(100, 2000));
+    CostMeter cost;
+    auto sets = CandidateSets::build(up, down, delta, std::nullopt, cost);
+    const bool pruned_ok = sets.complete() && sets.prune(cost);
+    EXPECT_EQ(pruned_ok, reference_feasible(up, down, delta))
+        << "round " << round << " delta " << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneFeasibilityTest, testing::Range(0, 10));
+
+class OnlineEquivalenceTest : public testing::TestWithParam<int> {};
+
+TEST_P(OnlineEquivalenceTest, DecisionMatchesOffline) {
+  const traffic::InteractiveSessionModel model;
+  const std::uint64_t seed = 50'000 + GetParam();
+  const Flow flow = model.generate(800, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  const auto marked = embedder.embed(flow, Watermark::random(24, rng));
+
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{3});
+  const traffic::UniformPerturber perturber(config.max_delay,
+                                            mix_seeds(seed, 4));
+  const traffic::PoissonChaffInjector chaff(
+      0.5 * static_cast<double>(GetParam() % 5), mix_seeds(seed, 5));
+
+  const Flow correlated = chaff.apply(perturber.apply(marked.flow));
+  const Flow unrelated = chaff.apply(
+      perturber.apply(model.generate(800, 0, mix_seeds(seed, 6))));
+
+  for (const Flow* stream : {&correlated, &unrelated}) {
+    OnlineCorrelator online(marked, config);
+    for (const auto& p : stream->packets()) {
+      if (!online.ingest(p)) break;
+    }
+    online.finish();
+    const auto offline = Correlator(config, Algorithm::kGreedyPlus)
+                             .correlate(marked, *stream);
+    EXPECT_EQ(online.result().correlated, offline.correlated);
+    if (online.early_rejected()) {
+      // Early exits must be sound: offline agrees they do not correlate.
+      EXPECT_FALSE(offline.correlated);
+    } else {
+      EXPECT_EQ(online.result().hamming, offline.hamming);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineEquivalenceTest, testing::Range(0, 10));
+
+class QimRoundTripTest : public testing::TestWithParam<int> {};
+
+TEST_P(QimRoundTripTest, DetectsThroughMildPerturbation) {
+  const traffic::InteractiveSessionModel model;
+  const std::uint64_t seed = 60'000 + GetParam();
+  QimParams params;
+  const Flow flow = model.generate(1000, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Watermark wm = Watermark::random(params.bits, rng);
+  const QimEmbedder embedder(params, mix_seeds(seed, 3));
+  const auto marked = embedder.embed(flow, wm);
+
+  // Perturbation inside QIM's designed tolerance: the epoch-uniform
+  // process changes an IPD by at most the delay bound, and 150 ms stays
+  // below the scheme's s/2 = 200 ms half-cell.  (Multi-second bounds leave
+  // slope noise of roughly ipd/3 on think-time gaps, which exceeds the
+  // half-cell — the fragility bench/ablation_schemes quantifies.)
+  const traffic::UniformPerturber perturber(millis(150),
+                                            mix_seeds(seed, 4));
+  const auto decoded = decode_qim_positional(
+      marked.schedule, params.step, perturber.apply(marked.flow));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_LE(decoded->hamming_distance(wm), 7u);
+
+  // And an unrelated flow's parity bits are coin flips.
+  const Flow other = model.generate(1000, 0, mix_seeds(seed, 5));
+  const auto noise =
+      decode_qim_positional(marked.schedule, params.step, other);
+  ASSERT_TRUE(noise.has_value());
+  EXPECT_GT(noise->hamming_distance(wm), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QimRoundTripTest, testing::Range(0, 8));
+
+TEST(ZhangProperty, FinerGridNeverHurtsDetection) {
+  // The grid minimises the deviation; refining it can only find equal or
+  // smaller deviations, so a correlated verdict never flips to negative.
+  const traffic::InteractiveSessionModel model;
+  for (int t = 0; t < 6; ++t) {
+    const Flow up = model.generate(600, 0, 70'000 + t);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{5}),
+                                              71'000 + t);
+    const traffic::PoissonChaffInjector chaff(1.5, 72'000 + t);
+    const Flow down = chaff.apply(perturber.apply(up));
+
+    ZhangPassiveParams coarse;
+    coarse.max_delay = seconds(std::int64_t{5});
+    coarse.grid_step = seconds(std::int64_t{1});
+    ZhangPassiveParams fine = coarse;
+    fine.grid_step = millis(250);
+
+    const auto coarse_result = zhang_passive_correlate(up, down, coarse);
+    const auto fine_result = zhang_passive_correlate(up, down, fine);
+    if (coarse_result.smallest_deviation) {
+      ASSERT_TRUE(fine_result.smallest_deviation.has_value());
+      EXPECT_LE(*fine_result.smallest_deviation,
+                *coarse_result.smallest_deviation);
+    }
+    EXPECT_GE(fine_result.correlated, coarse_result.correlated);
+    EXPECT_GE(fine_result.cost, coarse_result.cost);
+  }
+}
+
+}  // namespace
+}  // namespace sscor

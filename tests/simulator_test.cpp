@@ -1,0 +1,153 @@
+// Tests for the stepping-stone chain simulator and its end-to-end use
+// with the correlator.
+
+#include <gtest/gtest.h>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/simulator/chain_simulator.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor::sim {
+namespace {
+
+SteppingStoneChain make_chain(std::uint64_t seed, int hops,
+                              double chaff_rate) {
+  SteppingStoneChain chain(seed);
+  for (int h = 0; h < hops; ++h) {
+    LinkParams link;
+    link.latency = millis(15);
+    link.jitter = millis(30);
+    RelayParams relay;
+    relay.max_delay = seconds(std::int64_t{1});
+    relay.chaff_rate = chaff_rate;
+    chain.add_hop(link, relay);
+  }
+  LinkParams last;
+  last.latency = millis(5);
+  last.jitter = millis(10);
+  chain.set_final_link(last);
+  return chain;
+}
+
+TEST(ChainSimulator, TraceShapeAndDeterminism) {
+  const traffic::InteractiveSessionModel model;
+  const Flow origin = model.generate(400, 0, 3);
+  const auto chain = make_chain(42, 3, 1.0);
+  const auto trace = chain.run(origin);
+  ASSERT_EQ(trace.links.size(), 4u);  // 3 hops + final link
+
+  // Same seed/run -> identical observation; different run id differs.
+  const auto again = chain.run(origin);
+  for (std::size_t k = 0; k < trace.links.size(); ++k) {
+    EXPECT_EQ(trace.links[k].timestamps(), again.links[k].timestamps());
+  }
+  const auto other_run = chain.run(origin, 1);
+  EXPECT_NE(trace.links.back().timestamps(),
+            other_run.links.back().timestamps());
+}
+
+TEST(ChainSimulator, DelaysBoundedByBudget) {
+  const traffic::InteractiveSessionModel model;
+  const Flow origin = model.generate(500, 0, 7);
+  const auto chain = make_chain(43, 3, 1.5);
+  const auto trace = chain.run(origin);
+
+  for (std::size_t from = 0; from < trace.links.size(); ++from) {
+    for (std::size_t to = from + 1; to < trace.links.size(); ++to) {
+      const DurationUs budget = chain.delay_budget(from, to);
+      // Real packets keep their relative order and bounded delay between
+      // any two monitoring points.
+      std::vector<TimeUs> from_real;
+      std::vector<TimeUs> to_real;
+      for (const auto& p : trace.links[from].packets()) {
+        if (!p.is_chaff) from_real.push_back(p.timestamp);
+      }
+      for (const auto& p : trace.links[to].packets()) {
+        if (!p.is_chaff) to_real.push_back(p.timestamp);
+      }
+      ASSERT_EQ(from_real.size(), to_real.size());
+      for (std::size_t i = 0; i < from_real.size(); ++i) {
+        const DurationUs delay = to_real[i] - from_real[i];
+        EXPECT_GE(delay, 0) << "packet travelled back in time";
+        EXPECT_LE(delay, budget)
+            << "links " << from << "->" << to << " packet " << i;
+      }
+    }
+  }
+}
+
+TEST(ChainSimulator, ChaffAccumulatesHopByHop) {
+  const traffic::InteractiveSessionModel model;
+  const Flow origin = model.generate(400, 0, 11);
+  const auto chain = make_chain(44, 4, 2.0);
+  const auto trace = chain.run(origin);
+  for (std::size_t k = 1; k < trace.links.size(); ++k) {
+    EXPECT_GT(trace.links[k].chaff_count(),
+              trace.links[k - 1].chaff_count())
+        << "hop " << k;
+  }
+  EXPECT_EQ(trace.links[0].chaff_count(), 0u);
+}
+
+TEST(ChainSimulator, LossyLinkDropsPackets) {
+  SteppingStoneChain chain(45);
+  LinkParams lossy;
+  lossy.loss = 0.1;
+  chain.add_hop(lossy, RelayParams{});
+  const traffic::InteractiveSessionModel model;
+  const Flow origin = model.generate(1000, 0, 13);
+  const auto trace = chain.run(origin);
+  EXPECT_LT(trace.links[0].size(), origin.size());
+  EXPECT_NEAR(static_cast<double>(trace.links[0].size()), 900.0, 60.0);
+}
+
+TEST(ChainSimulator, Validation) {
+  SteppingStoneChain chain(1);
+  LinkParams bad;
+  bad.loss = 1.0;
+  EXPECT_THROW(chain.add_hop(bad, RelayParams{}), InvalidArgument);
+  EXPECT_THROW(chain.run(Flow{}), InvalidArgument);  // no hops yet
+  chain.add_hop(LinkParams{}, RelayParams{});
+  EXPECT_THROW(chain.delay_budget(2, 1), InvalidArgument);
+}
+
+// The headline scenario: watermark at the first link, detect at the last.
+TEST(ChainSimulator, EndToEndDetectionAcrossTheChain) {
+  const traffic::InteractiveSessionModel model;
+  int detected = 0;
+  int false_positives = 0;
+  constexpr int kTrials = 6;
+  for (int t = 0; t < kTrials; ++t) {
+    const Flow session = model.generate(1000, 0, 100 + t);
+    Rng rng(200 + t);
+    const Embedder embedder(WatermarkParams{}, 300 + t);
+    const auto marked =
+        embedder.embed(session, Watermark::random(24, rng));
+
+    const auto chain = make_chain(400 + t, 3, 1.0);
+    const auto trace = chain.run(marked.flow);
+    // The upstream monitor sits on link 0; rebuild the handle around what
+    // it actually observed.
+    const WatermarkedFlow observed{trace.links.front(), marked.schedule,
+                                   marked.watermark};
+    CorrelatorConfig config;
+    config.max_delay =
+        chain.delay_budget(0, chain.hops());
+    const Correlator correlator(config, Algorithm::kGreedyPlus);
+    detected +=
+        correlator.correlate(observed, trace.links.back()).correlated;
+
+    // A decoy session through an identical chain must not correlate.
+    const Flow decoy = model.generate(1000, 0, 500 + t);
+    const auto decoy_trace = make_chain(600 + t, 3, 1.0).run(decoy);
+    false_positives +=
+        correlator.correlate(observed, decoy_trace.links.back()).correlated;
+  }
+  EXPECT_GE(detected, kTrials - 1);
+  EXPECT_LE(false_positives, 1);
+}
+
+}  // namespace
+}  // namespace sscor::sim

@@ -1,0 +1,321 @@
+// Unit and property tests for sscor/traffic: samplers, generators, and the
+// adversarial transforms (perturbation, chaff, loss/re-packetization).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/distributions.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/loss_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/traffic/size_model.hpp"
+#include "sscor/traffic/transform.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/stats.hpp"
+
+namespace sscor::traffic {
+namespace {
+
+TEST(Distributions, EmpiricalCdfInterpolates) {
+  const EmpiricalCdf cdf({{0.0, 1.0}, {0.5, 2.0}, {1.0, 4.0}});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.25), 1.5);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.75), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 0.5 * 1.5 + 0.5 * 3.0);
+}
+
+TEST(Distributions, EmpiricalCdfValidatesInput) {
+  EXPECT_THROW(EmpiricalCdf({{0.0, 1.0}}), InvalidArgument);
+  EXPECT_THROW(EmpiricalCdf({{0.1, 1.0}, {1.0, 2.0}}), InvalidArgument);
+  EXPECT_THROW(EmpiricalCdf({{0.0, 1.0}, {0.9, 2.0}}), InvalidArgument);
+  EXPECT_THROW(EmpiricalCdf({{0.0, 1.0}, {0.5, 0.5}, {1.0, 2.0}}),
+               InvalidArgument);
+}
+
+TEST(Distributions, EmpiricalCdfSampleMeanMatches) {
+  const EmpiricalCdf cdf({{0.0, 0.0}, {1.0, 2.0}});  // uniform on [0, 2]
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(cdf.sample(rng));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+}
+
+TEST(Distributions, SamplerValidation) {
+  EXPECT_THROW(ExponentialSampler(0.0), InvalidArgument);
+  EXPECT_THROW(ParetoSampler(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(LogNormalSampler(0.0, -1.0), InvalidArgument);
+}
+
+TEST(SizeModel, SshQuantization) {
+  const SshSizeModel model(16, 2, 0.25);
+  Rng rng(9);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto size = model.sample(rng);
+    EXPECT_EQ(size % 16, 0u);
+    EXPECT_GE(size, 32u);
+  }
+}
+
+TEST(SizeModel, QuantizeSize) {
+  EXPECT_EQ(quantize_size(1, 16), 16u);
+  EXPECT_EQ(quantize_size(16, 16), 16u);
+  EXPECT_EQ(quantize_size(17, 16), 32u);
+  EXPECT_EQ(quantize_size(0, 16), 0u);
+  EXPECT_THROW(quantize_size(5, 0), InvalidArgument);
+}
+
+TEST(SizeModel, TelnetMostlyKeystrokes) {
+  const TelnetSizeModel model;
+  Rng rng(11);
+  int single = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    single += model.sample(rng) == 1;
+  }
+  EXPECT_GT(single, 8'000);
+  EXPECT_LT(single, 9'000);
+}
+
+class GeneratorTest : public testing::TestWithParam<int> {};
+
+TEST_P(GeneratorTest, InteractiveModelBasicProperties) {
+  const InteractiveSessionModel model;
+  const std::uint64_t seed = 1000 + GetParam();
+  const Flow flow = model.generate(500, millis(123), seed);
+  ASSERT_EQ(flow.size(), 500u);
+  EXPECT_EQ(flow.start_time(), millis(123));
+  for (std::size_t i = 0; i + 1 < flow.size(); ++i) {
+    EXPECT_GE(flow.ipd(i), 0);
+  }
+  // Deterministic in the seed.
+  EXPECT_EQ(model.generate(500, millis(123), seed).timestamps(),
+            flow.timestamps());
+  // Different seeds give different flows.
+  EXPECT_NE(model.generate(500, millis(123), seed + 1).timestamps(),
+            flow.timestamps());
+}
+
+TEST_P(GeneratorTest, TcplibModelBasicProperties) {
+  const TcplibTelnetModel model;
+  const Flow flow = model.generate(400, 0, 2000 + GetParam());
+  ASSERT_EQ(flow.size(), 400u);
+  for (std::size_t i = 0; i + 1 < flow.size(); ++i) {
+    EXPECT_GT(flow.ipd(i), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest, testing::Range(0, 8));
+
+TEST(Generators, InteractiveRateInExpectedBand) {
+  const InteractiveSessionModel model;
+  RunningStats rates;
+  for (int s = 0; s < 10; ++s) {
+    const Flow flow = model.generate(1000, 0, 3000 + s);
+    rates.add(flow.stats().mean_rate_pps);
+  }
+  // Interactive sessions run at ~1-4 packets/second on average.
+  EXPECT_GT(rates.mean(), 0.8);
+  EXPECT_LT(rates.mean(), 5.0);
+}
+
+TEST(Generators, PoissonModelRate) {
+  const PoissonFlowModel model(2.0);
+  const Flow flow = model.generate(4000, 0, 77);
+  EXPECT_NEAR(flow.stats().mean_rate_pps, 2.0, 0.2);
+}
+
+TEST(Perturbation, DelaysBoundedAndOrderPreserved) {
+  const InteractiveSessionModel model;
+  const Flow flow = model.generate(800, 0, 42);
+  for (const auto delta :
+       {millis(0), millis(500), seconds(std::int64_t{7})}) {
+    const UniformPerturber perturber(delta, 99);
+    const Flow out = perturber.apply(flow);
+    ASSERT_EQ(out.size(), flow.size());
+    TimeUs previous = out.timestamp(0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const DurationUs delay = out.timestamp(i) - flow.timestamp(i);
+      EXPECT_GE(delay, 0) << "packet " << i;
+      EXPECT_LE(delay, delta) << "packet " << i;
+      EXPECT_GE(out.timestamp(i), previous);
+      previous = out.timestamp(i);
+    }
+  }
+}
+
+TEST(Perturbation, MarginalRoughlyUniform) {
+  // The random-walk delay is stationary-uniform; pooled over seeds the
+  // delays should fill [0, max] without piling at either end.
+  const InteractiveSessionModel model;
+  const auto delta = seconds(std::int64_t{4});
+  Histogram hist(0.0, 4.0, 4);
+  for (int s = 0; s < 40; ++s) {
+    const Flow flow = model.generate(300, 0, 500 + s);
+    const UniformPerturber perturber(delta, 900 + s);
+    const Flow out = perturber.apply(flow);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      hist.add(to_seconds(out.timestamp(i) - flow.timestamp(i)));
+    }
+  }
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+    EXPECT_GT(hist.fraction(b), 0.10) << "bucket " << b;
+    EXPECT_LT(hist.fraction(b), 0.45) << "bucket " << b;
+  }
+}
+
+TEST(Perturbation, DeterministicInSeed) {
+  const InteractiveSessionModel model;
+  const Flow flow = model.generate(200, 0, 1);
+  const UniformPerturber p1(seconds(std::int64_t{3}), 7);
+  const UniformPerturber p2(seconds(std::int64_t{3}), 7);
+  const UniformPerturber p3(seconds(std::int64_t{3}), 8);
+  EXPECT_EQ(p1.apply(flow).timestamps(), p2.apply(flow).timestamps());
+  EXPECT_NE(p1.apply(flow).timestamps(), p3.apply(flow).timestamps());
+}
+
+TEST(Perturbation, IidSortBoundsAndOrder) {
+  const InteractiveSessionModel model;
+  const Flow flow = model.generate(500, 0, 21);
+  const auto delta = seconds(std::int64_t{5});
+  const IidSortPerturber perturber(delta, 31);
+  const Flow out = perturber.apply(flow);
+  ASSERT_EQ(out.size(), flow.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const DurationUs delay = out.timestamp(i) - flow.timestamp(i);
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, delta);
+    if (i > 0) {
+      EXPECT_GE(out.timestamp(i), out.timestamp(i - 1));
+    }
+  }
+}
+
+TEST(Perturbation, ZeroDelayIsIdentity) {
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>{1, 2, 3});
+  EXPECT_EQ(UniformPerturber(0, 5).apply(flow).timestamps(),
+            flow.timestamps());
+  EXPECT_EQ(IidSortPerturber(0, 5).apply(flow).timestamps(),
+            flow.timestamps());
+}
+
+TEST(Chaff, RateAndMarking) {
+  const InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 55);
+  const double rate = 2.0;
+  const PoissonChaffInjector injector(rate, 66);
+  const Flow out = injector.apply(flow);
+  EXPECT_GT(out.size(), flow.size());
+  const std::size_t chaff = out.chaff_count();
+  EXPECT_EQ(out.size(), flow.size() + chaff);
+  const double expected =
+      rate * to_seconds(flow.duration());
+  EXPECT_NEAR(static_cast<double>(chaff), expected,
+              4 * std::sqrt(expected));
+  // Time-ordered output.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LE(out.timestamp(i), out.timestamp(i + 1));
+  }
+  // Original packets survive untouched (as a subsequence).
+  std::vector<TimeUs> real;
+  for (const auto& p : out.packets()) {
+    if (!p.is_chaff) real.push_back(p.timestamp);
+  }
+  EXPECT_EQ(real, flow.timestamps());
+}
+
+TEST(Chaff, ZeroRateIsIdentity) {
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>{1, 2, 3});
+  const PoissonChaffInjector injector(0.0, 1);
+  EXPECT_EQ(injector.apply(flow).timestamps(), flow.timestamps());
+}
+
+TEST(Loss, DropRate) {
+  const PoissonFlowModel model(2.0);
+  const Flow flow = model.generate(5000, 0, 3);
+  const LossRepacketizationModel loss(0.2, 0, 9);
+  const Flow out = loss.apply(flow);
+  EXPECT_NEAR(static_cast<double>(out.size()), 4000.0, 150.0);
+}
+
+TEST(Loss, MergeWindowCoalesces) {
+  Flow flow({PacketRecord{0, 10, false}, PacketRecord{100, 20, false},
+             PacketRecord{5'000, 30, false}});
+  const LossRepacketizationModel merge(0.0, 200, 1);
+  const Flow out = merge.apply(flow);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.packet(0).size, 30u);      // 10 + 20 merged
+  EXPECT_EQ(out.timestamp(0), 100);        // flushed at the later packet
+  EXPECT_EQ(out.packet(1).size, 30u);
+}
+
+TEST(Reordering, DisplacesPacketsButKeepsThem) {
+  // Unique per-packet sizes label the packets so movement is observable.
+  std::vector<PacketRecord> packets;
+  Rng rng(5);
+  TimeUs t = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    packets.push_back(PacketRecord{t, i, false});
+    t += seconds(rng.exponential(0.5));
+  }
+  const Flow flow(std::move(packets));
+  const ReorderingModel reorder(0.3, seconds(std::int64_t{1}), 7);
+  const Flow out = reorder.apply(flow);
+  ASSERT_EQ(out.size(), flow.size());
+  // Time-ordered output (the Flow invariant).
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LE(out.timestamp(i), out.timestamp(i + 1));
+  }
+  // The multiset of sizes survives (no packet lost or duplicated)...
+  std::vector<std::uint32_t> before;
+  std::vector<std::uint32_t> after;
+  for (const auto& p : flow.packets()) before.push_back(p.size);
+  for (const auto& p : out.packets()) after.push_back(p.size);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  // ...but the per-position sequence does not: reordering happened.
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    moved += out.packet(i).size != flow.packet(i).size;
+  }
+  EXPECT_GT(moved, 100u);
+}
+
+TEST(Reordering, ZeroProbabilityIsIdentity) {
+  const PoissonFlowModel model(2.0);
+  const Flow flow = model.generate(100, 0, 9);
+  const ReorderingModel reorder(0.0, seconds(std::int64_t{1}), 7);
+  EXPECT_EQ(reorder.apply(flow).timestamps(), flow.timestamps());
+  EXPECT_THROW(ReorderingModel(1.5, 0, 1), InvalidArgument);
+}
+
+TEST(Loss, ValidatesParameters) {
+  EXPECT_THROW(LossRepacketizationModel(1.0, 0, 1), InvalidArgument);
+  EXPECT_THROW(LossRepacketizationModel(-0.1, 0, 1), InvalidArgument);
+  EXPECT_THROW(LossRepacketizationModel(0.1, -1, 1), InvalidArgument);
+}
+
+TEST(Pipeline, ComposesInOrder) {
+  const Flow flow = Flow::from_timestamps(
+      std::vector<TimeUs>{0, seconds(std::int64_t{10})});
+  TransformPipeline pipeline;
+  pipeline.add(std::make_shared<ConstantDelay>(millis(100)));
+  pipeline.add(std::make_shared<ConstantDelay>(millis(50)));
+  const Flow out = pipeline.apply(flow);
+  EXPECT_EQ(out.timestamp(0), millis(150));
+  EXPECT_EQ(pipeline.size(), 2u);
+  EXPECT_THROW(pipeline.add(nullptr), InvalidArgument);
+}
+
+TEST(Pipeline, IdentityTransform) {
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>{1, 2});
+  EXPECT_EQ(IdentityTransform().apply(flow).timestamps(), flow.timestamps());
+}
+
+}  // namespace
+}  // namespace sscor::traffic

@@ -1,0 +1,283 @@
+// Unit tests for sscor/util: time, rng, stats, table.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/parallel.hpp"
+#include "sscor/util/rng.hpp"
+#include "sscor/util/stats.hpp"
+#include "sscor/util/table.hpp"
+#include "sscor/util/time.hpp"
+
+namespace sscor {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(seconds(std::int64_t{3}), 3'000'000);
+  EXPECT_EQ(millis(250), 250'000);
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(1'500), 1.5);
+  EXPECT_EQ(seconds(0.0005), 500);
+  EXPECT_EQ(seconds(-0.0005), -500);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(std::int64_t{2})), "2.000s");
+  EXPECT_EQ(format_duration(millis(600)), "600.000ms");
+  EXPECT_EQ(format_duration(42), "42us");
+  EXPECT_EQ(format_duration(-millis(5)), "-5.000ms");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+    const auto v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.uniform_u64(kBuckets)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 500);
+  }
+}
+
+TEST(Rng, UniformDuration) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_duration(0), 0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = rng.uniform_duration(seconds(std::int64_t{2}));
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, seconds(std::int64_t{2}));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.add(rng.exponential(2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.add(rng.normal(5.0, 3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ParetoSupport) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(19);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 20'000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+    large.add(static_cast<double>(rng.poisson(100.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 0.5);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  for (const auto v : sample) {
+    EXPECT_LT(v, 100u);
+  }
+  EXPECT_EQ(rng.sample_without_replacement(5, 5).size(), 5u);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(31);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += f1() == f2();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, Merge) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(0, 1);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> values{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile(values, 1.5), InvalidArgument);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v = 0.5; v < 10; v += 1.0) h.add(v);
+  h.add(-100.0);  // clamps into the first bucket
+  h.add(100.0);   // clamps into the last bucket
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+  EXPECT_NEAR(h.fraction(1), 2.0 / 12.0, 1e-12);
+}
+
+TEST(Stats, WilsonInterval) {
+  // Hand-checked values for 8/10 at 95%.
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.low, 0.49, 0.01);
+  EXPECT_NEAR(ci.high, 0.943, 0.01);
+  // Degenerate and boundary cases.
+  const auto none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_DOUBLE_EQ(none.high, 1.0);
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  EXPECT_LT(zero.high, 0.12);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  EXPECT_GT(all.low, 0.88);
+  EXPECT_THROW(wilson_interval(5, 3), InvalidArgument);
+}
+
+TEST(Parallel, CoversEveryIndexOnce) {
+  for (const unsigned threads : {0u, 1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(500);
+    parallel_for(
+        hits.size(),
+        [&](std::size_t i) { hits[i].fetch_add(1); },
+        threads);
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+  // Zero items is a no-op.
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 57) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(Table, RenderAndCsv) {
+  TextTable table({"x", "value"});
+  table.add_row({"1", "alpha"});
+  table.add_row({"2", "beta,with comma"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| x | value"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"beta,with comma\""), std::string::npos);
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::cell(std::int64_t{-42}), "-42");
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "boom");
+    FAIL() << "require(false) must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_THROW(check_invariant(false, "bug"), InternalError);
+}
+
+}  // namespace
+}  // namespace sscor

@@ -1,0 +1,264 @@
+// Unit and property tests for sscor/watermark: bit strings, key schedules,
+// embedding, and positional decoding.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+#include "sscor/watermark/key_schedule.hpp"
+#include "sscor/watermark/watermark.hpp"
+
+namespace sscor {
+namespace {
+
+TEST(Watermark, ParseAndFormat) {
+  const Watermark wm = Watermark::parse("10110");
+  EXPECT_EQ(wm.size(), 5u);
+  EXPECT_EQ(wm.bit(0), 1);
+  EXPECT_EQ(wm.bit(4), 0);
+  EXPECT_EQ(wm.to_string(), "10110");
+  EXPECT_THROW(Watermark::parse("10x"), InvalidArgument);
+  EXPECT_THROW(Watermark({0, 1, 2}), InvalidArgument);
+}
+
+TEST(Watermark, HammingDistance) {
+  const Watermark a = Watermark::parse("1010");
+  const Watermark b = Watermark::parse("1001");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  EXPECT_THROW(a.hamming_distance(Watermark::parse("10")), InvalidArgument);
+}
+
+TEST(Watermark, RandomIsBalanced) {
+  Rng rng(1);
+  std::size_t ones = 0;
+  constexpr std::size_t kBits = 20'000;
+  const Watermark wm = Watermark::random(kBits, rng);
+  for (std::size_t i = 0; i < kBits; ++i) ones += wm.bit(i);
+  EXPECT_NEAR(static_cast<double>(ones), kBits / 2.0, 300.0);
+}
+
+TEST(Watermark, SetBit) {
+  Watermark wm = Watermark::parse("000");
+  wm.set_bit(1, 1);
+  EXPECT_EQ(wm.to_string(), "010");
+  EXPECT_THROW(wm.set_bit(0, 2), InvalidArgument);
+}
+
+TEST(Params, Validation) {
+  WatermarkParams params;
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_EQ(params.total_pairs(), 24u * 8u);
+  params.redundancy = 0;
+  EXPECT_THROW(params.validate(), InvalidArgument);
+}
+
+class KeyScheduleTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeyScheduleTest, PairsAreDisjointAndInRange) {
+  WatermarkParams params;
+  const std::size_t n = 1000;
+  const auto schedule = KeySchedule::create(params, n, GetParam());
+
+  std::set<std::uint32_t> used;
+  std::size_t pair_count = 0;
+  for (const auto& plan : schedule.bit_plans()) {
+    EXPECT_EQ(plan.group1.size(), params.redundancy);
+    EXPECT_EQ(plan.group2.size(), params.redundancy);
+    for (const auto* group : {&plan.group1, &plan.group2}) {
+      for (const auto& pair : *group) {
+        ++pair_count;
+        EXPECT_EQ(pair.second, pair.first + params.pair_offset);
+        EXPECT_LT(pair.second, n);
+        EXPECT_TRUE(used.insert(pair.first).second)
+            << "packet used twice: " << pair.first;
+        EXPECT_TRUE(used.insert(pair.second).second)
+            << "packet used twice: " << pair.second;
+      }
+    }
+  }
+  EXPECT_EQ(pair_count, params.total_pairs());
+  EXPECT_EQ(schedule.relevant_packets().size(), 2 * params.total_pairs());
+  EXPECT_TRUE(std::is_sorted(schedule.relevant_packets().begin(),
+                             schedule.relevant_packets().end()));
+  EXPECT_EQ(schedule.max_packet_index(), *used.rbegin());
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, KeyScheduleTest,
+                         testing::Values(0, 1, 42, 0xdeadbeef, 1'000'003));
+
+TEST(KeySchedule, DeterministicInKey) {
+  WatermarkParams params;
+  const auto a = KeySchedule::create(params, 1000, 7);
+  const auto b = KeySchedule::create(params, 1000, 7);
+  const auto c = KeySchedule::create(params, 1000, 8);
+  EXPECT_EQ(a.relevant_packets(), b.relevant_packets());
+  EXPECT_NE(a.relevant_packets(), c.relevant_packets());
+  for (std::size_t bit = 0; bit < params.bits; ++bit) {
+    for (std::size_t i = 0; i < params.redundancy; ++i) {
+      EXPECT_EQ(a.bit_plan(bit).group1[i].first,
+                b.bit_plan(bit).group1[i].first);
+    }
+  }
+}
+
+TEST(KeySchedule, RejectsTooShortFlows) {
+  WatermarkParams params;  // needs 384 packets in disjoint pairs
+  EXPECT_THROW(KeySchedule::create(params, 100, 1), InvalidArgument);
+  EXPECT_NO_THROW(KeySchedule::create(params, 500, 1));
+}
+
+TEST(KeySchedule, DensePackingSucceeds) {
+  // Exactly enough capacity: 8 pairs over 16 packets with d=1.  The
+  // systematic fallback must find a perfect pairing.
+  WatermarkParams params;
+  params.bits = 2;
+  params.redundancy = 2;
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    EXPECT_NO_THROW(KeySchedule::create(params, 16, key)) << key;
+  }
+}
+
+TEST(KeySchedule, LargerPairOffset) {
+  WatermarkParams params;
+  params.bits = 4;
+  params.redundancy = 2;
+  params.pair_offset = 5;
+  const auto schedule = KeySchedule::create(params, 300, 3);
+  for (const auto& plan : schedule.bit_plans()) {
+    for (const auto& pair : plan.group1) {
+      EXPECT_EQ(pair.second, pair.first + 5);
+    }
+  }
+}
+
+// A widely spaced flow where the embedding delay can never reorder or clip:
+// embedding must shift every selected IPD by exactly +-a, so decoding the
+// watermarked flow itself recovers the watermark exactly.
+TEST(Embedder, ExactDecodeOnWidelySpacedFlow) {
+  WatermarkParams params;
+  params.bits = 8;
+  params.redundancy = 2;
+  params.embedding_delay = millis(600);
+  std::vector<TimeUs> timestamps;
+  for (int i = 0; i < 100; ++i) {
+    timestamps.push_back(seconds(std::int64_t{10}) * i);  // 10s apart
+  }
+  const Flow flow = Flow::from_timestamps(timestamps);
+
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Watermark wm = Watermark::random(params.bits, rng);
+    const Embedder embedder(params, 1000 + trial);
+    const WatermarkedFlow marked = embedder.embed(flow, wm);
+    const auto decoded = decode_positional(marked.schedule, marked.flow);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->to_string(), wm.to_string()) << "trial " << trial;
+  }
+}
+
+TEST(Embedder, DelaysOnlyAndBounded) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 11);
+  WatermarkParams params;
+  Rng rng(5);
+  const Watermark wm = Watermark::random(params.bits, rng);
+  const Embedder embedder(params, 99);
+  const WatermarkedFlow marked = embedder.embed(flow, wm);
+
+  ASSERT_EQ(marked.flow.size(), flow.size());
+  TimeUs previous = marked.flow.timestamp(0);
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    const DurationUs delta = marked.flow.timestamp(i) - flow.timestamp(i);
+    EXPECT_GE(delta, 0) << i;
+    // Disjoint pairs: each packet is delayed at most once, plus possible
+    // FIFO push-through from an immediately preceding delayed packet.
+    EXPECT_LE(delta, 2 * params.embedding_delay) << i;
+    EXPECT_GE(marked.flow.timestamp(i), previous);
+    previous = marked.flow.timestamp(i);
+  }
+}
+
+TEST(Embedder, ShiftsBitDifferencesTowardTheBit) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(1000, 0, 17);
+  WatermarkParams params;
+  Rng rng(6);
+  const Watermark wm = Watermark::random(params.bits, rng);
+  const Embedder embedder(params, 4242);
+  const WatermarkedFlow marked = embedder.embed(flow, wm);
+
+  // Compare each bit's D before and after embedding on the same schedule.
+  const auto before = flow.timestamps();
+  const auto after = marked.flow.timestamps();
+  int improved = 0;
+  for (std::uint32_t bit = 0; bit < params.bits; ++bit) {
+    const auto& plan = marked.schedule.bit_plan(bit);
+    const DurationUs d_before = bit_difference(plan, before);
+    const DurationUs d_after = bit_difference(plan, after);
+    if (wm.bit(bit) == 1) {
+      improved += d_after > d_before;
+    } else {
+      improved += d_after < d_before;
+    }
+  }
+  // Clipping can rob an occasional bit, but the overwhelming majority of
+  // bit differences must move toward the embedded value.
+  EXPECT_GE(improved, 20);
+}
+
+TEST(Embedder, RejectsWrongWatermarkLength) {
+  WatermarkParams params;
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>(500, 0));
+  const Embedder embedder(params, 1);
+  EXPECT_THROW(embedder.embed(flow, Watermark::parse("101")),
+               InvalidArgument);
+}
+
+TEST(Decoder, PositionalNeedsLongEnoughFlow) {
+  WatermarkParams params;
+  params.bits = 4;
+  params.redundancy = 1;
+  const Flow flow = Flow::from_timestamps(std::vector<TimeUs>(100, 0));
+  const auto schedule = KeySchedule::create(params, 100, 9);
+  const Flow shorter = Flow::from_timestamps(
+      std::vector<TimeUs>(schedule.max_packet_index(), 0));
+  EXPECT_FALSE(decode_positional(schedule, shorter).has_value());
+}
+
+TEST(Decoder, DecodeBitSignConvention) {
+  EXPECT_EQ(decode_bit(1), 1);
+  EXPECT_EQ(decode_bit(0), 0);   // ties decode as 0 (paper: D <= 0 -> 0)
+  EXPECT_EQ(decode_bit(-1), 0);
+}
+
+// End-to-end robustness: the watermark survives bounded random-walk
+// perturbation (this is the property the whole paper builds on).
+TEST(Watermark, SurvivesBoundedPerturbation) {
+  const traffic::InteractiveSessionModel model;
+  WatermarkParams params;
+  Rng rng(8);
+  int detected = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const Flow flow = model.generate(1000, 0, 6000 + t);
+    const Watermark wm = Watermark::random(params.bits, rng);
+    const Embedder embedder(params, 7000 + t);
+    const WatermarkedFlow marked = embedder.embed(flow, wm);
+    const traffic::UniformPerturber perturber(seconds(std::int64_t{7}),
+                                              8000 + t);
+    const auto decoded =
+        decode_positional(marked.schedule, perturber.apply(marked.flow));
+    ASSERT_TRUE(decoded.has_value());
+    detected += decoded->hamming_distance(wm) <= 7;
+  }
+  EXPECT_GE(detected, kTrials * 8 / 10);
+}
+
+}  // namespace
+}  // namespace sscor
