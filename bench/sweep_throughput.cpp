@@ -1,0 +1,110 @@
+// Sweep-engine throughput baseline: runs the Fig-3 grid once fully serial
+// (threads=1) and once on the persistent pool (threads=0), checks the two
+// tables are byte-identical (the harness's schedule-independence guarantee)
+// and records both wall-clock timings plus the metrics snapshot as JSON —
+// the BENCH_sweeps.json perf trajectory that future PRs compare against.
+//
+//   sweep_throughput [--flows=N] [--packets=N] [--fp-pairs=N] [--seed=N]
+//                    [--json=PATH]            (default BENCH_sweeps.json)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sscor/experiment/bench_main.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace {
+
+using namespace sscor;
+using namespace sscor::experiment;
+
+double run_once(const ExperimentConfig& config, const SweepSpec& spec,
+                unsigned threads, const char* label, std::string& csv_out) {
+  ExperimentConfig run = config;
+  run.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  TextTable table({"-"});
+  {
+    const metrics::ScopedTimer timer(std::string("sweep_throughput.") +
+                                     label);
+    table = run_sweep(run, spec);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  csv_out = table.to_csv();
+  std::printf("%s (threads=%u): %.3fs\n", label, threads, elapsed);
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sweeps.json";
+  // Peel off --json=, hand everything else to the standard parser.
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchOptions options =
+      parse_bench_options(static_cast<int>(rest.size()), rest.data());
+
+  SweepSpec spec;
+  spec.metric = Metric::kDetectionRate;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = kFig3FixedDelay;
+
+  std::printf("== sweep_throughput: Fig-3 grid, serial vs pooled ==\n");
+  std::printf("flows: %zu | packets/flow: %zu | fp pairs: %zu | seed: %llu"
+              " | hardware threads: %u\n",
+              options.config.flows, options.config.packets_per_flow,
+              options.config.fp_pairs,
+              static_cast<unsigned long long>(options.config.master_seed),
+              std::thread::hardware_concurrency());
+
+  std::string serial_csv;
+  std::string pooled_csv;
+  const double serial_s =
+      run_once(options.config, spec, 1, "serial", serial_csv);
+  const double pooled_s =
+      run_once(options.config, spec, 0, "pooled", pooled_csv);
+
+  const bool identical = serial_csv == pooled_csv;
+  const double speedup = pooled_s > 0.0 ? serial_s / pooled_s : 0.0;
+  std::printf("tables byte-identical: %s | speedup: %.2fx\n",
+              identical ? "yes" : "NO", speedup);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"sweep_throughput\",\n"
+      << "  \"sweep\": \"fig03 grid (detection rate vs chaff rate)\",\n"
+      << "  \"flows\": " << options.config.flows << ",\n"
+      << "  \"packets_per_flow\": " << options.config.packets_per_flow
+      << ",\n"
+      << "  \"fp_pairs\": " << options.config.fp_pairs << ",\n"
+      << "  \"seed\": " << options.config.master_seed << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_seconds\": " << serial_s << ",\n"
+      << "  \"pooled_seconds\": " << pooled_s << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"tables_identical\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"metrics\": " << metrics::snapshot().to_json() << "}\n";
+  std::printf("json written: %s\n", json_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -4,7 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string_view>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
 
 namespace sscor::experiment {
 namespace {
@@ -14,12 +18,15 @@ namespace {
       stderr,
       "usage: %s [--flows=N] [--packets=N] [--fp-pairs=N] [--seed=N]\n"
       "          [--corpus=interactive|tcplib] [--full] [--csv=PATH]\n"
-      "  --flows     number of traces (default 91; paper: 91)\n"
-      "  --packets   packets per trace (default 1000; paper: >1000)\n"
-      "  --fp-pairs  sampled uncorrelated pairs per point (default 300)\n"
-      "  --full      evaluate every uncorrelated pair (n*(n-1), slow)\n"
-      "  --corpus    trace generator (default interactive)\n"
-      "  --threads   evaluation worker threads (default: all cores)\n",
+      "          [--threads=N] [--metrics] [--metrics-json=PATH]\n"
+      "  --flows        number of traces (default 91; paper: 91)\n"
+      "  --packets      packets per trace (default 1000; paper: >1000)\n"
+      "  --fp-pairs     sampled uncorrelated pairs per point (default 2000)\n"
+      "  --full         evaluate every uncorrelated pair (n*(n-1), slow)\n"
+      "  --corpus       trace generator (default interactive)\n"
+      "  --threads      evaluation worker threads (default: all cores)\n"
+      "  --metrics      print the run-metrics table after the sweep\n"
+      "  --metrics-json write the run-metrics snapshot as JSON\n",
       argv0);
   std::exit(2);
 }
@@ -52,6 +59,8 @@ BenchOptions parse_bench_options(int argc, char** argv,
     } else if (consume(arg, "--threads=", value)) {
       options.config.threads =
           static_cast<unsigned>(std::strtoul(value.data(), nullptr, 10));
+    } else if (consume(arg, "--metrics-json=", value)) {
+      options.metrics_json = std::string(value);
     } else if (consume(arg, "--csv=", value)) {
       options.csv_path = std::string(value);
     } else if (consume(arg, "--corpus=", value)) {
@@ -64,6 +73,8 @@ BenchOptions parse_bench_options(int argc, char** argv,
       }
     } else if (arg == "--full") {
       options.full = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -75,6 +86,13 @@ BenchOptions parse_bench_options(int argc, char** argv,
         options.config.flows * (options.config.flows - 1);
   }
   return options;
+}
+
+void write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open metrics JSON output: " + path);
+  out << metrics::snapshot().to_json();
+  if (!out) throw IoError("failed writing metrics JSON: " + path);
 }
 
 int run_figure_bench(const std::string& figure_id, const std::string& title,
@@ -95,13 +113,26 @@ int run_figure_bench(const std::string& figure_id, const std::string& title,
       std::fprintf(stderr, "[%zu/%zu] %s\n", index + 1, count,
                    label.c_str());
     };
-    const TextTable table = run_sweep(options.config, spec, progress);
+    TextTable table({"-"});
+    {
+      const metrics::ScopedTimer timer("bench." + figure_id);
+      table = run_sweep(options.config, spec, progress);
+    }
     std::printf("%s\n", table.to_string().c_str());
 
     const std::string csv =
         options.csv_path.empty() ? figure_id + ".csv" : options.csv_path;
     table.write_csv(csv);
     std::printf("csv written: %s\n", csv.c_str());
+    if (options.metrics) {
+      std::printf("\nrun metrics:\n%s\n",
+                  metrics::snapshot().to_table().to_string().c_str());
+    }
+    if (!options.metrics_json.empty()) {
+      write_metrics_json(options.metrics_json);
+      std::printf("metrics json written: %s\n",
+                  options.metrics_json.c_str());
+    }
     if (!expectation.empty()) {
       std::printf("\npaper expectation: %s\n", expectation.c_str());
     }

@@ -7,6 +7,7 @@
 #include "sscor/traffic/interactive_model.hpp"
 #include "sscor/traffic/perturbation.hpp"
 #include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
 #include "sscor/util/rng.hpp"
 
 namespace sscor::experiment {
@@ -35,6 +36,8 @@ std::string to_string(Corpus corpus) {
 }
 
 Dataset Dataset::build(const ExperimentConfig& config) {
+  const metrics::ScopedTimer timer("dataset.build");
+  metrics::counter("dataset.flows_generated").add(config.flows);
   Dataset dataset;
   dataset.config_ = config;
   dataset.flows_.reserve(config.flows);
@@ -62,6 +65,7 @@ Dataset Dataset::build(const ExperimentConfig& config) {
 Flow Dataset::downstream(std::size_t i, DurationUs max_perturbation,
                          double chaff_rate) const {
   require(i < flows_.size(), "flow index out of range");
+  metrics::counter("dataset.downstream_generated").add(1);
   const std::uint64_t flow_seed = mix_seeds(config_.master_seed, i);
   const auto pert_tag = static_cast<std::uint64_t>(max_perturbation);
   const auto chaff_tag =

@@ -2,6 +2,7 @@
 
 #include "sscor/baselines/basic_watermark.hpp"
 #include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
 
 namespace sscor::experiment {
@@ -35,17 +36,21 @@ std::vector<DetectorMetrics> evaluate_point(
     const std::vector<std::unique_ptr<Detector>>& detectors,
     const EvaluationRequest& request) {
   const unsigned threads = dataset.config().threads;
+  const sscor::metrics::ScopedTimer point_timer("eval.point");
 
   // Downstream flows are shared by every detector; generate them in
   // parallel (each is an independent function of the seed).
   std::vector<Flow> downstream(dataset.size());
-  parallel_for(
-      dataset.size(),
-      [&](std::size_t i) {
-        downstream[i] =
-            dataset.downstream(i, request.max_delay, request.chaff_rate);
-      },
-      threads);
+  {
+    const sscor::metrics::ScopedTimer timer("eval.downstream_gen");
+    parallel_for(
+        dataset.size(),
+        [&](std::size_t i) {
+          downstream[i] =
+              dataset.downstream(i, request.max_delay, request.chaff_rate);
+        },
+        threads);
+  }
 
   std::vector<DetectorMetrics> metrics(detectors.size());
   for (std::size_t d = 0; d < detectors.size(); ++d) {
@@ -53,6 +58,7 @@ std::vector<DetectorMetrics> evaluate_point(
   }
 
   if (request.run_detection) {
+    const sscor::metrics::ScopedTimer timer("eval.detection");
     std::vector<DetectionOutcome> outcomes(dataset.size());
     for (std::size_t d = 0; d < detectors.size(); ++d) {
       parallel_for(
@@ -64,16 +70,21 @@ std::vector<DetectorMetrics> evaluate_point(
           threads);
       // Reduce sequentially so the statistics are schedule-independent.
       std::size_t detected = 0;
+      std::uint64_t packets_accessed = 0;
       for (const auto& outcome : outcomes) {
         detected += outcome.correlated;
+        packets_accessed += outcome.cost;
         metrics[d].cost_correlated.add(static_cast<double>(outcome.cost));
       }
       metrics[d].detection_rate =
           static_cast<double>(detected) / static_cast<double>(dataset.size());
+      sscor::metrics::counter("eval.detections_run").add(outcomes.size());
+      sscor::metrics::counter("eval.packets_accessed").add(packets_accessed);
     }
   }
 
   if (request.run_false_positive) {
+    const sscor::metrics::ScopedTimer timer("eval.false_positive");
     const auto pairs = dataset.sample_fp_pairs(dataset.config().fp_pairs);
     std::vector<DetectionOutcome> outcomes(pairs.size());
     for (std::size_t d = 0; d < detectors.size(); ++d) {
@@ -86,13 +97,17 @@ std::vector<DetectorMetrics> evaluate_point(
           },
           threads);
       std::size_t false_positives = 0;
+      std::uint64_t packets_accessed = 0;
       for (const auto& outcome : outcomes) {
         false_positives += outcome.correlated;
+        packets_accessed += outcome.cost;
         metrics[d].cost_uncorrelated.add(static_cast<double>(outcome.cost));
       }
       metrics[d].false_positive_rate =
           static_cast<double>(false_positives) /
           static_cast<double>(pairs.size());
+      sscor::metrics::counter("eval.detections_run").add(outcomes.size());
+      sscor::metrics::counter("eval.packets_accessed").add(packets_accessed);
     }
   }
   return metrics;

@@ -1,6 +1,10 @@
 #include "sscor/experiment/sweep.hpp"
 
+#include <mutex>
+
 #include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
+#include "sscor/util/parallel.hpp"
 
 namespace sscor::experiment {
 namespace {
@@ -42,6 +46,7 @@ std::string to_string(Metric metric) {
 
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
                     const ProgressFn& progress) {
+  const metrics::ScopedTimer sweep_timer("sweep.run");
   std::vector<double> chaff_rates = spec.chaff_rates;
   std::vector<DurationUs> max_delays = spec.max_delays;
   if (chaff_rates.empty()) {
@@ -68,6 +73,7 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
           {delay, spec.fixed_chaff, TextTable::cell(to_seconds(delay), 0)});
     }
   }
+  metrics::counter("sweep.points").add(points.size());
 
   const Dataset dataset = Dataset::build(config);
 
@@ -82,30 +88,45 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
   }
   TextTable table(header);
 
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    const auto& point = points[p];
-    if (progress) {
-      progress(p, points.size(),
-               x_header + "=" + point.label);
-    }
-    const auto detectors = paper_detectors(config, point.delay);
-    EvaluationRequest request;
-    request.max_delay = point.delay;
-    request.chaff_rate = point.chaff;
-    request.run_detection = needs_detection(spec.metric);
-    request.run_false_positive = !request.run_detection;
-    const auto metrics = evaluate_point(dataset, detectors, request);
+  // Sweep points are mutually independent: every point derives its own
+  // detectors and its downstream flows from (master seed, flow index,
+  // point parameters), so dispatching them concurrently through the pool
+  // changes only the schedule, never a value.  Rows are collected by point
+  // index and appended in order, keeping the table byte-identical to the
+  // threads=1 run.
+  std::vector<std::vector<std::string>> rows(points.size());
+  std::mutex progress_mutex;
+  parallel_for(
+      points.size(),
+      [&](std::size_t p) {
+        const auto& point = points[p];
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(p, points.size(), x_header + "=" + point.label);
+        }
+        const sscor::metrics::ScopedTimer point_timer("sweep.point");
+        const auto detectors = paper_detectors(config, point.delay);
+        EvaluationRequest request;
+        request.max_delay = point.delay;
+        request.chaff_rate = point.chaff;
+        request.run_detection = needs_detection(spec.metric);
+        request.run_false_positive = !request.run_detection;
+        const auto point_metrics = evaluate_point(dataset, detectors, request);
 
-    std::vector<std::string> row{point.label};
-    for (const auto& m : metrics) {
-      const double value = metric_value(spec.metric, m);
-      const int precision =
-          (spec.metric == Metric::kCostCorrelated ||
-           spec.metric == Metric::kCostUncorrelated)
-              ? 0
-              : 4;
-      row.push_back(TextTable::cell(value, precision));
-    }
+        std::vector<std::string> row{point.label};
+        for (const auto& m : point_metrics) {
+          const double value = metric_value(spec.metric, m);
+          const int precision =
+              (spec.metric == Metric::kCostCorrelated ||
+               spec.metric == Metric::kCostUncorrelated)
+                  ? 0
+                  : 4;
+          row.push_back(TextTable::cell(value, precision));
+        }
+        rows[p] = std::move(row);
+      },
+      config.threads);
+  for (auto& row : rows) {
     table.add_row(std::move(row));
   }
   return table;

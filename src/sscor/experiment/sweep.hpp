@@ -42,11 +42,17 @@ struct SweepSpec {
 };
 
 /// Progress callback: (point index, point count, human-readable label).
+/// Invocations are serialised, but when `config.threads != 1` sweep points
+/// run concurrently, so indices may arrive out of order.
 using ProgressFn =
     std::function<void(std::size_t, std::size_t, const std::string&)>;
 
 /// Runs the sweep over the paper's five-detector line-up and returns the
-/// table: first column the swept axis, one column per detector.
+/// table: first column the swept axis, one column per detector.  Sweep
+/// points are dispatched concurrently through the shared thread pool
+/// (`config.threads`; 1 = fully serial); every cell is a deterministic
+/// function of (config, spec), so the table is byte-identical for every
+/// thread count.
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
                     const ProgressFn& progress = {});
 

@@ -1,0 +1,116 @@
+#include "sscor/util/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace sscor::metrics {
+namespace {
+
+// Node-based maps keep the handed-out references valid forever; the mutex
+// only guards registration and snapshots, never the hot add() paths.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  os << seconds;
+  return os.str();
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+TimerStat& timer(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.timers[name];
+  if (!slot) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.timers.reserve(r.timers.size());
+  for (const auto& [name, t] : r.timers) {
+    snap.timers.push_back({name, t->count(), t->total_seconds()});
+  }
+  return snap;
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, t] : r.timers) t->reset();
+}
+
+TextTable Snapshot::to_table() const {
+  TextTable table({"kind", "name", "count", "value"});
+  for (const auto& c : counters) {
+    table.add_row({"counter", c.name, TextTable::cell(c.value), ""});
+  }
+  for (const auto& t : timers) {
+    table.add_row({"timer", t.name, TextTable::cell(t.count),
+                   format_seconds(t.seconds) + "s"});
+  }
+  return table;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& t : timers) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, t.name);
+    out += ": {\"count\": " + std::to_string(t.count) +
+           ", \"seconds\": " + format_seconds(t.seconds) + "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace sscor::metrics

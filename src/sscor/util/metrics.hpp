@@ -1,0 +1,118 @@
+// Run metrics: named monotonic counters and accumulated wall-clock timers.
+//
+// The experiment harness needs a perf trajectory — how many flows were
+// generated, how many detector runs executed, how many packets the
+// correlators accessed, and how long each phase took — without threading a
+// context object through every layer.  A process-wide registry of named
+// atomic counters/timers does that: any layer bumps its counter, the bench
+// front ends snapshot the registry and print it as a table or dump it as
+// JSON (BENCH_sweeps.json is produced this way).
+//
+// Counters and timers are thread-safe (relaxed atomics; totals are exact,
+// order-independent integers).  The registry hands out references that stay
+// valid for the process lifetime, so hot paths pay one hash lookup at setup
+// and one fetch_add per event.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "sscor/util/table.hpp"
+
+namespace sscor::metrics {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time over any number of scoped measurements.
+class TimerStat {
+ public:
+  void add_micros(std::int64_t us) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_us_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> total_us_{0};
+};
+
+/// Returns the counter / timer registered under `name`, creating it on
+/// first use.  References remain valid for the process lifetime.
+Counter& counter(const std::string& name);
+TimerStat& timer(const std::string& name);
+
+/// RAII wall-clock measurement added to timer(name) on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const std::string& name)
+      : stat_(timer(name)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stat_.add_micros(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat& stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every registered counter and timer, sorted by
+/// name so output is stable across runs and thread schedules.
+struct Snapshot {
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct TimerEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<TimerEntry> timers;
+
+  /// Renders both sections as one table (kind | name | count | value).
+  TextTable to_table() const;
+  /// {"counters": {name: value...}, "timers": {name: {count, seconds}...}}
+  std::string to_json() const;
+};
+
+Snapshot snapshot();
+
+/// Zeroes every registered counter and timer (test isolation; references
+/// stay valid).
+void reset();
+
+}  // namespace sscor::metrics

@@ -1,10 +1,6 @@
 #include "sscor/util/parallel.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "sscor/util/thread_pool.hpp"
 
 namespace sscor {
 
@@ -12,43 +8,12 @@ void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
   if (count == 0) return;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  if (threads > count) threads = static_cast<unsigned>(count);
-
   if (threads == 1) {
+    // Guaranteed inline: no pool is touched, no thread is spawned.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-  for (auto& thread : pool) {
-    thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::shared().for_each(count, fn, threads);
 }
 
 }  // namespace sscor

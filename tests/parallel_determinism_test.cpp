@@ -1,0 +1,122 @@
+// Determinism regression tests for the pooled experiment harness.
+//
+// The schedule-independence guarantee (DESIGN.md §8): the set of work items
+// and each item's computation are functions of (config, seed) only, and all
+// statistical reductions run sequentially — so every metric, and therefore
+// every rendered table, is byte-identical whether a sweep runs fully
+// serial (threads=1), on the shared pool, or twice in a row.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sscor/experiment/dataset.hpp"
+#include "sscor/experiment/evaluation.hpp"
+#include "sscor/experiment/sweep.hpp"
+
+namespace sscor::experiment {
+namespace {
+
+ExperimentConfig tiny_config(unsigned threads) {
+  ExperimentConfig config;
+  config.flows = 4;
+  config.packets_per_flow = 400;
+  config.fp_pairs = 6;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<DetectorMetrics> evaluate_with_threads(unsigned threads) {
+  const auto config = tiny_config(threads);
+  const Dataset dataset = Dataset::build(config);
+  const auto detectors = paper_detectors(config, seconds(std::int64_t{2}));
+  EvaluationRequest request;
+  request.max_delay = seconds(std::int64_t{2});
+  request.chaff_rate = 1.0;
+  request.run_detection = true;
+  request.run_false_positive = true;
+  return evaluate_point(dataset, detectors, request);
+}
+
+void expect_identical(const std::vector<DetectorMetrics>& a,
+                      const std::vector<DetectorMetrics>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    SCOPED_TRACE(a[d].detector);
+    EXPECT_EQ(a[d].detector, b[d].detector);
+    // Exact (bitwise) equality: identical arithmetic must run per item and
+    // per reduction regardless of the schedule.
+    EXPECT_EQ(a[d].detection_rate, b[d].detection_rate);
+    EXPECT_EQ(a[d].false_positive_rate, b[d].false_positive_rate);
+    EXPECT_EQ(a[d].cost_correlated.count(), b[d].cost_correlated.count());
+    EXPECT_EQ(a[d].cost_correlated.mean(), b[d].cost_correlated.mean());
+    EXPECT_EQ(a[d].cost_correlated.min(), b[d].cost_correlated.min());
+    EXPECT_EQ(a[d].cost_correlated.max(), b[d].cost_correlated.max());
+    EXPECT_EQ(a[d].cost_uncorrelated.count(),
+              b[d].cost_uncorrelated.count());
+    EXPECT_EQ(a[d].cost_uncorrelated.mean(), b[d].cost_uncorrelated.mean());
+    EXPECT_EQ(a[d].cost_uncorrelated.min(), b[d].cost_uncorrelated.min());
+    EXPECT_EQ(a[d].cost_uncorrelated.max(), b[d].cost_uncorrelated.max());
+  }
+}
+
+SweepSpec small_spec(Metric metric) {
+  SweepSpec spec;
+  spec.metric = metric;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = seconds(std::int64_t{2});
+  spec.chaff_rates = {0.0, 1.0};
+  return spec;
+}
+
+const Metric kAllMetrics[] = {
+    Metric::kDetectionRate,
+    Metric::kFalsePositiveRate,
+    Metric::kCostCorrelated,
+    Metric::kCostUncorrelated,
+};
+
+TEST(ParallelDeterminism, EvaluatePointSerialVersusPooled) {
+  const auto serial = evaluate_with_threads(1);
+  const auto pooled = evaluate_with_threads(4);
+  expect_identical(serial, pooled);
+}
+
+TEST(ParallelDeterminism, EvaluatePointPooledRunsRepeat) {
+  const auto first = evaluate_with_threads(4);
+  const auto second = evaluate_with_threads(4);
+  expect_identical(first, second);
+}
+
+TEST(ParallelDeterminism, SweepTablesByteIdenticalAcrossThreadCounts) {
+  for (const Metric metric : kAllMetrics) {
+    SCOPED_TRACE(to_string(metric));
+    const SweepSpec spec = small_spec(metric);
+    const std::string serial =
+        run_sweep(tiny_config(1), spec).to_csv();
+    const std::string pooled =
+        run_sweep(tiny_config(4), spec).to_csv();
+    EXPECT_EQ(serial, pooled);
+  }
+}
+
+TEST(ParallelDeterminism, ConsecutivePooledSweepsByteIdentical) {
+  const SweepSpec spec = small_spec(Metric::kDetectionRate);
+  const std::string first = run_sweep(tiny_config(4), spec).to_csv();
+  const std::string second = run_sweep(tiny_config(4), spec).to_csv();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ParallelDeterminism, MaxDelayAxisSerialVersusPooled) {
+  SweepSpec spec;
+  spec.metric = Metric::kFalsePositiveRate;
+  spec.axis = SweepAxis::kMaxDelay;
+  spec.fixed_chaff = 1.0;
+  spec.max_delays = {0, seconds(std::int64_t{1})};
+  EXPECT_EQ(run_sweep(tiny_config(1), spec).to_csv(),
+            run_sweep(tiny_config(4), spec).to_csv());
+}
+
+}  // namespace
+}  // namespace sscor::experiment

@@ -1,0 +1,69 @@
+// ThreadSanitizer smoke test for the pooled experiment harness.
+//
+// Built in every configuration (it doubles as a plain stress test); its
+// real purpose is the SSCOR_SANITIZE=thread build, where it must report
+// zero races while evaluate_point and run_sweep drive the shared pool with
+// 8 threads.  tools/run_checks.sh builds that configuration and runs this
+// binary; see README "Testing" for the manual invocation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sscor/experiment/dataset.hpp"
+#include "sscor/experiment/evaluation.hpp"
+#include "sscor/experiment/sweep.hpp"
+#include "sscor/util/parallel.hpp"
+
+namespace sscor::experiment {
+namespace {
+
+ExperimentConfig smoke_config() {
+  ExperimentConfig config;
+  config.flows = 4;
+  config.packets_per_flow = 400;
+  config.fp_pairs = 6;
+  config.threads = 8;
+  return config;
+}
+
+TEST(TsanSmoke, EvaluatePointWithEightThreads) {
+  const auto config = smoke_config();
+  const Dataset dataset = Dataset::build(config);
+  const auto detectors = paper_detectors(config, seconds(std::int64_t{2}));
+  EvaluationRequest request;
+  request.max_delay = seconds(std::int64_t{2});
+  request.chaff_rate = 1.0;
+  const auto metrics = evaluate_point(dataset, detectors, request);
+  ASSERT_EQ(metrics.size(), detectors.size());
+  for (const auto& m : metrics) {
+    EXPECT_GE(m.detection_rate, 0.0);
+    EXPECT_LE(m.detection_rate, 1.0);
+  }
+}
+
+TEST(TsanSmoke, PooledSweepWithEightThreads) {
+  SweepSpec spec;
+  spec.metric = Metric::kDetectionRate;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = seconds(std::int64_t{1});
+  spec.chaff_rates = {0.0, 1.0};
+  const TextTable table = run_sweep(smoke_config(), spec);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TsanSmoke, ConcurrentSubmittersShareThePool) {
+  std::atomic<std::size_t> total{0};
+  std::thread other([&] {
+    parallel_for(
+        2000, [&](std::size_t) { total.fetch_add(1); }, 8);
+  });
+  parallel_for(
+      2000, [&](std::size_t) { total.fetch_add(1); }, 8);
+  other.join();
+  EXPECT_EQ(total.load(), 4000u);
+}
+
+}  // namespace
+}  // namespace sscor::experiment

@@ -1,18 +1,24 @@
-// Unit tests for sscor/util: time, rng, stats, table.
+// Unit tests for sscor/util: time, rng, stats, table, thread pool, metrics.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
 #include "sscor/util/rng.hpp"
 #include "sscor/util/stats.hpp"
 #include "sscor/util/table.hpp"
+#include "sscor/util/thread_pool.hpp"
 #include "sscor/util/time.hpp"
 
 namespace sscor {
@@ -248,6 +254,167 @@ TEST(Parallel, PropagatesExceptions) {
           },
           4),
       std::runtime_error);
+}
+
+// Regression: a throwing item must stop sibling workers promptly — before
+// the fix, the worker that caught the exception returned while the others
+// kept draining every remaining item.  The thrower's whole first chunk is
+// abandoned, so at least chunk-many items can never run.
+TEST(Parallel, ErrorStopsSiblingsPromptly) {
+  constexpr std::size_t kCount = 20'000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          kCount,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("first item fails");
+            executed.fetch_add(1, std::memory_order_relaxed);
+          },
+          4),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), kCount - 1)
+      << "all items after the throwing one still ran";
+}
+
+namespace {
+
+// Linux: current thread count of this process, or 0 if unreadable.
+std::size_t os_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::stoul(line.substr(sizeof("Threads:") - 1)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(ThreadPool, ZeroCountIsNoOp) {
+  ThreadPool::shared().for_each(
+      0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, CountSmallerThanThreads) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(
+            1000,
+            [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); },
+            4);
+      },
+      4);
+  EXPECT_EQ(total.load(), 8u * 1000u);
+}
+
+TEST(ThreadPool, ExceptionFromArbitraryItemPropagatesExactlyOnce) {
+  // Many items throw; exactly one exception must reach the caller and the
+  // pool must stay usable afterwards.
+  int caught = 0;
+  try {
+    parallel_for(
+        1000, [](std::size_t) { throw std::runtime_error("every item"); }, 4);
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  std::atomic<std::size_t> after{0};
+  parallel_for(
+      100, [&](std::size_t) { after.fetch_add(1); }, 4);
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(ThreadPool, SurvivesManySmallDispatchesWithoutThreadGrowth) {
+  std::atomic<std::size_t> total{0};
+  // Warm the shared pool so its workers exist before the baseline count.
+  parallel_for(64, [&](std::size_t) { total.fetch_add(1); }, 4);
+  const std::size_t before = os_thread_count();
+  for (int round = 0; round < 10'000; ++round) {
+    parallel_for(4, [&](std::size_t) { total.fetch_add(1); }, 4);
+  }
+  const std::size_t after = os_thread_count();
+  EXPECT_EQ(total.load(), 64u + 10'000u * 4u);
+  if (before != 0) {
+    EXPECT_EQ(after, before) << "pool grew threads across dispatches";
+  }
+}
+
+TEST(ThreadPool, ConcurrentTopLevelSubmissionsSerialise) {
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        parallel_for(
+            200, [&](std::size_t) { total.fetch_add(1); }, 4);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 200u);
+}
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  metrics::Counter c;
+  parallel_for(
+      1000, [&](std::size_t) { c.add(2); }, 4);
+  EXPECT_EQ(c.value(), 2000u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryTimersAndSnapshot) {
+  metrics::reset();
+  metrics::counter("test.events").add(7);
+  { const metrics::ScopedTimer timer("test.phase"); }
+  { const metrics::ScopedTimer timer("test.phase"); }
+  const auto snap = metrics::snapshot();
+
+  bool found_counter = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.events") {
+      found_counter = true;
+      EXPECT_EQ(c.value, 7u);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  bool found_timer = false;
+  for (const auto& t : snap.timers) {
+    if (t.name == "test.phase") {
+      found_timer = true;
+      EXPECT_EQ(t.count, 2u);
+      EXPECT_GE(t.seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_timer);
+
+  const std::string table = snap.to_table().to_string();
+  EXPECT_NE(table.find("test.events"), std::string::npos);
+  EXPECT_NE(table.find("test.phase"), std::string::npos);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"test.events\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+
+  metrics::reset();
+  EXPECT_EQ(metrics::counter("test.events").value(), 0u);
 }
 
 TEST(Table, RenderAndCsv) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification entry point (documented in README "Testing"):
+#
+#   1. configure + build the default (RelWithDebInfo) tree and run the
+#      whole ctest suite — the tier-1 gate;
+#   2. configure + build a ThreadSanitizer tree (-DSSCOR_SANITIZE=thread,
+#      tests only) and run the concurrency smoke tests, which must report
+#      zero races.
+#
+# Usage: tools/run_checks.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+tsan_dir="${2:-$repo_root/build-tsan}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== [1/2] default build + full test suite =="
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "== [2/2] ThreadSanitizer build + concurrency smoke tests =="
+cmake -B "$tsan_dir" -S "$repo_root" \
+  -DSSCOR_SANITIZE=thread \
+  -DSSCOR_BUILD_BENCH=OFF \
+  -DSSCOR_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_dir" -j "$jobs" \
+  --target tsan_smoke_test util_test parallel_determinism_test
+ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
+  -R 'TsanSmoke|ThreadPool|Parallel'
+
+echo "all checks passed"

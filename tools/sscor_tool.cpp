@@ -12,6 +12,9 @@
 //                       --key secret.key [--algorithm greedy+]
 //                       [--max-delay-s 7] [--threshold 7] [--robust]
 //
+// Every command additionally accepts --metrics: print the run-metrics
+// registry (counters and wall-clock timers) to stderr on exit.
+//
 // generate -> embed -> perturb -> detect exercises the full system from
 // the shell; see README.md for a walkthrough.
 
@@ -29,6 +32,7 @@
 #include "sscor/traffic/chaff.hpp"
 #include "sscor/traffic/interactive_model.hpp"
 #include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/metrics.hpp"
 #include "sscor/util/table.hpp"
 #include "sscor/watermark/embedder.hpp"
 #include "sscor/watermark/key_file.hpp"
@@ -112,10 +116,14 @@ int cmd_generate(const Args& args) {
   std::vector<Flow> generated;
   std::vector<SynthesisInput> inputs;
   generated.reserve(flows);
-  for (std::size_t i = 0; i < flows; ++i) {
-    generated.push_back(
-        generator->generate(packets, 0, mix_seeds(seed, i)));
+  {
+    const metrics::ScopedTimer timer("tool.generate");
+    for (std::size_t i = 0; i < flows; ++i) {
+      generated.push_back(
+          generator->generate(packets, 0, mix_seeds(seed, i)));
+    }
   }
+  metrics::counter("tool.flows_generated").add(flows);
   for (std::size_t i = 0; i < flows; ++i) {
     inputs.push_back(SynthesisInput{tuple_for_index(i), &generated[i]});
   }
@@ -222,6 +230,7 @@ int cmd_detect(const Args& args) {
   }
 
   int correlated = 0;
+  const metrics::ScopedTimer timer("tool.detect");
   for (const auto& up : upstream) {
     const WatermarkedFlow handle{up.flow,
                                  secret.schedule_for(up.flow.size()),
@@ -234,6 +243,8 @@ int cmd_detect(const Args& args) {
       } else {
         r = Correlator(config, algorithm).correlate(handle, down.flow);
       }
+      metrics::counter("tool.detections_run").add(1);
+      metrics::counter("tool.packets_accessed").add(r.cost);
       std::printf("%-42s -> %-42s : %s (hamming %s, cost %llu)\n",
                   up.tuple.to_string().c_str(),
                   down.tuple.to_string().c_str(),
@@ -253,6 +264,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sscor_tool <generate|stats|embed|perturb|detect> [flags]\n"
+      "       (append --metrics to print run counters/timers on exit)\n"
       "see the header of tools/sscor_tool.cpp for full flag reference\n");
   return 2;
 }
@@ -264,12 +276,25 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "embed") return cmd_embed(args);
-    if (command == "perturb") return cmd_perturb(args);
-    if (command == "detect") return cmd_detect(args);
-    return usage();
+    int rc;
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "stats") {
+      rc = cmd_stats(args);
+    } else if (command == "embed") {
+      rc = cmd_embed(args);
+    } else if (command == "perturb") {
+      rc = cmd_perturb(args);
+    } else if (command == "detect") {
+      rc = cmd_detect(args);
+    } else {
+      return usage();
+    }
+    if (args.flag("metrics")) {
+      std::fprintf(stderr, "\nrun metrics:\n%s",
+                   metrics::snapshot().to_table().to_string().c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
