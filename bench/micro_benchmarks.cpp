@@ -85,8 +85,8 @@ BENCHMARK(BM_PositionalDecode);
 
 void BM_MatchingScan(benchmark::State& state) {
   const Fixture& f = fixture(static_cast<double>(state.range(0)));
-  const auto up = f.marked.flow.timestamps();
-  const auto down = f.downstream.timestamps();
+  const auto& up = f.marked.flow.timestamps();
+  const auto& down = f.downstream.timestamps();
   for (auto _ : state) {
     CostMeter cost;
     benchmark::DoNotOptimize(scan_match_windows(up, down, kDelta, cost));

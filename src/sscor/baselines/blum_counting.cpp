@@ -24,8 +24,8 @@ BlumCountingResult blum_counting_correlate(const Flow& upstream,
     return result;
   }
 
-  const std::vector<TimeUs> up = upstream.timestamps();
-  const std::vector<TimeUs> down = downstream.timestamps();
+  const std::vector<TimeUs>& up = upstream.timestamps();
+  const std::vector<TimeUs>& down = downstream.timestamps();
 
   // Walk the grid with two monotone pointers; each pointer advance is a
   // packet access under the paper's cost metric.

@@ -14,6 +14,7 @@
 
 #include "sscor/correlation/correlator.hpp"
 #include "sscor/flow/flow.hpp"
+#include "sscor/matching/match_context.hpp"
 #include "sscor/watermark/embedder.hpp"
 
 namespace sscor {
@@ -35,6 +36,24 @@ class Detector {
   virtual DetectionOutcome detect(const WatermarkedFlow& watermarked,
                                   const Flow& suspicious) const = 0;
   virtual std::string name() const = 0;
+
+  /// The MatchContextKey this detector's matching phase would use, or
+  /// nullopt when the detector cannot profit from a shared MatchContext
+  /// (passive baselines; Greedy, whose cost model bypasses the full scan).
+  /// Detectors of the same key within one harness sweep can share a single
+  /// context per flow pair.
+  virtual std::optional<MatchContextKey> shared_match_key() const {
+    return std::nullopt;
+  }
+
+  /// detect(), consuming an optional precomputed MatchContext for the
+  /// pair.  The default ignores the context — only detectors that report a
+  /// shared_match_key() do better.
+  virtual DetectionOutcome detect_with_context(
+      const WatermarkedFlow& watermarked, const Flow& suspicious,
+      const MatchContext* /*context*/) const {
+    return detect(watermarked, suspicious);
+  }
 };
 
 /// Adapts a Correlator (BruteForce/Greedy/Greedy+/Greedy*) to Detector.
@@ -45,7 +64,14 @@ class CorrelatorDetector final : public Detector {
 
   DetectionOutcome detect(const WatermarkedFlow& watermarked,
                           const Flow& suspicious) const override {
-    const CorrelationResult r = correlator_.correlate(watermarked, suspicious);
+    return detect_with_context(watermarked, suspicious, nullptr);
+  }
+
+  DetectionOutcome detect_with_context(
+      const WatermarkedFlow& watermarked, const Flow& suspicious,
+      const MatchContext* context) const override {
+    const CorrelationResult r =
+        correlator_.correlate(watermarked, suspicious, context);
     DetectionOutcome outcome{r.correlated, r.cost, std::nullopt};
     // Rejections before decoding carry no meaningful distance; report the
     // worst score so threshold sweeps treat them as maximally unlikely.
@@ -53,6 +79,14 @@ class CorrelatorDetector final : public Detector {
                         ? static_cast<double>(r.hamming)
                         : static_cast<double>(watermarked.watermark.size());
     return outcome;
+  }
+
+  std::optional<MatchContextKey> shared_match_key() const override {
+    // Greedy never materialises the matching sets (its cost model is the
+    // binary-search probes), so sharing a context buys it nothing.
+    if (correlator_.algorithm() == Algorithm::kGreedy) return std::nullopt;
+    return MatchContextKey{correlator_.config().max_delay,
+                           correlator_.config().size_constraint};
   }
 
   std::string name() const override {

@@ -16,8 +16,8 @@ DeviationResult deviation_correlate(const Flow& upstream,
   if (n == 0 || m < n) {
     return result;
   }
-  const std::vector<TimeUs> up = upstream.timestamps();
-  const std::vector<TimeUs> down = downstream.timestamps();
+  const std::vector<TimeUs>& up = upstream.timestamps();
+  const std::vector<TimeUs>& down = downstream.timestamps();
 
   const std::size_t alignments =
       std::min<std::size_t>(m - n + 1, params.max_alignments);

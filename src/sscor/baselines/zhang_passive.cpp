@@ -63,8 +63,8 @@ ZhangPassiveResult zhang_passive_correlate(const Flow& upstream,
       upstream.size() > downstream.size() + max_skips) {
     return result;  // enough matches are impossible
   }
-  const std::vector<TimeUs> up = upstream.timestamps();
-  const std::vector<TimeUs> down = downstream.timestamps();
+  const std::vector<TimeUs>& up = upstream.timestamps();
+  const std::vector<TimeUs>& down = downstream.timestamps();
   CostMeter cost;
   // The scheme reports the *smallest* deviation, so every candidate shift
   // over [0, max_delay] is scanned (no early exit on the first feasible

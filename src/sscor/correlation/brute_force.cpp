@@ -1,10 +1,13 @@
 #include "sscor/correlation/brute_force.hpp"
 
 #include <limits>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/matching/candidate_sets.hpp"
+#include "sscor/util/error.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -28,6 +31,7 @@ class BruteForceSearch {
       slot_of_[plan.slots()[s].up_index] = s;
     }
     slot_down_index_.assign(plan.slots().size(), 0);
+    leaf_bits_.resize(plan.bit_count());
     best_hamming_ = std::numeric_limits<std::uint32_t>::max();
   }
 
@@ -65,7 +69,6 @@ class BruteForceSearch {
   }
 
   void evaluate_leaf() {
-    std::vector<std::uint8_t> bits(plan_.bit_count());
     std::uint32_t hamming = 0;
     for (std::uint32_t bit = 0; bit < plan_.bit_count(); ++bit) {
       DurationUs sum = 0;
@@ -76,12 +79,12 @@ class BruteForceSearch {
                                down_ts_[slot_down_index_[ps.first_slot]];
         sum += ps.group1 ? ipd : -ipd;
       }
-      bits[bit] = decode_bit(sum);
-      hamming += bits[bit] != plan_.target().bit(bit);
+      leaf_bits_[bit] = decode_bit(sum);
+      hamming += leaf_bits_[bit] != plan_.target().bit(bit);
     }
     if (hamming < best_hamming_) {
       best_hamming_ = hamming;
-      best_watermark_ = Watermark(std::move(bits));
+      best_watermark_ = Watermark(leaf_bits_);
       if (stop_at_threshold_ && best_hamming_ <= threshold_) {
         done_ = true;
       }
@@ -96,6 +99,9 @@ class BruteForceSearch {
   bool stop_at_threshold_;
   std::vector<std::uint32_t> slot_of_;
   std::vector<std::uint32_t> slot_down_index_;
+  /// Per-leaf decode scratch, reused across the exponential enumeration so
+  /// each leaf costs no allocation.
+  std::vector<std::uint8_t> leaf_bits_;
   std::uint32_t best_hamming_ = 0;
   Watermark best_watermark_;
   bool bound_hit_ = false;
@@ -108,24 +114,50 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
                                   const Watermark& target,
                                   const Flow& upstream, const Flow& downstream,
                                   const CorrelatorConfig& config,
-                                  const BruteForceOptions& options) {
+                                  const BruteForceOptions& options,
+                                  const MatchContext* context) {
+  require(context == nullptr ||
+              context->matches(upstream, downstream, config.max_delay,
+                               config.size_constraint),
+          "MatchContext was built for a different pair or key");
   CostMeter cost(config.cost_bound);
   CorrelationResult result;
   result.algorithm = Algorithm::kBruteForce;
 
-  auto sets = CandidateSets::build(upstream, downstream, config.max_delay,
-                                   config.size_constraint, cost);
-  if (!sets.complete() || (options.prune && !sets.prune(cost))) {
+  auto rejected = [&] {
     result.correlated = false;
     result.matching_complete = false;
     result.hamming = static_cast<std::uint32_t>(target.size());
     result.cost = cost.accesses();
     return result;
+  };
+
+  std::optional<CandidateSets> owned;
+  const CandidateSets* sets = nullptr;
+  if (context != nullptr) {
+    // Cache hit: replay the recorded matching cost, then enumerate over
+    // the context's sets (pruned or built, matching the cold-path choice).
+    cost.count(context->build_cost());
+    if (!context->complete()) return rejected();
+    if (options.prune) {
+      cost.count(context->prune_cost());
+      if (!context->prune_ok()) return rejected();
+      sets = &context->pruned_sets();
+    } else {
+      sets = &context->built_sets();
+    }
+  } else {
+    owned.emplace(CandidateSets::build(upstream, downstream, config.max_delay,
+                                       config.size_constraint, cost));
+    if (!owned->complete() || (options.prune && !owned->prune(cost))) {
+      return rejected();
+    }
+    sets = &*owned;
   }
 
   const DecodePlan plan(schedule, target);
-  const std::vector<TimeUs> down_ts = downstream.timestamps();
-  BruteForceSearch search(plan, sets, down_ts, cost,
+  std::span<const TimeUs> down_ts = downstream.timestamps();
+  BruteForceSearch search(plan, *sets, down_ts, cost,
                           config.hamming_threshold,
                           options.stop_at_threshold);
   search.run();

@@ -5,6 +5,7 @@
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
 #include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
 
 namespace sscor {
 
@@ -29,21 +30,36 @@ Correlator::Correlator(CorrelatorConfig config, Algorithm algorithm)
 }
 
 CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
-                                        const Flow& suspicious) const {
+                                        const Flow& suspicious,
+                                        const MatchContext* context) const {
+  if (context != nullptr) {
+    // Drop a context built for another pair or key rather than throwing:
+    // the caller may hold one context while scanning many suspects.
+    static metrics::Counter& hits = metrics::counter("match_context.hits");
+    static metrics::Counter& misses = metrics::counter("match_context.misses");
+    if (context->matches(watermarked.flow, suspicious, config_.max_delay,
+                         config_.size_constraint)) {
+      hits.add();
+    } else {
+      misses.add();
+      context = nullptr;
+    }
+  }
   switch (algorithm_) {
     case Algorithm::kBruteForce:
       return run_brute_force(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_);
+                             watermarked.flow, suspicious, config_, {},
+                             context);
     case Algorithm::kGreedy: {
       const DecodePlan plan(watermarked.schedule, watermarked.watermark);
-      return run_greedy(plan, watermarked.flow, suspicious, config_);
+      return run_greedy(plan, watermarked.flow, suspicious, config_, context);
     }
     case Algorithm::kGreedyPlus:
       return run_greedy_plus(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_);
+                             watermarked.flow, suspicious, config_, context);
     case Algorithm::kGreedyStar:
       return run_greedy_star(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_);
+                             watermarked.flow, suspicious, config_, context);
   }
   throw InternalError("unhandled algorithm");
 }

@@ -13,6 +13,7 @@
 
 #include "sscor/correlation/result.hpp"
 #include "sscor/flow/flow.hpp"
+#include "sscor/matching/match_context.hpp"
 #include "sscor/watermark/embedder.hpp"
 
 namespace sscor {
@@ -24,8 +25,16 @@ class Correlator {
   /// Decides whether `suspicious` is a downstream flow of the watermarked
   /// flow, by decoding the best watermark achievable over matching-packet
   /// subsequences and comparing it to the embedded one.
+  ///
+  /// `context`, when non-null, is a precomputed MatchContext for the
+  /// (watermarked.flow, suspicious, config) triple; the matching phase is
+  /// then replayed from the cache with its recorded cost instead of being
+  /// recomputed.  A context built for a different pair or key is silently
+  /// ignored (counted under `match_context.misses`), so callers can pass
+  /// whatever context they have on hand.
   CorrelationResult correlate(const WatermarkedFlow& watermarked,
-                              const Flow& suspicious) const;
+                              const Flow& suspicious,
+                              const MatchContext* context = nullptr) const;
 
   const CorrelatorConfig& config() const { return config_; }
   Algorithm algorithm() const { return algorithm_; }

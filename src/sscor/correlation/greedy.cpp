@@ -5,6 +5,7 @@
 
 #include "sscor/matching/match_windows.hpp"
 #include "sscor/traffic/size_model.hpp"
+#include "sscor/util/error.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -47,9 +48,14 @@ std::optional<std::uint32_t> extreme_candidate(
 
 CorrelationResult run_greedy(const DecodePlan& plan, const Flow& upstream,
                              const Flow& downstream,
-                             const CorrelatorConfig& config) {
+                             const CorrelatorConfig& config,
+                             const MatchContext* context) {
+  require(context == nullptr ||
+              context->matches(upstream, downstream, config.max_delay,
+                               config.size_constraint),
+          "MatchContext was built for a different pair or key");
   CostMeter cost;
-  const std::vector<TimeUs> down_ts = downstream.timestamps();
+  const std::vector<TimeUs>& down_ts = downstream.timestamps();
 
   // Locate each relevant packet's preferred candidate.
   const auto slots = plan.slots();

@@ -4,13 +4,20 @@
 #include <cstdlib>
 #include <limits>
 
+#include "sscor/util/error.hpp"
+
 namespace sscor {
 namespace detail {
 
 std::unique_ptr<MatchedDecode> run_shared_phases(
     const KeySchedule& schedule, const Watermark& target, const Flow& upstream,
     const Flow& downstream, const CorrelatorConfig& config,
-    Algorithm algorithm, std::uint64_t cost_bound) {
+    Algorithm algorithm, std::uint64_t cost_bound,
+    const MatchContext* context) {
+  require(context == nullptr ||
+              context->matches(upstream, downstream, config.max_delay,
+                               config.size_constraint),
+          "MatchContext was built for a different pair or key");
   auto md = std::make_unique<MatchedDecode>();
   md->cost = CostMeter(cost_bound);
   md->down_ts = downstream.timestamps();
@@ -30,11 +37,22 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
 
   // Phase 1: full matching + pruning.  An upstream packet without a match,
   // or an infeasible pruning, is an immediate negative (paper §3.2).
-  md->sets = std::make_unique<CandidateSets>(
-      CandidateSets::build(upstream, downstream, config.max_delay,
-                           config.size_constraint, md->cost));
-  if (!md->sets->complete()) return rejected(false);
-  if (!md->sets->prune(md->cost)) return rejected(false);
+  if (context != nullptr) {
+    // Cache hit: replay the recorded access counts so the reported cost is
+    // identical to a cold run (the cost-replay invariant, DESIGN.md).
+    md->cost.count(context->build_cost());
+    if (!context->complete()) return rejected(false);
+    md->cost.count(context->prune_cost());
+    if (!context->prune_ok()) return rejected(false);
+    md->sets = &context->pruned_sets();
+  } else {
+    md->owned_sets = std::make_unique<CandidateSets>(
+        CandidateSets::build(upstream, downstream, config.max_delay,
+                             config.size_constraint, md->cost));
+    if (!md->owned_sets->complete()) return rejected(false);
+    if (!md->owned_sets->prune(md->cost)) return rejected(false);
+    md->sets = md->owned_sets.get();
+  }
 
   // Phase 2: Greedy on the pruned sets.
   md->plan = std::make_unique<DecodePlan>(schedule, target);
@@ -101,11 +119,12 @@ CorrelationResult finish_result(Algorithm algorithm,
 CorrelationResult run_greedy_plus(const KeySchedule& schedule,
                                   const Watermark& target,
                                   const Flow& upstream, const Flow& downstream,
-                                  const CorrelatorConfig& config) {
+                                  const CorrelatorConfig& config,
+                                  const MatchContext* context) {
   auto md = detail::run_shared_phases(
       schedule, target, upstream, downstream, config,
       Algorithm::kGreedyPlus,
-      std::numeric_limits<std::uint64_t>::max());
+      std::numeric_limits<std::uint64_t>::max(), context);
   if (md->early) return *md->early;
 
   // Phase 4: local search over the still-fixable mismatched bits.

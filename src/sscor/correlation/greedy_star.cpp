@@ -148,10 +148,11 @@ class StarEnumerator {
 CorrelationResult run_greedy_star(const KeySchedule& schedule,
                                   const Watermark& target,
                                   const Flow& upstream, const Flow& downstream,
-                                  const CorrelatorConfig& config) {
+                                  const CorrelatorConfig& config,
+                                  const MatchContext* context) {
   auto md = detail::run_shared_phases(schedule, target, upstream, downstream,
                                       config, Algorithm::kGreedyStar,
-                                      config.cost_bound);
+                                      config.cost_bound, context);
   if (md->early) {
     md->early->cost_bound_hit = md->cost.exhausted();
     return *md->early;

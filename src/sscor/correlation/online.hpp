@@ -24,6 +24,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sscor/correlation/correlator.hpp"
@@ -81,7 +82,9 @@ class OnlineCorrelator {
   Algorithm algorithm_;
   DecodePlan plan_;
 
-  std::vector<TimeUs> up_ts_;
+  /// View into watermarked_.flow's timestamp cache (declared after it, so
+  /// the viewed vector is already constructed and owned by this object).
+  std::span<const TimeUs> up_ts_;
   std::vector<PacketRecord> downstream_;
   std::vector<MatchWindow> windows_;
   std::vector<bool> window_final_;

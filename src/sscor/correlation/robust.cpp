@@ -7,6 +7,7 @@
 
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/matching/candidate_sets.hpp"
+#include "sscor/util/error.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -57,13 +58,26 @@ CorrelationResult run_greedy_plus_robust(const KeySchedule& schedule,
                                          const Flow& upstream,
                                          const Flow& downstream,
                                          const CorrelatorConfig& config,
-                                         const RobustOptions& options) {
+                                         const RobustOptions& options,
+                                         const MatchContext* context) {
+  require(context == nullptr ||
+              context->matches(upstream, downstream, config.max_delay,
+                               config.size_constraint),
+          "MatchContext was built for a different pair or key");
   CostMeter cost;
   CorrelationResult result;
   result.algorithm = Algorithm::kGreedyPlus;
 
-  auto sets = CandidateSets::build(upstream, downstream, config.max_delay,
-                                   config.size_constraint, cost);
+  CandidateSets sets;
+  if (context != nullptr) {
+    // The gap-prune budget depends on `options`, so only the built sets
+    // come from the cache; pruning runs live on this copy.
+    cost.count(context->build_cost());
+    sets = context->built_sets();
+  } else {
+    sets = CandidateSets::build(upstream, downstream, config.max_delay,
+                                config.size_constraint, cost);
+  }
   const auto budget = static_cast<std::size_t>(
       options.max_unmatched_fraction *
       static_cast<double>(upstream.size()));
@@ -79,7 +93,7 @@ CorrelationResult run_greedy_plus_robust(const KeySchedule& schedule,
   }
 
   const DecodePlan plan(schedule, target);
-  const std::vector<TimeUs> down_ts = downstream.timestamps();
+  std::span<const TimeUs> down_ts = downstream.timestamps();
   const auto slots = plan.slots();
 
   // Phase 2: greedy on the pruned sets (per-bit extremes), skipping

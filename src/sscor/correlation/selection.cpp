@@ -129,7 +129,8 @@ SelectionState::MoveOutcome SelectionState::try_advance(
 
   // Build the hypothetical move: slot one step right, later slots cascaded
   // to the smallest candidates restoring strict order.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> changes;
+  auto& changes = scratch_changes_;
+  changes.clear();
   changes.emplace_back(slot, positions_[slot] + 1);
   std::uint32_t prev_idx = own[positions_[slot] + 1];
   for (std::uint32_t q = slot + 1; q < slot_count(); ++q) {
@@ -153,7 +154,8 @@ SelectionState::MoveOutcome SelectionState::try_advance(
   }
 
   // Which bits does the move touch?
-  std::vector<std::uint32_t> affected;
+  auto& affected = scratch_affected_;
+  affected.clear();
   for (const auto& [s, pos] : changes) {
     (void)pos;
     const std::uint32_t bit = plan_->slots()[s].bit;
@@ -164,7 +166,8 @@ SelectionState::MoveOutcome SelectionState::try_advance(
 
   // Evaluate: the focus bit must strictly improve toward its wanted sign
   // and no currently-matching bit may flip.
-  std::vector<DurationUs> new_diffs(affected.size());
+  auto& new_diffs = scratch_new_diffs_;
+  new_diffs.assign(affected.size(), 0);
   bool focus_improved = false;
   for (std::size_t i = 0; i < affected.size(); ++i) {
     const std::uint32_t bit = affected[i];

@@ -114,6 +114,11 @@ class SelectionState {
   std::vector<std::uint32_t> positions_;
   std::vector<std::uint32_t> greedy_positions_;
   std::vector<DurationUs> bit_diffs_;
+  // try_advance scratch, reused across the phase-4 hot loop so a rejected
+  // move costs no allocation.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> scratch_changes_;
+  std::vector<std::uint32_t> scratch_affected_;
+  std::vector<DurationUs> scratch_new_diffs_;
 };
 
 }  // namespace sscor

@@ -2,10 +2,30 @@
 
 #include "sscor/baselines/basic_watermark.hpp"
 #include "sscor/baselines/zhang_passive.hpp"
+#include "sscor/matching/match_context.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
 
 namespace sscor::experiment {
+namespace {
+
+/// Per-pair cache of MatchContexts, one per distinct key among the swept
+/// detectors (in the paper sweep all correlator detectors share one key, so
+/// this holds at most one entry).  Returns a reference valid until the next
+/// insertion.
+const MatchContext& context_for(
+    std::vector<std::pair<MatchContextKey, MatchContext>>& cache,
+    const Flow& upstream, const Flow& downstream, const MatchContextKey& key) {
+  for (const auto& [k, ctx] : cache) {
+    if (k == key) return ctx;
+  }
+  sscor::metrics::counter("match_context.builds").add();
+  cache.emplace_back(key, MatchContext::build(upstream, downstream,
+                                              key.max_delay, key.size));
+  return cache.back().second;
+}
+
+}  // namespace
 
 std::vector<std::unique_ptr<Detector>> paper_detectors(
     const ExperimentConfig& config, DurationUs max_delay) {
@@ -59,26 +79,38 @@ std::vector<DetectorMetrics> evaluate_point(
 
   if (request.run_detection) {
     const sscor::metrics::ScopedTimer timer("eval.detection");
-    std::vector<DetectionOutcome> outcomes(dataset.size());
+    // Pair-outer / detector-inner: the watermark-independent matching
+    // phase is computed once per pair and shared by every detector with
+    // the same key, so at most one MatchContext is alive per worker.
+    std::vector<std::vector<DetectionOutcome>> outcomes(
+        detectors.size(), std::vector<DetectionOutcome>(dataset.size()));
+    parallel_for(
+        dataset.size(),
+        [&](std::size_t i) {
+          const WatermarkedFlow& up = dataset.upstream(i);
+          const Flow& down = downstream[i];
+          std::vector<std::pair<MatchContextKey, MatchContext>> contexts;
+          for (std::size_t d = 0; d < detectors.size(); ++d) {
+            const auto key = detectors[d]->shared_match_key();
+            const MatchContext* context =
+                key ? &context_for(contexts, up.flow, down, *key) : nullptr;
+            outcomes[d][i] =
+                detectors[d]->detect_with_context(up, down, context);
+          }
+        },
+        threads);
+    // Reduce sequentially so the statistics are schedule-independent.
     for (std::size_t d = 0; d < detectors.size(); ++d) {
-      parallel_for(
-          dataset.size(),
-          [&](std::size_t i) {
-            outcomes[i] =
-                detectors[d]->detect(dataset.upstream(i), downstream[i]);
-          },
-          threads);
-      // Reduce sequentially so the statistics are schedule-independent.
       std::size_t detected = 0;
       std::uint64_t packets_accessed = 0;
-      for (const auto& outcome : outcomes) {
+      for (const auto& outcome : outcomes[d]) {
         detected += outcome.correlated;
         packets_accessed += outcome.cost;
         metrics[d].cost_correlated.add(static_cast<double>(outcome.cost));
       }
       metrics[d].detection_rate =
           static_cast<double>(detected) / static_cast<double>(dataset.size());
-      sscor::metrics::counter("eval.detections_run").add(outcomes.size());
+      sscor::metrics::counter("eval.detections_run").add(outcomes[d].size());
       sscor::metrics::counter("eval.packets_accessed").add(packets_accessed);
     }
   }
@@ -86,19 +118,28 @@ std::vector<DetectorMetrics> evaluate_point(
   if (request.run_false_positive) {
     const sscor::metrics::ScopedTimer timer("eval.false_positive");
     const auto pairs = dataset.sample_fp_pairs(dataset.config().fp_pairs);
-    std::vector<DetectionOutcome> outcomes(pairs.size());
+    std::vector<std::vector<DetectionOutcome>> outcomes(
+        detectors.size(), std::vector<DetectionOutcome>(pairs.size()));
+    parallel_for(
+        pairs.size(),
+        [&](std::size_t k) {
+          const auto& [i, j] = pairs[k];
+          const WatermarkedFlow& up = dataset.upstream(i);
+          const Flow& down = downstream[j];
+          std::vector<std::pair<MatchContextKey, MatchContext>> contexts;
+          for (std::size_t d = 0; d < detectors.size(); ++d) {
+            const auto key = detectors[d]->shared_match_key();
+            const MatchContext* context =
+                key ? &context_for(contexts, up.flow, down, *key) : nullptr;
+            outcomes[d][k] =
+                detectors[d]->detect_with_context(up, down, context);
+          }
+        },
+        threads);
     for (std::size_t d = 0; d < detectors.size(); ++d) {
-      parallel_for(
-          pairs.size(),
-          [&](std::size_t k) {
-            const auto& [i, j] = pairs[k];
-            outcomes[k] =
-                detectors[d]->detect(dataset.upstream(i), downstream[j]);
-          },
-          threads);
       std::size_t false_positives = 0;
       std::uint64_t packets_accessed = 0;
-      for (const auto& outcome : outcomes) {
+      for (const auto& outcome : outcomes[d]) {
         false_positives += outcome.correlated;
         packets_accessed += outcome.cost;
         metrics[d].cost_uncorrelated.add(static_cast<double>(outcome.cost));
@@ -106,7 +147,7 @@ std::vector<DetectorMetrics> evaluate_point(
       metrics[d].false_positive_rate =
           static_cast<double>(false_positives) /
           static_cast<double>(pairs.size());
-      sscor::metrics::counter("eval.detections_run").add(outcomes.size());
+      sscor::metrics::counter("eval.detections_run").add(outcomes[d].size());
       sscor::metrics::counter("eval.packets_accessed").add(packets_accessed);
     }
   }

@@ -13,6 +13,14 @@ Flow::Flow(std::vector<PacketRecord> packets, std::string id)
                    [](const PacketRecord& a, const PacketRecord& b) {
                      return a.timestamp < b.timestamp;
                    });
+  rebuild_timestamp_cache();
+}
+
+void Flow::rebuild_timestamp_cache() {
+  timestamps_.resize(packets_.size());
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    timestamps_[i] = packets_[i].timestamp;
+  }
 }
 
 Flow Flow::from_timestamps(std::span<const TimeUs> timestamps,
@@ -37,13 +45,6 @@ TimeUs Flow::end_time() const {
 
 DurationUs Flow::duration() const {
   return packets_.empty() ? 0 : end_time() - start_time();
-}
-
-std::vector<TimeUs> Flow::timestamps() const {
-  std::vector<TimeUs> out;
-  out.reserve(packets_.size());
-  for (const auto& p : packets_) out.push_back(p.timestamp);
-  return out;
 }
 
 DurationUs Flow::ipd(std::size_t i) const {
@@ -83,6 +84,7 @@ Flow Flow::shifted(DurationUs delta) const {
   for (auto& p : packets) p.timestamp += delta;
   Flow out;
   out.packets_ = std::move(packets);  // order preserved by a uniform shift
+  out.rebuild_timestamp_cache();
   out.id_ = id_;
   return out;
 }
@@ -91,6 +93,7 @@ void Flow::append(PacketRecord packet) {
   require(packets_.empty() || packet.timestamp >= packets_.back().timestamp,
           "append would violate timestamp ordering");
   packets_.push_back(packet);
+  timestamps_.push_back(packet.timestamp);
 }
 
 Flow merge_flows(const Flow& a, const Flow& b, std::string id) {

@@ -50,8 +50,11 @@ class Flow {
   TimeUs end_time() const;
   DurationUs duration() const;
 
-  /// All timestamps as a flat vector (convenience for the matcher).
-  std::vector<TimeUs> timestamps() const;
+  /// All timestamps as one contiguous array, kept in sync with the packet
+  /// list.  Zero-copy: the reference stays valid for the Flow's lifetime,
+  /// so matching and decoding hold `std::span<const TimeUs>` views into it
+  /// instead of materialising per-call copies.
+  const std::vector<TimeUs>& timestamps() const { return timestamps_; }
 
   /// Inter-packet delay between consecutive packets i and i+1.
   DurationUs ipd(std::size_t i) const;
@@ -68,7 +71,12 @@ class Flow {
   void append(PacketRecord packet);
 
  private:
+  void rebuild_timestamp_cache();
+
   std::vector<PacketRecord> packets_;
+  /// Parallel array of packets_[i].timestamp (class invariant), so the hot
+  /// decode paths read timestamps from a dense array without copying.
+  std::vector<TimeUs> timestamps_;
   std::string id_;
 };
 

@@ -13,44 +13,61 @@ CandidateSets CandidateSets::build(const Flow& upstream,
                                    DurationUs max_delay,
                                    const std::optional<SizeConstraint>& size,
                                    CostMeter& cost) {
-  const std::vector<TimeUs> up_ts = upstream.timestamps();
-  const std::vector<TimeUs> down_ts = downstream.timestamps();
-  const auto windows = scan_match_windows(up_ts, down_ts, max_delay, cost);
+  const auto windows = scan_match_windows(upstream.timestamps(),
+                                          downstream.timestamps(), max_delay,
+                                          cost);
+  return build_from_windows(windows, upstream, downstream, size, {}, cost);
+}
 
+CandidateSets CandidateSets::build_from_windows(
+    std::span<const MatchWindow> windows, const Flow& upstream,
+    const Flow& downstream, const std::optional<SizeConstraint>& size,
+    std::span<const std::uint32_t> up_quantized, CostMeter& cost) {
   CandidateSets out;
-  out.sets_.resize(windows.size());
+  out.ranges_.resize(windows.size());
+  std::size_t total = 0;
+  for (const auto& window : windows) total += window.size();
+  std::vector<std::uint32_t> flat;
+  flat.reserve(total);
   for (std::size_t i = 0; i < windows.size(); ++i) {
     const auto& window = windows[i];
-    auto& set = out.sets_[i];
-    set.reserve(window.size());
+    Range& range = out.ranges_[i];
+    range.begin = flat.size();
     if (!size) {
       for (std::uint32_t j = window.lo; j < window.hi; ++j) {
-        set.push_back(j);
+        flat.push_back(j);
       }
+      range.end = flat.size();
       continue;
     }
     const std::uint32_t quantized_up =
-        traffic::quantize_size(upstream.packet(i).size, size->block_bytes);
+        up_quantized.empty()
+            ? traffic::quantize_size(upstream.packet(i).size,
+                                     size->block_bytes)
+            : up_quantized[i];
     for (std::uint32_t j = window.lo; j < window.hi; ++j) {
       cost.count();  // examining the candidate's size is a packet access
       if (traffic::quantize_size(downstream.packet(j).size,
                                  size->block_bytes) == quantized_up) {
-        set.push_back(j);
+        flat.push_back(j);
       }
     }
+    range.end = flat.size();
   }
+  out.flat_ = std::make_shared<const std::vector<std::uint32_t>>(
+      std::move(flat));
   return out;
 }
 
 bool CandidateSets::complete() const {
-  return std::all_of(sets_.begin(), sets_.end(),
-                     [](const auto& set) { return !set.empty(); });
+  return std::all_of(ranges_.begin(), ranges_.end(),
+                     [](const Range& r) { return r.begin != r.end; });
 }
 
 std::size_t CandidateSets::empty_count() const {
   return static_cast<std::size_t>(
-      std::count_if(sets_.begin(), sets_.end(),
-                    [](const auto& set) { return set.empty(); }));
+      std::count_if(ranges_.begin(), ranges_.end(),
+                    [](const Range& r) { return r.begin == r.end; }));
 }
 
 bool CandidateSets::prune_allowing_gaps(CostMeter& cost,
@@ -59,43 +76,38 @@ bool CandidateSets::prune_allowing_gaps(CostMeter& cost,
   if (empties > max_empty) return false;
 
   std::int64_t floor = -1;
-  for (auto& set : sets_) {
-    if (set.empty()) continue;
-    std::size_t drop = 0;
-    while (drop < set.size() &&
-           static_cast<std::int64_t>(set[drop]) <= floor) {
+  for (auto& range : ranges_) {
+    if (range.begin == range.end) continue;
+    while (range.begin != range.end &&
+           static_cast<std::int64_t>((*flat_)[range.begin]) <= floor) {
       cost.count();
-      ++drop;
+      ++range.begin;
     }
-    if (drop > 0) set.erase(set.begin(), set.begin() + drop);
     cost.count();
-    if (set.empty()) {
+    if (range.begin == range.end) {
       // A packet just lost its last candidate: treat it as lost too, if
       // the budget allows.
       if (++empties > max_empty) return false;
       continue;
     }
-    floor = set.front();
+    floor = (*flat_)[range.begin];
   }
 
   std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
-  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
-    auto& set = *it;
-    if (set.empty()) continue;
-    std::size_t drop = 0;
-    while (drop < set.size() &&
-           static_cast<std::int64_t>(set[set.size() - 1 - drop]) >= ceiling) {
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    Range& range = *it;
+    if (range.begin == range.end) continue;
+    while (range.begin != range.end &&
+           static_cast<std::int64_t>((*flat_)[range.end - 1]) >= ceiling) {
       cost.count();
-      ++drop;
+      --range.end;
     }
-    if (drop > 0) set.erase(set.end() - static_cast<std::ptrdiff_t>(drop),
-                            set.end());
     cost.count();
-    if (set.empty()) {
+    if (range.begin == range.end) {
       if (++empties > max_empty) return false;
       continue;
     }
-    ceiling = set.back();
+    ceiling = (*flat_)[range.end - 1];
   }
   pruned_ = true;
   return true;
@@ -105,34 +117,29 @@ bool CandidateSets::prune(CostMeter& cost) {
   // Forward pass: the i-th packet's candidate must exceed the smallest
   // feasible candidate of packet i-1, so drop any prefix at or below it.
   std::int64_t floor = -1;
-  for (auto& set : sets_) {
-    std::size_t drop = 0;
-    while (drop < set.size() &&
-           static_cast<std::int64_t>(set[drop]) <= floor) {
+  for (auto& range : ranges_) {
+    while (range.begin != range.end &&
+           static_cast<std::int64_t>((*flat_)[range.begin]) <= floor) {
       cost.count();
-      ++drop;
+      ++range.begin;
     }
-    if (drop > 0) set.erase(set.begin(), set.begin() + drop);
     cost.count();  // reading the new minimum
-    if (set.empty()) return false;
-    floor = set.front();
+    if (range.begin == range.end) return false;
+    floor = (*flat_)[range.begin];
   }
 
   // Backward pass: symmetric, with strictly decreasing maxima.
   std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
-  for (auto it = sets_.rbegin(); it != sets_.rend(); ++it) {
-    auto& set = *it;
-    std::size_t drop = 0;
-    while (drop < set.size() &&
-           static_cast<std::int64_t>(set[set.size() - 1 - drop]) >= ceiling) {
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    Range& range = *it;
+    while (range.begin != range.end &&
+           static_cast<std::int64_t>((*flat_)[range.end - 1]) >= ceiling) {
       cost.count();
-      ++drop;
+      --range.end;
     }
-    if (drop > 0) set.erase(set.end() - static_cast<std::ptrdiff_t>(drop),
-                            set.end());
     cost.count();
-    if (set.empty()) return false;
-    ceiling = set.back();
+    if (range.begin == range.end) return false;
+    ceiling = (*flat_)[range.end - 1];
   }
   pruned_ = true;
   return true;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -21,6 +22,9 @@ namespace sscor {
 /// modulo the block).
 struct SizeConstraint {
   std::uint32_t block_bytes = 16;
+
+  friend bool operator==(const SizeConstraint&,
+                         const SizeConstraint&) = default;
 };
 
 /// Per-upstream-packet candidate lists (sorted downstream indices).
@@ -34,10 +38,22 @@ class CandidateSets {
                              const std::optional<SizeConstraint>& size,
                              CostMeter& cost);
 
-  std::size_t upstream_size() const { return sets_.size(); }
+  /// Builds candidate sets from precomputed matching windows (the
+  /// watermark-independent scan output that MatchContext caches).
+  /// `up_quantized` may supply the upstream packets' pre-quantized sizes
+  /// (one entry per upstream packet) so repeated builds skip the upstream
+  /// quantization; pass empty to quantize inline.  Cost accounting is
+  /// identical to build(): only downstream size reads count.
+  static CandidateSets build_from_windows(
+      std::span<const MatchWindow> windows, const Flow& upstream,
+      const Flow& downstream, const std::optional<SizeConstraint>& size,
+      std::span<const std::uint32_t> up_quantized, CostMeter& cost);
+
+  std::size_t upstream_size() const { return ranges_.size(); }
 
   std::span<const std::uint32_t> set(std::size_t i) const {
-    return sets_.at(i);
+    const Range& r = ranges_.at(i);
+    return {flat_->data() + r.begin, r.end - r.begin};
   }
 
   /// True when every upstream packet has at least one candidate — the
@@ -65,7 +81,19 @@ class CandidateSets {
   bool pruned() const { return pruned_; }
 
  private:
-  std::vector<std::vector<std::uint32_t>> sets_;
+  // All candidate lists live in one contiguous array; each upstream packet
+  // owns the half-open slice [begin, end).  Both prune variants only ever
+  // trim a prefix / suffix of a (sorted) list, so pruning just narrows the
+  // slice and the flat array itself is immutable once built — which lets
+  // copies share it (MatchContext retains built and pruned variants; the
+  // robust correlator prunes a copy), so copying a CandidateSets costs one
+  // small ranges-vector copy instead of one allocation per upstream packet.
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  std::shared_ptr<const std::vector<std::uint32_t>> flat_;
+  std::vector<Range> ranges_;
   bool pruned_ = false;
 };
 

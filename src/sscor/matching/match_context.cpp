@@ -1,0 +1,48 @@
+#include "sscor/matching/match_context.hpp"
+
+#include "sscor/traffic/size_model.hpp"
+
+namespace sscor {
+
+MatchContext MatchContext::build(const Flow& upstream, const Flow& downstream,
+                                 DurationUs max_delay,
+                                 const std::optional<SizeConstraint>& size) {
+  MatchContext ctx;
+  ctx.upstream_ = &upstream;
+  ctx.downstream_ = &downstream;
+  ctx.key_ = MatchContextKey{max_delay, size};
+
+  // The build meter records exactly what a cold run of CandidateSets::build
+  // would have counted: the window scan plus the size-filter reads.
+  CostMeter build_meter;
+  ctx.windows_ = scan_match_windows(upstream.timestamps(),
+                                    downstream.timestamps(), max_delay,
+                                    build_meter);
+  if (size) {
+    ctx.up_quantized_.reserve(upstream.size());
+    for (std::size_t i = 0; i < upstream.size(); ++i) {
+      // Quantizing the defender's own upstream sizes is not a suspicious-
+      // flow packet access, so it never counted toward the metric; hoisting
+      // it here therefore cannot change any reported cost.
+      ctx.up_quantized_.push_back(traffic::quantize_size(
+          upstream.packet(i).size, size->block_bytes));
+    }
+  }
+  ctx.built_sets_ = CandidateSets::build_from_windows(
+      ctx.windows_, upstream, downstream, size, ctx.up_quantized_,
+      build_meter);
+  ctx.build_cost_ = build_meter.accesses();
+  ctx.complete_ = ctx.built_sets_.complete();
+
+  // A cold run only prunes when the built sets are complete (incomplete
+  // matching rejects first), so the recorded prune cost mirrors that.
+  if (ctx.complete_) {
+    CostMeter prune_meter;
+    ctx.pruned_sets_ = ctx.built_sets_;
+    ctx.prune_ok_ = ctx.pruned_sets_.prune(prune_meter);
+    ctx.prune_cost_ = prune_meter.accesses();
+  }
+  return ctx;
+}
+
+}  // namespace sscor

@@ -21,7 +21,7 @@ std::optional<Watermark> decode_positional(const KeySchedule& schedule,
   if (suspicious.size() <= schedule.max_packet_index()) {
     return std::nullopt;
   }
-  const std::vector<TimeUs> timestamps = suspicious.timestamps();
+  const std::vector<TimeUs>& timestamps = suspicious.timestamps();
   std::vector<std::uint8_t> bits;
   bits.reserve(schedule.params().bits);
   for (const auto& plan : schedule.bit_plans()) {

@@ -1,0 +1,388 @@
+// Tests for the shared MatchContext and its cost-replay invariant.
+//
+// The load-bearing property: for every algorithm that consumes a context
+// (Greedy+, Greedy*, Brute Force, the robust variant — and Greedy, which
+// validates but ignores it), a run with a precomputed MatchContext returns
+// a CorrelationResult identical *in every field, including the paper's
+// cost metric* to a cold run.  The fig07-fig10 cost CSVs therefore cannot
+// drift depending on whether the evaluation pipeline shared contexts.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sscor/correlation/brute_force.hpp"
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/correlation/decode_plan.hpp"
+#include "sscor/correlation/greedy.hpp"
+#include "sscor/correlation/greedy_plus.hpp"
+#include "sscor/correlation/greedy_star.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/flow/flow_extractor.hpp"
+#include "sscor/flow/pcap_synth.hpp"
+#include "sscor/matching/match_context.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/traffic/size_model.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/rng.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+namespace {
+
+void expect_same_result(const CorrelationResult& cold,
+                        const CorrelationResult& cached) {
+  EXPECT_EQ(cold.algorithm, cached.algorithm);
+  EXPECT_EQ(cold.correlated, cached.correlated);
+  EXPECT_EQ(cold.hamming, cached.hamming);
+  EXPECT_EQ(cold.best_watermark, cached.best_watermark);
+  EXPECT_EQ(cold.cost, cached.cost) << "cost-replay invariant violated";
+  EXPECT_EQ(cold.matching_complete, cached.matching_complete);
+  EXPECT_EQ(cold.cost_bound_hit, cached.cost_bound_hit);
+}
+
+void expect_same_sets(const CandidateSets& a, const CandidateSets& b) {
+  ASSERT_EQ(a.upstream_size(), b.upstream_size());
+  for (std::size_t i = 0; i < a.upstream_size(); ++i) {
+    const auto sa = a.set(i);
+    const auto sb = b.set(i);
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << i;
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      EXPECT_EQ(sa[k], sb[k]) << "set " << i << " candidate " << k;
+    }
+  }
+}
+
+/// Runs all five algorithms cold and with a freshly built context and
+/// checks field-identical results.
+void check_parity(const WatermarkedFlow& marked, const Flow& downstream,
+                  const CorrelatorConfig& config) {
+  const MatchContext context =
+      MatchContext::build(marked.flow, downstream, config.max_delay,
+                          config.size_constraint);
+
+  expect_same_result(
+      run_greedy_plus(marked.schedule, marked.watermark, marked.flow,
+                      downstream, config),
+      run_greedy_plus(marked.schedule, marked.watermark, marked.flow,
+                      downstream, config, &context));
+  expect_same_result(
+      run_greedy_star(marked.schedule, marked.watermark, marked.flow,
+                      downstream, config),
+      run_greedy_star(marked.schedule, marked.watermark, marked.flow,
+                      downstream, config, &context));
+  expect_same_result(
+      run_greedy_plus_robust(marked.schedule, marked.watermark, marked.flow,
+                             downstream, config),
+      run_greedy_plus_robust(marked.schedule, marked.watermark, marked.flow,
+                             downstream, config, {}, &context));
+
+  const DecodePlan plan(marked.schedule, marked.watermark);
+  expect_same_result(
+      run_greedy(plan, marked.flow, downstream, config),
+      run_greedy(plan, marked.flow, downstream, config, &context));
+}
+
+/// Brute force is feasible only on the small instances; checked separately
+/// with pruning both on and off.
+void check_brute_parity(const WatermarkedFlow& marked, const Flow& downstream,
+                        const CorrelatorConfig& config) {
+  const MatchContext context =
+      MatchContext::build(marked.flow, downstream, config.max_delay,
+                          config.size_constraint);
+  for (const bool prune : {true, false}) {
+    BruteForceOptions options;
+    options.prune = prune;
+    expect_same_result(
+        run_brute_force(marked.schedule, marked.watermark, marked.flow,
+                        downstream, config, options),
+        run_brute_force(marked.schedule, marked.watermark, marked.flow,
+                        downstream, config, options, &context));
+  }
+}
+
+WatermarkParams small_params() {
+  WatermarkParams params;
+  params.bits = 4;
+  params.redundancy = 1;
+  params.pair_offset = 1;
+  params.embedding_delay = seconds(std::int64_t{2});
+  return params;
+}
+
+struct SmallInstance {
+  WatermarkedFlow marked;
+  Flow downstream;
+};
+
+SmallInstance make_small_instance(std::uint64_t seed, double chaff_rate,
+                                  DurationUs delta) {
+  const traffic::PoissonFlowModel model(0.5);
+  const Flow flow = model.generate(20, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Watermark wm = Watermark::random(small_params().bits, rng);
+  const Embedder embedder(small_params(), mix_seeds(seed, 3));
+  SmallInstance instance{embedder.embed(flow, wm), Flow{}};
+  const traffic::UniformPerturber perturber(delta, mix_seeds(seed, 4));
+  const traffic::PoissonChaffInjector chaff(chaff_rate, mix_seeds(seed, 5));
+  instance.downstream = chaff.apply(perturber.apply(instance.marked.flow));
+  return instance;
+}
+
+CorrelatorConfig small_config() {
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{1});
+  config.hamming_threshold = 1;
+  config.cost_bound = 200'000'000;
+  return config;
+}
+
+TEST(MatchContextParity, AllAlgorithmsOnSmallInstances) {
+  for (const std::uint64_t seed : {10u, 11u, 12u, 13u, 14u, 15u}) {
+    SCOPED_TRACE(seed);
+    const auto instance =
+        make_small_instance(seed, 0.5, seconds(std::int64_t{1}));
+    const auto config = small_config();
+    check_parity(instance.marked, instance.downstream, config);
+    check_brute_parity(instance.marked, instance.downstream, config);
+  }
+}
+
+TEST(MatchContextParity, UncorrelatedPairsRejectIdentically) {
+  // Upstream of one instance against the downstream of another: the
+  // incomplete-matching reject path must replay with identical cost too.
+  const auto a = make_small_instance(21, 1.0, seconds(std::int64_t{1}));
+  const auto b = make_small_instance(22, 1.0, seconds(std::int64_t{1}));
+  const auto config = small_config();
+  check_parity(a.marked, b.downstream, config);
+  check_brute_parity(a.marked, b.downstream, config);
+}
+
+TEST(MatchContextParity, SizeConstraint) {
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    SCOPED_TRACE(seed);
+    const auto instance =
+        make_small_instance(seed, 0.5, seconds(std::int64_t{1}));
+    auto config = small_config();
+    config.size_constraint = SizeConstraint{16};
+    check_parity(instance.marked, instance.downstream, config);
+    check_brute_parity(instance.marked, instance.downstream, config);
+  }
+}
+
+TEST(MatchContextParity, TightCostBound) {
+  // A bound small enough that the replayed matching cost alone exhausts
+  // the meter; bound-hit reporting must stay identical.
+  const auto instance = make_small_instance(41, 2.0, seconds(std::int64_t{1}));
+  auto config = small_config();
+  config.cost_bound = 50;
+  check_parity(instance.marked, instance.downstream, config);
+  check_brute_parity(instance.marked, instance.downstream, config);
+}
+
+TEST(MatchContextParity, TcplibFlows) {
+  // Paper-scale parameters over the tcplib-style generator (brute force
+  // excluded: exponential).
+  const traffic::TcplibTelnetModel model;
+  const Flow flow = model.generate(400, 0, 71);
+  Rng rng(72);
+  const Embedder embedder(WatermarkParams{}, 73);
+  const WatermarkedFlow marked =
+      embedder.embed(flow, Watermark::random(24, rng));
+  const traffic::UniformPerturber perturber(seconds(std::int64_t{7}), 74);
+  const traffic::PoissonChaffInjector chaff(5.0, 75);
+  const Flow downstream = chaff.apply(perturber.apply(marked.flow));
+
+  CorrelatorConfig config;  // defaults: Delta=7s, h=7, bound=10^6
+  check_parity(marked, downstream, config);
+}
+
+TEST(MatchContextParity, RecordedTraceRoundTrip) {
+  // "Recorded" fixture: synthesize the pair into a pcap capture, extract
+  // the flows back (keeping zero-payload packets so nothing is dropped),
+  // and run parity on the extracted flows — timestamps that survived the
+  // usec-resolution pcap round trip.
+  const auto instance = make_small_instance(51, 1.0, seconds(std::int64_t{1}));
+  const net::FiveTuple up_tuple{net::Ipv4Address::parse("10.1.0.1"),
+                                net::Ipv4Address::parse("10.2.0.1"), 40001,
+                                22, net::IpProtocol::kTcp};
+  const net::FiveTuple down_tuple{net::Ipv4Address::parse("10.2.0.1"),
+                                  net::Ipv4Address::parse("10.3.0.1"), 40002,
+                                  22, net::IpProtocol::kTcp};
+  const auto records =
+      synthesize_capture({SynthesisInput{up_tuple, &instance.marked.flow},
+                          SynthesisInput{down_tuple, &instance.downstream}});
+  ExtractorOptions options;
+  options.payload_only = false;
+  const auto flows =
+      extract_flows(records, pcap::LinkType::kRawIp, options);
+  ASSERT_EQ(flows.size(), 2u);
+  const Flow& up = flows[0].tuple == up_tuple ? flows[0].flow : flows[1].flow;
+  const Flow& down =
+      flows[0].tuple == up_tuple ? flows[1].flow : flows[0].flow;
+  ASSERT_EQ(up.size(), instance.marked.flow.size());
+  ASSERT_EQ(down.size(), instance.downstream.size());
+
+  const WatermarkedFlow extracted{up, instance.marked.schedule,
+                                  instance.marked.watermark};
+  const auto config = small_config();
+  check_parity(extracted, down, config);
+  check_brute_parity(extracted, down, config);
+}
+
+TEST(MatchContextReuse, AcrossWatermarkHypotheses) {
+  // The matching phase is watermark-independent: one context serves every
+  // (schedule, watermark) hypothesis a defender scans over the same pair.
+  const auto instance = make_small_instance(61, 0.5, seconds(std::int64_t{1}));
+  const auto config = small_config();
+  const MatchContext context =
+      MatchContext::build(instance.marked.flow, instance.downstream,
+                          config.max_delay, config.size_constraint);
+  Rng rng(62);
+  for (std::uint64_t key = 900; key < 904; ++key) {
+    SCOPED_TRACE(key);
+    const auto schedule = KeySchedule::create(
+        small_params(), instance.marked.flow.size(), key);
+    const Watermark hypothesis = Watermark::random(small_params().bits, rng);
+    expect_same_result(
+        run_greedy_plus(schedule, hypothesis, instance.marked.flow,
+                        instance.downstream, config),
+        run_greedy_plus(schedule, hypothesis, instance.marked.flow,
+                        instance.downstream, config, &context));
+    expect_same_result(
+        run_greedy_star(schedule, hypothesis, instance.marked.flow,
+                        instance.downstream, config),
+        run_greedy_star(schedule, hypothesis, instance.marked.flow,
+                        instance.downstream, config, &context));
+  }
+}
+
+TEST(MatchContextRecording, CostsMatchManualMeters) {
+  const auto instance = make_small_instance(81, 1.5, seconds(std::int64_t{1}));
+  const Flow& up = instance.marked.flow;
+  const Flow& down = instance.downstream;
+  const DurationUs delta = seconds(std::int64_t{1});
+
+  const MatchContext context =
+      MatchContext::build(up, down, delta, std::nullopt);
+
+  CostMeter build_meter;
+  auto sets = CandidateSets::build(up, down, delta, std::nullopt,
+                                   build_meter);
+  EXPECT_EQ(context.build_cost(), build_meter.accesses());
+  expect_same_sets(context.built_sets(), sets);
+  EXPECT_EQ(context.complete(), sets.complete());
+
+  ASSERT_TRUE(sets.complete());
+  CostMeter prune_meter;
+  const bool ok = sets.prune(prune_meter);
+  EXPECT_EQ(context.prune_ok(), ok);
+  EXPECT_EQ(context.prune_cost(), prune_meter.accesses());
+  expect_same_sets(context.pruned_sets(), sets);
+}
+
+TEST(MatchContextRecording, QuantizedSizeHoistIsEquivalent) {
+  const auto instance = make_small_instance(82, 1.0, seconds(std::int64_t{1}));
+  const Flow& up = instance.marked.flow;
+  const Flow& down = instance.downstream;
+  const DurationUs delta = seconds(std::int64_t{1});
+  const SizeConstraint size{16};
+
+  CostMeter scan_meter;
+  const auto windows = scan_match_windows(up.timestamps(), down.timestamps(),
+                                          delta, scan_meter);
+
+  CostMeter inline_meter;
+  const auto built_inline = CandidateSets::build_from_windows(
+      windows, up, down, size, {}, inline_meter);
+
+  std::vector<std::uint32_t> quantized;
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    quantized.push_back(
+        traffic::quantize_size(up.packet(i).size, size.block_bytes));
+  }
+  CostMeter hoisted_meter;
+  const auto built_hoisted = CandidateSets::build_from_windows(
+      windows, up, down, size, quantized, hoisted_meter);
+
+  expect_same_sets(built_inline, built_hoisted);
+  EXPECT_EQ(inline_meter.accesses(), hoisted_meter.accesses());
+
+  // The context hoists exactly these values.
+  const MatchContext context = MatchContext::build(up, down, delta, size);
+  ASSERT_EQ(context.upstream_quantized_sizes().size(), up.size());
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    EXPECT_EQ(context.upstream_quantized_sizes()[i], quantized[i]);
+  }
+}
+
+TEST(MatchContextApi, MatchesChecksPairIdentityAndKey) {
+  const auto a = make_small_instance(91, 0.5, seconds(std::int64_t{1}));
+  const auto b = make_small_instance(92, 0.5, seconds(std::int64_t{1}));
+  const DurationUs delta = seconds(std::int64_t{1});
+  const MatchContext context =
+      MatchContext::build(a.marked.flow, a.downstream, delta, std::nullopt);
+
+  EXPECT_TRUE(
+      context.matches(a.marked.flow, a.downstream, delta, std::nullopt));
+  EXPECT_FALSE(
+      context.matches(b.marked.flow, a.downstream, delta, std::nullopt));
+  EXPECT_FALSE(
+      context.matches(a.marked.flow, b.downstream, delta, std::nullopt));
+  EXPECT_FALSE(context.matches(a.marked.flow, a.downstream,
+                               seconds(std::int64_t{2}), std::nullopt));
+  EXPECT_FALSE(context.matches(a.marked.flow, a.downstream, delta,
+                               SizeConstraint{16}));
+}
+
+TEST(MatchContextApi, CorrelatorFallsBackOnMismatchedContext) {
+  // A context for the wrong pair is silently dropped by the high-level
+  // Correlator: the result equals a cold run on the actual pair.
+  const auto a = make_small_instance(93, 0.5, seconds(std::int64_t{1}));
+  const auto b = make_small_instance(94, 0.5, seconds(std::int64_t{1}));
+  const auto config = small_config();
+  const MatchContext wrong =
+      MatchContext::build(a.marked.flow, a.downstream, config.max_delay,
+                          config.size_constraint);
+  for (const Algorithm algorithm :
+       {Algorithm::kGreedy, Algorithm::kGreedyPlus, Algorithm::kGreedyStar,
+        Algorithm::kBruteForce}) {
+    SCOPED_TRACE(to_string(algorithm));
+    const Correlator correlator(config, algorithm);
+    expect_same_result(correlator.correlate(a.marked, b.downstream),
+                       correlator.correlate(a.marked, b.downstream, &wrong));
+  }
+}
+
+TEST(MatchContextApi, RunnersRejectMismatchedContext) {
+  // The low-level run_* entry points treat a mismatched context as a
+  // precondition violation instead of silently recomputing.
+  const auto a = make_small_instance(95, 0.5, seconds(std::int64_t{1}));
+  const auto b = make_small_instance(96, 0.5, seconds(std::int64_t{1}));
+  const auto config = small_config();
+  const MatchContext wrong =
+      MatchContext::build(a.marked.flow, a.downstream, config.max_delay,
+                          config.size_constraint);
+  const WatermarkedFlow& m = a.marked;
+  EXPECT_THROW(run_greedy_plus(m.schedule, m.watermark, m.flow, b.downstream,
+                               config, &wrong),
+               InvalidArgument);
+  EXPECT_THROW(run_greedy_star(m.schedule, m.watermark, m.flow, b.downstream,
+                               config, &wrong),
+               InvalidArgument);
+  EXPECT_THROW(run_brute_force(m.schedule, m.watermark, m.flow, b.downstream,
+                               config, {}, &wrong),
+               InvalidArgument);
+  EXPECT_THROW(run_greedy_plus_robust(m.schedule, m.watermark, m.flow,
+                                      b.downstream, config, {}, &wrong),
+               InvalidArgument);
+  const DecodePlan plan(m.schedule, m.watermark);
+  EXPECT_THROW(run_greedy(plan, m.flow, b.downstream, config, &wrong),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sscor

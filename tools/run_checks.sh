@@ -5,22 +5,27 @@
 #      whole ctest suite — the tier-1 gate;
 #   2. configure + build a ThreadSanitizer tree (-DSSCOR_SANITIZE=thread,
 #      tests only) and run the concurrency smoke tests, which must report
-#      zero races.
+#      zero races;
+#   3. configure + build an ASan/UBSan tree
+#      (-DSSCOR_SANITIZE=address,undefined), run the match-context parity
+#      and parallel-determinism tests under it, and smoke-run the
+#      decode_cache bench with a tiny pair count.
 #
-# Usage: tools/run_checks.sh [build-dir] [tsan-build-dir]
+# Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 tsan_dir="${2:-$repo_root/build-tsan}"
+asan_dir="${3:-$repo_root/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/2] default build + full test suite =="
+echo "== [1/3] default build + full test suite =="
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "== [2/2] ThreadSanitizer build + concurrency smoke tests =="
+echo "== [2/3] ThreadSanitizer build + concurrency smoke tests =="
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DSSCOR_SANITIZE=thread \
   -DSSCOR_BUILD_BENCH=OFF \
@@ -29,5 +34,18 @@ cmake --build "$tsan_dir" -j "$jobs" \
   --target tsan_smoke_test util_test parallel_determinism_test
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
   -R 'TsanSmoke|ThreadPool|Parallel'
+
+echo "== [3/3] ASan/UBSan build + match-context parity + bench smoke =="
+cmake -B "$asan_dir" -S "$repo_root" \
+  -DSSCOR_SANITIZE=address,undefined \
+  -DSSCOR_BUILD_EXAMPLES=OFF
+cmake --build "$asan_dir" -j "$jobs" \
+  --target match_context_test parallel_determinism_test decode_cache
+ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
+  -R 'MatchContext|Parallel'
+# 400 packets is near the smallest flow that still fits the default
+# 24-bit watermark (192 redundant bit pairs).
+"$asan_dir/bench/decode_cache" --pairs=3 --packets=400 --reps=1 \
+  --json="$asan_dir/BENCH_decode_cache.json"
 
 echo "all checks passed"
