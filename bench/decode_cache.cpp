@@ -30,6 +30,7 @@
 #include "sscor/traffic/chaff.hpp"
 #include "sscor/traffic/interactive_model.hpp"
 #include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/json.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/watermark/embedder.hpp"
 
@@ -191,15 +192,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n"
-      << "  \"bench\": \"decode_cache\",\n"
+      << "  \"bench\": " << json::escape("decode_cache") << ",\n"
       << "  \"pairs\": " << pairs << ",\n"
       << "  \"packets_per_flow\": " << packets << ",\n"
       << "  \"detects_per_phase\": " << detects << ",\n"
       << "  \"reps\": " << reps << ",\n"
-      << "  \"cold_ns_per_detect\": " << cold_ns << ",\n"
-      << "  \"shared_ns_per_detect\": " << shared_ns << ",\n"
-      << "  \"speedup\": " << speedup << ",\n"
-      << "  \"hit_rate\": " << hit_rate << ",\n"
+      << "  \"cold_ns_per_detect\": " << json::number(cold_ns, 1) << ",\n"
+      << "  \"shared_ns_per_detect\": " << json::number(shared_ns, 1)
+      << ",\n"
+      << "  \"speedup\": " << json::number(speedup, 3) << ",\n"
+      << "  \"hit_rate\": " << json::number(hit_rate, 3) << ",\n"
       << "  \"results_identical\": " << (identical ? "true" : "false")
       << ",\n"
       << "  \"hardware_concurrency\": "

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sscor/experiment/bench_main.hpp"
+#include "sscor/util/json.hpp"
 #include "sscor/util/metrics.hpp"
 
 namespace {
@@ -89,8 +90,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n"
-      << "  \"bench\": \"sweep_throughput\",\n"
-      << "  \"sweep\": \"fig03 grid (detection rate vs chaff rate)\",\n"
+      << "  \"bench\": " << json::escape("sweep_throughput") << ",\n"
+      << "  \"sweep\": "
+      << json::escape("fig03 grid (detection rate vs chaff rate)") << ",\n"
       << "  \"flows\": " << options.config.flows << ",\n"
       << "  \"packets_per_flow\": " << options.config.packets_per_flow
       << ",\n"
@@ -98,9 +100,9 @@ int main(int argc, char** argv) {
       << "  \"seed\": " << options.config.master_seed << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
-      << "  \"serial_seconds\": " << serial_s << ",\n"
-      << "  \"pooled_seconds\": " << pooled_s << ",\n"
-      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"serial_seconds\": " << json::number(serial_s, 3) << ",\n"
+      << "  \"pooled_seconds\": " << json::number(pooled_s, 3) << ",\n"
+      << "  \"speedup\": " << json::number(speedup, 3) << ",\n"
       << "  \"tables_identical\": " << (identical ? "true" : "false")
       << ",\n"
       << "  \"metrics\": " << metrics::snapshot().to_json() << "}\n";

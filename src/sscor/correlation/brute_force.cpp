@@ -8,6 +8,7 @@
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/matching/candidate_sets.hpp"
 #include "sscor/util/error.hpp"
+#include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -134,6 +135,7 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
 
   std::optional<CandidateSets> owned;
   const CandidateSets* sets = nullptr;
+  TRACE_SPAN("correlate.brute_force");
   if (context != nullptr) {
     // Cache hit: replay the recorded matching cost, then enumerate over
     // the context's sets (pruned or built, matching the cold-path choice).
@@ -160,7 +162,10 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
   BruteForceSearch search(plan, *sets, down_ts, cost,
                           config.hamming_threshold,
                           options.stop_at_threshold);
-  search.run();
+  {
+    TRACE_SPAN("correlate.bf_enum");
+    search.run();
+  }
 
   result.cost_bound_hit = search.bound_hit();
   result.cost = cost.accesses();

@@ -1,13 +1,73 @@
 #include "sscor/correlation/correlator.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "sscor/correlation/brute_force.hpp"
 #include "sscor/correlation/greedy.hpp"
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
 #include "sscor/util/error.hpp"
 #include "sscor/util/metrics.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor {
+namespace {
+
+/// One decode-introspection row for a finished run: per-bit outcome from
+/// the best watermark vs the embedded one, plus the pair's matching-window
+/// shape.  Only called when decode tracing is on; the extra window scan
+/// uses a throwaway meter, so the reported cost metric is untouched.
+void record_decode_trace(const WatermarkedFlow& watermarked,
+                         const Flow& suspicious,
+                         const CorrelatorConfig& config,
+                         const MatchContext* context,
+                         const CorrelationResult& result) {
+  trace::DecodeRecord record;
+  record.algorithm = to_string(result.algorithm);
+  record.correlated = result.correlated;
+  record.hamming = result.hamming;
+  record.cost = result.cost;
+  record.matching_complete = result.matching_complete;
+  record.cost_bound_hit = result.cost_bound_hit;
+
+  const Watermark& target = watermarked.watermark;
+  if (result.best_watermark.size() == target.size()) {
+    record.bit_outcomes.reserve(target.size());
+    for (std::size_t bit = 0; bit < target.size(); ++bit) {
+      record.bit_outcomes +=
+          result.best_watermark.bit(bit) == target.bit(bit) ? '1' : '0';
+    }
+  } else {
+    record.bit_outcomes.assign(target.size(), '-');
+  }
+
+  record.upstream_packets = watermarked.flow.size();
+  record.downstream_packets = suspicious.size();
+  record.excess_packets = static_cast<std::int64_t>(suspicious.size()) -
+                          static_cast<std::int64_t>(watermarked.flow.size());
+
+  std::vector<MatchWindow> scanned;
+  std::span<const MatchWindow> windows;
+  if (context != nullptr) {
+    windows = context->windows();
+  } else {
+    CostMeter scratch;  // diagnostic scan: never charged to the run
+    scanned = scan_match_windows(watermarked.flow.timestamps(),
+                                 suspicious.timestamps(), config.max_delay,
+                                 scratch);
+    windows = scanned;
+  }
+  for (const MatchWindow& window : windows) {
+    const std::uint64_t width = window.size();
+    record.matched_upstream += width > 0;
+    record.window_total += width;
+    record.window_max = std::max(record.window_max, width);
+  }
+  trace::record_decode(std::move(record));
+}
+
+}  // namespace
 
 std::string to_string(Algorithm algorithm) {
   switch (algorithm) {
@@ -32,6 +92,8 @@ Correlator::Correlator(CorrelatorConfig config, Algorithm algorithm)
 CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
                                         const Flow& suspicious,
                                         const MatchContext* context) const {
+  TRACE_SPAN("correlate");
+  const auto start = std::chrono::steady_clock::now();
   if (context != nullptr) {
     // Drop a context built for another pair or key rather than throwing:
     // the caller may hold one context while scanning many suspects.
@@ -45,23 +107,47 @@ CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
       context = nullptr;
     }
   }
-  switch (algorithm_) {
-    case Algorithm::kBruteForce:
-      return run_brute_force(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_, {},
-                             context);
-    case Algorithm::kGreedy: {
-      const DecodePlan plan(watermarked.schedule, watermarked.watermark);
-      return run_greedy(plan, watermarked.flow, suspicious, config_, context);
+  const auto run = [&]() -> CorrelationResult {
+    switch (algorithm_) {
+      case Algorithm::kBruteForce:
+        return run_brute_force(watermarked.schedule, watermarked.watermark,
+                               watermarked.flow, suspicious, config_, {},
+                               context);
+      case Algorithm::kGreedy: {
+        const DecodePlan plan(watermarked.schedule, watermarked.watermark);
+        return run_greedy(plan, watermarked.flow, suspicious, config_,
+                          context);
+      }
+      case Algorithm::kGreedyPlus:
+        return run_greedy_plus(watermarked.schedule, watermarked.watermark,
+                               watermarked.flow, suspicious, config_,
+                               context);
+      case Algorithm::kGreedyStar:
+        return run_greedy_star(watermarked.schedule, watermarked.watermark,
+                               watermarked.flow, suspicious, config_,
+                               context);
     }
-    case Algorithm::kGreedyPlus:
-      return run_greedy_plus(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_, context);
-    case Algorithm::kGreedyStar:
-      return run_greedy_star(watermarked.schedule, watermarked.watermark,
-                             watermarked.flow, suspicious, config_, context);
+    throw InternalError("unhandled algorithm");
+  };
+  const CorrelationResult result = run();
+
+  // Distributional signals behind the headline counters: where a detect's
+  // wall clock and packet accesses actually land, per run (heavy tails are
+  // invisible in the process-wide totals).
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  static metrics::Histogram& latency =
+      metrics::histogram("correlate.latency_us");
+  static metrics::Histogram& pair_cost =
+      metrics::histogram("correlate.pair_cost");
+  latency.record(static_cast<std::uint64_t>(elapsed));
+  pair_cost.record(result.cost);
+  if (trace::decode_enabled()) {
+    record_decode_trace(watermarked, suspicious, config_, context, result);
   }
-  throw InternalError("unhandled algorithm");
+  return result;
 }
 
 }  // namespace sscor

@@ -6,6 +6,7 @@
 #include "sscor/matching/match_windows.hpp"
 #include "sscor/traffic/size_model.hpp"
 #include "sscor/util/error.hpp"
+#include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -54,6 +55,7 @@ CorrelationResult run_greedy(const DecodePlan& plan, const Flow& upstream,
               context->matches(upstream, downstream, config.max_delay,
                                config.size_constraint),
           "MatchContext was built for a different pair or key");
+  TRACE_SPAN("correlate.greedy");
   CostMeter cost;
   const std::vector<TimeUs>& down_ts = downstream.timestamps();
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sscor/util/error.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor {
 namespace detail {
@@ -37,24 +38,32 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
 
   // Phase 1: full matching + pruning.  An upstream packet without a match,
   // or an infeasible pruning, is an immediate negative (paper §3.2).
-  if (context != nullptr) {
-    // Cache hit: replay the recorded access counts so the reported cost is
-    // identical to a cold run (the cost-replay invariant, DESIGN.md).
-    md->cost.count(context->build_cost());
-    if (!context->complete()) return rejected(false);
-    md->cost.count(context->prune_cost());
-    if (!context->prune_ok()) return rejected(false);
-    md->sets = &context->pruned_sets();
-  } else {
-    md->owned_sets = std::make_unique<CandidateSets>(
-        CandidateSets::build(upstream, downstream, config.max_delay,
-                             config.size_constraint, md->cost));
-    if (!md->owned_sets->complete()) return rejected(false);
-    if (!md->owned_sets->prune(md->cost)) return rejected(false);
-    md->sets = md->owned_sets.get();
+  {
+    TRACE_SPAN("correlate.match");
+    if (context != nullptr) {
+      // Cache hit: replay the recorded access counts so the reported cost
+      // is identical to a cold run (the cost-replay invariant, DESIGN.md).
+      md->cost.count(context->build_cost());
+      if (!context->complete()) return rejected(false);
+      md->cost.count(context->prune_cost());
+      if (!context->prune_ok()) return rejected(false);
+      md->sets = &context->pruned_sets();
+    } else {
+      TRACE_SPAN("correlate.match.build");
+      md->owned_sets = std::make_unique<CandidateSets>(
+          CandidateSets::build(upstream, downstream, config.max_delay,
+                               config.size_constraint, md->cost));
+      if (!md->owned_sets->complete()) return rejected(false);
+      {
+        TRACE_SPAN("correlate.match.prune");
+        if (!md->owned_sets->prune(md->cost)) return rejected(false);
+      }
+      md->sets = md->owned_sets.get();
+    }
   }
 
   // Phase 2: Greedy on the pruned sets.
+  TRACE_SPAN("correlate.greedy");
   md->plan = std::make_unique<DecodePlan>(schedule, target);
   md->state = std::make_unique<SelectionState>(*md->plan, *md->sets,
                                                md->down_ts, md->cost);
@@ -78,6 +87,7 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
   }
 
   // Phase 3: repair into an order-consistent selection.
+  TRACE_SPAN("correlate.repair");
   md->state->repair_order();
   if (md->state->hamming() <= config.hamming_threshold) {
     md->early = finish_result(algorithm, *md->state, md->cost, config);
@@ -128,6 +138,7 @@ CorrelationResult run_greedy_plus(const KeySchedule& schedule,
   if (md->early) return *md->early;
 
   // Phase 4: local search over the still-fixable mismatched bits.
+  TRACE_SPAN("correlate.local_search");
   SelectionState& state = *md->state;
   const auto fixable =
       detail::fixable_mismatches_by_abs_diff(state, md->never_match);

@@ -6,6 +6,7 @@
 
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/util/error.hpp"
+#include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
@@ -187,7 +188,10 @@ CorrelationResult run_greedy_star(const KeySchedule& schedule,
   StarEnumerator enumerator(state, *md->plan, md->down_ts, md->cost,
                             std::move(free_slots), free_bits,
                             fixed_mismatches, config.hamming_threshold);
-  enumerator.run();
+  {
+    TRACE_SPAN("correlate.star_enum");
+    enumerator.run();
+  }
   state.set_positions(enumerator.best_positions());
 
   auto result =

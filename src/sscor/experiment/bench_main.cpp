@@ -9,6 +9,7 @@
 
 #include "sscor/util/error.hpp"
 #include "sscor/util/metrics.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor::experiment {
 namespace {
@@ -19,6 +20,7 @@ namespace {
       "usage: %s [--flows=N] [--packets=N] [--fp-pairs=N] [--seed=N]\n"
       "          [--corpus=interactive|tcplib] [--full] [--csv=PATH]\n"
       "          [--threads=N] [--metrics] [--metrics-json=PATH]\n"
+      "          [--trace=PATH] [--trace-spans=PATH]\n"
       "  --flows        number of traces (default 91; paper: 91)\n"
       "  --packets      packets per trace (default 1000; paper: >1000)\n"
       "  --fp-pairs     sampled uncorrelated pairs per point (default 2000)\n"
@@ -26,7 +28,9 @@ namespace {
       "  --corpus       trace generator (default interactive)\n"
       "  --threads      evaluation worker threads (default: all cores)\n"
       "  --metrics      print the run-metrics table after the sweep\n"
-      "  --metrics-json write the run-metrics snapshot as JSON\n",
+      "  --metrics-json write the run-metrics snapshot as JSON\n"
+      "  --trace        write per-detect decode introspection as JSONL\n"
+      "  --trace-spans  write span timings as Chrome trace JSON (Perfetto)\n",
       argv0);
   std::exit(2);
 }
@@ -61,6 +65,10 @@ BenchOptions parse_bench_options(int argc, char** argv,
           static_cast<unsigned>(std::strtoul(value.data(), nullptr, 10));
     } else if (consume(arg, "--metrics-json=", value)) {
       options.metrics_json = std::string(value);
+    } else if (consume(arg, "--trace=", value)) {
+      options.trace_path = std::string(value);
+    } else if (consume(arg, "--trace-spans=", value)) {
+      options.trace_spans_path = std::string(value);
     } else if (consume(arg, "--csv=", value)) {
       options.csv_path = std::string(value);
     } else if (consume(arg, "--corpus=", value)) {
@@ -113,12 +121,24 @@ int run_figure_bench(const std::string& figure_id, const std::string& title,
       std::fprintf(stderr, "[%zu/%zu] %s\n", index + 1, count,
                    label.c_str());
     };
+    if (!options.trace_path.empty()) trace::set_decode_enabled(true);
+    if (!options.trace_spans_path.empty()) trace::set_spans_enabled(true);
     TextTable table({"-"});
     {
       const metrics::ScopedTimer timer("bench." + figure_id);
       table = run_sweep(options.config, spec, progress);
     }
     std::printf("%s\n", table.to_string().c_str());
+    if (!options.trace_path.empty()) {
+      trace::write_decode_jsonl(options.trace_path);
+      std::printf("decode trace written: %s (%zu records)\n",
+                  options.trace_path.c_str(), trace::decode_record_count());
+    }
+    if (!options.trace_spans_path.empty()) {
+      trace::write_chrome_json(options.trace_spans_path);
+      std::printf("span trace written: %s\n",
+                  options.trace_spans_path.c_str());
+    }
 
     const std::string csv =
         options.csv_path.empty() ? figure_id + ".csv" : options.csv_path;

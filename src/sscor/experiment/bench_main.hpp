@@ -16,11 +16,14 @@ struct BenchOptions {
   bool full = false;         ///< --full: paper-scale FP pairs (all n*(n-1))
   bool metrics = false;      ///< --metrics: print the run-metrics table
   std::string metrics_json;  ///< --metrics-json=PATH: dump metrics as JSON
+  std::string trace_path;    ///< --trace=PATH: decode-introspection JSONL
+  std::string trace_spans_path;  ///< --trace-spans=PATH: Chrome trace JSON
 };
 
 /// Parses --flows=N --packets=N --fp-pairs=N --seed=N --threads=N --full
-/// --csv=PATH --corpus=interactive|tcplib --metrics --metrics-json=PATH.
-/// Exits with a usage message on bad flags.
+/// --csv=PATH --corpus=interactive|tcplib --metrics --metrics-json=PATH
+/// --trace=PATH --trace-spans=PATH.  Exits with a usage message on bad
+/// flags.
 BenchOptions parse_bench_options(int argc, char** argv,
                                  ExperimentConfig defaults = {});
 

@@ -1,13 +1,28 @@
 #include "sscor/experiment/evaluation.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "sscor/baselines/basic_watermark.hpp"
 #include "sscor/baselines/zhang_passive.hpp"
 #include "sscor/matching/match_context.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor::experiment {
 namespace {
+
+/// Decode-trace pair label: unique per (sweep point, pair kind, indices) so
+/// the per-pair sort of the JSONL export is a total order and the exported
+/// file is byte-identical across thread schedules.
+std::string pair_label(const EvaluationRequest& request, const char* kind,
+                       std::size_t i, std::size_t j) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "d=%" PRId64 ",c=%.3f,%s,i=%04zu,j=%04zu",
+                request.max_delay, request.chaff_rate, kind, i, j);
+  return buf;
+}
 
 /// Per-pair cache of MatchContexts, one per distinct key among the swept
 /// detectors (in the paper sweep all correlator detectors share one key, so
@@ -57,15 +72,18 @@ std::vector<DetectorMetrics> evaluate_point(
     const EvaluationRequest& request) {
   const unsigned threads = dataset.config().threads;
   const sscor::metrics::ScopedTimer point_timer("eval.point");
+  TRACE_SPAN("eval.point");
 
   // Downstream flows are shared by every detector; generate them in
   // parallel (each is an independent function of the seed).
   std::vector<Flow> downstream(dataset.size());
   {
     const sscor::metrics::ScopedTimer timer("eval.downstream_gen");
+    TRACE_SPAN("eval.downstream_gen");
     parallel_for(
         dataset.size(),
         [&](std::size_t i) {
+          TRACE_SPAN("eval.downstream_gen.flow");
           downstream[i] =
               dataset.downstream(i, request.max_delay, request.chaff_rate);
         },
@@ -79,6 +97,7 @@ std::vector<DetectorMetrics> evaluate_point(
 
   if (request.run_detection) {
     const sscor::metrics::ScopedTimer timer("eval.detection");
+    TRACE_SPAN("eval.detection");
     // Pair-outer / detector-inner: the watermark-independent matching
     // phase is computed once per pair and shared by every detector with
     // the same key, so at most one MatchContext is alive per worker.
@@ -87,6 +106,10 @@ std::vector<DetectorMetrics> evaluate_point(
     parallel_for(
         dataset.size(),
         [&](std::size_t i) {
+          TRACE_SPAN("eval.pair");
+          const trace::DecodePairScope pair_scope(
+              trace::decode_enabled() ? pair_label(request, "det", i, i)
+                                      : std::string());
           const WatermarkedFlow& up = dataset.upstream(i);
           const Flow& down = downstream[i];
           std::vector<std::pair<MatchContextKey, MatchContext>> contexts;
@@ -117,13 +140,18 @@ std::vector<DetectorMetrics> evaluate_point(
 
   if (request.run_false_positive) {
     const sscor::metrics::ScopedTimer timer("eval.false_positive");
+    TRACE_SPAN("eval.false_positive");
     const auto pairs = dataset.sample_fp_pairs(dataset.config().fp_pairs);
     std::vector<std::vector<DetectionOutcome>> outcomes(
         detectors.size(), std::vector<DetectionOutcome>(pairs.size()));
     parallel_for(
         pairs.size(),
         [&](std::size_t k) {
+          TRACE_SPAN("eval.pair");
           const auto& [i, j] = pairs[k];
+          const trace::DecodePairScope pair_scope(
+              trace::decode_enabled() ? pair_label(request, "fp", i, j)
+                                      : std::string());
           const WatermarkedFlow& up = dataset.upstream(i);
           const Flow& down = downstream[j];
           std::vector<std::pair<MatchContextKey, MatchContext>> contexts;

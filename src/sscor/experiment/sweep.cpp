@@ -5,6 +5,7 @@
 #include "sscor/util/error.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor::experiment {
 namespace {
@@ -47,6 +48,7 @@ std::string to_string(Metric metric) {
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
                     const ProgressFn& progress) {
   const metrics::ScopedTimer sweep_timer("sweep.run");
+  TRACE_SPAN("sweep.run");
   std::vector<double> chaff_rates = spec.chaff_rates;
   std::vector<DurationUs> max_delays = spec.max_delays;
   if (chaff_rates.empty()) {
@@ -105,6 +107,7 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
           progress(p, points.size(), x_header + "=" + point.label);
         }
         const sscor::metrics::ScopedTimer point_timer("sweep.point");
+        TRACE_SPAN("sweep.point");
         const auto detectors = paper_detectors(config, point.delay);
         EvaluationRequest request;
         request.max_delay = point.delay;

@@ -1,12 +1,15 @@
 #include "sscor/matching/match_context.hpp"
 
 #include "sscor/traffic/size_model.hpp"
+#include "sscor/util/metrics.hpp"
+#include "sscor/util/trace.hpp"
 
 namespace sscor {
 
 MatchContext MatchContext::build(const Flow& upstream, const Flow& downstream,
                                  DurationUs max_delay,
                                  const std::optional<SizeConstraint>& size) {
+  TRACE_SPAN("match_context.build");
   MatchContext ctx;
   ctx.upstream_ = &upstream;
   ctx.downstream_ = &downstream;
@@ -41,6 +44,37 @@ MatchContext MatchContext::build(const Flow& upstream, const Flow& downstream,
     ctx.pruned_sets_ = ctx.built_sets_;
     ctx.prune_ok_ = ctx.pruned_sets_.prune(prune_meter);
     ctx.prune_cost_ = prune_meter.accesses();
+  }
+
+  // Distribution of candidate-set sizes and window widths across upstream
+  // packets, plus the pruning yield — sampled at every kStride-th packet,
+  // accumulated locally, and flushed as one bucket-wise merge so the loop
+  // costs no atomics.  Builds run per flow pair on the detection hot path
+  // (bench/decode_cache guards the budget), so the whole observability
+  // pass is a few hundred iterations, not O(packets): a deterministic
+  // stride keeps the distribution shape, and the pruning yield compares
+  // built vs pruned sizes over the same sample, which also keeps every
+  // recorded value schedule-independent.
+  constexpr std::size_t kStride = 8;
+  metrics::HistogramData set_sizes;
+  metrics::HistogramData window_widths;
+  std::uint64_t sampled_built = 0;
+  std::uint64_t sampled_pruned = 0;
+  for (std::size_t i = 0; i < ctx.built_sets_.upstream_size();
+       i += kStride) {
+    const std::uint64_t size = ctx.built_sets_.set(i).size();
+    set_sizes.record(size);
+    sampled_built += size;
+    if (ctx.complete_) sampled_pruned += ctx.pruned_sets_.set(i).size();
+  }
+  for (std::size_t i = 0; i < ctx.windows_.size(); i += kStride) {
+    window_widths.record(ctx.windows_[i].size());
+  }
+  metrics::histogram("match.candidate_set_size").merge(set_sizes);
+  metrics::histogram("match.window_width").merge(window_widths);
+  if (ctx.complete_ && sampled_built > 0) {
+    metrics::histogram("match.prune_kept_pct")
+        .record(sampled_pruned * 100 / sampled_built);
   }
   return ctx;
 }

@@ -1,0 +1,85 @@
+#include "sscor/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sscor::metrics {
+
+std::uint64_t histogram_bucket_lower_bound(std::uint32_t index) {
+  if (index < kHistogramSubBuckets) return index;
+  const std::uint32_t msb = index / kHistogramSubBuckets + 1;
+  const std::uint32_t sub = index % kHistogramSubBuckets;
+  return static_cast<std::uint64_t>(kHistogramSubBuckets + sub)
+         << (msb - 2);
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+std::uint64_t HistogramData::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return histogram_bucket_lower_bound(i);
+  }
+  return histogram_bucket_lower_bound(kHistogramBuckets - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[histogram_bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const HistogramData& local) {
+  if (local.count == 0) return;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    if (local.buckets[i] != 0) {
+      buckets_[i].fetch_add(local.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(local.count, std::memory_order_relaxed);
+  sum_.fetch_add(local.sum, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (seen < local.max &&
+         !max_.compare_exchange_weak(seen, local.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData data;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    data.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.max = max_.load(std::memory_order_relaxed);
+  return data;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sscor::metrics

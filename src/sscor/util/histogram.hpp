@@ -1,0 +1,113 @@
+// Fixed-bucket log-linear histograms for the run-metrics registry.
+//
+// The paper's cost/accuracy analysis (Figures 7-10) is about distributions,
+// not totals: per-detect latency and per-pair packet-access cost are heavy-
+// tailed (a minority of hard flow pairs dominates), which process-wide
+// counters cannot show.  These histograms capture such distributions with a
+// fixed, value-independent bucket layout so that
+//
+//   * recording is a handful of relaxed atomic adds (no allocation, no
+//     lock, safe from any thread),
+//   * two histograms merge by adding bucket counts — an associative,
+//     commutative operation, so per-thread accumulation then merging is
+//     byte-identical to serial recording (tested), and
+//   * bucket boundaries are a pure function of the index, so snapshots and
+//     percentile estimates are deterministic across runs and platforms.
+//
+// Layout: log-linear ("HDR-style") buckets — each power of two is split
+// into 4 linear sub-buckets, giving a worst-case relative error of 1/4 over
+// the whole uint64 range with only 256 buckets.  Values 0..3 map to exact
+// singleton buckets.  Percentiles report the *lower bound* of the bucket
+// containing the requested rank (deterministic, never invents precision).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace sscor::metrics {
+
+/// Number of linear sub-buckets per power of two.
+inline constexpr std::uint32_t kHistogramSubBuckets = 4;
+/// Total bucket count; covers the entire uint64 value range.
+inline constexpr std::uint32_t kHistogramBuckets = 256;
+
+/// Bucket index of `value` (log-linear mapping described above).  Inline:
+/// hot paths record per packet, so the mapping must cost a handful of
+/// instructions, not a call.
+inline std::uint32_t histogram_bucket_index(std::uint64_t value) {
+  if (value < kHistogramSubBuckets) {
+    return static_cast<std::uint32_t>(value);
+  }
+  // msb >= 2 here.  The bucket is (msb-1)*4 + the two bits below the msb,
+  // i.e. each power of two [2^m, 2^{m+1}) splits into 4 equal sub-buckets.
+  const auto msb =
+      static_cast<std::uint32_t>(64 - std::countl_zero(value)) - 1;
+  const auto sub = static_cast<std::uint32_t>((value >> (msb - 2)) & 3u);
+  return (msb - 1) * kHistogramSubBuckets + sub;
+}
+
+/// Smallest value mapping to bucket `index` (inverse of the index mapping;
+/// the bucket covers [lower_bound(i), lower_bound(i+1))).
+std::uint64_t histogram_bucket_lower_bound(std::uint32_t index);
+
+/// Plain (single-threaded) histogram value: the snapshot type of the atomic
+/// Histogram, a local accumulator for hot loops that flush once, and the
+/// unit of merging.
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t value) {
+    buckets[histogram_bucket_index(value)] += 1;
+    count += 1;
+    sum += value;
+    if (value > max) max = value;
+  }
+
+  /// Adds another histogram's contents (associative and commutative).
+  void merge(const HistogramData& other);
+
+  /// Lower bound of the bucket holding the rank-ceil(q*count) value
+  /// (q in [0, 1]); 0 when empty.
+  std::uint64_t percentile(double q) const;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Thread-safe histogram handed out by the metrics registry.  record() is
+/// wait-free (relaxed atomics); totals are exact, order-independent sums.
+class Histogram {
+ public:
+  void record(std::uint64_t value);
+
+  /// Adds a locally accumulated histogram in one pass over its non-empty
+  /// buckets — what hot loops use to avoid one atomic RMW per sample.
+  void merge(const HistogramData& local);
+
+  /// Point-in-time copy.  Concurrent record()s may be partially visible
+  /// (count/sum/buckets each exact, mutually torn); snapshot during
+  /// quiescence for exact output, as the metrics snapshot does.
+  HistogramData snapshot() const;
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace sscor::metrics

@@ -1,0 +1,33 @@
+// Shared JSON string emission.
+//
+// Every JSON producer in the repo — the metrics snapshot, the trace
+// exporters, and the bench baseline writers — quotes strings through these
+// helpers so escaping is implemented exactly once.  Keys and values pass
+// through escape(); numbers are emitted with locale-independent formatting
+// (std::snprintf with the "C" contract, never std::ostream with an imbued
+// locale), so the output is byte-stable across environments.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sscor::json {
+
+/// Appends `s` to `out` as a quoted JSON string: `"` and `\` are
+/// backslash-escaped, the common control characters use their short forms
+/// (\b \t \n \f \r), every other byte below 0x20 becomes \u00XX, and
+/// everything else (including UTF-8 multibyte sequences) passes through.
+void append_escaped(std::string& out, std::string_view s);
+
+/// Returns the quoted, escaped form of `s` (a convenience over
+/// append_escaped for expression contexts).
+std::string escape(std::string_view s);
+
+/// Formats a double as a JSON number: fixed notation with `precision`
+/// fractional digits, no locale.  Non-finite values (which JSON cannot
+/// represent) are emitted as null.
+std::string number(double value, int precision = 6);
+
+}  // namespace sscor::json

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "sscor/util/json.hpp"
+
 namespace sscor::metrics {
 namespace {
 
@@ -14,20 +16,12 @@ struct Registry {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<TimerStat>> timers;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
 Registry& registry() {
   static Registry r;
   return r;
-}
-
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
 }
 
 std::string format_seconds(double seconds) {
@@ -56,6 +50,14 @@ TimerStat& timer(const std::string& name) {
   return *slot;
 }
 
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 Snapshot snapshot() {
   Registry& r = registry();
   Snapshot snap;
@@ -68,6 +70,10 @@ Snapshot snapshot() {
   for (const auto& [name, t] : r.timers) {
     snap.timers.push_back({name, t->count(), t->total_seconds()});
   }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    snap.histograms.push_back({name, h->snapshot()});
+  }
   return snap;
 }
 
@@ -76,16 +82,25 @@ void reset() {
   const std::lock_guard<std::mutex> lock(r.mutex);
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, t] : r.timers) t->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
 }
 
 TextTable Snapshot::to_table() const {
-  TextTable table({"kind", "name", "count", "value"});
+  TextTable table({"kind", "name", "count", "value", "p50", "p95", "p99"});
   for (const auto& c : counters) {
-    table.add_row({"counter", c.name, TextTable::cell(c.value), ""});
+    table.add_row({"counter", c.name, TextTable::cell(c.value), "", "", "",
+                   ""});
   }
   for (const auto& t : timers) {
     table.add_row({"timer", t.name, TextTable::cell(t.count),
-                   format_seconds(t.seconds) + "s"});
+                   format_seconds(t.seconds) + "s", "", "", ""});
+  }
+  for (const auto& h : histograms) {
+    table.add_row({"hist", h.name, TextTable::cell(h.data.count),
+                   TextTable::cell(h.data.mean(), 1),
+                   TextTable::cell(h.data.percentile(0.50)),
+                   TextTable::cell(h.data.percentile(0.95)),
+                   TextTable::cell(h.data.percentile(0.99))});
   }
   return table;
 }
@@ -96,7 +111,7 @@ std::string Snapshot::to_json() const {
   for (const auto& c : counters) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    append_json_string(out, c.name);
+    json::append_escaped(out, c.name);
     out += ": " + std::to_string(c.value);
   }
   out += first ? "},\n" : "\n  },\n";
@@ -105,9 +120,24 @@ std::string Snapshot::to_json() const {
   for (const auto& t : timers) {
     out += first ? "\n    " : ",\n    ";
     first = false;
-    append_json_string(out, t.name);
+    json::append_escaped(out, t.name);
     out += ": {\"count\": " + std::to_string(t.count) +
            ", \"seconds\": " + format_seconds(t.seconds) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json::append_escaped(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.data.count) +
+           ", \"sum\": " + std::to_string(h.data.sum) +
+           ", \"mean\": " + json::number(h.data.mean(), 3) +
+           ", \"p50\": " + std::to_string(h.data.percentile(0.50)) +
+           ", \"p95\": " + std::to_string(h.data.percentile(0.95)) +
+           ", \"p99\": " + std::to_string(h.data.percentile(0.99)) +
+           ", \"max\": " + std::to_string(h.data.max) + "}";
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;

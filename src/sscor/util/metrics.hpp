@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sscor/util/histogram.hpp"
 #include "sscor/util/table.hpp"
 
 namespace sscor::metrics {
@@ -64,17 +65,22 @@ class TimerStat {
   std::atomic<std::int64_t> total_us_{0};
 };
 
-/// Returns the counter / timer registered under `name`, creating it on
-/// first use.  References remain valid for the process lifetime.
+/// Returns the counter / timer / histogram registered under `name`,
+/// creating it on first use.  References remain valid for the process
+/// lifetime.
 Counter& counter(const std::string& name);
 TimerStat& timer(const std::string& name);
+Histogram& histogram(const std::string& name);
 
-/// RAII wall-clock measurement added to timer(name) on destruction.
+/// RAII wall-clock measurement added to timer(name) on destruction.  The
+/// clock is std::chrono::steady_clock (never wall time, which can step) and
+/// the recording happens on unwind, so a scope that exits by exception is
+/// still measured.
 class ScopedTimer {
  public:
   explicit ScopedTimer(const std::string& name)
       : stat_(timer(name)), start_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
+  ~ScopedTimer() noexcept {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     stat_.add_micros(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
@@ -100,12 +106,20 @@ struct Snapshot {
     std::uint64_t count = 0;
     double seconds = 0.0;
   };
+  struct HistogramEntry {
+    std::string name;
+    HistogramData data;
+  };
   std::vector<CounterEntry> counters;
   std::vector<TimerEntry> timers;
+  std::vector<HistogramEntry> histograms;
 
-  /// Renders both sections as one table (kind | name | count | value).
+  /// Renders all sections as one table
+  /// (kind | name | count | value | p50 | p95 | p99); the percentile
+  /// columns are filled for histograms (value = mean) and empty otherwise.
   TextTable to_table() const;
-  /// {"counters": {name: value...}, "timers": {name: {count, seconds}...}}
+  /// {"counters": {name: value...}, "timers": {name: {count, seconds}...},
+  ///  "histograms": {name: {count, sum, mean, p50, p95, p99, max}...}}
   std::string to_json() const;
 };
 

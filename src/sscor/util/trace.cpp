@@ -1,0 +1,277 @@
+#include "sscor/util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/json.hpp"
+
+namespace sscor::trace {
+namespace detail {
+
+std::atomic<bool> g_spans_enabled{false};
+std::atomic<bool> g_decode_enabled{false};
+
+}  // namespace detail
+
+namespace {
+
+std::int64_t now_us() {
+  // One process-wide steady epoch keeps timestamps positive, small, and
+  // comparable across threads.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// Each thread records into its own log; the per-log mutex is uncontended on
+// the hot path (only export/clear ever lock another thread's log).
+struct ThreadLog {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> ring;
+  std::size_t next = 0;       // overwrite cursor once the ring is full
+  std::uint64_t dropped = 0;  // spans overwritten by overflow
+
+  void record(const SpanEvent& event) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < kSpanRingCapacity) {
+      ring.push_back(event);
+    } else {
+      ring[next] = event;
+      next = (next + 1) % kSpanRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+struct SpanRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::uint32_t next_tid = 1;
+};
+
+SpanRegistry& span_registry() {
+  static SpanRegistry* r = new SpanRegistry;  // leaked: outlive TLS dtors
+  return *r;
+}
+
+ThreadLog& thread_log() {
+  thread_local ThreadLog* log = [] {
+    SpanRegistry& r = span_registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.logs.push_back(std::make_unique<ThreadLog>());
+    r.logs.back()->tid = r.next_tid++;
+    r.logs.back()->ring.reserve(kSpanRingCapacity);
+    return r.logs.back().get();
+  }();
+  return *log;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+struct DecodeRegistry {
+  std::mutex mutex;
+  std::vector<DecodeRecord> records;
+};
+
+DecodeRegistry& decode_registry() {
+  static DecodeRegistry* r = new DecodeRegistry;
+  return *r;
+}
+
+thread_local std::string t_pair_label;
+
+void append_bool(std::string& out, bool value) {
+  out += value ? "true" : "false";
+}
+
+}  // namespace
+
+void set_spans_enabled(bool enabled) {
+  detail::g_spans_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_decode_enabled(bool enabled) {
+  detail::g_decode_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  start_us_ = now_us();
+  depth_ = t_span_depth++;
+  active_ = true;
+}
+
+void Span::end() {
+  --t_span_depth;
+  SpanEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.duration_us = now_us() - start_us_;
+  event.depth = depth_;
+  ThreadLog& log = thread_log();
+  event.tid = log.tid;
+  log.record(event);
+}
+
+std::vector<SpanEvent> snapshot_spans() {
+  std::vector<SpanEvent> events;
+  SpanRegistry& r = span_registry();
+  const std::lock_guard<std::mutex> registry_lock(r.mutex);
+  for (const auto& log : r.logs) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    events.insert(events.end(), log->ring.begin(), log->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.duration_us != b.duration_us) {
+                return a.duration_us > b.duration_us;  // parents first
+              }
+              return a.depth < b.depth;
+            });
+  return events;
+}
+
+std::uint64_t dropped_spans() {
+  std::uint64_t total = 0;
+  SpanRegistry& r = span_registry();
+  const std::lock_guard<std::mutex> registry_lock(r.mutex);
+  for (const auto& log : r.logs) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    total += log->dropped;
+  }
+  return total;
+}
+
+std::string export_chrome_json() {
+  const std::vector<SpanEvent> events = snapshot_spans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":";
+    json::append_escaped(out, event.name);
+    out += ",\"cat\":\"sscor\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(event.duration_us);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(event.depth);
+    out += "}}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+void write_chrome_json(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open trace output: " + path);
+  out << export_chrome_json();
+  if (!out) throw IoError("failed writing trace output: " + path);
+}
+
+void clear_spans() {
+  SpanRegistry& r = span_registry();
+  const std::lock_guard<std::mutex> registry_lock(r.mutex);
+  for (const auto& log : r.logs) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->ring.clear();
+    log->next = 0;
+    log->dropped = 0;
+  }
+}
+
+DecodePairScope::DecodePairScope(std::string label)
+    : previous_(std::move(t_pair_label)) {
+  t_pair_label = std::move(label);
+}
+
+DecodePairScope::~DecodePairScope() { t_pair_label = std::move(previous_); }
+
+const std::string& current_pair_label() { return t_pair_label; }
+
+void record_decode(DecodeRecord record) {
+  if (record.pair.empty()) record.pair = t_pair_label;
+  DecodeRegistry& r = decode_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.records.push_back(std::move(record));
+}
+
+std::string export_decode_jsonl() {
+  std::vector<DecodeRecord> records;
+  {
+    DecodeRegistry& r = decode_registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    records = r.records;
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const DecodeRecord& a, const DecodeRecord& b) {
+                     if (a.pair != b.pair) return a.pair < b.pair;
+                     return a.algorithm < b.algorithm;
+                   });
+  std::string out;
+  for (const DecodeRecord& record : records) {
+    out += "{\"pair\":";
+    json::append_escaped(out, record.pair);
+    out += ",\"algorithm\":";
+    json::append_escaped(out, record.algorithm);
+    out += ",\"correlated\":";
+    append_bool(out, record.correlated);
+    out += ",\"hamming\":";
+    out += std::to_string(record.hamming);
+    out += ",\"cost\":";
+    out += std::to_string(record.cost);
+    out += ",\"matching_complete\":";
+    append_bool(out, record.matching_complete);
+    out += ",\"cost_bound_hit\":";
+    append_bool(out, record.cost_bound_hit);
+    out += ",\"bits\":";
+    json::append_escaped(out, record.bit_outcomes);
+    out += ",\"up_packets\":";
+    out += std::to_string(record.upstream_packets);
+    out += ",\"down_packets\":";
+    out += std::to_string(record.downstream_packets);
+    out += ",\"excess_packets\":";
+    out += std::to_string(record.excess_packets);
+    out += ",\"matched_upstream\":";
+    out += std::to_string(record.matched_upstream);
+    out += ",\"window_total\":";
+    out += std::to_string(record.window_total);
+    out += ",\"window_max\":";
+    out += std::to_string(record.window_max);
+    out += "}\n";
+  }
+  return out;
+}
+
+void write_decode_jsonl(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open decode trace output: " + path);
+  out << export_decode_jsonl();
+  if (!out) throw IoError("failed writing decode trace output: " + path);
+}
+
+std::size_t decode_record_count() {
+  DecodeRegistry& r = decode_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.records.size();
+}
+
+void clear_decode() {
+  DecodeRegistry& r = decode_registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.records.clear();
+}
+
+}  // namespace sscor::trace

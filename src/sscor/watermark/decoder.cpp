@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "sscor/util/trace.hpp"
+
 namespace sscor {
 
 DurationUs bit_difference(const BitPlan& plan,
@@ -18,6 +20,7 @@ DurationUs bit_difference(const BitPlan& plan,
 
 std::optional<Watermark> decode_positional(const KeySchedule& schedule,
                                            const Flow& suspicious) {
+  TRACE_SPAN("decode.positional");
   if (suspicious.size() <= schedule.max_packet_index()) {
     return std::nullopt;
   }

@@ -4,12 +4,15 @@
 #   1. configure + build the default (RelWithDebInfo) tree and run the
 #      whole ctest suite — the tier-1 gate;
 #   2. configure + build a ThreadSanitizer tree (-DSSCOR_SANITIZE=thread,
-#      tests only) and run the concurrency smoke tests, which must report
-#      zero races;
+#      tests only) and run the concurrency smoke tests — including the
+#      trace/histogram recording tests — which must report zero races;
 #   3. configure + build an ASan/UBSan tree
 #      (-DSSCOR_SANITIZE=address,undefined), run the match-context parity
 #      and parallel-determinism tests under it, and smoke-run the
-#      decode_cache bench with a tiny pair count.
+#      decode_cache bench with a tiny pair count;
+#   4. trace smoke: drive sscor_tool generate -> embed -> perturb -> detect
+#      with --trace/--trace-spans and validate both outputs with
+#      trace_check (strict JSON / JSONL parsing).
 #
 # Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -20,22 +23,22 @@ tsan_dir="${2:-$repo_root/build-tsan}"
 asan_dir="${3:-$repo_root/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/3] default build + full test suite =="
+echo "== [1/4] default build + full test suite =="
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "== [2/3] ThreadSanitizer build + concurrency smoke tests =="
+echo "== [2/4] ThreadSanitizer build + concurrency smoke tests =="
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DSSCOR_SANITIZE=thread \
   -DSSCOR_BUILD_BENCH=OFF \
   -DSSCOR_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_dir" -j "$jobs" \
-  --target tsan_smoke_test util_test parallel_determinism_test
+  --target tsan_smoke_test util_test parallel_determinism_test trace_test
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-  -R 'TsanSmoke|ThreadPool|Parallel'
+  -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace'
 
-echo "== [3/3] ASan/UBSan build + match-context parity + bench smoke =="
+echo "== [3/4] ASan/UBSan build + match-context parity + bench smoke =="
 cmake -B "$asan_dir" -S "$repo_root" \
   -DSSCOR_SANITIZE=address,undefined \
   -DSSCOR_BUILD_EXAMPLES=OFF
@@ -47,5 +50,23 @@ ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
 # 24-bit watermark (192 redundant bit pairs).
 "$asan_dir/bench/decode_cache" --pairs=3 --packets=400 --reps=1 \
   --json="$asan_dir/BENCH_decode_cache.json"
+
+echo "== [4/4] trace smoke: end-to-end pipeline with --trace/--trace-spans =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+tool="$build_dir/tools/sscor_tool"
+check="$build_dir/tools/trace_check"
+"$tool" generate --out "$trace_dir/corpus.pcap" --flows 2 --packets 600 \
+  --seed 7
+"$tool" embed --in "$trace_dir/corpus.pcap" --out "$trace_dir/marked.pcap" \
+  --key-out "$trace_dir/secret.key"
+"$tool" perturb --in "$trace_dir/marked.pcap" \
+  --out "$trace_dir/perturbed.pcap" --max-delay-s 2 --chaff 2.0
+"$tool" detect --up "$trace_dir/marked.pcap" \
+  --down "$trace_dir/perturbed.pcap" --key "$trace_dir/secret.key" \
+  --max-delay-s 9 \
+  --trace "$trace_dir/decode.jsonl" --trace-spans "$trace_dir/spans.json"
+"$check" --jsonl "$trace_dir/decode.jsonl"
+"$check" "$trace_dir/spans.json"
 
 echo "all checks passed"

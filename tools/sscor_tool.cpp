@@ -13,7 +13,10 @@
 //                       [--max-delay-s 7] [--threshold 7] [--robust]
 //
 // Every command additionally accepts --metrics: print the run-metrics
-// registry (counters and wall-clock timers) to stderr on exit.
+// registry (counters, timers, and histograms) to stderr on exit.  Commands
+// that run detection also accept --trace PATH (per-detect decode
+// introspection as JSONL) and --trace-spans PATH (span timings as Chrome
+// trace JSON, loadable in Perfetto / chrome://tracing).
 //
 // generate -> embed -> perturb -> detect exercises the full system from
 // the shell; see README.md for a walkthrough.
@@ -34,6 +37,7 @@
 #include "sscor/traffic/perturbation.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/table.hpp"
+#include "sscor/util/trace.hpp"
 #include "sscor/watermark/embedder.hpp"
 #include "sscor/watermark/key_file.hpp"
 
@@ -236,6 +240,10 @@ int cmd_detect(const Args& args) {
                                  secret.schedule_for(up.flow.size()),
                                  secret.watermark};
     for (const auto& down : downstream) {
+      const trace::DecodePairScope pair_scope(
+          trace::decode_enabled()
+              ? up.tuple.to_string() + "->" + down.tuple.to_string()
+              : std::string());
       CorrelationResult r;
       if (robust) {
         r = run_greedy_plus_robust(handle.schedule, handle.watermark,
@@ -264,7 +272,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sscor_tool <generate|stats|embed|perturb|detect> [flags]\n"
-      "       (append --metrics to print run counters/timers on exit)\n"
+      "       (append --metrics to print run counters/timers on exit;\n"
+      "        --trace PATH writes decode introspection JSONL and\n"
+      "        --trace-spans PATH writes Chrome trace JSON)\n"
       "see the header of tools/sscor_tool.cpp for full flag reference\n");
   return 2;
 }
@@ -276,6 +286,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args(argc, argv, 2);
+    const auto trace_path = args.get("trace");
+    const auto trace_spans_path = args.get("trace-spans");
+    if (trace_path) trace::set_decode_enabled(true);
+    if (trace_spans_path) trace::set_spans_enabled(true);
     int rc;
     if (command == "generate") {
       rc = cmd_generate(args);
@@ -289,6 +303,16 @@ int main(int argc, char** argv) {
       rc = cmd_detect(args);
     } else {
       return usage();
+    }
+    if (trace_path && !trace_path->empty()) {
+      trace::write_decode_jsonl(*trace_path);
+      std::fprintf(stderr, "decode trace written: %s (%zu records)\n",
+                   trace_path->c_str(), trace::decode_record_count());
+    }
+    if (trace_spans_path && !trace_spans_path->empty()) {
+      trace::write_chrome_json(*trace_spans_path);
+      std::fprintf(stderr, "span trace written: %s\n",
+                   trace_spans_path->c_str());
     }
     if (args.flag("metrics")) {
       std::fprintf(stderr, "\nrun metrics:\n%s",
