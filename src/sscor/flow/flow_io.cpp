@@ -1,5 +1,6 @@
 #include "sscor/flow/flow_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -10,6 +11,17 @@ namespace sscor {
 namespace {
 
 constexpr const char* kMagic = "# sscor-flow v1";
+
+/// Parses the whole token as a number of type T.  Unlike istream extraction
+/// this rejects trailing junk inside the token and — for unsigned T — an
+/// explicit sign, which istream used to wrap modulo 2^n without failing.
+template <typename T>
+bool parse_number(const std::string& token, T& out) {
+  const char* const begin = token.data();
+  const char* const end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
 
 }  // namespace
 
@@ -49,13 +61,16 @@ Flow read_flow_text(std::istream& in) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     PacketRecord p;
-    int chaff = 0;
-    if (!(fields >> p.timestamp >> p.size >> chaff) ||
-        (chaff != 0 && chaff != 1)) {
+    std::string ts_token, size_token, chaff_token, extra;
+    if (!(fields >> ts_token >> size_token >> chaff_token) ||
+        fields >> extra ||  // trailing tokens are malformed, not ignorable
+        !parse_number(ts_token, p.timestamp) ||
+        !parse_number(size_token, p.size) ||
+        (chaff_token != "0" && chaff_token != "1")) {
       throw IoError("malformed flow line " + std::to_string(line_number) +
                     ": " + line);
     }
-    p.is_chaff = chaff == 1;
+    p.is_chaff = chaff_token == "1";
     if (!packets.empty() && p.timestamp < packets.back().timestamp) {
       throw IoError("timestamps must be non-decreasing at line " +
                     std::to_string(line_number));

@@ -1,0 +1,113 @@
+#include "sscor/fuzz/alloc_guard.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace sscor::fuzz {
+namespace {
+
+// 0 budget = no guard active; the replacement operators are pass-through.
+thread_local std::size_t t_budget = 0;
+thread_local std::size_t t_allocated = 0;
+thread_local bool t_tripped = false;
+
+/// Charges `size` against the active guard.  Returns false when the budget
+/// is exhausted (the caller must throw / return null, never allocate).
+bool charge(std::size_t size) noexcept {
+  if (t_budget == 0) return true;
+  t_allocated += size;
+  if (t_allocated > t_budget) {
+    t_tripped = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AllocationGuard::AllocationGuard(std::size_t budget_bytes)
+    : previous_budget_(t_budget),
+      previous_allocated_(t_allocated),
+      previous_tripped_(t_tripped) {
+  t_budget = budget_bytes;
+  t_allocated = 0;
+  t_tripped = false;
+}
+
+AllocationGuard::~AllocationGuard() {
+  t_budget = previous_budget_;
+  t_allocated = previous_allocated_;
+  t_tripped = previous_tripped_;
+}
+
+std::size_t AllocationGuard::allocated_bytes() const { return t_allocated; }
+
+bool AllocationGuard::tripped() const { return t_tripped; }
+
+}  // namespace sscor::fuzz
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacement.  Lives in the same translation
+// unit as AllocationGuard on purpose: any binary that uses the guard pulls
+// this object file from the static library, which installs the replacement.
+// Under ASan the std::malloc calls below still route through the sanitizer
+// interceptors, so poisoning and leak checking are unaffected.
+
+namespace {
+
+void* guarded_alloc(std::size_t size) noexcept {
+  if (!sscor::fuzz::charge(size)) return nullptr;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = guarded_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return guarded_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return guarded_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (!sscor::fuzz::charge(size)) throw std::bad_alloc();
+  void* p = nullptr;
+  const std::size_t align =
+      static_cast<std::size_t>(alignment) < sizeof(void*)
+          ? sizeof(void*)
+          : static_cast<std::size_t>(alignment);
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,49 @@
+// Heap-allocation budget enforcement for the fuzzing oracles.
+//
+// The reader-robustness oracles promise "throw IoError or parse — never
+// allocate unboundedly".  Unbounded allocation is invisible to ordinary
+// assertions (a reader that resizes a 4 GiB buffer from a lying length
+// field, then fails to fill it, still ends in a tidy IoError), so the fuzz
+// library replaces the global operator new: while an AllocationGuard is
+// active on the current thread, cumulative allocation beyond the budget
+// throws std::bad_alloc, which the oracle reports as a violation.  With no
+// guard active the replacement is inert pass-through malloc, so linking
+// this library does not change the behaviour of other code.
+//
+// The replacement is program-wide for any binary that links sscor_fuzz
+// (tools/sscor_fuzz and tests/fuzz_test); nothing else links it.
+
+#pragma once
+
+#include <cstddef>
+
+namespace sscor::fuzz {
+
+/// RAII scope bounding cumulative heap allocation on the current thread.
+/// Guards nest; an inner guard's accounting is independent of the outer's.
+class AllocationGuard {
+ public:
+  explicit AllocationGuard(std::size_t budget_bytes);
+  ~AllocationGuard();
+  AllocationGuard(const AllocationGuard&) = delete;
+  AllocationGuard& operator=(const AllocationGuard&) = delete;
+
+  /// Bytes charged against this guard so far.
+  std::size_t allocated_bytes() const;
+
+  /// True once an allocation pushed the total past the budget (the
+  /// offending allocation threw std::bad_alloc).
+  bool tripped() const;
+
+ private:
+  std::size_t previous_budget_;
+  std::size_t previous_allocated_;
+  bool previous_tripped_;
+};
+
+/// Default budget for one reader-oracle invocation.  Generous enough for
+/// every legitimate parse (pcapng blocks are capped at 64 MiB) while
+/// catching header-driven multi-GiB allocations immediately.
+inline constexpr std::size_t kReaderAllocBudget = std::size_t{256} << 20;
+
+}  // namespace sscor::fuzz

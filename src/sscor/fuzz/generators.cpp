@@ -1,0 +1,336 @@
+#include "sscor/fuzz/generators.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "sscor/flow/flow_io.hpp"
+#include "sscor/pcap/pcap_format.hpp"
+#include "sscor/pcap/pcap_writer.hpp"
+#include "sscor/pcap/pcapng_reader.hpp"
+
+namespace sscor::fuzz {
+namespace {
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+/// Boundary values that sit exactly on (or just past) the internal caps of
+/// the readers: snaplen bounds, block-length caps, and wrap points.
+constexpr std::uint32_t kBoundary32[] = {
+    0,          1,          15,         16,          0x7f,       0xff,
+    65534,      65535,      65536,      131070,      131071,     (1u << 20),
+    (1u << 20) + 1,         (64u << 20), (64u << 20) + 4,        0x7fffffff,
+    0xfff00000, 0xfffffff0, 0xffffffff};
+
+}  // namespace
+
+Flow generate_adversarial_flow(Rng& rng, const AdversarialFlowOptions& opts) {
+  const std::size_t count =
+      opts.min_packets +
+      static_cast<std::size_t>(rng.uniform_u64(
+          opts.max_packets - opts.min_packets + 1));
+  std::vector<PacketRecord> packets;
+  packets.reserve(count);
+  TimeUs t = static_cast<TimeUs>(rng.uniform_u64(1'000'000));
+  std::size_t run_left = 0;  // remaining packets of a duplicate/burst run
+  DurationUs run_ipd = 0;
+  while (packets.size() < count) {
+    DurationUs ipd;
+    if (run_left > 0) {
+      ipd = run_ipd;
+      --run_left;
+    } else if (opts.min_ipd == 0 && rng.bernoulli(opts.duplicate_prob)) {
+      run_left = 1 + rng.uniform_u64(4);
+      run_ipd = 0;
+      ipd = 0;
+    } else if (rng.bernoulli(opts.burst_prob)) {
+      run_left = 1 + rng.uniform_u64(6);
+      run_ipd = std::max<DurationUs>(
+          opts.min_ipd, static_cast<DurationUs>(1 + rng.uniform_u64(1000)));
+      ipd = run_ipd;
+    } else if (opts.quant_step > 0 && rng.bernoulli(0.6)) {
+      // Park the IPD on a quantization-cell boundary.  Index >= 3 keeps the
+      // IPD above 2*step whenever min_ipd demands cascade-free embedding.
+      const std::int64_t q =
+          3 + static_cast<std::int64_t>(rng.uniform_u64(6));
+      const DurationUs centre = q * opts.quant_step;
+      const DurationUs half = opts.quant_step / 2;
+      const DurationUs offsets[] = {0,    1,        -1,       half,
+                                    half - 1, -half, -half + 1};
+      ipd = centre + offsets[rng.uniform_u64(std::size(offsets))];
+    } else {
+      const double scale = to_seconds(std::max<DurationUs>(opts.base_ipd, 1));
+      ipd = seconds(rng.exponential(scale));
+    }
+    ipd = std::max(ipd, opts.min_ipd);
+    t += ipd;
+    PacketRecord p;
+    p.timestamp = t;
+    p.size = static_cast<std::uint32_t>(16 + rng.uniform_u64(1400));
+    packets.push_back(p);
+  }
+  return Flow(std::move(packets), "fuzz");
+}
+
+std::vector<std::uint8_t> mutate_bytes(std::vector<std::uint8_t> input,
+                                       Rng& rng, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    if (input.empty()) {
+      input.push_back(static_cast<std::uint8_t>(rng.uniform_u64(256)));
+      continue;
+    }
+    const std::uint64_t choice = rng.uniform_u64(7);
+    const std::size_t pos = rng.uniform_u64(input.size());
+    switch (choice) {
+      case 0:  // flip one bit
+        input[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+        break;
+      case 1:  // overwrite one byte
+        input[pos] = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        break;
+      case 2: {  // overwrite a u32 with a boundary value
+        if (input.size() < 4) break;
+        const std::size_t at = rng.uniform_u64(input.size() - 3);
+        const std::uint32_t v =
+            kBoundary32[rng.uniform_u64(std::size(kBoundary32))];
+        input[at] = static_cast<std::uint8_t>(v & 0xff);
+        input[at + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+        input[at + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+        input[at + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+        break;
+      }
+      case 3:  // truncate the tail
+        input.resize(pos);
+        break;
+      case 4: {  // erase a chunk
+        const std::size_t len =
+            1 + rng.uniform_u64(std::min<std::size_t>(input.size() - pos, 64));
+        input.erase(input.begin() + static_cast<std::ptrdiff_t>(pos),
+                    input.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        break;
+      }
+      case 5: {  // duplicate a chunk in place
+        const std::size_t len =
+            1 + rng.uniform_u64(std::min<std::size_t>(input.size() - pos, 64));
+        std::vector<std::uint8_t> chunk(
+            input.begin() + static_cast<std::ptrdiff_t>(pos),
+            input.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(pos),
+                     chunk.begin(), chunk.end());
+        break;
+      }
+      default: {  // insert random bytes
+        const std::size_t len = 1 + rng.uniform_u64(16);
+        std::vector<std::uint8_t> chunk(len);
+        for (auto& b : chunk) {
+          b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+        }
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(pos),
+                     chunk.begin(), chunk.end());
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+std::string mutate_text_tokens(std::string input, Rng& rng, int rounds) {
+  std::vector<std::string> lines;
+  std::istringstream in(input);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) lines.emplace_back();
+
+  const auto tokens_of = [](const std::string& l) {
+    std::vector<std::string> tokens;
+    std::istringstream fields(l);
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+    return tokens;
+  };
+  const auto join = [](const std::vector<std::string>& tokens) {
+    std::string out;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += tokens[i];
+    }
+    return out;
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    const std::size_t at = rng.uniform_u64(lines.size());
+    auto tokens = tokens_of(lines[at]);
+    switch (rng.uniform_u64(8)) {
+      case 0:  // trailing garbage token
+        tokens.push_back(rng.bernoulli(0.5) ? "junk" : "0");
+        lines[at] = join(tokens);
+        break;
+      case 1:  // negate a numeric field
+        if (!tokens.empty()) {
+          auto& token = tokens[rng.uniform_u64(tokens.size())];
+          token = token.rfind('-', 0) == 0 ? token.substr(1) : "-" + token;
+          lines[at] = join(tokens);
+        }
+        break;
+      case 2:  // overflow a field
+        if (!tokens.empty()) {
+          tokens[rng.uniform_u64(tokens.size())] =
+              rng.bernoulli(0.5) ? "99999999999999999999" : "4294967296";
+          lines[at] = join(tokens);
+        }
+        break;
+      case 3:  // drop a field
+        if (!tokens.empty()) {
+          tokens.erase(tokens.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           rng.uniform_u64(tokens.size())));
+          lines[at] = join(tokens);
+        }
+        break;
+      case 4:  // duplicate the line
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                     lines[at]);
+        break;
+      case 5: {  // swap two lines (order violations)
+        const std::size_t other = rng.uniform_u64(lines.size());
+        std::swap(lines[at], lines[other]);
+        break;
+      }
+      case 6:  // corrupt one character
+        if (!lines[at].empty()) {
+          lines[at][rng.uniform_u64(lines[at].size())] =
+              static_cast<char>(32 + rng.uniform_u64(95));
+        }
+        break;
+      default:  // delete the line
+        if (lines.size() > 1) {
+          lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(at));
+        }
+        break;
+    }
+  }
+
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> synthesize_pcap_seed(Rng& rng) {
+  std::stringstream stream;
+  pcap::PcapWriter writer(stream, pcap::LinkType::kRawIp);
+  TimeUs t = 1'000'000;
+  const std::size_t count = 3 + rng.uniform_u64(6);
+  for (std::size_t i = 0; i < count; ++i) {
+    pcap::Record record;
+    t += static_cast<DurationUs>(rng.uniform_u64(2'000'000));
+    record.timestamp = t;
+    record.data.resize(20 + rng.uniform_u64(64));
+    for (auto& b : record.data) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    record.original_length = static_cast<std::uint32_t>(record.data.size());
+    writer.write(record);
+  }
+  const std::string bytes = stream.str();
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<std::uint8_t> synthesize_pcapng_seed(Rng& rng) {
+  std::vector<std::uint8_t> out;
+  // Section Header Block: type, length 28, byte-order magic, version 1.0,
+  // section length -1 (unknown), trailer.
+  put32(out, pcap::kPcapngSectionHeader);
+  put32(out, 28);
+  put32(out, pcap::kPcapngByteOrderMagic);
+  put16(out, 1);
+  put16(out, 0);
+  put32(out, 0xffffffffu);
+  put32(out, 0xffffffffu);
+  put32(out, 28);
+  // Interface Description Block: link type raw-IP, snaplen, if_tsresol=6
+  // (microseconds) option, end-of-options, trailer.
+  put32(out, pcap::kPcapngInterfaceDescription);
+  put32(out, 32);
+  put16(out, static_cast<std::uint16_t>(pcap::LinkType::kRawIp));
+  put16(out, 0);
+  put32(out, 65535);
+  put16(out, 9);  // if_tsresol
+  put16(out, 1);
+  out.push_back(6);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put16(out, 0);  // opt_endofopt
+  put16(out, 0);
+  put32(out, 32);
+  // A few Enhanced Packet Blocks.
+  std::uint64_t ticks = 1'000'000;
+  const std::size_t count = 2 + rng.uniform_u64(4);
+  for (std::size_t i = 0; i < count; ++i) {
+    ticks += rng.uniform_u64(3'000'000);
+    std::vector<std::uint8_t> payload(16 + rng.uniform_u64(48));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(256));
+    }
+    const std::uint32_t captured = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t padded = (captured + 3u) & ~3u;
+    const std::uint32_t total = 32 + padded;
+    put32(out, pcap::kPcapngEnhancedPacket);
+    put32(out, total);
+    put32(out, 0);  // interface id
+    put32(out, static_cast<std::uint32_t>(ticks >> 32));
+    put32(out, static_cast<std::uint32_t>(ticks & 0xffffffffu));
+    put32(out, captured);
+    put32(out, captured);
+    out.insert(out.end(), payload.begin(), payload.end());
+    for (std::uint32_t pad = captured; pad < padded; ++pad) out.push_back(0);
+    put32(out, total);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> synthesize_flowtext_seed(Rng& rng) {
+  AdversarialFlowOptions opts;
+  opts.min_packets = 4;
+  opts.max_packets = 24;
+  opts.base_ipd = 300'000;
+  const Flow flow = generate_adversarial_flow(rng, opts);
+  std::stringstream stream;
+  write_flow_text(stream, flow);
+  const std::string bytes = stream.str();
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<std::uint8_t> crafted_pcap_record(std::uint32_t snaplen,
+                                              std::uint32_t incl_len,
+                                              std::uint32_t ts_frac) {
+  std::vector<std::uint8_t> out;
+  put32(out, pcap::kMagicMicros);
+  put16(out, pcap::kVersionMajor);
+  put16(out, pcap::kVersionMinor);
+  put32(out, 0);  // thiszone
+  put32(out, 0);  // sigfigs
+  put32(out, snaplen);
+  put32(out, static_cast<std::uint32_t>(pcap::LinkType::kRawIp));
+  put32(out, 1);  // ts_sec
+  put32(out, ts_frac);
+  put32(out, incl_len);
+  put32(out, incl_len);
+  return out;
+}
+
+}  // namespace sscor::fuzz

@@ -1,0 +1,83 @@
+// Structured input generators for the differential fuzzer.
+//
+// Two families:
+//
+//  * Adversarial flows — packet streams shaped like the inputs the
+//    multi-flow / insertion-deletion attack literature aims at the decoders:
+//    IPDs parked exactly on quantization-cell boundaries, duplicate-
+//    timestamp runs, chaff-like micro-bursts, heavy-tailed think times, and
+//    delays sitting exactly on the Delta matching-window edge.
+//
+//  * Byte/token mutators — corruptions of well-formed pcap / pcapng / flow-
+//    text bytes: bit flips, boundary-value u32 overwrites (0, 0xffffffff,
+//    lengths just past every internal cap), truncations, chunk
+//    duplication/erasure, and flow-text token edits (trailing tokens,
+//    negated fields, overflowing numbers) that specifically probe the
+//    parsers' strictness.
+//
+// Everything is a pure function of the caller's Rng, so a (seed, iteration)
+// pair regenerates a case bit-for-bit (the determinism guarantee DESIGN.md
+// §10 documents).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sscor/flow/flow.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::fuzz {
+
+struct AdversarialFlowOptions {
+  std::size_t min_packets = 64;
+  std::size_t max_packets = 256;
+  /// Typical inter-packet spacing the non-structured IPDs are drawn around.
+  DurationUs base_ipd = 500'000;
+  /// When > 0, a share of IPDs is placed on quantization-cell boundaries of
+  /// this step (centre, centre +/- 1, centre + step/2, centre + step/2 - 1).
+  DurationUs quant_step = 0;
+  /// Minimum IPD; raise above 2*quant_step to rule out FIFO cascades when
+  /// an oracle needs exact QIM round-trips.
+  DurationUs min_ipd = 0;
+  /// Probability of starting a duplicate-timestamp run (IPD 0).
+  double duplicate_prob = 0.05;
+  /// Probability of a chaff-like micro-burst (IPDs of a few microseconds).
+  double burst_prob = 0.05;
+};
+
+/// Generates one adversarial flow; timestamps start at a small random
+/// offset and are non-decreasing by construction.
+Flow generate_adversarial_flow(Rng& rng, const AdversarialFlowOptions& opts);
+
+/// Applies `rounds` random byte-level corruptions (bit flips, boundary u32
+/// overwrites, truncation, chunk erase/duplicate/insert) to `input`.
+std::vector<std::uint8_t> mutate_bytes(std::vector<std::uint8_t> input,
+                                       Rng& rng, int rounds);
+
+/// Applies `rounds` token-level corruptions to line-oriented text (append a
+/// trailing token, negate or overflow a numeric field, drop a field,
+/// duplicate or swap lines, mangle the header).
+std::string mutate_text_tokens(std::string input, Rng& rng, int rounds);
+
+/// A small, well-formed classic-pcap capture (raw-IP, a handful of
+/// records), as file bytes.  Used as the mutation seed when no corpus file
+/// is supplied.
+std::vector<std::uint8_t> synthesize_pcap_seed(Rng& rng);
+
+/// A small, well-formed pcapng capture: SHB + IDB (microsecond if_tsresol)
+/// + a few enhanced packet blocks.
+std::vector<std::uint8_t> synthesize_pcapng_seed(Rng& rng);
+
+/// A small, well-formed flow-text file.
+std::vector<std::uint8_t> synthesize_flowtext_seed(Rng& rng);
+
+/// A classic-pcap capture whose global header declares `snaplen` and whose
+/// single record header claims `incl_len` body bytes that are not present —
+/// the shape that used to extract a ~4 GiB allocation from 40 bytes.
+std::vector<std::uint8_t> crafted_pcap_record(std::uint32_t snaplen,
+                                              std::uint32_t incl_len,
+                                              std::uint32_t ts_frac);
+
+}  // namespace sscor::fuzz

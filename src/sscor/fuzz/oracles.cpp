@@ -1,0 +1,998 @@
+#include "sscor/fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "sscor/correlation/brute_force.hpp"
+#include "sscor/correlation/decode_plan.hpp"
+#include "sscor/correlation/greedy.hpp"
+#include "sscor/correlation/greedy_plus.hpp"
+#include "sscor/correlation/greedy_star.hpp"
+#include "sscor/flow/flow_io.hpp"
+#include "sscor/fuzz/alloc_guard.hpp"
+#include "sscor/fuzz/generators.hpp"
+#include "sscor/matching/match_context.hpp"
+#include "sscor/pcap/pcap_reader.hpp"
+#include "sscor/pcap/pcapng_reader.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/watermark/decoder.hpp"
+#include "sscor/watermark/embedder.hpp"
+#include "sscor/watermark/quantization.hpp"
+
+namespace sscor::fuzz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case payload format shared by the pipeline oracles.
+//
+//   # sscor-fuzz-case v1
+//   p <name> <int64>
+//   ...
+//   flow
+//   # sscor-flow v1 <id>
+//   <flow lines>
+//
+// Self-contained: parameters and the input flow travel inside the payload,
+// so a replayed or shrunk payload needs no out-of-band state.  check()
+// clamps every parameter into its legal range instead of rejecting, which
+// keeps mutated payloads checkable; a payload that fails to parse at all is
+// a skip, never a violation (the shrinker produces such payloads routinely).
+
+constexpr const char* kCaseMagic = "# sscor-fuzz-case v1";
+
+OracleResult skip_case() {
+  OracleResult result;
+  result.skipped = true;
+  return result;
+}
+
+OracleResult violation(std::string message) {
+  OracleResult result;
+  result.ok = false;
+  result.message = std::move(message);
+  return result;
+}
+
+struct ParsedCase {
+  std::map<std::string, std::int64_t> params;
+  Flow flow;
+};
+
+std::vector<std::uint8_t> serialize_case(
+    const std::vector<std::pair<std::string, std::int64_t>>& params,
+    const Flow& flow) {
+  std::ostringstream out;
+  out << kCaseMagic << '\n';
+  for (const auto& [name, value] : params) {
+    out << "p " << name << ' ' << value << '\n';
+  }
+  out << "flow\n";
+  write_flow_text(out, flow);
+  const std::string text = out.str();
+  return {text.begin(), text.end()};
+}
+
+std::optional<ParsedCase> parse_case(const std::vector<std::uint8_t>& payload) {
+  std::string text(payload.begin(), payload.end());
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kCaseMagic) return std::nullopt;
+  ParsedCase parsed;
+  bool saw_flow = false;
+  while (std::getline(in, line)) {
+    if (line == "flow") {
+      saw_flow = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string tag, name, value_token, extra;
+    if (!(fields >> tag >> name >> value_token) || tag != "p" ||
+        fields >> extra) {
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    const char* const begin = value_token.data();
+    const char* const end = begin + value_token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) return std::nullopt;
+    parsed.params[name] = value;
+  }
+  if (!saw_flow) return std::nullopt;
+  try {
+    parsed.flow = read_flow_text(in);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::int64_t get_clamped(const ParsedCase& parsed, const std::string& key,
+                         std::int64_t fallback, std::int64_t lo,
+                         std::int64_t hi) {
+  const auto it = parsed.params.find(key);
+  const std::int64_t v = it == parsed.params.end() ? fallback : it->second;
+  return std::clamp(v, lo, hi);
+}
+
+Watermark watermark_from_mask(std::uint64_t mask, std::uint32_t bits) {
+  std::vector<std::uint8_t> b(bits);
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    b[i] = static_cast<std::uint8_t>((mask >> (i % 64)) & 1);
+  }
+  return Watermark(std::move(b));
+}
+
+/// Timestamp magnitude cap: keeps every downstream arithmetic step (delays,
+/// window scans) far from int64 overflow no matter how a payload was
+/// mutated.
+constexpr TimeUs kMaxAbsTimestamp = TimeUs{1} << 59;
+
+bool flow_in_range(const Flow& flow) {
+  return flow.empty() || (flow.start_time() > -kMaxAbsTimestamp &&
+                          flow.end_time() < kMaxAbsTimestamp);
+}
+
+bool flow_has_chaff(const Flow& flow) { return flow.chaff_count() > 0; }
+
+// ---------------------------------------------------------------------------
+// Oracle 1: qim_roundtrip.
+
+class QimRoundtripOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "qim_roundtrip"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    QimParams params;
+    // Even steps expose the centre + s/2 boundary (s/2 == s - s/2 only for
+    // odd s); generate both parities deliberately.
+    params.step = millis(2 + static_cast<std::int64_t>(rng.uniform_u64(498)));
+    if (rng.bernoulli(0.5)) params.step += 1;
+    params.bits = 2 + static_cast<std::uint32_t>(rng.uniform_u64(7));
+    params.redundancy = 1 + static_cast<std::uint32_t>(rng.uniform_u64(2));
+    const std::uint64_t key = rng();
+    const std::uint64_t wm_mask = rng.uniform_u64(std::uint64_t{1}
+                                                  << params.bits);
+
+    AdversarialFlowOptions opts;
+    const std::size_t pairs = params.bits * 2 * params.redundancy;
+    opts.min_packets = 2 * pairs + 2;
+    opts.max_packets = opts.min_packets + 48;
+    opts.quant_step = params.step;
+    // All IPDs > 2*step: per-packet embedding delay stays below 2*step, so
+    // no FIFO cascade and the round-trip must be exact.
+    opts.min_ipd = 2 * params.step + 1;
+    opts.base_ipd = 3 * params.step;
+    const Flow flow = generate_adversarial_flow(rng, opts);
+
+    return serialize_case(
+        {{"step", params.step},
+         {"bits", params.bits},
+         {"redundancy", params.redundancy},
+         {"key", static_cast<std::int64_t>(key)},
+         {"wm", static_cast<std::int64_t>(wm_mask)}},
+        flow);
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    QimParams params;
+    params.step = get_clamped(*parsed, "step", millis(400), 1000, seconds(std::int64_t{2}));
+    params.bits = static_cast<std::uint32_t>(
+        get_clamped(*parsed, "bits", 4, 1, 16));
+    params.redundancy = static_cast<std::uint32_t>(
+        get_clamped(*parsed, "redundancy", 1, 1, 4));
+    const auto key = static_cast<std::uint64_t>(
+        get_clamped(*parsed, "key", 1, INT64_MIN, INT64_MAX));
+    const auto wm_mask = static_cast<std::uint64_t>(
+        get_clamped(*parsed, "wm", 0, INT64_MIN, INT64_MAX));
+    const Flow& flow = parsed->flow;
+    if (!flow_in_range(flow)) return skip_case();
+    // Precondition of exactness: every IPD strictly above 2*step.
+    for (std::size_t i = 0; i + 1 < flow.size(); ++i) {
+      if (flow.ipd(i) <= 2 * params.step) {
+        return skip_case();
+      }
+    }
+    const Watermark wm = watermark_from_mask(wm_mask, params.bits);
+    QimWatermarkedFlow marked;
+    try {
+      marked = QimEmbedder(params, key).embed(flow, wm);
+    } catch (const InvalidArgument&) {
+      return skip_case();  // flow too short for schedule
+    }
+    const auto decoded =
+        decode_qim_positional(marked.schedule, params.step, marked.flow);
+    if (!decoded) {
+      return violation("decode_qim_positional returned nullopt on the "
+                         "embedder's own output");
+    }
+    const std::size_t hamming = decoded->hamming_distance(wm);
+    if (hamming != 0) {
+      return violation("QIM round-trip lost " + std::to_string(hamming) +
+                         " of " + std::to_string(params.bits) +
+                         " bits with step " + std::to_string(params.step) +
+                         "us although every IPD exceeds 2*step (decoded " +
+                         decoded->to_string() + ", embedded " +
+                         wm.to_string() + ")");
+    }
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared embed -> perturb -> chaff pipeline for oracles 2 and 3.
+
+struct Pipeline {
+  WatermarkedFlow watermarked;
+  Flow downstream;
+  CorrelatorConfig config;
+  DurationUs const_delay = 0;
+  DurationUs perturb_max = 0;
+};
+
+std::vector<std::uint8_t> generate_pipeline_case(Rng& rng,
+                                                 std::uint32_t max_bits) {
+  WatermarkParams params;
+  params.bits = 2 + static_cast<std::uint32_t>(rng.uniform_u64(max_bits - 1));
+  params.redundancy = rng.bernoulli(0.7) ? 1 : 2;
+  params.embedding_delay =
+      millis(100 + static_cast<std::int64_t>(rng.uniform_u64(900)));
+  const std::uint64_t key = rng();
+  const std::uint64_t wm_mask =
+      rng.uniform_u64(std::uint64_t{1} << params.bits);
+  const DurationUs const_delay =
+      rng.bernoulli(0.7)
+          ? static_cast<DurationUs>(rng.uniform_u64(seconds(std::int64_t{2})))
+          : 0;
+  const DurationUs perturb_max =
+      rng.bernoulli(0.6) ? static_cast<DurationUs>(rng.uniform_u64(800'000))
+                         : 0;
+  const std::int64_t chaff_millipps =
+      rng.bernoulli(0.5) ? static_cast<std::int64_t>(rng.uniform_u64(1500))
+                         : 0;
+  // Mostly give the matcher a Delta that admits the true assignment; with
+  // small probability starve it to exercise the incomplete-matching paths.
+  const DurationUs max_delay =
+      rng.bernoulli(0.15)
+          ? std::max<DurationUs>(1, (const_delay + perturb_max) / 2)
+          : const_delay + perturb_max +
+                static_cast<DurationUs>(rng.uniform_u64(300'000)) + 1;
+
+  AdversarialFlowOptions opts;
+  const std::size_t pairs = params.bits * 2 * params.redundancy;
+  opts.min_packets = 2 * pairs + 2;
+  opts.max_packets = opts.min_packets + 30;
+  opts.base_ipd = 2 * params.embedding_delay +
+                  static_cast<DurationUs>(rng.uniform_u64(seconds(std::int64_t{1})));
+  const Flow flow = generate_adversarial_flow(rng, opts);
+
+  return serialize_case(
+      {{"bits", params.bits},
+       {"redundancy", params.redundancy},
+       {"embed_delay", params.embedding_delay},
+       {"key", static_cast<std::int64_t>(key)},
+       {"wm", static_cast<std::int64_t>(wm_mask)},
+       {"const_delay", const_delay},
+       {"perturb_max", perturb_max},
+       {"perturb_seed", static_cast<std::int64_t>(rng())},
+       {"chaff_millipps", chaff_millipps},
+       {"chaff_seed", static_cast<std::int64_t>(rng())},
+       {"max_delay", max_delay},
+       {"threshold",
+        static_cast<std::int64_t>(rng.uniform_u64(params.bits + 1))},
+       {"cost_bound",
+        20'000 + static_cast<std::int64_t>(rng.uniform_u64(180'000))},
+       {"size_block", rng.bernoulli(0.3) ? 16 : 0}},
+      flow);
+}
+
+std::optional<Pipeline> build_pipeline(const ParsedCase& parsed) {
+  WatermarkParams params;
+  params.bits =
+      static_cast<std::uint32_t>(get_clamped(parsed, "bits", 3, 2, 6));
+  params.redundancy = static_cast<std::uint32_t>(
+      get_clamped(parsed, "redundancy", 1, 1, 2));
+  params.embedding_delay =
+      get_clamped(parsed, "embed_delay", millis(600), millis(10), seconds(std::int64_t{1}));
+  const auto key = static_cast<std::uint64_t>(
+      get_clamped(parsed, "key", 1, INT64_MIN, INT64_MAX));
+  const auto wm_mask = static_cast<std::uint64_t>(
+      get_clamped(parsed, "wm", 0, INT64_MIN, INT64_MAX));
+  const Flow& flow = parsed.flow;
+  if (!flow_in_range(flow) || flow.size() > 2048 || flow_has_chaff(flow)) {
+    return std::nullopt;
+  }
+
+  Pipeline pipe;
+  const Watermark wm = watermark_from_mask(wm_mask, params.bits);
+  try {
+    pipe.watermarked = Embedder(params, key).embed(flow, wm);
+  } catch (const InvalidArgument&) {
+    return std::nullopt;  // flow too short for the schedule
+  }
+  pipe.const_delay = get_clamped(parsed, "const_delay", 0, 0,
+                                 seconds(std::int64_t{3}));
+  pipe.perturb_max = get_clamped(parsed, "perturb_max", 0, 0, seconds(std::int64_t{1}));
+  const std::int64_t chaff_millipps =
+      get_clamped(parsed, "chaff_millipps", 0, 0, 3000);
+  const auto perturb_seed = static_cast<std::uint64_t>(
+      get_clamped(parsed, "perturb_seed", 7, INT64_MIN, INT64_MAX));
+  const auto chaff_seed = static_cast<std::uint64_t>(
+      get_clamped(parsed, "chaff_seed", 9, INT64_MIN, INT64_MAX));
+
+  pipe.downstream = pipe.watermarked.flow;
+  if (pipe.const_delay > 0) {
+    pipe.downstream =
+        traffic::ConstantDelay(pipe.const_delay).apply(pipe.downstream);
+  }
+  if (pipe.perturb_max > 0) {
+    pipe.downstream = traffic::UniformPerturber(pipe.perturb_max, perturb_seed)
+                          .apply(pipe.downstream);
+  }
+  if (chaff_millipps > 0) {
+    pipe.downstream = traffic::PoissonChaffInjector(
+                          static_cast<double>(chaff_millipps) / 1000.0,
+                          chaff_seed)
+                          .apply(pipe.downstream);
+  }
+
+  pipe.config.max_delay = get_clamped(parsed, "max_delay", seconds(std::int64_t{1}), 1,
+                                      seconds(std::int64_t{8}));
+  pipe.config.hamming_threshold = static_cast<std::uint32_t>(
+      get_clamped(parsed, "threshold", 1, 0, params.bits));
+  pipe.config.cost_bound = static_cast<std::uint64_t>(
+      get_clamped(parsed, "cost_bound", 100'000, 10'000, 500'000));
+  const std::int64_t size_block = get_clamped(parsed, "size_block", 0, 0, 64);
+  if (size_block > 0) {
+    pipe.config.size_constraint =
+        SizeConstraint{static_cast<std::uint32_t>(size_block)};
+  }
+  return pipe;
+}
+
+/// The downstream flow minus chaff is exactly the (delayed, perturbed)
+/// watermarked flow — the paper's "true assignment".  Rebuilt from the
+/// ground-truth chaff flags for the identity-decode bound.
+Flow true_assignment_flow(const Flow& downstream) {
+  std::vector<PacketRecord> packets;
+  packets.reserve(downstream.size());
+  for (const auto& p : downstream.packets()) {
+    if (!p.is_chaff) packets.push_back(p);
+  }
+  return Flow(std::move(packets), "true-assignment");
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 2: differential.
+
+class DifferentialOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "differential"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return generate_pipeline_case(rng, /*max_bits=*/5);
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+
+    const KeySchedule& schedule = pipe->watermarked.schedule;
+    const Watermark& wm = pipe->watermarked.watermark;
+    const Flow& up = pipe->watermarked.flow;
+    const Flow& down = pipe->downstream;
+    const CorrelatorConfig& config = pipe->config;
+
+    BruteForceOptions bf_options;
+    bf_options.prune = true;
+    bf_options.stop_at_threshold = false;
+    const CorrelationResult bf =
+        run_brute_force(schedule, wm, up, down, config, bf_options);
+    const DecodePlan plan(schedule, wm);
+    const CorrelationResult greedy = run_greedy(plan, up, down, config);
+    const CorrelationResult gp =
+        run_greedy_plus(schedule, wm, up, down, config);
+    const CorrelationResult gs =
+        run_greedy_star(schedule, wm, up, down, config);
+
+    // The matching-complete verdict is watermark-independent; the three
+    // matching-based algorithms must agree on it.
+    if (gp.matching_complete != bf.matching_complete ||
+        gs.matching_complete != bf.matching_complete) {
+      return violation("matching_complete disagrees: brute-force " +
+                         std::to_string(bf.matching_complete) + ", greedy+ " +
+                         std::to_string(gp.matching_complete) + ", greedy* " +
+                         std::to_string(gs.matching_complete));
+    }
+
+    // A correlation verdict must be backed by a within-threshold decode.
+    for (const CorrelationResult* r : {&bf, &greedy, &gp, &gs}) {
+      if (r->correlated && (!r->matching_complete ||
+                            r->hamming > config.hamming_threshold)) {
+        return violation(to_string(r->algorithm) +
+                           " reported correlated with hamming " +
+                           std::to_string(r->hamming) + " above threshold " +
+                           std::to_string(config.hamming_threshold));
+      }
+    }
+
+    // Delta admits every true delay => the true assignment exists and
+    // matching must be complete.
+    if (pipe->const_delay + pipe->perturb_max <= config.max_delay &&
+        !bf.matching_complete) {
+      return violation("matching incomplete although every true delay is "
+                         "within Delta (const " +
+                         std::to_string(pipe->const_delay) + " + perturb " +
+                         std::to_string(pipe->perturb_max) + " <= " +
+                         std::to_string(config.max_delay) + ")");
+    }
+
+    // The remaining invariants need BruteForce to be exact ground truth.
+    if (!bf.matching_complete || bf.cost_bound_hit) return {};
+
+    if (greedy.hamming > bf.hamming) {
+      return violation("greedy hamming " + std::to_string(greedy.hamming) +
+                         " exceeds the exact brute-force minimum " +
+                         std::to_string(bf.hamming) +
+                         " (greedy must lower-bound every assignment)");
+    }
+    for (const CorrelationResult* r : {&gp, &gs}) {
+      if (r->hamming < bf.hamming) {
+        return violation(to_string(r->algorithm) + " hamming " +
+                           std::to_string(r->hamming) +
+                           " beats the exact brute-force minimum " +
+                           std::to_string(bf.hamming) +
+                           " — it decoded an assignment brute force missed");
+      }
+    }
+
+    // Identity bound: decoding the true assignment positionally gives an
+    // upper bound no exact search may exceed.
+    const Flow identity = true_assignment_flow(down);
+    if (identity.size() != up.size()) {
+      return violation("chaff injection dropped or relabelled real "
+                         "packets: " +
+                         std::to_string(up.size()) + " in, " +
+                         std::to_string(identity.size()) + " non-chaff out");
+    }
+    if (pipe->const_delay + pipe->perturb_max <= config.max_delay) {
+      const auto true_decode = decode_positional(schedule, identity);
+      if (true_decode) {
+        const std::size_t h_true = true_decode->hamming_distance(wm);
+        if (bf.hamming > h_true) {
+          return violation("brute force hamming " +
+                             std::to_string(bf.hamming) +
+                             " exceeds the true-assignment decode " +
+                             std::to_string(h_true) +
+                             " although the true assignment is within Delta");
+        }
+      }
+    }
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Oracle 3: cache_parity.
+
+class CacheParityOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "cache_parity"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return generate_pipeline_case(rng, /*max_bits=*/4);
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+
+    const KeySchedule& schedule = pipe->watermarked.schedule;
+    const Watermark& wm = pipe->watermarked.watermark;
+    const Flow& up = pipe->watermarked.flow;
+    const Flow& down = pipe->downstream;
+    const CorrelatorConfig& config = pipe->config;
+    const MatchContext context = MatchContext::build(
+        up, down, config.max_delay, config.size_constraint);
+    const DecodePlan plan(schedule, wm);
+
+    const auto mismatch = [](const char* algo, const CorrelationResult& cold,
+                             const CorrelationResult& warm) -> std::string {
+      const auto field = [&](const char* what, auto a, auto b) {
+        return std::string(algo) + " diverges between cold and cached "
+               "matching: " + what + " " + std::to_string(a) + " vs " +
+               std::to_string(b);
+      };
+      if (cold.correlated != warm.correlated) {
+        return field("correlated", cold.correlated, warm.correlated);
+      }
+      if (cold.hamming != warm.hamming) {
+        return field("hamming", cold.hamming, warm.hamming);
+      }
+      if (cold.cost != warm.cost) return field("cost", cold.cost, warm.cost);
+      if (cold.matching_complete != warm.matching_complete) {
+        return field("matching_complete", cold.matching_complete,
+                     warm.matching_complete);
+      }
+      if (cold.cost_bound_hit != warm.cost_bound_hit) {
+        return field("cost_bound_hit", cold.cost_bound_hit,
+                     warm.cost_bound_hit);
+      }
+      if (!(cold.best_watermark == warm.best_watermark)) {
+        return std::string(algo) +
+               " diverges between cold and cached matching: best watermark " +
+               cold.best_watermark.to_string() + " vs " +
+               warm.best_watermark.to_string();
+      }
+      return {};
+    };
+
+    BruteForceOptions bf_options;
+    {
+      const auto cold =
+          run_brute_force(schedule, wm, up, down, config, bf_options);
+      const auto warm = run_brute_force(schedule, wm, up, down, config,
+                                        bf_options, &context);
+      if (auto m = mismatch("brute-force", cold, warm); !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto cold = run_greedy(plan, up, down, config);
+      const auto warm = run_greedy(plan, up, down, config, &context);
+      if (auto m = mismatch("greedy", cold, warm); !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto cold = run_greedy_plus(schedule, wm, up, down, config);
+      const auto warm =
+          run_greedy_plus(schedule, wm, up, down, config, &context);
+      const auto warm2 =
+          run_greedy_plus(schedule, wm, up, down, config, &context);
+      if (auto m = mismatch("greedy+", cold, warm); !m.empty()) {
+        return violation(std::move(m));
+      }
+      if (auto m = mismatch("greedy+ (second cached run)", warm, warm2);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto cold = run_greedy_star(schedule, wm, up, down, config);
+      const auto warm =
+          run_greedy_star(schedule, wm, up, down, config, &context);
+      if (auto m = mismatch("greedy*", cold, warm); !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Oracles 4-6: reader robustness.
+
+/// Outcome of a guarded parse, recorded without allocating (once the
+/// allocation budget has tripped, *any* heap use inside the guard scope
+/// would itself throw bad_alloc).
+struct GuardedParse {
+  enum Outcome { kAccepted, kRejected, kAllocBlowup, kUnexpected };
+  Outcome outcome = kAccepted;
+  std::size_t records = 0;
+  std::size_t allocated = 0;
+  char what[256] = {};
+};
+
+class ReaderOracleBase : public Oracle {
+ public:
+  void add_seed(std::vector<std::uint8_t> seed) override {
+    seeds_.push_back(std::move(seed));
+  }
+
+ protected:
+  /// Picks a corpus seed to mutate (when any were supplied), otherwise
+  /// defers to the oracle's synthesizer.
+  std::vector<std::uint8_t> pick_base(Rng& rng) {
+    if (!seeds_.empty() && rng.bernoulli(0.5)) {
+      return seeds_[rng.uniform_u64(seeds_.size())];
+    }
+    return synthesize(rng);
+  }
+
+  virtual std::vector<std::uint8_t> synthesize(Rng& rng) = 0;
+
+  template <typename ParseFn>
+  static GuardedParse guarded_parse(ParseFn&& parse) {
+    GuardedParse result;
+    AllocationGuard guard(kReaderAllocBudget);
+    try {
+      result.records = parse();
+      result.outcome = GuardedParse::kAccepted;
+    } catch (const IoError&) {
+      result.outcome = GuardedParse::kRejected;
+    } catch (const std::bad_alloc&) {
+      result.outcome = GuardedParse::kAllocBlowup;
+    } catch (const std::exception& e) {
+      result.outcome = GuardedParse::kUnexpected;
+      std::strncpy(result.what, e.what(), sizeof(result.what) - 1);
+    }
+    result.allocated = guard.allocated_bytes();
+    return result;
+  }
+
+  static OracleResult robustness_verdict(const GuardedParse& parse,
+                                         std::size_t payload_bytes,
+                                         std::size_t record_cap) {
+    switch (parse.outcome) {
+      case GuardedParse::kAllocBlowup:
+        return violation("reader allocated past the " +
+                           std::to_string(kReaderAllocBudget >> 20) +
+                           " MiB budget on a " +
+                           std::to_string(payload_bytes) +
+                           "-byte input (unbounded header-driven "
+                           "allocation)");
+      case GuardedParse::kUnexpected:
+        return violation(std::string("reader threw a non-IoError "
+                                       "exception: ") +
+                           parse.what);
+      case GuardedParse::kAccepted:
+        if (parse.records > record_cap) {
+          return violation("reader yielded " +
+                             std::to_string(parse.records) +
+                             " records from " +
+                             std::to_string(payload_bytes) +
+                             " bytes — more than the input can encode");
+        }
+        return {};
+      case GuardedParse::kRejected:
+        return {};
+    }
+    return {};
+  }
+
+  std::vector<std::vector<std::uint8_t>> seeds_;
+};
+
+class PcapReaderOracle final : public ReaderOracleBase {
+ public:
+  std::string_view name() const override { return "reader_pcap"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    std::vector<std::uint8_t> base;
+    if (rng.bernoulli(0.2)) {
+      // Directly probe the length-bound arithmetic with boundary headers.
+      constexpr std::uint32_t kLens[] = {0,          1,          65535,
+                                         65536,      (1u << 20), (1u << 20) + 1,
+                                         0x7fffffff, 0xfff00000, 0xfffffff0,
+                                         0xffffffff};
+      base = crafted_pcap_record(
+          kLens[rng.uniform_u64(std::size(kLens))],
+          kLens[rng.uniform_u64(std::size(kLens))],
+          static_cast<std::uint32_t>(rng.uniform_u64(2'000'000'000)));
+    } else {
+      base = pick_base(rng);
+    }
+    if (rng.bernoulli(0.85)) {
+      base = mutate_bytes(std::move(base), rng,
+                          1 + static_cast<int>(rng.uniform_u64(8)));
+    }
+    return base;
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    if (payload.size() > (std::size_t{4} << 20)) {
+      return skip_case();
+    }
+    std::istringstream in(std::string(payload.begin(), payload.end()),
+                          std::ios::binary);
+    const auto parse = guarded_parse([&] {
+      pcap::PcapReader reader(in);
+      std::size_t records = 0;
+      while (reader.next()) ++records;
+      return records;
+    });
+    return robustness_verdict(parse, payload.size(),
+                              payload.size() / pcap::kRecordHeaderBytes + 1);
+  }
+
+ protected:
+  std::vector<std::uint8_t> synthesize(Rng& rng) override {
+    return synthesize_pcap_seed(rng);
+  }
+};
+
+class PcapngReaderOracle final : public ReaderOracleBase {
+ public:
+  std::string_view name() const override { return "reader_pcapng"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    auto base = pick_base(rng);
+    if (rng.bernoulli(0.85)) {
+      base = mutate_bytes(std::move(base), rng,
+                          1 + static_cast<int>(rng.uniform_u64(8)));
+    }
+    return base;
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    if (payload.size() > (std::size_t{4} << 20)) {
+      return skip_case();
+    }
+    std::istringstream in(std::string(payload.begin(), payload.end()),
+                          std::ios::binary);
+    const auto parse = guarded_parse([&] {
+      pcap::PcapngReader reader(in);
+      std::size_t records = 0;
+      while (reader.next()) ++records;
+      return records;
+    });
+    // The smallest packet-bearing block is 12 bytes of framing.
+    return robustness_verdict(parse, payload.size(), payload.size() / 12 + 1);
+  }
+
+ protected:
+  std::vector<std::uint8_t> synthesize(Rng& rng) override {
+    return synthesize_pcapng_seed(rng);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Oracle 6: reader_flowtext — grammar differential.
+//
+// The spec parser below is an independent hand-rolled implementation of the
+// documented flow-text grammar (header prefix, 3 whitespace-separated
+// tokens per line, int64 timestamp with optional leading '-', unsigned
+// 32-bit size with no sign, chaff flag exactly "0"/"1", comments and blank
+// lines skipped, timestamps non-decreasing).  read_flow_text must agree
+// with it on accept/reject and on the packet count — historically it
+// ignored trailing tokens and wrapped signed sizes through istream
+// extraction, which this oracle flags mechanically.
+
+bool spec_is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+std::vector<std::string> spec_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && spec_is_space(line[i])) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !spec_is_space(line[i])) ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool spec_parse_i64(const std::string& token, std::int64_t& out) {
+  std::size_t i = 0;
+  const bool negative = !token.empty() && token[0] == '-';
+  if (negative) i = 1;
+  if (i >= token.size()) return false;
+  const std::uint64_t limit =
+      negative ? 9223372036854775808ULL : 9223372036854775807ULL;
+  std::uint64_t magnitude = 0;
+  for (; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(token[i] - '0');
+    if (magnitude > (limit - digit) / 10) return false;
+    magnitude = magnitude * 10 + digit;
+  }
+  out = negative ? -static_cast<std::int64_t>(magnitude - 1) - 1
+                 : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+bool spec_parse_u32(const std::string& token) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffULL) return false;
+  }
+  return true;
+}
+
+/// Accept/reject plus accepted packet count, per the grammar alone.
+std::optional<std::size_t> spec_parse_flow_text(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  constexpr std::string_view kMagic = "# sscor-flow v1";
+  if (lines.empty() ||
+      std::string_view(lines[0]).substr(0, kMagic.size()) != kMagic) {
+    return std::nullopt;
+  }
+  std::size_t packets = 0;
+  bool have_previous = false;
+  std::int64_t previous_ts = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty() || line[0] == '#') continue;
+    const auto tokens = spec_tokens(line);
+    if (tokens.size() != 3) return std::nullopt;
+    std::int64_t ts = 0;
+    if (!spec_parse_i64(tokens[0], ts)) return std::nullopt;
+    if (!spec_parse_u32(tokens[1])) return std::nullopt;
+    if (tokens[2] != "0" && tokens[2] != "1") return std::nullopt;
+    if (have_previous && ts < previous_ts) return std::nullopt;
+    previous_ts = ts;
+    have_previous = true;
+    ++packets;
+  }
+  return packets;
+}
+
+class FlowTextReaderOracle final : public ReaderOracleBase {
+ public:
+  std::string_view name() const override { return "reader_flowtext"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    auto base = pick_base(rng);
+    if (rng.bernoulli(0.8)) {
+      // Token-level edits keep most of the line structure intact, probing
+      // the grammar corner cases rather than just shredding the header.
+      std::string text(base.begin(), base.end());
+      text = mutate_text_tokens(std::move(text), rng,
+                                1 + static_cast<int>(rng.uniform_u64(6)));
+      base.assign(text.begin(), text.end());
+    } else {
+      base = mutate_bytes(std::move(base), rng,
+                          1 + static_cast<int>(rng.uniform_u64(6)));
+    }
+    return base;
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    if (payload.size() > (std::size_t{4} << 20)) {
+      return skip_case();
+    }
+    const std::string text(payload.begin(), payload.end());
+    const auto expected = spec_parse_flow_text(text);
+    std::istringstream in(text);
+    const auto parse = guarded_parse([&] {
+      const Flow flow = read_flow_text(in);
+      return flow.size();
+    });
+    if (parse.outcome == GuardedParse::kAllocBlowup ||
+        parse.outcome == GuardedParse::kUnexpected) {
+      return robustness_verdict(parse, payload.size(), payload.size());
+    }
+    const bool accepted = parse.outcome == GuardedParse::kAccepted;
+    if (accepted && !expected) {
+      return violation("read_flow_text accepted an input the grammar "
+                         "rejects (trailing tokens, signed size, or bad "
+                         "token shape survive parsing)");
+    }
+    if (!accepted && expected) {
+      return violation("read_flow_text rejected a well-formed flow of " +
+                         std::to_string(*expected) + " packets");
+    }
+    if (accepted && expected && parse.records != *expected) {
+      return violation("read_flow_text parsed " +
+                         std::to_string(parse.records) +
+                         " packets where the grammar counts " +
+                         std::to_string(*expected));
+    }
+    return {};
+  }
+
+ protected:
+  std::vector<std::uint8_t> synthesize(Rng& rng) override {
+    return synthesize_flowtext_seed(rng);
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
+  std::vector<std::unique_ptr<Oracle>> oracles;
+  oracles.push_back(std::make_unique<QimRoundtripOracle>());
+  oracles.push_back(std::make_unique<DifferentialOracle>());
+  oracles.push_back(std::make_unique<CacheParityOracle>());
+  oracles.push_back(std::make_unique<PcapReaderOracle>());
+  oracles.push_back(std::make_unique<PcapngReaderOracle>());
+  oracles.push_back(std::make_unique<FlowTextReaderOracle>());
+  return oracles;
+}
+
+std::vector<RegressionCase> make_regression_cases() {
+  std::vector<RegressionCase> cases;
+
+  {
+    // The quantization cell-boundary off-by-one: every pair IPD sits at
+    // exactly centre + step/2 of an even (parity-0) cell, the watermark is
+    // all zeros, and the step is even.  The buggy embedder kept those IPDs
+    // (believing they decode to the even cell) while the decoder rounds
+    // them up into the odd cell, flipping every bit.
+    const DurationUs step = millis(400);
+    std::vector<TimeUs> timestamps;
+    for (std::size_t i = 0; i < 40; ++i) {
+      timestamps.push_back(static_cast<TimeUs>(i + 1) *
+                           (2 * step + step / 2));
+    }
+    const Flow flow =
+        Flow::from_timestamps(timestamps, "regress-qim-boundary");
+    cases.push_back({"regress-qim-boundary", "qim_roundtrip",
+                     serialize_case({{"step", step},
+                                     {"bits", 8},
+                                     {"redundancy", 1},
+                                     {"key", 42},
+                                     {"wm", 0}},
+                                    flow)});
+  }
+
+  // A 40-byte capture whose header claims a ~4 GiB record: snaplen
+  // 0xfff00000 keeps snaplen + 65535 below 2^32 (no wrap), so the old
+  // plausibility check admitted incl_len 0xfff00000 and sized the record
+  // buffer straight from the header.
+  cases.push_back({"regress-pcap-giant-record", "reader_pcap",
+                   crafted_pcap_record(0xfff00000u, 0xfff00000u, 0)});
+
+  // A lone interface-description block with no section header.  The reader
+  // used to report this malformed file through require() — i.e. as an
+  // InvalidArgument contract violation instead of an IoError — which the
+  // robustness oracle flags as a non-IoError escape.
+  cases.push_back({"regress-pcapng-no-shb", "reader_pcapng",
+                   {0x01, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00}});
+
+  // SHB + IDB + an enhanced packet whose 64-bit tick counter is all-ones:
+  // at the default microsecond resolution the seconds * 1'000'000 multiply
+  // used to overflow TimeUs (signed int64) — undefined behaviour, visible
+  // under -fsanitize=undefined.  The fixed reader rejects it as an IoError.
+  cases.push_back(
+      {"regress-pcapng-huge-timestamp", "reader_pcapng",
+       {// SHB: type, length 28, byte-order magic, version 1.0,
+        // section length -1, trailing length.
+        0x0a, 0x0d, 0x0d, 0x0a, 0x1c, 0x00, 0x00, 0x00,
+        0x4d, 0x3c, 0x2b, 0x1a, 0x01, 0x00, 0x00, 0x00,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0x1c, 0x00, 0x00, 0x00,
+        // IDB: type, length 20, link type 101 (raw IP), snaplen 0.
+        0x01, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00,
+        0x65, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x14, 0x00, 0x00, 0x00,
+        // EPB: type, length 32, interface 0, timestamp 0xffffffffffffffff,
+        // captured 0, original 1.
+        0x06, 0x00, 0x00, 0x00, 0x20, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00,
+        0x01, 0x00, 0x00, 0x00, 0x20, 0x00, 0x00, 0x00}});
+
+  {
+    const std::string text = "# sscor-flow v1 regress\n1000 64 0 junk\n";
+    cases.push_back({"regress-flowtext-trailing", "reader_flowtext",
+                     std::vector<std::uint8_t>(text.begin(), text.end())});
+  }
+  {
+    const std::string text = "# sscor-flow v1 regress\n1000 -64 0\n";
+    cases.push_back({"regress-flowtext-negative", "reader_flowtext",
+                     std::vector<std::uint8_t>(text.begin(), text.end())});
+  }
+  return cases;
+}
+
+}  // namespace sscor::fuzz

@@ -1,0 +1,88 @@
+// The fuzzing oracles: executable statements of what the decode and I/O
+// stacks promise, checked against generated adversarial inputs.
+//
+// Each oracle owns both sides of a property:
+//
+//   generate(rng)  — produce one self-contained case payload (bytes).  The
+//                    payload embeds everything the check needs (parameters,
+//                    flow text, or raw capture bytes), so a payload replays
+//                    identically with no out-of-band state.
+//   check(payload) — evaluate the property.  `ok == false` is a real
+//                    violation; `skipped == true` means the payload fell
+//                    outside the property's precondition (unparseable or
+//                    out-of-clamp — the shrinker legitimately produces
+//                    such payloads and they count as passes).
+//
+// The six oracles:
+//
+//   qim_roundtrip   embed → decode of the QIM scheme is exact whenever all
+//                   IPDs exceed 2*step (no FIFO cascade).  Catches the
+//                   cell-boundary off-by-one in next_cell_centre.
+//   differential    BruteForce is exact ground truth: Greedy's Hamming
+//                   lower-bounds it, Greedy+/Greedy* never beat it, the
+//                   matching-complete verdict agrees across matchers, and
+//                   chaff+constant-delay alone can never destroy the
+//                   watermark.
+//   cache_parity    every algorithm returns byte-identical results with a
+//                   cached MatchContext and with a cold matching run.
+//   reader_pcap     classic-pcap parsing throws IoError or succeeds —
+//                   never crashes, never allocates past a fixed budget.
+//   reader_pcapng   same contract for the pcapng reader.
+//   reader_flowtext grammar differential: an independent spec parser and
+//                   read_flow_text must agree on accept/reject (and on the
+//                   packet count when both accept).  Catches the lenient
+//                   trailing-token / signed-size parsing.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor::fuzz {
+
+struct OracleResult {
+  bool ok = true;
+  /// Payload outside the oracle's precondition; counts as a pass.
+  bool skipped = false;
+  /// Human-readable violation description when !ok.
+  std::string message;
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Generates one case payload.  Pure function of `rng`.
+  virtual std::vector<std::uint8_t> generate(Rng& rng) = 0;
+
+  /// Evaluates the property on `payload`.  Deterministic in the payload
+  /// alone; must never crash on arbitrary bytes.
+  virtual OracleResult check(const std::vector<std::uint8_t>& payload) = 0;
+
+  /// Offers a corpus seed (raw input bytes) to mutate instead of always
+  /// synthesizing from scratch.  Default: ignored.
+  virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
+};
+
+/// All six oracles, in the round-robin order the fuzzer drives them.
+std::vector<std::unique_ptr<Oracle>> make_default_oracles();
+
+/// Deterministic regression payloads reproducing the historical bugs this
+/// subsystem was built around (returned as (oracle name, payload) pairs).
+/// Checked in under tests/corpus/ as replay artifacts; against the pre-fix
+/// tree each one fails its oracle.
+struct RegressionCase {
+  std::string name;    ///< artifact stem, e.g. "regress-qim-boundary"
+  std::string oracle;  ///< oracle the payload belongs to
+  std::vector<std::uint8_t> payload;
+};
+std::vector<RegressionCase> make_regression_cases();
+
+}  // namespace sscor::fuzz

@@ -1,0 +1,117 @@
+#include "sscor/fuzz/shrinker.hpp"
+
+#include <algorithm>
+
+namespace sscor::fuzz {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+using Predicate = std::function<bool(const Bytes&)>;
+
+/// Splits the payload into segments at '\n' (each segment keeps its
+/// terminator), so the line pass cuts whole lines of the text formats.
+std::vector<Bytes> split_lines(const Bytes& payload) {
+  std::vector<Bytes> lines;
+  Bytes current;
+  for (const std::uint8_t b : payload) {
+    current.push_back(b);
+    if (b == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+Bytes join(const std::vector<Bytes>& segments) {
+  Bytes out;
+  for (const auto& segment : segments) {
+    out.insert(out.end(), segment.begin(), segment.end());
+  }
+  return out;
+}
+
+/// One ddmin sweep over `segments`: try removing `chunk` consecutive
+/// segments at every offset, keeping cuts that still fail.  Returns true
+/// when anything was removed.
+bool sweep(std::vector<Bytes>& segments, std::size_t chunk,
+           const Predicate& still_fails, std::size_t max_attempts,
+           std::size_t& attempts) {
+  bool removed_any = false;
+  std::size_t at = 0;
+  while (at < segments.size() && segments.size() > 1) {
+    if (attempts >= max_attempts) return removed_any;
+    const std::size_t take = std::min(chunk, segments.size() - at);
+    std::vector<Bytes> candidate;
+    candidate.reserve(segments.size() - take);
+    candidate.insert(candidate.end(), segments.begin(),
+                     segments.begin() + static_cast<std::ptrdiff_t>(at));
+    candidate.insert(
+        candidate.end(),
+        segments.begin() + static_cast<std::ptrdiff_t>(at + take),
+        segments.end());
+    ++attempts;
+    if (still_fails(join(candidate))) {
+      segments = std::move(candidate);
+      removed_any = true;
+      // Re-test the same offset: the next chunk slid into this position.
+    } else {
+      at += take;
+    }
+  }
+  return removed_any;
+}
+
+/// Full ddmin pass: chunk size halves from n/2 down to 1, sweeping until a
+/// fixed point at each size.
+void ddmin(std::vector<Bytes>& segments, const Predicate& still_fails,
+           std::size_t max_attempts, std::size_t& attempts) {
+  std::size_t chunk = std::max<std::size_t>(segments.size() / 2, 1);
+  while (true) {
+    while (sweep(segments, chunk, still_fails, max_attempts, attempts)) {
+      if (attempts >= max_attempts) return;
+    }
+    if (chunk == 1 || attempts >= max_attempts) return;
+    chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+}
+
+std::vector<Bytes> split_bytes(const Bytes& payload) {
+  std::vector<Bytes> segments;
+  segments.reserve(payload.size());
+  for (const std::uint8_t b : payload) segments.push_back({b});
+  return segments;
+}
+
+}  // namespace
+
+Bytes shrink_payload(Bytes payload, const Predicate& still_fails,
+                     std::size_t max_attempts, ShrinkStats* stats) {
+  std::size_t attempts = 0;
+  const std::size_t initial = payload.size();
+
+  // Pass 1: whole lines.  Cheap and effective on the text payloads; on
+  // binary payloads it degenerates to a coarse chunk pass, which is fine.
+  auto lines = split_lines(payload);
+  ddmin(lines, still_fails, max_attempts, attempts);
+  payload = join(lines);
+
+  // Pass 2: individual bytes, for binary payloads and intra-line minimal
+  // cases.  Bounded: byte-level ddmin on big payloads would burn the whole
+  // attempt budget on one sweep.
+  if (payload.size() <= 4096 && attempts < max_attempts) {
+    auto bytes = split_bytes(payload);
+    ddmin(bytes, still_fails, max_attempts, attempts);
+    payload = join(bytes);
+  }
+
+  if (stats != nullptr) {
+    stats->attempts = attempts;
+    stats->initial_bytes = initial;
+    stats->final_bytes = payload.size();
+  }
+  return payload;
+}
+
+}  // namespace sscor::fuzz

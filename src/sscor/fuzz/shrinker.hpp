@@ -1,0 +1,36 @@
+// Greedy payload shrinking (ddmin-style).
+//
+// Given a failing payload and the predicate "this payload still fails its
+// oracle", the shrinker removes ever-smaller chunks — first whole lines
+// (the case formats are line-oriented), then raw byte runs — re-testing
+// after each removal and keeping any cut that preserves the failure.  The
+// result is a locally-minimal payload: removing any single remaining chunk
+// of the final granularity makes the failure disappear.
+//
+// The oracles treat unparseable payloads as skips (passes), so the
+// predicate is naturally false on over-aggressive cuts and the shrinker
+// needs no format knowledge beyond the line pass.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sscor::fuzz {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;       ///< predicate evaluations spent
+  std::size_t initial_bytes = 0;
+  std::size_t final_bytes = 0;
+};
+
+/// Shrinks `payload` while `still_fails` holds, spending at most
+/// `max_attempts` predicate evaluations.  Returns the smallest failing
+/// payload found; `stats`, when non-null, receives the effort spent.
+std::vector<std::uint8_t> shrink_payload(
+    std::vector<std::uint8_t> payload,
+    const std::function<bool(const std::vector<std::uint8_t>&)>& still_fails,
+    std::size_t max_attempts, ShrinkStats* stats = nullptr);
+
+}  // namespace sscor::fuzz

@@ -1,12 +1,24 @@
 #include "sscor/pcap/pcap_reader.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <fstream>
 
 #include "sscor/util/error.hpp"
 
 namespace sscor::pcap {
 namespace {
+
+/// Hard ceiling on one record's captured bytes, independent of the file's
+/// declared snaplen.  Real captures keep snaplen <= 65535 (jumbo-frame
+/// captures a little more); a crafted 24-byte header can claim anything up
+/// to 4 GiB, so a buffer must never be sized from header fields alone.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 20;
+
+/// Body bytes are pulled in bounded chunks so a lying length field costs at
+/// most one chunk of allocation beyond the bytes actually present.
+constexpr std::size_t kReadChunkBytes = std::size_t{64} * 1024;
 
 std::uint32_t load32(const std::uint8_t* b, bool swapped) {
   // Files are written in the native order of the capturing machine; we read
@@ -87,8 +99,17 @@ std::optional<Record> PcapReader::next() {
   const std::uint32_t ts_frac = load32(raw.data() + 4, header_.swapped);
   const std::uint32_t incl_len = load32(raw.data() + 8, header_.swapped);
   const std::uint32_t orig_len = load32(raw.data() + 12, header_.swapped);
-  if (incl_len > header_.snaplen + 65535u) {
+  // 64-bit arithmetic: snaplen near UINT32_MAX must widen the bound, not
+  // wrap it (which would let incl_len through unchecked).
+  const std::uint64_t length_bound = std::min<std::uint64_t>(
+      kMaxRecordBytes, static_cast<std::uint64_t>(header_.snaplen) + 65535u);
+  if (incl_len > length_bound) {
     throw IoError("pcap record length is implausible; corrupt file?");
+  }
+  const std::uint32_t frac_limit =
+      header_.nanosecond ? 1'000'000'000u : 1'000'000u;
+  if (ts_frac >= frac_limit) {
+    throw IoError("pcap record timestamp fraction out of range");
   }
 
   Record record;
@@ -98,11 +119,20 @@ std::optional<Record> PcapReader::next() {
   record.timestamp =
       static_cast<TimeUs>(ts_sec) * kMicrosPerSecond + frac_us;
   record.original_length = orig_len;
-  record.data.resize(incl_len);
-  stream_->read(reinterpret_cast<char*>(record.data.data()),
-                static_cast<std::streamsize>(incl_len));
-  if (stream_->gcount() != static_cast<std::streamsize>(incl_len)) {
-    throw IoError("truncated pcap record body");
+  // Incremental body read: grow the buffer only as bytes actually arrive,
+  // so a truncated file never provokes an allocation larger than one chunk
+  // past its real size.
+  std::size_t remaining = incl_len;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, kReadChunkBytes);
+    const std::size_t filled = record.data.size();
+    record.data.resize(filled + chunk);
+    stream_->read(reinterpret_cast<char*>(record.data.data() + filled),
+                  static_cast<std::streamsize>(chunk));
+    if (stream_->gcount() != static_cast<std::streamsize>(chunk)) {
+      throw IoError("truncated pcap record body");
+    }
+    remaining -= chunk;
   }
   ++records_read_;
   return record;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "sscor/pcap/pcap_reader.hpp"
 #include "sscor/util/error.hpp"
@@ -75,7 +76,11 @@ bool PcapngReader::read_block(Record* out) {
     open_section(load32(head.data() + 4));
     return true;
   }
-  require(in_section_, "pcapng data before any section header");
+  // Input-dependent, so IoError (require() would blame the caller for what
+  // is a malformed file).
+  if (!in_section_) {
+    throw IoError("pcapng data before any section header");
+  }
 
   const std::uint32_t type = load32(head.data());
   const std::uint32_t total_length = load32(head.data() + 4);
@@ -113,6 +118,11 @@ bool PcapngReader::read_block(Record* out) {
         }
         if (code == 9 && length >= 1) {  // if_tsresol
           const std::uint8_t resol = body[pos];
+          // 2^64 or 10^20 ticks per second cannot be represented (and a
+          // shift of >= 64 is undefined); the file is bogus.
+          if ((resol & 0x80) ? (resol & 0x7f) >= 64 : resol >= 20) {
+            throw IoError("invalid if_tsresol");
+          }
           if (resol & 0x80) {
             iface.ticks_per_second = 1ULL << (resol & 0x7f);
           } else {
@@ -121,7 +131,6 @@ bool PcapngReader::read_block(Record* out) {
               iface.ticks_per_second *= 10;
             }
           }
-          require(iface.ticks_per_second > 0, "invalid if_tsresol");
         }
         pos += (length + 3u) & ~3u;
       }
@@ -149,6 +158,12 @@ bool PcapngReader::read_block(Record* out) {
       const std::uint64_t tps = iface.ticks_per_second;
       const std::uint64_t secs = ticks / tps;
       const std::uint64_t frac = ticks % tps;
+      // ~year 294441 in microseconds; a capture timestamp past the int64
+      // microsecond clock is a lying header, not a representable time.
+      if (secs > static_cast<std::uint64_t>(
+                     std::numeric_limits<TimeUs>::max() / kMicrosPerSecond)) {
+        throw IoError("pcapng timestamp overflows the microsecond clock");
+      }
       out->timestamp =
           static_cast<TimeUs>(secs) * kMicrosPerSecond +
           static_cast<TimeUs>(

@@ -21,11 +21,12 @@ DurationUs next_cell_centre(DurationUs ipd, DurationUs step,
       const DurationUs centre = q * step;
       if (centre >= ipd) return centre;
       // The centre is below the IPD but still decodes correctly as long
-      // as ipd stays within the cell [centre - s/2, centre + s/2); snap
-      // to the centre is impossible without speeding the packet up, so
-      // use the centre only if ipd is within the half-cell; otherwise
-      // move on to the next matching index.
-      if (ipd - centre <= step / 2) return ipd;  // already decodes right
+      // as ipd stays within the decoder's cell.  parity_of computes
+      // round((ipd + s/2) / s), which rounds half *up*: index q covers the
+      // half-open cell [centre - s/2, centre + (s - s/2)).  An IPD exactly
+      // at centre + s/2 (even s) therefore belongs to the *next* cell, so
+      // the upper comparison must be strict and use s - s/2, not s/2.
+      if (ipd - centre < step - step / 2) return ipd;  // already decodes right
     }
     ++q;
   }

@@ -49,6 +49,38 @@ TEST(Qim, ExactDecodeOnWidelySpacedFlow) {
   }
 }
 
+TEST(Qim, ExactCellBoundaryDecodes) {
+  // Regression: an IPD exactly at centre + step/2 must round-trip.  The
+  // decoder's parity_of rounds half up, so its cell for index q is the
+  // half-open [centre - s/2, centre + (s - s/2)); the embedder used to keep
+  // any IPD with ipd - centre <= s/2, which for even steps left a boundary
+  // IPD unchanged yet decoding to the *opposite* parity.  Both parities of
+  // step are pinned: even steps exercised the bug, odd steps were already
+  // correct and must stay so.
+  for (const DurationUs step : {millis(400), millis(400) - 1}) {
+    QimParams params;
+    params.bits = 24;
+    params.redundancy = 2;
+    params.step = step;
+    // Uniform spacing of 2*step + step/2: every pair-offset-1 IPD sits in
+    // the even-parity cell q=2, exactly on the half-cell boundary.
+    const DurationUs ipd0 = 2 * step + step / 2;
+    std::vector<TimeUs> timestamps;
+    for (int i = 0; i < 500; ++i) timestamps.push_back(ipd0 * i);
+    const Flow flow = Flow::from_timestamps(timestamps);
+    for (const std::uint8_t value : {0, 1}) {
+      const Watermark wm(std::vector<std::uint8_t>(params.bits, value));
+      const QimEmbedder embedder(params, 77);
+      const auto marked = embedder.embed(flow, wm);
+      const auto decoded =
+          decode_qim_positional(marked.schedule, params.step, marked.flow);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->hamming_distance(wm), 0u)
+          << "step " << step << " bit value " << int(value);
+    }
+  }
+}
+
 TEST(Qim, NearExactDecodeOnInteractiveFlow) {
   // Dense interactive flows suffer a little FIFO cascade interference
   // (delaying a pair's second packet pushes neighbours), costing a couple

@@ -72,6 +72,31 @@ TEST(FlowIo, RejectsMalformedInput) {
   EXPECT_THROW(read_flow_file("/nonexistent/flow.txt"), IoError);
 }
 
+TEST(FlowIo, RejectsTrailingTokens) {
+  // Regression: trailing garbage after the chaff field used to be silently
+  // accepted, so a corrupt or concatenated file parsed as a valid flow.
+  for (const char* line : {"10 1 0 junk\n", "10 1 0 0\n", "10 1 1 10 1 1\n"}) {
+    std::stringstream s(std::string("# sscor-flow v1\n") + line);
+    EXPECT_THROW(read_flow_text(s), IoError) << "line: " << line;
+  }
+}
+
+TEST(FlowIo, RejectsNegativeSize) {
+  // Regression: a negative size extracted into the unsigned field used to
+  // wrap modulo 2^32 without setting failbit, producing a ~4-billion-byte
+  // "packet".  An explicit sign on the chaff flag must fail too.
+  for (const char* line : {"10 -5 0\n", "10 -0 0\n", "10 1 -1\n"}) {
+    std::stringstream s(std::string("# sscor-flow v1\n") + line);
+    EXPECT_THROW(read_flow_text(s), IoError) << "line: " << line;
+  }
+  // Negative timestamps stay legal (the epoch is arbitrary).
+  std::stringstream ok("# sscor-flow v1\n-10 1 0\n-5 2 1\n");
+  const Flow flow = read_flow_text(ok);
+  ASSERT_EQ(flow.size(), 2u);
+  EXPECT_EQ(flow.packet(0).timestamp, -10);
+  EXPECT_TRUE(flow.packet(1).is_chaff);
+}
+
 TEST(KeyFile, RoundTrip) {
   WatermarkSecret secret;
   secret.params.bits = 24;

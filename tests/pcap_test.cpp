@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "sscor/pcap/pcap_reader.hpp"
 #include "sscor/pcap/pcap_writer.hpp"
@@ -128,6 +129,68 @@ TEST(Pcap, RejectsTruncatedRecord) {
   std::stringstream truncated(bytes);
   PcapReader reader(truncated);
   EXPECT_THROW(reader.next(), IoError);
+}
+
+// Hand-builds a capture whose global header declares the given snaplen and
+// whose single record header claims `incl_len` body bytes (none present).
+std::string crafted_capture(std::uint32_t snaplen, std::uint32_t incl_len,
+                            std::uint32_t ts_frac = 0) {
+  auto le32 = [](std::uint32_t v) {
+    std::string s(4, '\0');
+    s[0] = static_cast<char>(v & 0xff);
+    s[1] = static_cast<char>((v >> 8) & 0xff);
+    s[2] = static_cast<char>((v >> 16) & 0xff);
+    s[3] = static_cast<char>((v >> 24) & 0xff);
+    return s;
+  };
+  std::string bytes;
+  bytes += le32(kMagicMicros);
+  bytes += le32(2 | (4u << 16));  // version 2.4
+  bytes += le32(0) + le32(0);     // thiszone, sigfigs
+  bytes += le32(snaplen);
+  bytes += le32(static_cast<std::uint32_t>(LinkType::kRawIp));
+  bytes += le32(1) + le32(ts_frac);  // ts_sec, ts_frac
+  bytes += le32(incl_len) + le32(incl_len);
+  return bytes;
+}
+
+TEST(Pcap, RejectsGiantRecordLengthBeforeAllocating) {
+  // Regression: the implausibility bound snaplen + 65535 used to be
+  // computed in 32 bits.  A crafted header with snaplen 0xfff00000 kept the
+  // sum below 2^32, so incl_len = snaplen passed the check and
+  // data.resize(incl_len) allocated ~4 GiB from a 24-byte header before any
+  // body byte was read; snaplen near UINT32_MAX wrapped the bound outright.
+  // Post-fix both throw at the hard record cap, before allocating.
+  const std::pair<std::uint32_t, std::uint32_t> cases[] = {
+      {0xfff00000u, 0xfff00000u},  // pre-fix: passed the bound, 4 GiB alloc
+      {0xffffffffu, 0xfffffff0u},  // pre-fix: bound wrapped to 65534
+  };
+  for (const auto& [snaplen, incl_len] : cases) {
+    std::stringstream stream(crafted_capture(snaplen, incl_len));
+    PcapReader reader(stream);
+    EXPECT_THROW(reader.next(), IoError) << "snaplen " << snaplen;
+  }
+  // A record within the hard cap but beyond the file's real size still
+  // fails as truncated, by reading incrementally — not by pre-allocating.
+  std::stringstream stream(crafted_capture(65535, 100'000));
+  PcapReader reader(stream);
+  EXPECT_THROW(reader.next(), IoError);
+}
+
+TEST(Pcap, RejectsOutOfRangeTimestampFraction) {
+  {
+    std::stringstream stream(crafted_capture(65535, 0, /*ts_frac=*/1'000'000));
+    PcapReader reader(stream);
+    EXPECT_THROW(reader.next(), IoError);
+  }
+  {
+    // Just under the limit parses fine.
+    std::stringstream stream(crafted_capture(65535, 0, /*ts_frac=*/999'999));
+    PcapReader reader(stream);
+    const auto r = reader.next();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->timestamp, 1'999'999);
+  }
 }
 
 TEST(Pcap, RejectsNegativeTimestampOnWrite) {

@@ -171,12 +171,32 @@ TEST(Pcapng, RejectsMalformedInput) {
     EXPECT_THROW(reader.next(), IoError);
   }
   {
-    // Packet block before any section header.
+    // Packet block before any section header: a malformed file, so IoError
+    // (not the InvalidArgument caller-contract error it once threw).
     PcapngBuilder builder(false);
     builder.enhanced_packet(0, 0, "a");
     std::stringstream s(builder.bytes());
     PcapngReader reader(s);
-    EXPECT_THROW(reader.next(), Error);
+    EXPECT_THROW(reader.next(), IoError);
+  }
+  {
+    // if_tsresol claiming 2^100 ticks/second: the shift would be undefined.
+    PcapngBuilder builder(false);
+    builder.section_header().interface(101, 0x80 | 100);
+    std::stringstream s(builder.bytes());
+    PcapngReader reader(s);
+    EXPECT_THROW(reader.next(), IoError);
+  }
+  {
+    // All-ones tick counter at microsecond resolution: the seconds value
+    // cannot be expressed on the int64 microsecond clock (the conversion
+    // used to overflow — UB).
+    PcapngBuilder builder(false);
+    builder.section_header().interface(101, 6).enhanced_packet(
+        0, 0xffffffffffffffffULL, "a");
+    std::stringstream s(builder.bytes());
+    PcapngReader reader(s);
+    EXPECT_THROW(reader.next(), IoError);
   }
   {
     // Enhanced packet referencing an interface that was never described.

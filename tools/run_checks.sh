@@ -12,7 +12,12 @@
 #      decode_cache bench with a tiny pair count;
 #   4. trace smoke: drive sscor_tool generate -> embed -> perturb -> detect
 #      with --trace/--trace-spans and validate both outputs with
-#      trace_check (strict JSON / JSONL parsing).
+#      trace_check (strict JSON / JSONL parsing);
+#   5. fuzz smoke: run the deterministic differential fuzzer (sscor_fuzz)
+#      under the ASan/UBSan build for a fixed iteration budget with the
+#      checked-in corpus, then replay every regression artifact.  Any
+#      oracle violation or sanitizer report fails the run; new violations
+#      are written as --replay artifacts (see DESIGN.md §10).
 #
 # Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -23,12 +28,12 @@ tsan_dir="${2:-$repo_root/build-tsan}"
 asan_dir="${3:-$repo_root/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/4] default build + full test suite =="
+echo "== [1/5] default build + full test suite =="
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-echo "== [2/4] ThreadSanitizer build + concurrency smoke tests =="
+echo "== [2/5] ThreadSanitizer build + concurrency smoke tests =="
 cmake -B "$tsan_dir" -S "$repo_root" \
   -DSSCOR_SANITIZE=thread \
   -DSSCOR_BUILD_BENCH=OFF \
@@ -38,7 +43,7 @@ cmake --build "$tsan_dir" -j "$jobs" \
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
   -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace'
 
-echo "== [3/4] ASan/UBSan build + match-context parity + bench smoke =="
+echo "== [3/5] ASan/UBSan build + match-context parity + bench smoke =="
 cmake -B "$asan_dir" -S "$repo_root" \
   -DSSCOR_SANITIZE=address,undefined \
   -DSSCOR_BUILD_EXAMPLES=OFF
@@ -51,7 +56,7 @@ ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
 "$asan_dir/bench/decode_cache" --pairs=3 --packets=400 --reps=1 \
   --json="$asan_dir/BENCH_decode_cache.json"
 
-echo "== [4/4] trace smoke: end-to-end pipeline with --trace/--trace-spans =="
+echo "== [4/5] trace smoke: end-to-end pipeline with --trace/--trace-spans =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 tool="$build_dir/tools/sscor_tool"
@@ -68,5 +73,16 @@ check="$build_dir/tools/trace_check"
   --trace "$trace_dir/decode.jsonl" --trace-spans "$trace_dir/spans.json"
 "$check" --jsonl "$trace_dir/decode.jsonl"
 "$check" "$trace_dir/spans.json"
+
+echo "== [5/5] differential fuzz smoke under ASan/UBSan =="
+cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz
+# Fixed budget + fixed seed: the run is deterministic, so a clean pass here
+# is reproducible anywhere.  Violations land as replay artifacts; re-run one
+# with: build-asan/tools/sscor_fuzz --replay <artifact>
+"$asan_dir/tools/sscor_fuzz" --iterations 3000 --seed 1 \
+  --corpus "$repo_root/tests/corpus" --artifacts "$asan_dir/fuzz-artifacts"
+for artifact in "$repo_root"/tests/corpus/regress-*.replay; do
+  "$asan_dir/tools/sscor_fuzz" --replay "$artifact"
+done
 
 echo "all checks passed"
