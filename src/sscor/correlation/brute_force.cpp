@@ -7,6 +7,7 @@
 
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/matching/candidate_sets.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/util/error.hpp"
 #include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
@@ -18,11 +19,13 @@ class BruteForceSearch {
  public:
   BruteForceSearch(const DecodePlan& plan, const CandidateSets& sets,
                    std::span<const TimeUs> down_ts, CostMeter& cost,
-                   std::uint32_t threshold, bool stop_at_threshold)
+                   CancelProbe& probe, std::uint32_t threshold,
+                   bool stop_at_threshold)
       : plan_(plan),
         sets_(sets),
         down_ts_(down_ts),
         cost_(cost),
+        probe_(probe),
         threshold_(threshold),
         stop_at_threshold_(stop_at_threshold) {
     // Map upstream packet index -> slot (at most one; pairs are disjoint).
@@ -41,13 +44,14 @@ class BruteForceSearch {
   std::uint32_t best_hamming() const { return best_hamming_; }
   const Watermark& best_watermark() const { return best_watermark_; }
   bool bound_hit() const { return bound_hit_; }
+  bool interrupted() const { return interrupted_; }
   bool found_any() const {
     return best_hamming_ != std::numeric_limits<std::uint32_t>::max();
   }
 
  private:
   void dfs(std::size_t i, std::int64_t prev) {
-    if (bound_hit_ || done_) return;
+    if (bound_hit_ || done_ || interrupted_) return;
     if (i == sets_.upstream_size()) {
       evaluate_leaf();
       return;
@@ -60,12 +64,16 @@ class BruteForceSearch {
         bound_hit_ = true;
         return;
       }
+      if (probe_.should_stop(cost_.accesses())) {
+        interrupted_ = true;
+        return;
+      }
       if (static_cast<std::int64_t>(candidate) <= prev) continue;
       if (slot != std::numeric_limits<std::uint32_t>::max()) {
         slot_down_index_[slot] = candidate;
       }
       dfs(i + 1, candidate);
-      if (bound_hit_ || done_) return;
+      if (bound_hit_ || done_ || interrupted_) return;
     }
   }
 
@@ -96,6 +104,7 @@ class BruteForceSearch {
   const CandidateSets& sets_;
   std::span<const TimeUs> down_ts_;
   CostMeter& cost_;
+  CancelProbe& probe_;
   std::uint32_t threshold_;
   bool stop_at_threshold_;
   std::vector<std::uint32_t> slot_of_;
@@ -107,6 +116,7 @@ class BruteForceSearch {
   Watermark best_watermark_;
   bool bound_hit_ = false;
   bool done_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace
@@ -122,6 +132,7 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
                                config.size_constraint),
           "MatchContext was built for a different pair or key");
   CostMeter cost(config.cost_bound);
+  CancelProbe probe(config.budget);
   CorrelationResult result;
   result.algorithm = Algorithm::kBruteForce;
 
@@ -159,7 +170,7 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
 
   const DecodePlan plan(schedule, target);
   std::span<const TimeUs> down_ts = downstream.timestamps();
-  BruteForceSearch search(plan, *sets, down_ts, cost,
+  BruteForceSearch search(plan, *sets, down_ts, cost, probe,
                           config.hamming_threshold,
                           options.stop_at_threshold);
   {
@@ -168,6 +179,8 @@ CorrelationResult run_brute_force(const KeySchedule& schedule,
   }
 
   result.cost_bound_hit = search.bound_hit();
+  result.interrupted = search.interrupted();
+  result.stop_reason = probe.reason();
   result.cost = cost.accesses();
   if (!search.found_any()) {
     // No complete order-consistent assignment exists (possible without

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "sscor/correlation/brute_force.hpp"
 #include "sscor/correlation/greedy.hpp"
@@ -89,11 +90,44 @@ Correlator::Correlator(CorrelatorConfig config, Algorithm algorithm)
   require(config.cost_bound > 0, "cost bound must be positive");
 }
 
+namespace {
+
+/// Flushes the per-run latency sample on scope exit — including exceptional
+/// unwind (chaos-injected allocation failure, a throwing flow accessor), so
+/// a decode that dies after 900ms still lands in the latency tail instead
+/// of vanishing from the histogram.  Aborted runs are counted separately.
+class LatencyFlusher {
+ public:
+  LatencyFlusher() noexcept
+      : entry_exceptions_(std::uncaught_exceptions()),
+        start_(std::chrono::steady_clock::now()) {}
+  ~LatencyFlusher() noexcept {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+    static metrics::Histogram& latency =
+        metrics::histogram("correlate.latency_us");
+    latency.record(static_cast<std::uint64_t>(elapsed));
+    if (std::uncaught_exceptions() > entry_exceptions_) {
+      static metrics::Counter& aborted = metrics::counter("correlate.aborted");
+      aborted.add();
+    }
+  }
+  LatencyFlusher(const LatencyFlusher&) = delete;
+  LatencyFlusher& operator=(const LatencyFlusher&) = delete;
+
+ private:
+  int entry_exceptions_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
                                         const Flow& suspicious,
                                         const MatchContext* context) const {
   TRACE_SPAN("correlate");
-  const auto start = std::chrono::steady_clock::now();
+  const LatencyFlusher latency_guard;
   if (context != nullptr) {
     // Drop a context built for another pair or key rather than throwing:
     // the caller may hold one context while scanning many suspects.
@@ -132,18 +166,20 @@ CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
   const CorrelationResult result = run();
 
   // Distributional signals behind the headline counters: where a detect's
-  // wall clock and packet accesses actually land, per run (heavy tails are
-  // invisible in the process-wide totals).
-  const auto elapsed =
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count();
-  static metrics::Histogram& latency =
-      metrics::histogram("correlate.latency_us");
+  // packet accesses actually land, per run (heavy tails are invisible in
+  // the process-wide totals).  Latency flushes via latency_guard so aborted
+  // runs are measured too.
   static metrics::Histogram& pair_cost =
       metrics::histogram("correlate.pair_cost");
-  latency.record(static_cast<std::uint64_t>(elapsed));
   pair_cost.record(result.cost);
+  if (result.interrupted) {
+    static metrics::Counter& interrupted =
+        metrics::counter("correlate.interrupted");
+    static metrics::Counter& cancelled =
+        metrics::counter("correlate.cancelled");
+    interrupted.add();
+    if (result.stop_reason == StopReason::kCancelled) cancelled.add();
+  }
   if (trace::decode_enabled()) {
     record_decode_trace(watermarked, suspicious, config_, context, result);
   }

@@ -5,6 +5,7 @@
 
 #include "sscor/matching/match_windows.hpp"
 #include "sscor/traffic/size_model.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/util/error.hpp"
 #include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
@@ -57,12 +58,16 @@ CorrelationResult run_greedy(const DecodePlan& plan, const Flow& upstream,
           "MatchContext was built for a different pair or key");
   TRACE_SPAN("correlate.greedy");
   CostMeter cost;
+  CancelProbe probe(config.budget);
   const std::vector<TimeUs>& down_ts = downstream.timestamps();
 
-  // Locate each relevant packet's preferred candidate.
+  // Locate each relevant packet's preferred candidate.  On interruption the
+  // remaining slots stay unset, which the bit loop below already treats as
+  // unformable pairs — a self-consistent partial decode.
   const auto slots = plan.slots();
   std::vector<std::optional<std::uint32_t>> choice(slots.size());
   for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (probe.should_stop(cost.accesses())) break;
     const MatchWindow window =
         find_match_window(upstream.timestamp(slots[s].up_index), down_ts,
                           config.max_delay, cost);
@@ -98,6 +103,8 @@ CorrelationResult run_greedy(const DecodePlan& plan, const Flow& upstream,
       result.best_watermark.hamming_distance(plan.target()));
   result.correlated = result.hamming <= config.hamming_threshold;
   result.cost = cost.accesses();
+  result.interrupted = probe.stopped();
+  result.stop_reason = probe.reason();
   return result;
 }
 

@@ -13,7 +13,7 @@ namespace detail {
 std::unique_ptr<MatchedDecode> run_shared_phases(
     const KeySchedule& schedule, const Watermark& target, const Flow& upstream,
     const Flow& downstream, const CorrelatorConfig& config,
-    Algorithm algorithm, std::uint64_t cost_bound,
+    Algorithm algorithm, std::uint64_t cost_bound, CancelProbe& probe,
     const MatchContext* context) {
   require(context == nullptr ||
               context->matches(upstream, downstream, config.max_delay,
@@ -32,6 +32,27 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
                          ? 0
                          : static_cast<std::uint32_t>(target.size());
     result.cost = md->cost.accesses();
+    md->early = std::move(result);
+    return std::move(md);
+  };
+
+  // Best-so-far early exit when the DecodeBudget stops the run between
+  // phases: whatever the selection state currently decodes to (or a full-
+  // distance negative when interrupted before any selection exists).
+  auto interrupted_early = [&] {
+    CorrelationResult result;
+    result.algorithm = algorithm;
+    result.correlated = false;
+    if (md->state != nullptr) {
+      result.best_watermark = md->state->decode();
+      result.hamming = md->state->hamming();
+      result.correlated = result.hamming <= config.hamming_threshold;
+    } else {
+      result.hamming = static_cast<std::uint32_t>(target.size());
+    }
+    result.cost = md->cost.accesses();
+    result.interrupted = true;
+    result.stop_reason = probe.reason();
     md->early = std::move(result);
     return std::move(md);
   };
@@ -61,12 +82,14 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
       md->sets = md->owned_sets.get();
     }
   }
+  if (probe.should_stop(md->cost.accesses())) return interrupted_early();
 
   // Phase 2: Greedy on the pruned sets.
   TRACE_SPAN("correlate.greedy");
   md->plan = std::make_unique<DecodePlan>(schedule, target);
   md->state = std::make_unique<SelectionState>(*md->plan, *md->sets,
                                                md->down_ts, md->cost);
+  if (probe.should_stop(md->cost.accesses())) return interrupted_early();
   md->never_match.assign(md->plan->bit_count(), false);
   std::uint32_t greedy_hamming = 0;
   for (std::uint32_t bit = 0; bit < md->plan->bit_count(); ++bit) {
@@ -89,6 +112,7 @@ std::unique_ptr<MatchedDecode> run_shared_phases(
   // Phase 3: repair into an order-consistent selection.
   TRACE_SPAN("correlate.repair");
   md->state->repair_order();
+  if (probe.should_stop(md->cost.accesses())) return interrupted_early();
   if (md->state->hamming() <= config.hamming_threshold) {
     md->early = finish_result(algorithm, *md->state, md->cost, config);
   }
@@ -131,10 +155,11 @@ CorrelationResult run_greedy_plus(const KeySchedule& schedule,
                                   const Flow& upstream, const Flow& downstream,
                                   const CorrelatorConfig& config,
                                   const MatchContext* context) {
+  CancelProbe probe(config.budget);
   auto md = detail::run_shared_phases(
       schedule, target, upstream, downstream, config,
       Algorithm::kGreedyPlus,
-      std::numeric_limits<std::uint64_t>::max(), context);
+      std::numeric_limits<std::uint64_t>::max(), probe, context);
   if (md->early) return *md->early;
 
   // Phase 4: local search over the still-fixable mismatched bits.
@@ -143,6 +168,7 @@ CorrelationResult run_greedy_plus(const KeySchedule& schedule,
   const auto fixable =
       detail::fixable_mismatches_by_abs_diff(state, md->never_match);
   for (const std::uint32_t bit : fixable) {
+    if (probe.should_stop(md->cost.accesses())) break;
     if (state.bit_matches(bit)) continue;  // flipped by an earlier cascade
     const auto slots = md->plan->bit_slots(bit);
     for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
@@ -151,17 +177,21 @@ CorrelationResult run_greedy_plus(const KeySchedule& schedule,
       // to its preference; continue with the previous embedding packet.
       if (state.at_greedy_choice(slot)) continue;
       while (true) {
+        if (probe.should_stop(md->cost.accesses())) break;
         const auto outcome = state.try_advance(slot, bit);
         if (outcome != SelectionState::MoveOutcome::kCommitted) break;
         if (state.bit_matches(bit)) break;
       }
-      if (state.bit_matches(bit)) break;
+      if (probe.stopped() || state.bit_matches(bit)) break;
     }
     // Paper: terminate as soon as the threshold is reached.
     if (state.hamming() <= config.hamming_threshold) break;
   }
-  return detail::finish_result(Algorithm::kGreedyPlus, state, md->cost,
-                               config);
+  auto result = detail::finish_result(Algorithm::kGreedyPlus, state, md->cost,
+                                      config);
+  result.interrupted = probe.stopped();
+  result.stop_reason = probe.reason();
+  return result;
 }
 
 }  // namespace sscor

@@ -28,6 +28,7 @@
 #include "sscor/flow/flow.hpp"
 #include "sscor/matching/candidate_sets.hpp"
 #include "sscor/matching/match_context.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/watermark/key_schedule.hpp"
 
 namespace sscor {
@@ -64,10 +65,12 @@ struct MatchedDecode {
 /// Runs phases 1-3.  `algorithm` labels the result; `cost_bound` applies to
 /// the whole run (Greedy* passes the configured bound, Greedy+ no bound).
 /// A non-null `context` replays phase 1 from the cache (see run_greedy_plus).
+/// `probe` is polled between phases; on stop the returned MatchedDecode
+/// carries an `early` best-so-far result with `interrupted` set.
 std::unique_ptr<MatchedDecode> run_shared_phases(
     const KeySchedule& schedule, const Watermark& target, const Flow& upstream,
     const Flow& downstream, const CorrelatorConfig& config,
-    Algorithm algorithm, std::uint64_t cost_bound,
+    Algorithm algorithm, std::uint64_t cost_bound, CancelProbe& probe,
     const MatchContext* context = nullptr);
 
 /// Mismatched, fixable (non-never-match) bits ordered by |D| ascending —

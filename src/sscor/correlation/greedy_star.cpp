@@ -21,13 +21,14 @@ class StarEnumerator {
  public:
   StarEnumerator(const SelectionState& state, const DecodePlan& plan,
                  std::span<const TimeUs> down_ts, CostMeter& cost,
-                 std::vector<std::uint32_t> free_slots,
+                 CancelProbe& probe, std::vector<std::uint32_t> free_slots,
                  std::vector<std::uint32_t> free_bits,
                  std::uint32_t fixed_mismatches, std::uint32_t threshold)
       : state_(state),
         plan_(plan),
         down_ts_(down_ts),
         cost_(cost),
+        probe_(probe),
         free_slots_(std::move(free_slots)),
         free_bits_(std::move(free_bits)),
         fixed_mismatches_(fixed_mismatches),
@@ -65,6 +66,7 @@ class StarEnumerator {
   }
 
   bool bound_hit() const { return bound_hit_; }
+  bool interrupted() const { return interrupted_; }
 
  private:
   /// Exclusive lower bound for the first free slot: the selection of the
@@ -97,7 +99,7 @@ class StarEnumerator {
   }
 
   void dfs(std::size_t fi, std::int64_t prev_value) {
-    if (bound_hit_ || done_) return;
+    if (bound_hit_ || done_ || interrupted_) return;
     if (fi == free_slots_.size()) {
       const std::uint32_t mismatches = evaluate();
       if (mismatches < best_mismatches_) {
@@ -117,12 +119,16 @@ class StarEnumerator {
         bound_hit_ = true;
         return;
       }
+      if (probe_.should_stop(cost_.accesses())) {
+        interrupted_ = true;
+        return;
+      }
       const std::int64_t value = set[pos];
       if (value <= prev_value) continue;
       if (value >= upper_bound_[fi]) break;
       positions_[slot] = pos;
       dfs(fi + 1, value);
-      if (bound_hit_ || done_) return;
+      if (bound_hit_ || done_ || interrupted_) return;
     }
     positions_[slot] = state_.position(slot);  // restore for ts_of callers
   }
@@ -131,6 +137,7 @@ class StarEnumerator {
   const DecodePlan& plan_;
   std::span<const TimeUs> down_ts_;
   CostMeter& cost_;
+  CancelProbe& probe_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint32_t> free_bits_;
   std::uint32_t fixed_mismatches_;
@@ -142,6 +149,7 @@ class StarEnumerator {
   std::vector<std::int64_t> upper_bound_;
   bool bound_hit_ = false;
   bool done_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace
@@ -151,9 +159,10 @@ CorrelationResult run_greedy_star(const KeySchedule& schedule,
                                   const Flow& upstream, const Flow& downstream,
                                   const CorrelatorConfig& config,
                                   const MatchContext* context) {
+  CancelProbe probe(config.budget);
   auto md = detail::run_shared_phases(schedule, target, upstream, downstream,
                                       config, Algorithm::kGreedyStar,
-                                      config.cost_bound, context);
+                                      config.cost_bound, probe, context);
   if (md->early) {
     md->early->cost_bound_hit = md->cost.exhausted();
     return *md->early;
@@ -185,7 +194,7 @@ CorrelationResult run_greedy_star(const KeySchedule& schedule,
     }
   }
 
-  StarEnumerator enumerator(state, *md->plan, md->down_ts, md->cost,
+  StarEnumerator enumerator(state, *md->plan, md->down_ts, md->cost, probe,
                             std::move(free_slots), free_bits,
                             fixed_mismatches, config.hamming_threshold);
   {
@@ -197,6 +206,8 @@ CorrelationResult run_greedy_star(const KeySchedule& schedule,
   auto result =
       detail::finish_result(Algorithm::kGreedyStar, state, md->cost, config);
   result.cost_bound_hit = enumerator.bound_hit() || md->cost.exhausted();
+  result.interrupted = enumerator.interrupted() || probe.stopped();
+  result.stop_reason = probe.reason();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sscor/matching/candidate_sets.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/util/time.hpp"
 #include "sscor/watermark/watermark.hpp"
 
@@ -34,6 +35,10 @@ struct CorrelatorConfig {
   std::uint64_t cost_bound = 1'000'000;
   /// Optional quantized-packet-size matching constraint (paper §3.2).
   std::optional<SizeConstraint> size_constraint;
+  /// Resilience budget: deadline / cooperative cancel / operational cost
+  /// cap.  Defaults to disabled, in which case every decode is
+  /// byte-identical to a budget-free build (the probes short-circuit).
+  DecodeBudget budget;
 };
 
 struct CorrelationResult {
@@ -55,6 +60,16 @@ struct CorrelationResult {
   /// True when the algorithm stopped at its cost bound (Greedy*/BruteForce)
   /// and returned its best-so-far watermark.
   bool cost_bound_hit = false;
+  /// True when the run was stopped cooperatively by its DecodeBudget
+  /// (deadline, cancellation, or resilience cost cap).  The remaining
+  /// fields still describe a self-consistent best-so-far decode.
+  bool interrupted = false;
+  /// Why the run was interrupted (kNone when it ran to completion).
+  StopReason stop_reason = StopReason::kNone;
+  /// Set by ResilientCorrelator when the configured algorithm exhausted its
+  /// budget and a cheaper ladder tier produced this result; `algorithm`
+  /// then names the tier that actually ran.
+  bool degraded = false;
 };
 
 }  // namespace sscor

@@ -7,6 +7,7 @@
 
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/matching/candidate_sets.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/util/error.hpp"
 #include "sscor/util/trace.hpp"
 #include "sscor/watermark/decoder.hpp"
@@ -65,8 +66,28 @@ CorrelationResult run_robust_impl(const KeySchedule& schedule,
           "MatchContext was built for a different pair or key");
   TRACE_SPAN("correlate.robust");
   CostMeter cost;
+  CancelProbe probe(config.budget);
   CorrelationResult result;
   result.algorithm = Algorithm::kGreedyPlus;
+
+  // Best-so-far exit shared by the probe checks below: whatever `bits`
+  // currently holds decodes cleanly (missing choices already read as
+  // unformable pairs), so an interrupted run is merely less repaired.
+  auto interrupted_at = [&](std::vector<std::uint8_t> bits,
+                            const DecodePlan* plan) {
+    if (plan != nullptr && !bits.empty()) {
+      result.hamming = hamming_of(*plan, bits);
+      result.best_watermark = Watermark(std::move(bits));
+      result.correlated = result.hamming <= config.hamming_threshold;
+    } else {
+      result.correlated = false;
+      result.hamming = static_cast<std::uint32_t>(target.size());
+    }
+    result.cost = cost.accesses();
+    result.interrupted = true;
+    result.stop_reason = probe.reason();
+    return result;
+  };
 
   CandidateSets sets;
   {
@@ -95,14 +116,19 @@ CorrelationResult run_robust_impl(const KeySchedule& schedule,
     return result;
   }
 
+  if (probe.should_stop(cost.accesses())) {
+    return interrupted_at({}, nullptr);
+  }
+
   const DecodePlan plan(schedule, target);
   std::span<const TimeUs> down_ts = downstream.timestamps();
   const auto slots = plan.slots();
 
   // Phase 2: greedy on the pruned sets (per-bit extremes), skipping
-  // missing slots.
+  // missing slots.  Interrupted slots stay kMissing — still decodable.
   std::vector<std::uint32_t> choice(slots.size(), kMissing);
   for (std::uint32_t s = 0; s < slots.size(); ++s) {
+    if (probe.should_stop(cost.accesses())) break;
     const auto set = sets.set(slots[s].up_index);
     if (set.empty()) continue;
     choice[s] = slots[s].prefer_earliest ? set.front() : set.back();
@@ -113,6 +139,9 @@ CorrelationResult run_robust_impl(const KeySchedule& schedule,
   for (std::uint32_t bit = 0; bit < plan.bit_count(); ++bit) {
     greedy_bits[bit] = decode_bit_robust(plan, bit, choice, down_ts, cost);
     greedy_hamming += greedy_bits[bit] != target.bit(bit);
+  }
+  if (probe.stopped()) {
+    return interrupted_at(std::move(greedy_bits), &plan);
   }
   if (greedy_hamming > config.hamming_threshold) {
     result.correlated = false;
@@ -126,6 +155,12 @@ CorrelationResult run_robust_impl(const KeySchedule& schedule,
   // first-matches, re-point last-matches below the successor's choice).
   std::int64_t bound = std::numeric_limits<std::int64_t>::max();
   for (std::uint32_t s = slots.size(); s-- > 0;) {
+    if (probe.should_stop(cost.accesses())) {
+      // Abandoning the backward pass mid-way leaves a prefix that is not
+      // yet order-repaired; fall back to the (always consistent) greedy
+      // decode rather than a half-repaired mixture.
+      return interrupted_at(std::move(greedy_bits), &plan);
+    }
     if (choice[s] == kMissing) continue;
     if (static_cast<std::int64_t>(choice[s]) < bound) {
       bound = choice[s];

@@ -21,6 +21,7 @@ namespace {
       "          [--corpus=interactive|tcplib] [--full] [--csv=PATH]\n"
       "          [--threads=N] [--metrics] [--metrics-json=PATH]\n"
       "          [--trace=PATH] [--trace-spans=PATH]\n"
+      "          [--checkpoint=PATH] [--resume]\n"
       "  --flows        number of traces (default 91; paper: 91)\n"
       "  --packets      packets per trace (default 1000; paper: >1000)\n"
       "  --fp-pairs     sampled uncorrelated pairs per point (default 2000)\n"
@@ -30,7 +31,9 @@ namespace {
       "  --metrics      print the run-metrics table after the sweep\n"
       "  --metrics-json write the run-metrics snapshot as JSON\n"
       "  --trace        write per-detect decode introspection as JSONL\n"
-      "  --trace-spans  write span timings as Chrome trace JSON (Perfetto)\n",
+      "  --trace-spans  write span timings as Chrome trace JSON (Perfetto)\n"
+      "  --checkpoint   journal completed sweep points (crash-safe JSONL)\n"
+      "  --resume       replay the checkpoint, recompute missing points\n",
       argv0);
   std::exit(2);
 }
@@ -71,6 +74,10 @@ BenchOptions parse_bench_options(int argc, char** argv,
       options.trace_spans_path = std::string(value);
     } else if (consume(arg, "--csv=", value)) {
       options.csv_path = std::string(value);
+    } else if (consume(arg, "--checkpoint=", value)) {
+      options.checkpoint = std::string(value);
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (consume(arg, "--corpus=", value)) {
       if (value == "interactive") {
         options.config.corpus = Corpus::kInteractive;
@@ -123,10 +130,16 @@ int run_figure_bench(const std::string& figure_id, const std::string& title,
     };
     if (!options.trace_path.empty()) trace::set_decode_enabled(true);
     if (!options.trace_spans_path.empty()) trace::set_spans_enabled(true);
+    SweepControl control;
+    control.checkpoint.path = options.checkpoint;
+    control.checkpoint.resume = options.resume;
+    if (options.resume && options.checkpoint.empty()) {
+      throw InvalidArgument("--resume requires --checkpoint=PATH");
+    }
     TextTable table({"-"});
     {
       const metrics::ScopedTimer timer("bench." + figure_id);
-      table = run_sweep(options.config, spec, progress);
+      table = run_sweep(options.config, spec, progress, control);
     }
     std::printf("%s\n", table.to_string().c_str());
     if (!options.trace_path.empty()) {

@@ -18,12 +18,14 @@ struct BenchOptions {
   std::string metrics_json;  ///< --metrics-json=PATH: dump metrics as JSON
   std::string trace_path;    ///< --trace=PATH: decode-introspection JSONL
   std::string trace_spans_path;  ///< --trace-spans=PATH: Chrome trace JSON
+  std::string checkpoint;    ///< --checkpoint=PATH: crash-safe point journal
+  bool resume = false;       ///< --resume: replay the checkpoint first
 };
 
 /// Parses --flows=N --packets=N --fp-pairs=N --seed=N --threads=N --full
 /// --csv=PATH --corpus=interactive|tcplib --metrics --metrics-json=PATH
-/// --trace=PATH --trace-spans=PATH.  Exits with a usage message on bad
-/// flags.
+/// --trace=PATH --trace-spans=PATH --checkpoint=PATH --resume.  Exits with
+/// a usage message on bad flags.
 BenchOptions parse_bench_options(int argc, char** argv,
                                  ExperimentConfig defaults = {});
 

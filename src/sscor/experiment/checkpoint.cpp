@@ -1,0 +1,345 @@
+#include "sscor/experiment/checkpoint.hpp"
+
+#include <array>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/json.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace sscor::experiment {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::string_view kCrcPrefix = "{\"crc32\":\"";
+constexpr std::string_view kDataPrefix = "\",\"data\":";
+
+std::string hex32(std::uint32_t value) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08" PRIx32, value);
+  return buf;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, value);
+  return buf;
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  out = 0;
+  if (s.empty() || s.size() > 16) return false;
+  for (const char ch : s) {
+    out <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      out |= static_cast<std::uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      out |= static_cast<std::uint64_t>(ch - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits one journal line into its verified data payload.  Returns false
+/// on any structural or checksum failure.
+bool parse_line(std::string_view line, std::string& data) {
+  if (line.size() < kCrcPrefix.size() + 8 + kDataPrefix.size() + 1) {
+    return false;
+  }
+  if (line.substr(0, kCrcPrefix.size()) != kCrcPrefix) return false;
+  const std::string_view crc_hex = line.substr(kCrcPrefix.size(), 8);
+  if (line.substr(kCrcPrefix.size() + 8, kDataPrefix.size()) != kDataPrefix) {
+    return false;
+  }
+  if (line.back() != '}') return false;
+  const std::string_view payload = line.substr(
+      kCrcPrefix.size() + 8 + kDataPrefix.size(),
+      line.size() - (kCrcPrefix.size() + 8 + kDataPrefix.size()) - 1);
+  std::uint64_t expected = 0;
+  if (!parse_hex(crc_hex, expected)) return false;
+  if (crc32(payload) != static_cast<std::uint32_t>(expected)) return false;
+  data.assign(payload);
+  return true;
+}
+
+// ---- minimal tolerant parsing of the sweep record shapes ----------------
+
+/// Scans `data` for `"key":` at top nesting level and returns the position
+/// just past the colon, or npos.
+std::size_t find_key(std::string_view data, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = data.find(needle);
+  return pos == std::string_view::npos ? std::string_view::npos
+                                       : pos + needle.size();
+}
+
+bool parse_size_at(std::string_view data, std::size_t pos, std::size_t& out) {
+  if (pos >= data.size() ||
+      std::isdigit(static_cast<unsigned char>(data[pos])) == 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  while (pos < data.size() &&
+         std::isdigit(static_cast<unsigned char>(data[pos])) != 0) {
+    value = value * 10 + static_cast<std::uint64_t>(data[pos] - '0');
+    ++pos;
+  }
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+/// Decodes the JSON string starting at `pos` (which must point at the
+/// opening quote); advances `pos` past the closing quote.
+bool parse_string_at(std::string_view data, std::size_t& pos,
+                     std::string& out) {
+  if (pos >= data.size() || data[pos] != '"') return false;
+  out.clear();
+  ++pos;
+  while (pos < data.size()) {
+    const char ch = data[pos];
+    if (ch == '"') {
+      ++pos;
+      return true;
+    }
+    if (ch == '\\') {
+      if (pos + 1 >= data.size()) return false;
+      const char esc = data[pos + 1];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 't': out += '\t'; break;
+        case 'n': out += '\n'; break;
+        case 'f': out += '\f'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos + 5 >= data.size()) return false;
+          std::uint64_t code = 0;
+          if (!parse_hex(data.substr(pos + 2, 4), code)) return false;
+          // The encoder only emits \u00XX for control bytes.
+          if (code > 0xff) return false;
+          out += static_cast<char>(code);
+          pos += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+      pos += 2;
+      continue;
+    }
+    out += ch;
+    ++pos;
+  }
+  return false;  // unterminated
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : data) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+CheckpointJournal CheckpointJournal::create(const std::string& path,
+                                            const std::string& header_data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw IoError("cannot create checkpoint file: " + path);
+  }
+  CheckpointJournal journal(file);
+  journal.append(header_data);
+  journal.appended_ = 0;  // the header is not a body record
+  return journal;
+}
+
+CheckpointJournal CheckpointJournal::append_to(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw IoError("cannot open checkpoint file for append: " + path);
+  }
+  return CheckpointJournal(file);
+}
+
+CheckpointJournal::CheckpointJournal(CheckpointJournal&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      appended_(other.appended_) {}
+
+CheckpointJournal& CheckpointJournal::operator=(
+    CheckpointJournal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    appended_ = other.appended_;
+  }
+  return *this;
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CheckpointJournal::append(const std::string& data) {
+  check_invariant(file_ != nullptr, "append on a moved-from journal");
+  const metrics::ScopedTimer timer("checkpoint.write_us");
+  std::string line;
+  line.reserve(data.size() + 32);
+  line.append(kCrcPrefix);
+  line.append(hex32(crc32(data)));
+  line.append(kDataPrefix);
+  line.append(data);
+  line.append("}\n");
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    throw IoError("checkpoint append failed (disk full?)");
+  }
+  ++appended_;
+  metrics::counter("checkpoint.records").add();
+}
+
+LoadedCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw IoError("cannot read checkpoint file: " + path);
+  }
+  std::string contents;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) throw IoError("error reading checkpoint file: " + path);
+
+  LoadedCheckpoint loaded;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    auto newline = contents.find('\n', pos);
+    const bool torn_tail = newline == std::string::npos;
+    if (torn_tail) newline = contents.size();
+    const std::string_view line(contents.data() + pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty()) continue;
+    std::string data;
+    if (!parse_line(line, data)) {
+      if (!saw_header) {
+        // A journal whose very first line is unreadable is not this sweep's
+        // journal (or lost its header to corruption): refuse to resume.
+        throw IoError("checkpoint header corrupt in " + path);
+      }
+      // A torn final line is the expected SIGKILL signature; a corrupt
+      // middle line just costs that point.
+      ++loaded.dropped_lines;
+      continue;
+    }
+    if (!saw_header) {
+      loaded.header = std::move(data);
+      saw_header = true;
+    } else {
+      loaded.records.push_back(std::move(data));
+    }
+  }
+  if (!saw_header) {
+    throw IoError("checkpoint file has no header record: " + path);
+  }
+  return loaded;
+}
+
+std::string encode_checkpoint_header(std::uint64_t fingerprint,
+                                     std::size_t points,
+                                     std::size_t columns) {
+  std::string out = "{\"fingerprint\":\"" + hex64(fingerprint) +
+                    "\",\"points\":" + std::to_string(points) +
+                    ",\"columns\":" + std::to_string(columns) + "}";
+  return out;
+}
+
+bool decode_checkpoint_header(const std::string& data,
+                              std::uint64_t& fingerprint, std::size_t& points,
+                              std::size_t& columns) {
+  const std::size_t fp_pos = find_key(data, "fingerprint");
+  const std::size_t points_pos = find_key(data, "points");
+  const std::size_t columns_pos = find_key(data, "columns");
+  if (fp_pos == std::string::npos || points_pos == std::string::npos ||
+      columns_pos == std::string::npos) {
+    return false;
+  }
+  std::size_t cursor = fp_pos;
+  std::string fp_hex;
+  if (!parse_string_at(data, cursor, fp_hex)) return false;
+  if (!parse_hex(fp_hex, fingerprint)) return false;
+  return parse_size_at(data, points_pos, points) &&
+         parse_size_at(data, columns_pos, columns);
+}
+
+std::string encode_checkpoint_row(std::size_t point,
+                                  const std::vector<std::string>& row) {
+  std::string out = "{\"point\":" + std::to_string(point) + ",\"row\":[";
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ',';
+    json::append_escaped(out, row[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+bool decode_checkpoint_row(const std::string& data, std::size_t& point,
+                           std::vector<std::string>& row) {
+  const std::size_t point_pos = find_key(data, "point");
+  const std::size_t row_pos = find_key(data, "row");
+  if (point_pos == std::string::npos || row_pos == std::string::npos) {
+    return false;
+  }
+  if (!parse_size_at(data, point_pos, point)) return false;
+  row.clear();
+  std::size_t cursor = row_pos;
+  if (cursor >= data.size() || data[cursor] != '[') return false;
+  ++cursor;
+  if (cursor < data.size() && data[cursor] == ']') return true;
+  while (cursor < data.size()) {
+    std::string cell;
+    if (!parse_string_at(data, cursor, cell)) return false;
+    row.push_back(std::move(cell));
+    if (cursor >= data.size()) return false;
+    if (data[cursor] == ',') {
+      ++cursor;
+      continue;
+    }
+    return data[cursor] == ']';
+  }
+  return false;
+}
+
+}  // namespace sscor::experiment

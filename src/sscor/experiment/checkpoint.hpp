@@ -1,0 +1,119 @@
+// Crash-safe sweep checkpointing.
+//
+// A full paper sweep is minutes of CPU; a crash (OOM kill, power loss,
+// impatient ^C) used to throw all completed points away.  run_sweep can now
+// journal each finished point to an append-only checkpoint file and, on
+// --resume, replay the journal and recompute only the missing points — the
+// resulting table is byte-identical to an uninterrupted run.
+//
+// Format: JSON Lines, one self-validating record per line:
+//
+//     {"crc32":"9a0b1c2d","data":{...}}\n
+//
+// The CRC-32 (IEEE, reflected 0xEDB88320) covers exactly the serialized
+// `data` substring, so any torn or bit-flipped line is detected in
+// isolation.  The first line is a header record carrying a fingerprint of
+// (ExperimentConfig, SweepSpec) minus scheduling knobs; body records each
+// carry one completed point's row.  Each append is written and flushed as a
+// single line, so after a SIGKILL the file is a valid journal plus at most
+// one torn tail line, which the loader drops.  Corrupt *body* lines only
+// cost their point (it is recomputed); a corrupt or mismatched header fails
+// the resume with IoError — silently recomputing under a different config
+// would masquerade as the old sweep.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sscor::experiment {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// FNV-1a 64-bit hash; the building block of the config fingerprint.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Checkpointing knobs carried into run_sweep via SweepControl.
+struct CheckpointOptions {
+  /// Journal path; empty disables checkpointing entirely.
+  std::string path;
+  /// Replay `path` and recompute only missing points.  When false an
+  /// existing journal is truncated and the sweep starts fresh.
+  bool resume = false;
+  /// Crash-injection test hook: raise(SIGKILL) immediately after this many
+  /// body records have been appended (< 0 = disabled).  Used by the
+  /// kill-and-resume test and the chaos harness; never set in production.
+  std::int64_t sigkill_after_points = -1;
+
+  bool enabled() const { return !path.empty(); }
+};
+
+/// Append-only writer.  Not thread-safe; callers serialise appends (the
+/// sweep holds a mutex around journal writes).
+class CheckpointJournal {
+ public:
+  /// Opens `path` truncated and writes the header record.
+  static CheckpointJournal create(const std::string& path,
+                                  const std::string& header_data);
+  /// Opens `path` for appending after a successful load (header already
+  /// present and verified by the caller).
+  static CheckpointJournal append_to(const std::string& path);
+
+  CheckpointJournal(CheckpointJournal&& other) noexcept;
+  CheckpointJournal& operator=(CheckpointJournal&& other) noexcept;
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+  ~CheckpointJournal();
+
+  /// Appends one checksummed record line and flushes it to the OS.  A
+  /// process killed right after append() returns cannot lose the record
+  /// short of the whole machine going down.
+  void append(const std::string& data);
+
+  /// Body records appended through this writer (excludes the header).
+  std::uint64_t appended() const { return appended_; }
+
+ private:
+  explicit CheckpointJournal(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t appended_ = 0;
+};
+
+/// A parsed journal: the header record's data plus every body record whose
+/// checksum verified, in file order.  `dropped_lines` counts torn/corrupt
+/// body lines that were skipped.
+struct LoadedCheckpoint {
+  std::string header;
+  std::vector<std::string> records;
+  std::size_t dropped_lines = 0;
+};
+
+/// Reads and verifies `path`.  Throws IoError when the file cannot be read
+/// or its header line is missing/corrupt; body corruption is tolerated.
+LoadedCheckpoint load_checkpoint(const std::string& path);
+
+// --- sweep record codecs -------------------------------------------------
+// The sweep stores plain row data; these helpers keep the JSON shape in one
+// place.  Decoders are tolerant: they return false on malformed input
+// instead of throwing (a corrupt-but-checksummed record only costs a
+// recompute).
+
+/// {"fingerprint":"<16hex>","points":N,"columns":M}
+std::string encode_checkpoint_header(std::uint64_t fingerprint,
+                                     std::size_t points, std::size_t columns);
+bool decode_checkpoint_header(const std::string& data,
+                              std::uint64_t& fingerprint, std::size_t& points,
+                              std::size_t& columns);
+
+/// {"point":P,"row":["cell",...]}
+std::string encode_checkpoint_row(std::size_t point,
+                                  const std::vector<std::string>& row);
+bool decode_checkpoint_row(const std::string& data, std::size_t& point,
+                           std::vector<std::string>& row);
+
+}  // namespace sscor::experiment

@@ -1,6 +1,9 @@
 #include "sscor/experiment/sweep.hpp"
 
+#include <csignal>
+#include <cstdio>
 #include <mutex>
+#include <optional>
 
 #include "sscor/util/error.hpp"
 #include "sscor/util/metrics.hpp"
@@ -29,7 +32,61 @@ bool needs_detection(Metric metric) {
          metric == Metric::kCostCorrelated;
 }
 
+void resolve_axes(const SweepSpec& spec, std::vector<double>& chaff_rates,
+                  std::vector<DurationUs>& max_delays) {
+  chaff_rates = spec.chaff_rates;
+  max_delays = spec.max_delays;
+  if (chaff_rates.empty()) {
+    chaff_rates.assign(std::begin(kChaffRates), std::end(kChaffRates));
+  }
+  if (max_delays.empty()) {
+    for (const auto s : kMaxDelaysSeconds) max_delays.push_back(seconds(s));
+  }
+}
+
+bool file_exists(const std::string& path) {
+  if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
+    std::fclose(file);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::uint64_t sweep_fingerprint(const ExperimentConfig& config,
+                                const SweepSpec& spec) {
+  std::vector<double> chaff_rates;
+  std::vector<DurationUs> max_delays;
+  resolve_axes(spec, chaff_rates, max_delays);
+  // Canonical text form of every value-determining field.  `threads` is
+  // deliberately excluded: the table is schedule-independent, so a
+  // checkpoint taken at 8 threads resumes fine at 1.
+  std::string canon = "v1";
+  auto field = [&canon](const std::string& value) {
+    canon += '|';
+    canon += value;
+  };
+  field(std::to_string(config.watermark.bits));
+  field(std::to_string(config.watermark.redundancy));
+  field(std::to_string(config.watermark.pair_offset));
+  field(std::to_string(config.watermark.embedding_delay));
+  field(std::to_string(config.hamming_threshold));
+  field(std::to_string(config.cost_bound));
+  field(std::to_string(config.zhang_threshold));
+  field(to_string(config.corpus));
+  field(std::to_string(config.flows));
+  field(std::to_string(config.packets_per_flow));
+  field(std::to_string(config.fp_pairs));
+  field(std::to_string(config.master_seed));
+  field(std::to_string(static_cast<int>(spec.metric)));
+  field(std::to_string(static_cast<int>(spec.axis)));
+  field(std::to_string(spec.fixed_delay));
+  field(TextTable::cell(spec.fixed_chaff, 6));
+  for (const double rate : chaff_rates) field(TextTable::cell(rate, 6));
+  for (const DurationUs delay : max_delays) field(std::to_string(delay));
+  return fnv1a64(canon);
+}
 
 std::string to_string(Metric metric) {
   switch (metric) {
@@ -46,17 +103,12 @@ std::string to_string(Metric metric) {
 }
 
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
-                    const ProgressFn& progress) {
+                    const ProgressFn& progress, const SweepControl& control) {
   const metrics::ScopedTimer sweep_timer("sweep.run");
   TRACE_SPAN("sweep.run");
-  std::vector<double> chaff_rates = spec.chaff_rates;
-  std::vector<DurationUs> max_delays = spec.max_delays;
-  if (chaff_rates.empty()) {
-    chaff_rates.assign(std::begin(kChaffRates), std::end(kChaffRates));
-  }
-  if (max_delays.empty()) {
-    for (const auto s : kMaxDelaysSeconds) max_delays.push_back(seconds(s));
-  }
+  std::vector<double> chaff_rates;
+  std::vector<DurationUs> max_delays;
+  resolve_axes(spec, chaff_rates, max_delays);
 
   struct Point {
     DurationUs delay;
@@ -90,17 +142,66 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
   }
   TextTable table(header);
 
+  // Crash-safe checkpointing: replay previously journaled points (resume),
+  // then journal each newly completed point as one checksummed line.
+  std::vector<std::vector<std::string>> rows(points.size());
+  std::vector<char> have(points.size(), 0);
+  std::optional<CheckpointJournal> journal;
+  std::mutex journal_mutex;
+  if (control.checkpoint.enabled()) {
+    const std::uint64_t fingerprint = sweep_fingerprint(config, spec);
+    const bool resuming =
+        control.checkpoint.resume && file_exists(control.checkpoint.path);
+    if (resuming) {
+      const LoadedCheckpoint loaded =
+          load_checkpoint(control.checkpoint.path);
+      std::uint64_t got_fingerprint = 0;
+      std::size_t got_points = 0;
+      std::size_t got_columns = 0;
+      if (!decode_checkpoint_header(loaded.header, got_fingerprint,
+                                    got_points, got_columns) ||
+          got_fingerprint != fingerprint || got_points != points.size() ||
+          got_columns != header.size()) {
+        throw IoError(
+            "checkpoint was written by a different sweep "
+            "(config or spec changed): " +
+            control.checkpoint.path);
+      }
+      std::uint64_t resumed = 0;
+      for (const std::string& record : loaded.records) {
+        std::size_t p = 0;
+        std::vector<std::string> row;
+        if (!decode_checkpoint_row(record, p, row) || p >= points.size() ||
+            row.size() != header.size() || have[p] != 0) {
+          continue;  // malformed or duplicate record: recompute the point
+        }
+        rows[p] = std::move(row);
+        have[p] = 1;
+        ++resumed;
+      }
+      metrics::counter("checkpoint.resumed_points").add(resumed);
+      metrics::counter("checkpoint.dropped_lines")
+          .add(loaded.dropped_lines);
+      journal.emplace(CheckpointJournal::append_to(control.checkpoint.path));
+    } else {
+      journal.emplace(CheckpointJournal::create(
+          control.checkpoint.path,
+          encode_checkpoint_header(fingerprint, points.size(),
+                                   header.size())));
+    }
+  }
+
   // Sweep points are mutually independent: every point derives its own
   // detectors and its downstream flows from (master seed, flow index,
   // point parameters), so dispatching them concurrently through the pool
   // changes only the schedule, never a value.  Rows are collected by point
   // index and appended in order, keeping the table byte-identical to the
-  // threads=1 run.
-  std::vector<std::vector<std::string>> rows(points.size());
+  // threads=1 run — and to any kill/resume split of the same sweep.
   std::mutex progress_mutex;
   parallel_for(
       points.size(),
       [&](std::size_t p) {
+        if (have[p] != 0) return;  // replayed from the checkpoint
         const auto& point = points[p];
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
@@ -127,8 +228,27 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
           row.push_back(TextTable::cell(value, precision));
         }
         rows[p] = std::move(row);
+        if (journal) {
+          const std::lock_guard<std::mutex> lock(journal_mutex);
+          journal->append(encode_checkpoint_row(p, rows[p]));
+          if (control.checkpoint.sigkill_after_points >= 0 &&
+              journal->appended() >=
+                  static_cast<std::uint64_t>(
+                      control.checkpoint.sigkill_after_points)) {
+            // Crash-injection hook: die as hard as a power cut, right
+            // after the journal line reached the OS.
+            std::raise(SIGKILL);
+          }
+        }
       },
-      config.threads);
+      config.threads, control.cancel);
+  if (control.cancel != nullptr && control.cancel->stop_requested()) {
+    metrics::counter("sweep.cancelled").add();
+    throw Cancelled("sweep cancelled after " +
+                    std::to_string(journal ? journal->appended() : 0) +
+                    " newly completed points; checkpoint (if any) is "
+                    "resumable");
+  }
   for (auto& row : rows) {
     table.add_row(std::move(row));
   }

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "sscor/experiment/checkpoint.hpp"
 #include "sscor/experiment/evaluation.hpp"
+#include "sscor/util/cancellation.hpp"
 #include "sscor/util/table.hpp"
 
 namespace sscor::experiment {
@@ -47,13 +49,32 @@ struct SweepSpec {
 using ProgressFn =
     std::function<void(std::size_t, std::size_t, const std::string&)>;
 
+/// Resilience controls for run_sweep; the default is a plain,
+/// uncheckpointed, uncancellable sweep identical to the previous behaviour.
+struct SweepControl {
+  /// Crash-safe journaling of completed points (checkpoint.hpp).
+  CheckpointOptions checkpoint;
+  /// Cooperative cancel polled between points (not owned).  When it trips,
+  /// in-flight points finish and are journaled, unstarted points never run,
+  /// and run_sweep throws Cancelled — a later resume picks up exactly the
+  /// missing points.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Fingerprint of everything that determines the sweep's values — the
+/// experiment config minus scheduling knobs (`threads`) plus the resolved
+/// spec — used to refuse resuming a checkpoint against a different sweep.
+std::uint64_t sweep_fingerprint(const ExperimentConfig& config,
+                                const SweepSpec& spec);
+
 /// Runs the sweep over the paper's five-detector line-up and returns the
 /// table: first column the swept axis, one column per detector.  Sweep
 /// points are dispatched concurrently through the shared thread pool
 /// (`config.threads`; 1 = fully serial); every cell is a deterministic
 /// function of (config, spec), so the table is byte-identical for every
-/// thread count.
+/// thread count — and, with checkpointing, across any kill/resume split.
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
-                    const ProgressFn& progress = {});
+                    const ProgressFn& progress = {},
+                    const SweepControl& control = {});
 
 }  // namespace sscor::experiment

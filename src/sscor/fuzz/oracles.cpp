@@ -3,17 +3,23 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <utility>
 
 #include "sscor/correlation/brute_force.hpp"
+#include "sscor/correlation/correlator.hpp"
 #include "sscor/correlation/decode_plan.hpp"
 #include "sscor/correlation/greedy.hpp"
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
+#include "sscor/correlation/resilient.hpp"
+#include "sscor/experiment/sweep.hpp"
 #include "sscor/flow/flow_io.hpp"
 #include "sscor/fuzz/alloc_guard.hpp"
 #include "sscor/fuzz/generators.hpp"
@@ -239,8 +245,9 @@ struct Pipeline {
   DurationUs perturb_max = 0;
 };
 
-std::vector<std::uint8_t> generate_pipeline_case(Rng& rng,
-                                                 std::uint32_t max_bits) {
+std::vector<std::uint8_t> generate_pipeline_case(
+    Rng& rng, std::uint32_t max_bits,
+    std::vector<std::pair<std::string, std::int64_t>> extra = {}) {
   WatermarkParams params;
   params.bits = 2 + static_cast<std::uint32_t>(rng.uniform_u64(max_bits - 1));
   params.redundancy = rng.bernoulli(0.7) ? 1 : 2;
@@ -275,7 +282,7 @@ std::vector<std::uint8_t> generate_pipeline_case(Rng& rng,
                   static_cast<DurationUs>(rng.uniform_u64(seconds(std::int64_t{1})));
   const Flow flow = generate_adversarial_flow(rng, opts);
 
-  return serialize_case(
+  std::vector<std::pair<std::string, std::int64_t>> params_list =
       {{"bits", params.bits},
        {"redundancy", params.redundancy},
        {"embed_delay", params.embedding_delay},
@@ -291,8 +298,9 @@ std::vector<std::uint8_t> generate_pipeline_case(Rng& rng,
         static_cast<std::int64_t>(rng.uniform_u64(params.bits + 1))},
        {"cost_bound",
         20'000 + static_cast<std::int64_t>(rng.uniform_u64(180'000))},
-       {"size_block", rng.bernoulli(0.3) ? 16 : 0}},
-      flow);
+       {"size_block", rng.bernoulli(0.3) ? 16 : 0}};
+  for (auto& p : extra) params_list.push_back(std::move(p));
+  return serialize_case(params_list, flow);
 }
 
 std::optional<Pipeline> build_pipeline(const ParsedCase& parsed) {
@@ -584,7 +592,437 @@ class CacheParityOracle final : public Oracle {
 };
 
 // ---------------------------------------------------------------------------
-// Oracles 4-6: reader robustness.
+// Oracles 4-5: resilience (resilient_parity, chaos_decode).
+
+/// The resilience ladder's tier order; index parameters in the chaos
+/// payloads select from it.
+constexpr Algorithm kResilienceTiers[] = {
+    Algorithm::kBruteForce, Algorithm::kGreedyStar, Algorithm::kGreedyPlus,
+    Algorithm::kGreedy};
+
+/// Field-by-field comparison of the result fields that must survive any
+/// re-run (empty string = identical).  `degraded`/`stop_reason` are
+/// deliberately excluded: they describe *how* a result was produced, and
+/// the parity oracles compare runs that produce the same decision through
+/// different machinery.
+std::string result_mismatch(const std::string& label,
+                            const CorrelationResult& a,
+                            const CorrelationResult& b) {
+  const auto field = [&](const char* what, auto x, auto y) {
+    return label + ": " + what + " " + std::to_string(x) + " vs " +
+           std::to_string(y);
+  };
+  if (a.correlated != b.correlated) {
+    return field("correlated", a.correlated, b.correlated);
+  }
+  if (a.hamming != b.hamming) return field("hamming", a.hamming, b.hamming);
+  if (a.cost != b.cost) return field("cost", a.cost, b.cost);
+  if (a.matching_complete != b.matching_complete) {
+    return field("matching_complete", a.matching_complete,
+                 b.matching_complete);
+  }
+  if (a.cost_bound_hit != b.cost_bound_hit) {
+    return field("cost_bound_hit", a.cost_bound_hit, b.cost_bound_hit);
+  }
+  if (a.interrupted != b.interrupted) {
+    return field("interrupted", a.interrupted, b.interrupted);
+  }
+  if (!(a.best_watermark == b.best_watermark)) {
+    return label + ": best watermark " + a.best_watermark.to_string() +
+           " vs " + b.best_watermark.to_string();
+  }
+  return {};
+}
+
+/// resilient_parity: whatever tier the fallback ladder lands on, its result
+/// must be byte-identical to running that tier's algorithm directly under
+/// the same per-attempt budget (no budget at all for the always-completes
+/// final tier).  With resilience disabled the ladder must collapse to the
+/// plain Correlator result exactly.
+class ResilientParityOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "resilient_parity"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    // Small per-attempt budgets make the ladder actually degrade in a
+    // sizeable fraction of cases; 0 exercises the disabled-collapse path.
+    const std::int64_t attempt_cost =
+        rng.bernoulli(0.75)
+            ? 50 + static_cast<std::int64_t>(rng.uniform_u64(30'000))
+            : 0;
+    return generate_pipeline_case(
+        rng, /*max_bits=*/4,
+        {{"preferred", static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"attempt_cost", attempt_cost}});
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+    const Algorithm preferred = kResilienceTiers[get_clamped(
+        *parsed, "preferred", 0, 0, 3)];
+    const auto attempt_cost = static_cast<std::uint64_t>(
+        get_clamped(*parsed, "attempt_cost", 0, 0, 500'000));
+
+    ResilientOptions options;
+    options.max_cost_per_attempt = attempt_cost;
+    const ResilientCorrelator resilient(pipe->config, preferred, options);
+    CorrelationResult ladder;
+    try {
+      ladder = resilient.correlate(pipe->watermarked, pipe->downstream);
+    } catch (const std::exception& e) {
+      return violation(std::string("resilient correlate threw: ") +
+                       e.what());
+    }
+
+    // The ladder must land on a tier at or below `preferred`, and flag
+    // degradation exactly when it moved.
+    const auto ladder_tiers = fallback_ladder(preferred);
+    if (std::find(ladder_tiers.begin(), ladder_tiers.end(),
+                  ladder.algorithm) == ladder_tiers.end()) {
+      return violation("ladder returned algorithm " +
+                       to_string(ladder.algorithm) +
+                       " that is not on the fallback ladder of " +
+                       to_string(preferred));
+    }
+    if (ladder.degraded != (ladder.algorithm != preferred)) {
+      return violation("degraded flag " + std::to_string(ladder.degraded) +
+                       " inconsistent with tiers: preferred " +
+                       to_string(preferred) + ", achieved " +
+                       to_string(ladder.algorithm));
+    }
+    // Only the final tier (or an explicit cancel, which this oracle never
+    // issues) may return interrupted.
+    if (ladder.interrupted && ladder.algorithm != Algorithm::kGreedy) {
+      return violation("ladder returned an interrupted non-final tier " +
+                       to_string(ladder.algorithm) +
+                       " instead of falling back");
+    }
+
+    // Replay the achieved tier directly under the budget it received in
+    // the ladder: the per-attempt cost cap for non-final tiers, nothing
+    // for the final tier (the ladder lifts its caps so it always
+    // completes).
+    CorrelatorConfig direct_config = pipe->config;
+    if (attempt_cost != 0 && ladder.algorithm != Algorithm::kGreedy) {
+      direct_config.budget.max_cost = attempt_cost;
+    }
+    const Correlator direct(direct_config, ladder.algorithm);
+    const CorrelationResult replay =
+        direct.correlate(pipe->watermarked, pipe->downstream);
+    if (auto m = result_mismatch(
+            "ladder tier " + to_string(ladder.algorithm) +
+                " diverges from the same algorithm run directly",
+            ladder, replay);
+        !m.empty()) {
+      return violation(std::move(m));
+    }
+    return {};
+  }
+};
+
+/// chaos_decode: deterministic fault injection into a single decode —
+/// a self-cancelling token (trip_after_probes), an already-expired
+/// deadline, and/or an allocation budget that makes some heap request
+/// throw bad_alloc mid-decode.  The contract under every injection mix:
+/// a clean error or a correct result, never corruption.  Concretely:
+/// no exception other than the injected bad_alloc escapes; an
+/// uninterrupted chaos result is byte-identical to the clean baseline;
+/// an interrupted result carries the injected stop reason and never a
+/// torn correlated verdict; the chaos run is deterministic; and a clean
+/// re-run afterwards (sharing the MatchContext) still reproduces the
+/// baseline exactly.
+class ChaosDecodeOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "chaos_decode"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    const std::int64_t trip =
+        rng.bernoulli(0.6)
+            ? 1 + static_cast<std::int64_t>(rng.uniform_u64(20'000))
+            : 0;
+    const std::int64_t alloc_kb =
+        rng.bernoulli(0.35)
+            ? 64 + static_cast<std::int64_t>(rng.uniform_u64(2048))
+            : 0;
+    return generate_pipeline_case(
+        rng, /*max_bits=*/4,
+        {{"algo", static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"trip_probes", trip},
+         {"alloc_kb", alloc_kb},
+         {"expired_deadline", rng.bernoulli(0.25) ? 1 : 0}});
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+    const Algorithm algo =
+        kResilienceTiers[get_clamped(*parsed, "algo", 0, 0, 3)];
+    const std::int64_t trip =
+        get_clamped(*parsed, "trip_probes", 0, 0, 1'000'000);
+    const auto alloc_budget = static_cast<std::size_t>(
+        get_clamped(*parsed, "alloc_kb", 0, 0, 1 << 20)) << 10;
+    const bool expired =
+        get_clamped(*parsed, "expired_deadline", 0, 0, 1) != 0;
+    if (trip == 0 && alloc_budget == 0 && !expired) return skip_case();
+
+    const Flow& down = pipe->downstream;
+    const MatchContext context =
+        MatchContext::build(pipe->watermarked.flow, down,
+                            pipe->config.max_delay,
+                            pipe->config.size_constraint);
+    const Correlator plain(pipe->config, algo);
+    const CorrelationResult baseline =
+        plain.correlate(pipe->watermarked, down, &context);
+
+    struct ChaosOutcome {
+      bool returned = false;
+      bool bad_alloc = false;
+      std::string unexpected;
+      CorrelationResult result;
+    };
+    const auto run_chaos = [&]() {
+      ChaosOutcome out;
+      CancellationToken token;
+      if (trip > 0) token.trip_after_probes(trip);
+      CorrelatorConfig chaos_config = pipe->config;
+      chaos_config.budget.token = &token;
+      if (expired) {
+        // A deadline pinned at the steady-clock epoch: expired before the
+        // decode starts, yet fully deterministic (no live clock race).
+        chaos_config.budget.deadline =
+            Deadline::at(std::chrono::steady_clock::time_point{});
+      }
+      const Correlator chaotic(chaos_config, algo);
+      try {
+        if (alloc_budget > 0) {
+          AllocationGuard guard(alloc_budget);
+          out.result = chaotic.correlate(pipe->watermarked, down, &context);
+        } else {
+          out.result = chaotic.correlate(pipe->watermarked, down, &context);
+        }
+        out.returned = true;
+      } catch (const std::bad_alloc&) {
+        out.bad_alloc = true;
+      } catch (const std::exception& e) {
+        out.unexpected = e.what();
+      }
+      return out;
+    };
+
+    const ChaosOutcome first = run_chaos();
+    if (!first.unexpected.empty()) {
+      return violation("chaos decode threw a non-injected exception: " +
+                       first.unexpected);
+    }
+    if (first.bad_alloc && alloc_budget == 0) {
+      return violation("decode threw bad_alloc with no allocation budget "
+                       "armed");
+    }
+    if (first.returned) {
+      const CorrelationResult& r = first.result;
+      if (!r.interrupted) {
+        if (auto m = result_mismatch(
+                to_string(algo) +
+                    ": armed-but-unfired budget perturbed the decode",
+                r, baseline);
+            !m.empty()) {
+          return violation(std::move(m));
+        }
+        if (r.stop_reason != StopReason::kNone) {
+          return violation("uninterrupted decode carries stop reason " +
+                           to_string(r.stop_reason));
+        }
+      } else {
+        const bool reason_injected =
+            (r.stop_reason == StopReason::kCancelled && trip > 0) ||
+            (r.stop_reason == StopReason::kDeadline && expired);
+        if (!reason_injected) {
+          return violation("interrupted decode reports stop reason '" +
+                           to_string(r.stop_reason) +
+                           "' which no injection armed (trip " +
+                           std::to_string(trip) + ", expired deadline " +
+                           std::to_string(expired) + ")");
+        }
+        if (r.correlated &&
+            r.hamming > pipe->config.hamming_threshold) {
+          return violation("interrupted decode reports a torn verdict: "
+                           "correlated with hamming " +
+                           std::to_string(r.hamming) + " above threshold " +
+                           std::to_string(pipe->config.hamming_threshold));
+        }
+      }
+    }
+
+    // Injection points are probe/allocation counts, not clock reads: the
+    // chaos run must replay bit-for-bit.
+    const ChaosOutcome second = run_chaos();
+    if (second.returned != first.returned ||
+        second.bad_alloc != first.bad_alloc) {
+      return violation("chaos decode is nondeterministic: first run " +
+                       std::string(first.returned ? "returned" :
+                                   "threw bad_alloc") +
+                       ", second run " +
+                       std::string(second.returned ? "returned" :
+                                   "threw bad_alloc"));
+    }
+    if (first.returned && second.returned) {
+      if (auto m = result_mismatch("chaos decode replay diverges",
+                                   first.result, second.result);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+      if (first.result.stop_reason != second.result.stop_reason) {
+        return violation("chaos decode replay diverges: stop reason " +
+                         to_string(first.result.stop_reason) + " vs " +
+                         to_string(second.result.stop_reason));
+      }
+    }
+
+    // No corruption: after an aborted (or budget-starved) decode the same
+    // correlator and shared MatchContext must still produce the clean
+    // baseline.
+    const CorrelationResult after =
+        plain.correlate(pipe->watermarked, down, &context);
+    if (auto m = result_mismatch(
+            "clean decode after a chaos-injected run lost parity", after,
+            baseline);
+        !m.empty()) {
+      return violation(std::move(m));
+    }
+    return {};
+  }
+};
+
+/// chaos_sweep: mid-sweep abort and checkpoint-tamper injection for
+/// run_sweep.  A cancelled, checkpointed sweep followed by --resume (over
+/// an optionally tampered journal) must reproduce the uncancelled table
+/// byte-for-byte — crash-safety's observable contract.
+class ChaosSweepOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "chaos_sweep"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return serialize_case(
+        {{"seed", static_cast<std::int64_t>(rng())},
+         {"bits", 2 + static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"cancel_after", static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"corrupt", rng.bernoulli(0.3) ? 1 : 0},
+         {"torn_tail", rng.bernoulli(0.3) ? 1 : 0}},
+        Flow());
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    namespace fs = std::filesystem;
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto bits = static_cast<std::uint32_t>(
+        get_clamped(*parsed, "bits", 3, 2, 6));
+    const auto cancel_after = static_cast<std::size_t>(
+        get_clamped(*parsed, "cancel_after", 0, 0, 5));
+    const bool corrupt = get_clamped(*parsed, "corrupt", 0, 0, 1) != 0;
+    const bool torn_tail = get_clamped(*parsed, "torn_tail", 0, 0, 1) != 0;
+
+    experiment::ExperimentConfig config;
+    config.watermark.bits = bits;
+    config.watermark.redundancy = 1;
+    config.flows = 2;
+    config.packets_per_flow = 4 * bits + 24;
+    config.fp_pairs = 2;
+    config.cost_bound = 50'000;
+    config.master_seed = static_cast<std::uint64_t>(
+        get_clamped(*parsed, "seed", 1, INT64_MIN, INT64_MAX));
+    config.threads = 1;  // deterministic progress order for the injection
+    experiment::SweepSpec spec;
+    spec.metric = experiment::Metric::kDetectionRate;
+    spec.axis = experiment::SweepAxis::kChaffRate;
+    spec.chaff_rates = {0.0, 1.5, 3.0};
+
+    std::string clean;
+    try {
+      clean = run_sweep(config, spec).to_string();
+    } catch (const std::exception& e) {
+      return violation(std::string("clean mini-sweep threw: ") + e.what());
+    }
+
+    const fs::path path =
+        fs::temp_directory_path() /
+        ("sscor-chaos-sweep-" +
+         std::to_string(experiment::sweep_fingerprint(config, spec)) +
+         ".jsonl");
+    std::error_code ec;
+    fs::remove(path, ec);
+
+    CancellationToken token;
+    std::size_t started = 0;
+    experiment::SweepControl control;
+    control.checkpoint.path = path.string();
+    control.cancel = &token;
+    bool cancelled = false;
+    try {
+      const std::string interrupted =
+          run_sweep(config, spec,
+                    [&](std::size_t, std::size_t, const std::string&) {
+                      if (++started > cancel_after) token.cancel();
+                    },
+                    control)
+              .to_string();
+      // The cancel landed after the last point started: the sweep ran to
+      // completion and must match the clean table.
+      if (interrupted != clean) {
+        return violation("checkpointed sweep that outran its cancel "
+                         "produced a different table");
+      }
+    } catch (const Cancelled&) {
+      cancelled = true;
+    } catch (const std::exception& e) {
+      fs::remove(path, ec);
+      return violation(std::string("cancelled sweep threw ") + e.what() +
+                       " instead of Cancelled");
+    }
+    if (cancelled && !fs::exists(path)) {
+      fs::remove(path, ec);
+      return violation("cancelled sweep left no checkpoint behind");
+    }
+
+    if (corrupt) {
+      std::ofstream out(path, std::ios::app);
+      out << "{\"crc32\":\"00000000\",\"data\":{\"point\":0,\"row\":[\"tam"
+             "pered\"]}}\n";
+    }
+    if (torn_tail) {
+      // The SIGKILL signature: a final line cut mid-record.
+      std::ofstream out(path, std::ios::app);
+      out << "{\"crc32\":\"12";
+    }
+
+    experiment::SweepControl resume_control;
+    resume_control.checkpoint.path = path.string();
+    resume_control.checkpoint.resume = true;
+    std::string resumed;
+    try {
+      resumed = run_sweep(config, spec, {}, resume_control).to_string();
+    } catch (const std::exception& e) {
+      fs::remove(path, ec);
+      return violation(std::string("resume threw: ") + e.what());
+    }
+    fs::remove(path, ec);
+    if (resumed != clean) {
+      return violation("resumed sweep table diverges from the clean run "
+                       "(cancel after " + std::to_string(cancel_after) +
+                       " points" + (corrupt ? ", corrupt line" : "") +
+                       (torn_tail ? ", torn tail" : "") + ")");
+    }
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Oracles 7-9: reader robustness.
 
 /// Outcome of a guarded parse, recorded without allocating (once the
 /// allocation budget has tripped, *any* heap use inside the guard scope
@@ -751,7 +1189,7 @@ class PcapngReaderOracle final : public ReaderOracleBase {
 };
 
 // ---------------------------------------------------------------------------
-// Oracle 6: reader_flowtext — grammar differential.
+// Oracle 9: reader_flowtext — grammar differential.
 //
 // The spec parser below is an independent hand-rolled implementation of the
 // documented flow-text grammar (header prefix, 3 whitespace-separated
@@ -913,6 +1351,9 @@ std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
   oracles.push_back(std::make_unique<QimRoundtripOracle>());
   oracles.push_back(std::make_unique<DifferentialOracle>());
   oracles.push_back(std::make_unique<CacheParityOracle>());
+  oracles.push_back(std::make_unique<ResilientParityOracle>());
+  oracles.push_back(std::make_unique<ChaosDecodeOracle>());
+  oracles.push_back(std::make_unique<ChaosSweepOracle>());
   oracles.push_back(std::make_unique<PcapReaderOracle>());
   oracles.push_back(std::make_unique<PcapngReaderOracle>());
   oracles.push_back(std::make_unique<FlowTextReaderOracle>());

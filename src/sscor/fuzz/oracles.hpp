@@ -13,25 +13,36 @@
 //                    out-of-clamp — the shrinker legitimately produces
 //                    such payloads and they count as passes).
 //
-// The six oracles:
+// The nine oracles:
 //
-//   qim_roundtrip   embed → decode of the QIM scheme is exact whenever all
-//                   IPDs exceed 2*step (no FIFO cascade).  Catches the
-//                   cell-boundary off-by-one in next_cell_centre.
-//   differential    BruteForce is exact ground truth: Greedy's Hamming
-//                   lower-bounds it, Greedy+/Greedy* never beat it, the
-//                   matching-complete verdict agrees across matchers, and
-//                   chaff+constant-delay alone can never destroy the
-//                   watermark.
-//   cache_parity    every algorithm returns byte-identical results with a
-//                   cached MatchContext and with a cold matching run.
-//   reader_pcap     classic-pcap parsing throws IoError or succeeds —
-//                   never crashes, never allocates past a fixed budget.
-//   reader_pcapng   same contract for the pcapng reader.
-//   reader_flowtext grammar differential: an independent spec parser and
-//                   read_flow_text must agree on accept/reject (and on the
-//                   packet count when both accept).  Catches the lenient
-//                   trailing-token / signed-size parsing.
+//   qim_roundtrip    embed → decode of the QIM scheme is exact whenever all
+//                    IPDs exceed 2*step (no FIFO cascade).  Catches the
+//                    cell-boundary off-by-one in next_cell_centre.
+//   differential     BruteForce is exact ground truth: Greedy's Hamming
+//                    lower-bounds it, Greedy+/Greedy* never beat it, the
+//                    matching-complete verdict agrees across matchers, and
+//                    chaff+constant-delay alone can never destroy the
+//                    watermark.
+//   cache_parity     every algorithm returns byte-identical results with a
+//                    cached MatchContext and with a cold matching run.
+//   resilient_parity whatever tier the fallback ladder lands on equals that
+//                    algorithm run directly under the same budget; with
+//                    resilience disabled the ladder collapses to the plain
+//                    Correlator result exactly.
+//   chaos_decode     deterministic fault injection (self-cancelling token,
+//                    pre-expired deadline, allocation failure) into one
+//                    decode: clean error or correct result, never
+//                    corruption, and bit-for-bit replayable.
+//   chaos_sweep      mid-sweep abort + checkpoint tampering: cancel, then
+//                    resume over the (possibly tampered) journal must
+//                    reproduce the uncancelled table byte-for-byte.
+//   reader_pcap      classic-pcap parsing throws IoError or succeeds —
+//                    never crashes, never allocates past a fixed budget.
+//   reader_pcapng    same contract for the pcapng reader.
+//   reader_flowtext  grammar differential: an independent spec parser and
+//                    read_flow_text must agree on accept/reject (and on the
+//                    packet count when both accept).  Catches the lenient
+//                    trailing-token / signed-size parsing.
 
 #pragma once
 
@@ -71,7 +82,7 @@ class Oracle {
   virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
 };
 
-/// All six oracles, in the round-robin order the fuzzer drives them.
+/// All nine oracles, in the round-robin order the fuzzer drives them.
 std::vector<std::unique_ptr<Oracle>> make_default_oracles();
 
 /// Deterministic regression payloads reproducing the historical bugs this

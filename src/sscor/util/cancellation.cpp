@@ -1,0 +1,46 @@
+#include "sscor/util/cancellation.hpp"
+
+namespace sscor {
+
+std::string to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCostBudget:
+      return "cost-budget";
+  }
+  return "unknown";
+}
+
+bool CancelProbe::slow_check(std::uint64_t current_cost) {
+  ++calls_;
+  if (token_ != nullptr) {
+    // Chaos countdown: deterministic self-cancel after N probes.  Unarmed
+    // (the overwhelmingly common case) costs one relaxed load.
+    if (token_->probe_countdown_.load(std::memory_order_relaxed) >= 0 &&
+        token_->probe_countdown_.fetch_sub(1, std::memory_order_relaxed) ==
+            0) {
+      token_->cancel(StopReason::kCancelled);
+    }
+    if (token_->stop_requested()) {
+      reason_ = token_->reason();
+      return true;
+    }
+  }
+  if (max_cost_ != 0 && current_cost >= max_cost_) {
+    reason_ = StopReason::kCostBudget;
+    return true;
+  }
+  if (deadline_.armed() && calls_ % kDeadlineStride == 1 &&
+      deadline_.expired()) {
+    reason_ = StopReason::kDeadline;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sscor

@@ -38,6 +38,15 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+/// A cooperative cancellation stopped a long-running operation before it
+/// completed.  Not an error in the library: the caller (or its deadline)
+/// asked for the stop; partial results already persisted — e.g. sweep
+/// checkpoints — remain valid and resumable.
+class Cancelled : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Throws InvalidArgument with `what` unless `condition` holds.
 inline void require(bool condition, const std::string& what,
                     std::source_location loc = std::source_location::current()) {

@@ -237,6 +237,98 @@ TEST(Robust, RejectsUnrelatedFlowsAndExcessLoss) {
   EXPECT_FALSE(r.matching_complete);
 }
 
+TEST(Robust, ZeroPacketDownstreamRejectsCleanly) {
+  // Total loss (the limit the paper's assumption 1 forbids outright):
+  // every matching set is empty, which must be a clean reject for every
+  // tolerance budget — including the one that tolerates everything.
+  const auto marked = make_marked(71);
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  for (const double fraction : {0.0, 0.05, 1.0}) {
+    RobustOptions options;
+    options.max_unmatched_fraction = fraction;
+    const auto r =
+        run_greedy_plus_robust(marked.schedule, marked.watermark,
+                               marked.flow, Flow(), config, options);
+    EXPECT_FALSE(r.correlated) << "fraction " << fraction;
+    EXPECT_FALSE(r.matching_complete) << "fraction " << fraction;
+    EXPECT_FALSE(r.interrupted) << "fraction " << fraction;
+  }
+}
+
+TEST(Robust, AllChaffDownstreamRejectsCleanly) {
+  // A downstream flow that shares the time span but contains none of the
+  // real packets — only cover traffic.  The decoder sees plausible
+  // windows full of wrong candidates; it must terminate cleanly and (for
+  // this seed) reject.
+  const auto marked = make_marked(72);
+  const TimeUs start = marked.flow.start_time();
+  const DurationUs span = marked.flow.end_time() - start;
+  Rng rng(73);
+  std::vector<TimeUs> times;
+  for (int i = 0; i < 800; ++i) {
+    times.push_back(start + static_cast<TimeUs>(
+                                rng.uniform_u64(static_cast<std::uint64_t>(
+                                    span + seconds(std::int64_t{4})))));
+  }
+  std::sort(times.begin(), times.end());
+  std::vector<PacketRecord> packets;
+  for (const TimeUs t : times) packets.push_back(PacketRecord{t, 0, true});
+  const Flow chaff_only(std::move(packets), "all-chaff");
+
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+  const auto r = run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                        marked.flow, chaff_only, config);
+  EXPECT_FALSE(r.correlated);
+  if (r.correlated) {
+    EXPECT_LE(r.hamming, config.hamming_threshold);
+  }
+}
+
+TEST(Robust, ZeroToleranceMatchesStrictVerdictUnderLoss) {
+  // max_unmatched_fraction = 0 removes the robustness budget: a single
+  // lost packet must reject exactly like the strict algorithm does.
+  const auto marked = make_marked(74);
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{1});
+  const traffic::LossRepacketizationModel loss(0.05, 0, 75);
+  const Flow down = loss.apply(marked.flow);
+  ASSERT_LT(down.size(), marked.flow.size());  // something was dropped
+  RobustOptions zero;
+  zero.max_unmatched_fraction = 0.0;
+  const auto r = run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                        marked.flow, down, config, zero);
+  EXPECT_FALSE(r.matching_complete);
+  EXPECT_FALSE(r.correlated);
+}
+
+TEST(Robust, SurvivesLossAfterMaximalPerturbation) {
+  // Worst admissible timing first (perturbation at the full Delta the
+  // matcher allows for), then loss on top: the pair the paper's §6 future
+  // work is about.  The robust decode must stay clean and, with the loss
+  // inside its tolerance budget, usually still detect.
+  int hits = 0;
+  constexpr int kTrials = 6;
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{2});
+  for (int t = 0; t < kTrials; ++t) {
+    const auto marked = make_marked(800 + t);
+    const traffic::UniformPerturber max_perturb(config.max_delay, 810 + t);
+    const traffic::LossRepacketizationModel loss(0.02, 0, 820 + t);
+    const Flow down = loss.apply(max_perturb.apply(marked.flow));
+    const auto r = run_greedy_plus_robust(marked.schedule, marked.watermark,
+                                          marked.flow, down, config);
+    EXPECT_FALSE(r.interrupted);
+    if (r.correlated) {
+      EXPECT_LE(r.hamming, config.hamming_threshold);
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, kTrials - 2)
+      << "robust decode should survive loss after maximal perturbation";
+}
+
 // ------------------------------------------------------------- Online ---
 
 TEST(Online, MatchesOfflineVerdictOnFullStreams) {

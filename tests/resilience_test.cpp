@@ -1,0 +1,648 @@
+// Tests for the resilience layer: cooperative cancellation (tokens,
+// deadlines, probes), the graceful-degradation ladder, crash-safe sweep
+// checkpointing (including a real fork+SIGKILL kill-and-resume), and the
+// metrics that make interrupted decodes observable.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sscor/correlation/correlator.hpp"
+#include "sscor/correlation/resilient.hpp"
+#include "sscor/correlation/robust.hpp"
+#include "sscor/experiment/checkpoint.hpp"
+#include "sscor/experiment/sweep.hpp"
+#include "sscor/traffic/chaff.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/traffic/perturbation.hpp"
+#include "sscor/util/cancellation.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
+#include "sscor/util/parallel.hpp"
+#include "sscor/watermark/embedder.hpp"
+
+namespace sscor {
+namespace {
+
+// ------------------------------------------------- token and deadline ---
+
+TEST(CancellationToken, FirstReasonWinsAndReset) {
+  CancellationToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+  token.cancel(StopReason::kDeadline);
+  token.cancel(StopReason::kCostBudget);  // later reasons are no-ops
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+  token.reset();
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+}
+
+TEST(CancellationToken, StopReasonNames) {
+  EXPECT_EQ(to_string(StopReason::kNone), "none");
+  EXPECT_EQ(to_string(StopReason::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_EQ(to_string(StopReason::kCostBudget), "cost-budget");
+}
+
+TEST(Deadline, ArmedAndExpiry) {
+  const Deadline unarmed;
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_FALSE(unarmed.expired());
+
+  const Deadline epoch = Deadline::at(std::chrono::steady_clock::time_point{});
+  EXPECT_TRUE(epoch.armed());
+  EXPECT_TRUE(epoch.expired());
+
+  const Deadline generous = Deadline::after(seconds(std::int64_t{3600}));
+  EXPECT_TRUE(generous.armed());
+  EXPECT_FALSE(generous.expired());
+}
+
+TEST(CancelProbe, DisabledProbeNeverStops) {
+  CancelProbe probe;  // no budget
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(probe.should_stop(static_cast<std::uint64_t>(i) << 20));
+  }
+  EXPECT_FALSE(probe.stopped());
+
+  DecodeBudget empty;
+  EXPECT_FALSE(empty.enabled());
+  CancelProbe probe2(empty);
+  EXPECT_FALSE(probe2.should_stop(1'000'000'000));
+}
+
+TEST(CancelProbe, CostBudgetTripsAndLatches) {
+  DecodeBudget budget;
+  budget.max_cost = 100;
+  CancelProbe probe(budget);
+  EXPECT_FALSE(probe.should_stop(50));
+  EXPECT_FALSE(probe.should_stop(99));
+  EXPECT_TRUE(probe.should_stop(100));  // spent budget == bound trips
+  EXPECT_EQ(probe.reason(), StopReason::kCostBudget);
+  // Latched: the verdict survives the cost going "back down".
+  EXPECT_TRUE(probe.should_stop(0));
+  EXPECT_TRUE(probe.stopped());
+}
+
+TEST(CancelProbe, TokenCancelStops) {
+  CancellationToken token;
+  DecodeBudget budget;
+  budget.token = &token;
+  CancelProbe probe(budget);
+  EXPECT_FALSE(probe.should_stop());
+  token.cancel();
+  EXPECT_TRUE(probe.should_stop());
+  EXPECT_EQ(probe.reason(), StopReason::kCancelled);
+}
+
+TEST(CancelProbe, ExpiredDeadlineStopsOnFirstProbe) {
+  DecodeBudget budget;
+  budget.deadline = Deadline::at(std::chrono::steady_clock::time_point{});
+  CancelProbe probe(budget);
+  EXPECT_TRUE(probe.should_stop());
+  EXPECT_EQ(probe.reason(), StopReason::kDeadline);
+}
+
+TEST(CancelProbe, TripAfterProbesIsExact) {
+  CancellationToken token;
+  token.trip_after_probes(5);
+  DecodeBudget budget;
+  budget.token = &token;
+  CancelProbe probe(budget);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(probe.should_stop()) << "probe " << i;
+  }
+  EXPECT_TRUE(probe.should_stop());
+  EXPECT_EQ(probe.reason(), StopReason::kCancelled);
+}
+
+// ------------------------------------------- interrupted decodes ---
+
+struct Scenario {
+  WatermarkedFlow marked;
+  Flow downstream;
+  CorrelatorConfig config;
+};
+
+Scenario make_scenario(std::uint64_t seed, double chaff_pps = 2.0) {
+  const traffic::InteractiveSessionModel model;
+  const Flow flow = model.generate(900, 0, mix_seeds(seed, 1));
+  Rng rng(mix_seeds(seed, 2));
+  const Embedder embedder(WatermarkParams{}, mix_seeds(seed, 3));
+  Scenario s;
+  s.marked = embedder.embed(flow, Watermark::random(24, rng));
+  Flow down = traffic::UniformPerturber(millis(800), mix_seeds(seed, 4))
+                  .apply(s.marked.flow);
+  s.downstream =
+      traffic::PoissonChaffInjector(chaff_pps, mix_seeds(seed, 5)).apply(down);
+  s.config.max_delay = seconds(std::int64_t{2});
+  return s;
+}
+
+const Algorithm kAllAlgorithms[] = {Algorithm::kBruteForce,
+                                    Algorithm::kGreedyStar,
+                                    Algorithm::kGreedyPlus, Algorithm::kGreedy};
+
+void expect_identical(const CorrelationResult& a, const CorrelationResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.correlated, b.correlated) << label;
+  EXPECT_EQ(a.hamming, b.hamming) << label;
+  EXPECT_EQ(a.cost, b.cost) << label;
+  EXPECT_EQ(a.matching_complete, b.matching_complete) << label;
+  EXPECT_EQ(a.cost_bound_hit, b.cost_bound_hit) << label;
+  EXPECT_EQ(a.interrupted, b.interrupted) << label;
+  EXPECT_TRUE(a.best_watermark == b.best_watermark) << label;
+}
+
+TEST(InterruptedDecode, GenerousBudgetIsByteIdentical) {
+  const Scenario s = make_scenario(11);
+  for (const Algorithm algo : kAllAlgorithms) {
+    const CorrelationResult plain =
+        Correlator(s.config, algo).correlate(s.marked, s.downstream);
+
+    CancellationToken token;
+    CorrelatorConfig budgeted = s.config;
+    budgeted.budget.token = &token;
+    budgeted.budget.max_cost = ~std::uint64_t{0} >> 1;
+    budgeted.budget.deadline = Deadline::after(seconds(std::int64_t{3600}));
+    const CorrelationResult under_budget =
+        Correlator(budgeted, algo).correlate(s.marked, s.downstream);
+
+    expect_identical(plain, under_budget, to_string(algo));
+    EXPECT_FALSE(under_budget.interrupted) << to_string(algo);
+    EXPECT_EQ(under_budget.stop_reason, StopReason::kNone) << to_string(algo);
+  }
+}
+
+TEST(InterruptedDecode, EveryAlgorithmStopsCleanlyOnCancel) {
+  const Scenario s = make_scenario(12);
+  for (const Algorithm algo : kAllAlgorithms) {
+    for (const std::int64_t trip : {1, 7, 100, 2000}) {
+      CancellationToken token;
+      token.trip_after_probes(trip);
+      CorrelatorConfig config = s.config;
+      config.budget.token = &token;
+      const CorrelationResult r =
+          Correlator(config, algo).correlate(s.marked, s.downstream);
+      if (!r.interrupted) continue;  // decode finished under `trip` probes
+      EXPECT_EQ(r.stop_reason, StopReason::kCancelled)
+          << to_string(algo) << " trip " << trip;
+      if (r.correlated) {
+        EXPECT_LE(r.hamming, config.hamming_threshold)
+            << to_string(algo) << " returned a torn correlated verdict";
+      }
+    }
+  }
+}
+
+TEST(InterruptedDecode, CostBudgetInterruptsExpensiveAlgorithms) {
+  const Scenario s = make_scenario(13);
+  // The brute-force search on a chaffed 900-packet flow costs far more
+  // than 500 accesses; a tiny budget must interrupt, not hang or crash.
+  for (const Algorithm algo :
+       {Algorithm::kBruteForce, Algorithm::kGreedyStar,
+        Algorithm::kGreedyPlus}) {
+    CorrelatorConfig config = s.config;
+    config.budget.max_cost = 500;
+    const CorrelationResult r =
+        Correlator(config, algo).correlate(s.marked, s.downstream);
+    ASSERT_TRUE(r.interrupted) << to_string(algo);
+    EXPECT_EQ(r.stop_reason, StopReason::kCostBudget) << to_string(algo);
+  }
+}
+
+TEST(InterruptedDecode, RobustModeHonoursBudget) {
+  const Scenario s = make_scenario(14);
+  CorrelatorConfig config = s.config;
+  config.budget.max_cost = 500;
+  const CorrelationResult r =
+      run_greedy_plus_robust(s.marked.schedule, s.marked.watermark,
+                             s.marked.flow, s.downstream, config);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(r.stop_reason, StopReason::kCostBudget);
+
+  CorrelatorConfig clean = s.config;
+  const CorrelationResult full =
+      run_greedy_plus_robust(s.marked.schedule, s.marked.watermark,
+                             s.marked.flow, s.downstream, clean);
+  EXPECT_FALSE(full.interrupted);
+}
+
+TEST(InterruptedDecode, MetricsCountInterruptions) {
+  const Scenario s = make_scenario(15);
+  const std::uint64_t before = metrics::counter("correlate.interrupted").value();
+  const std::uint64_t cancelled_before =
+      metrics::counter("correlate.cancelled").value();
+  CancellationToken token;
+  token.cancel();  // cancelled before the decode even starts
+  CorrelatorConfig config = s.config;
+  config.budget.token = &token;
+  const CorrelationResult r =
+      Correlator(config, Algorithm::kGreedyPlus).correlate(s.marked,
+                                                           s.downstream);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(metrics::counter("correlate.interrupted").value(), before + 1);
+  EXPECT_EQ(metrics::counter("correlate.cancelled").value(),
+            cancelled_before + 1);
+}
+
+// --------------------------------------------------- fallback ladder ---
+
+TEST(ResilientLadder, LadderOrderIsSuffixOfTierOrder) {
+  using A = Algorithm;
+  EXPECT_EQ(fallback_ladder(A::kBruteForce),
+            (std::vector<A>{A::kBruteForce, A::kGreedyStar, A::kGreedyPlus,
+                            A::kGreedy}));
+  EXPECT_EQ(fallback_ladder(A::kGreedyStar),
+            (std::vector<A>{A::kGreedyStar, A::kGreedyPlus, A::kGreedy}));
+  EXPECT_EQ(fallback_ladder(A::kGreedyPlus),
+            (std::vector<A>{A::kGreedyPlus, A::kGreedy}));
+  EXPECT_EQ(fallback_ladder(A::kGreedy), (std::vector<A>{A::kGreedy}));
+}
+
+TEST(ResilientLadder, DisabledOptionsCollapseToPlainRun) {
+  const Scenario s = make_scenario(21);
+  for (const Algorithm algo : kAllAlgorithms) {
+    const CorrelationResult plain =
+        Correlator(s.config, algo).correlate(s.marked, s.downstream);
+    const CorrelationResult resilient =
+        ResilientCorrelator(s.config, algo).correlate(s.marked, s.downstream);
+    expect_identical(plain, resilient, to_string(algo));
+    EXPECT_FALSE(resilient.degraded);
+  }
+}
+
+TEST(ResilientLadder, CostBudgetDegradesDownTheLadder) {
+  const Scenario s = make_scenario(22);
+  ResilientOptions options;
+  options.max_cost_per_attempt = 500;  // interrupts everything but Greedy
+  const ResilientCorrelator resilient(s.config, Algorithm::kBruteForce,
+                                      options);
+  const CorrelationResult r = resilient.correlate(s.marked, s.downstream);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.algorithm, Algorithm::kGreedy);  // final tier, budget lifted
+  EXPECT_FALSE(r.interrupted);
+
+  // The degraded result equals Greedy run directly with no budget (the
+  // final tier's caps are removed so it always completes).
+  const CorrelationResult direct =
+      Correlator(s.config, Algorithm::kGreedy).correlate(s.marked,
+                                                         s.downstream);
+  expect_identical(direct, r, "degraded-to-greedy");
+}
+
+TEST(ResilientLadder, GenerousBudgetNeverDegrades) {
+  const Scenario s = make_scenario(23);
+  ResilientOptions options;
+  options.max_cost_per_attempt = ~std::uint64_t{0} >> 1;
+  const ResilientCorrelator resilient(s.config, Algorithm::kGreedyPlus,
+                                      options);
+  const CorrelationResult r = resilient.correlate(s.marked, s.downstream);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.algorithm, Algorithm::kGreedyPlus);
+  const CorrelationResult plain =
+      Correlator(s.config, Algorithm::kGreedyPlus)
+          .correlate(s.marked, s.downstream);
+  expect_identical(plain, r, "generous-budget");
+}
+
+TEST(ResilientLadder, ExplicitCancelNeverFallsBack) {
+  const Scenario s = make_scenario(24);
+  CancellationToken token;
+  token.cancel();  // the caller said stop — degrading would defy them
+  ResilientOptions options;
+  options.token = &token;
+  options.max_cost_per_attempt = 500;
+  const ResilientCorrelator resilient(s.config, Algorithm::kBruteForce,
+                                      options);
+  const CorrelationResult r = resilient.correlate(s.marked, s.downstream);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(r.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(r.algorithm, Algorithm::kBruteForce);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST(ResilientLadder, RejectsBudgetSmuggledThroughConfig) {
+  CorrelatorConfig config;
+  CancellationToken token;
+  config.budget.token = &token;
+  EXPECT_THROW(ResilientCorrelator(config, Algorithm::kGreedy),
+               InvalidArgument);
+}
+
+TEST(ResilientLadder, DegradationIsObservableInMetrics) {
+  const Scenario s = make_scenario(25);
+  const std::uint64_t degraded_before =
+      metrics::counter("resilient.degraded").value();
+  ResilientOptions options;
+  options.max_cost_per_attempt = 500;
+  const ResilientCorrelator resilient(s.config, Algorithm::kGreedyPlus,
+                                      options);
+  const CorrelationResult r = resilient.correlate(s.marked, s.downstream);
+  ASSERT_TRUE(r.degraded);
+  EXPECT_EQ(metrics::counter("resilient.degraded").value(),
+            degraded_before + 1);
+}
+
+// ------------------------------------------------------- checkpointing ---
+
+namespace fs = std::filesystem;
+using experiment::CheckpointJournal;
+using experiment::load_checkpoint;
+
+std::string temp_path(const std::string& stem) {
+  return (fs::temp_directory_path() / (stem + "-" + std::to_string(getpid()) +
+                                       ".jsonl"))
+      .string();
+}
+
+TEST(Checkpoint, Crc32KnownVector) {
+  EXPECT_EQ(experiment::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(experiment::crc32(""), 0x00000000u);
+}
+
+TEST(Checkpoint, JournalRoundTrip) {
+  const std::string path = temp_path("ckpt-roundtrip");
+  {
+    auto journal = CheckpointJournal::create(
+        path, experiment::encode_checkpoint_header(0xabcdef12u, 3, 2));
+    journal.append(experiment::encode_checkpoint_row(0, {"0.0", "1.0000"}));
+    journal.append(
+        experiment::encode_checkpoint_row(2, {"5.0", "va\"l\\ue"}));
+    EXPECT_EQ(journal.appended(), 2u);
+  }
+  const auto loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.dropped_lines, 0u);
+  std::uint64_t fingerprint = 0;
+  std::size_t points = 0, columns = 0;
+  ASSERT_TRUE(experiment::decode_checkpoint_header(loaded.header, fingerprint,
+                                                   points, columns));
+  EXPECT_EQ(fingerprint, 0xabcdef12u);
+  EXPECT_EQ(points, 3u);
+  EXPECT_EQ(columns, 2u);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  std::size_t point = 0;
+  std::vector<std::string> row;
+  ASSERT_TRUE(experiment::decode_checkpoint_row(loaded.records[1], point, row));
+  EXPECT_EQ(point, 2u);
+  EXPECT_EQ(row, (std::vector<std::string>{"5.0", "va\"l\\ue"}));
+  fs::remove(path);
+}
+
+TEST(Checkpoint, CorruptBodyLineIsDroppedNotFatal) {
+  const std::string path = temp_path("ckpt-corrupt");
+  {
+    auto journal = CheckpointJournal::create(
+        path, experiment::encode_checkpoint_header(1, 2, 1));
+    journal.append(experiment::encode_checkpoint_row(0, {"a"}));
+    journal.append(experiment::encode_checkpoint_row(1, {"b"}));
+  }
+  // Flip one byte inside the second record's data: its CRC no longer
+  // matches, so the loader must drop exactly that line.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    lines[2][lines[2].size() - 4] ^= 1;
+    for (const auto& l : lines) text += l + "\n";
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  const auto loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.dropped_lines, 1u);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, TornTailIsDropped) {
+  const std::string path = temp_path("ckpt-torn");
+  {
+    auto journal = CheckpointJournal::create(
+        path, experiment::encode_checkpoint_header(1, 2, 1));
+    journal.append(experiment::encode_checkpoint_row(0, {"a"}));
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"crc32\":\"0abc";  // SIGKILL mid-write
+  }
+  const auto loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.dropped_lines, 1u);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, CorruptHeaderIsFatal) {
+  const std::string path = temp_path("ckpt-badheader");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "this is not a checkpoint\n";
+  }
+  EXPECT_THROW(load_checkpoint(path), IoError);
+  fs::remove(path);
+}
+
+// ------------------------------------------------- sweep integration ---
+
+experiment::ExperimentConfig mini_config(std::uint64_t seed = 77) {
+  experiment::ExperimentConfig config;
+  config.watermark.bits = 4;
+  config.watermark.redundancy = 1;
+  config.flows = 2;
+  config.packets_per_flow = 60;
+  config.fp_pairs = 2;
+  config.cost_bound = 50'000;
+  config.master_seed = seed;
+  config.threads = 1;
+  return config;
+}
+
+experiment::SweepSpec mini_spec() {
+  experiment::SweepSpec spec;
+  spec.metric = experiment::Metric::kDetectionRate;
+  spec.axis = experiment::SweepAxis::kChaffRate;
+  spec.chaff_rates = {0.0, 1.0, 2.0, 3.0};
+  return spec;
+}
+
+TEST(SweepFingerprint, SensitiveToValuesNotSchedule) {
+  const auto config = mini_config();
+  const auto spec = mini_spec();
+  const std::uint64_t base = experiment::sweep_fingerprint(config, spec);
+
+  auto other_seed = config;
+  other_seed.master_seed += 1;
+  EXPECT_NE(experiment::sweep_fingerprint(other_seed, spec), base);
+
+  auto other_axis = spec;
+  other_axis.chaff_rates.push_back(9.0);
+  EXPECT_NE(experiment::sweep_fingerprint(config, other_axis), base);
+
+  auto other_threads = config;
+  other_threads.threads = 8;  // scheduling knob: tables are identical
+  EXPECT_EQ(experiment::sweep_fingerprint(other_threads, spec), base);
+}
+
+TEST(SweepCheckpoint, ResumeRecomputesOnlyMissingPoints) {
+  const auto config = mini_config();
+  const auto spec = mini_spec();
+  const std::string clean = run_sweep(config, spec).to_string();
+
+  const std::string path = temp_path("sweep-cancel");
+  fs::remove(path);
+  CancellationToken token;
+  std::size_t started = 0;
+  experiment::SweepControl control;
+  control.checkpoint.path = path;
+  control.cancel = &token;
+  EXPECT_THROW(
+      run_sweep(config, spec,
+                [&](std::size_t, std::size_t, const std::string&) {
+                  if (++started > 2) token.cancel();
+                },
+                control),
+      Cancelled);
+
+  // Only the journaled points may be replayed; the rest recompute.
+  const auto loaded = load_checkpoint(path);
+  EXPECT_LT(loaded.records.size(), spec.chaff_rates.size());
+  EXPECT_GE(loaded.records.size(), 2u);
+
+  experiment::SweepControl resume;
+  resume.checkpoint.path = path;
+  resume.checkpoint.resume = true;
+  EXPECT_EQ(run_sweep(config, spec, {}, resume).to_string(), clean);
+  fs::remove(path);
+}
+
+TEST(SweepCheckpoint, ResumeRejectsForeignCheckpoint) {
+  const auto config = mini_config();
+  const auto spec = mini_spec();
+  const std::string path = temp_path("sweep-foreign");
+  {
+    experiment::SweepControl control;
+    control.checkpoint.path = path;
+    run_sweep(config, spec, {}, control);
+  }
+  auto other = config;
+  other.master_seed += 1;  // different sweep, same table shape
+  experiment::SweepControl resume;
+  resume.checkpoint.path = path;
+  resume.checkpoint.resume = true;
+  EXPECT_THROW(run_sweep(other, spec, {}, resume), IoError);
+  fs::remove(path);
+}
+
+TEST(SweepCheckpoint, ResumeWithMissingFileStartsFresh) {
+  const auto config = mini_config();
+  const auto spec = mini_spec();
+  const std::string path = temp_path("sweep-missing");
+  fs::remove(path);
+  experiment::SweepControl resume;
+  resume.checkpoint.path = path;
+  resume.checkpoint.resume = true;
+  const std::string resumed = run_sweep(config, spec, {}, resume).to_string();
+  EXPECT_EQ(resumed, run_sweep(config, spec).to_string());
+  fs::remove(path);
+}
+
+/// The acceptance pin for crash safety: SIGKILL the process mid-sweep at
+/// three different seeded points, resume from the journal each time, and
+/// require the byte-identical table.  fork() gives each kill a real
+/// process death — no stack unwinding, no destructors, exactly what a
+/// crash or OOM-kill does.
+TEST(SweepCheckpoint, KillAndResumeReproducesTheTable) {
+  const auto config = mini_config(91);
+  const auto spec = mini_spec();
+  const std::string clean = run_sweep(config, spec).to_string();
+
+  for (const int kill_after : {1, 2, 3}) {
+    const std::string path =
+        temp_path("sweep-kill-" + std::to_string(kill_after));
+    fs::remove(path);
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: run the checkpointed sweep with the SIGKILL injection
+      // armed.  threads=1 keeps the inline parallel_for path, so the
+      // child never touches the parent's (forked-away) thread pool.
+      experiment::SweepControl control;
+      control.checkpoint.path = path;
+      control.checkpoint.sigkill_after_points = kill_after;
+      try {
+        run_sweep(config, spec, {}, control);
+      } catch (...) {
+      }
+      _exit(42);  // unreachable when the injection fires
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited instead of dying by signal (status " << status
+        << ")";
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The journal must hold exactly the points completed before the kill.
+    const auto loaded = load_checkpoint(path);
+    EXPECT_EQ(loaded.records.size(), static_cast<std::size_t>(kill_after));
+
+    experiment::SweepControl resume;
+    resume.checkpoint.path = path;
+    resume.checkpoint.resume = true;
+    EXPECT_EQ(run_sweep(config, spec, {}, resume).to_string(), clean)
+        << "kill after " << kill_after << " points";
+    fs::remove(path);
+  }
+}
+
+// ------------------------------------------------ parallel_for cancel ---
+
+TEST(ParallelFor, CancelStopsClaimingNewItems) {
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  parallel_for(
+      1000,
+      [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 10) token.cancel();
+      },
+      /*threads=*/1, &token);
+  // Serial path: item 10 cancels, items 11+ never run.
+  EXPECT_EQ(ran.load(), 11);
+
+  token.reset();
+  std::atomic<int> ran_mt{0};
+  parallel_for(
+      10'000,
+      [&](std::size_t) {
+        if (ran_mt.fetch_add(1) == 50) token.cancel();
+      },
+      /*threads=*/4, &token);
+  EXPECT_LT(ran_mt.load(), 10'000);
+}
+
+TEST(ParallelFor, NullCancelTokenRunsEverything) {
+  std::atomic<int> ran{0};
+  parallel_for(100, [&](std::size_t) { ran.fetch_add(1); }, 2, nullptr);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace sscor

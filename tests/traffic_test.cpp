@@ -300,6 +300,49 @@ TEST(Loss, ValidatesParameters) {
   EXPECT_THROW(LossRepacketizationModel(0.1, -1, 1), InvalidArgument);
 }
 
+TEST(Loss, EmptyFlowPassesThrough) {
+  const Flow empty;
+  const LossRepacketizationModel loss(0.5, 500, 3);
+  const Flow out = loss.apply(empty);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Loss, SinglePacketFlowSurvivesMergeWindow) {
+  // One packet has no neighbour to merge with: any merge window must leave
+  // it untouched, and the drop coin is the only way to lose it.
+  const Flow one({PacketRecord{1000, 64, false}});
+  const LossRepacketizationModel keep(0.0, seconds(std::int64_t{10}), 5);
+  const Flow out = keep.apply(one);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.timestamp(0), 1000);
+  EXPECT_EQ(out.packet(0).size, 64u);
+}
+
+TEST(Loss, NearTotalDropLeavesWellFormedFlow) {
+  // Just under the validation bound: almost every packet drops, and
+  // whatever survives must still be a well-formed (time-ordered) flow.
+  const PoissonFlowModel model(2.0);
+  const Flow flow = model.generate(400, 0, 11);
+  const LossRepacketizationModel loss(0.999, 0, 13);
+  const Flow out = loss.apply(flow);
+  EXPECT_LT(out.size(), 10u);
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LE(out.timestamp(i), out.timestamp(i + 1));
+  }
+}
+
+TEST(Loss, MergeWindowSpanningWholeFlowCollapsesToOnePacket) {
+  // Maximal coalescing: every IPD inside the window leaves exactly one
+  // packet carrying the summed size and the last timestamp.
+  Flow flow({PacketRecord{0, 1, false}, PacketRecord{100, 2, false},
+             PacketRecord{200, 4, false}, PacketRecord{300, 8, false}});
+  const LossRepacketizationModel merge(0.0, 1000, 1);
+  const Flow out = merge.apply(flow);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.timestamp(0), 300);
+  EXPECT_EQ(out.packet(0).size, 15u);
+}
+
 TEST(Pipeline, ComposesInOrder) {
   const Flow flow = Flow::from_timestamps(
       std::vector<TimeUs>{0, seconds(std::int64_t{10})});

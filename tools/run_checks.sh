@@ -17,7 +17,20 @@
 #      under the ASan/UBSan build for a fixed iteration budget with the
 #      checked-in corpus, then replay every regression artifact.  Any
 #      oracle violation or sanitizer report fails the run; new violations
-#      are written as --replay artifacts (see DESIGN.md §10).
+#      are written as --replay artifacts (see DESIGN.md §10);
+#   6. chaos harness: >= 1000 deterministic seeded fault injections
+#      (self-cancelling tokens, pre-expired deadlines, allocation
+#      failures, mid-sweep aborts, checkpoint tampering) through the
+#      resilience oracles (resilient_parity / chaos_decode / chaos_sweep)
+#      under ASan/UBSan, plus a CLI kill -9 + --resume round trip.  The
+#      contract: clean error or correct result, never corruption
+#      (DESIGN.md §11).
+#
+# Every step runs under its own timeout(1) budget — a hung build or a
+# wedged decode fails that step instead of stalling the whole run — and
+# the script always finishes with a per-step PASS/FAIL summary, running
+# the remaining steps even after a failure so one broken tree still
+# yields a complete report.  Exit status is 0 iff every step passed.
 #
 # Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -28,61 +41,152 @@ tsan_dir="${2:-$repo_root/build-tsan}"
 asan_dir="${3:-$repo_root/build-asan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/5] default build + full test suite =="
-cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+step_1() {  # default build + full test suite
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
 
-echo "== [2/5] ThreadSanitizer build + concurrency smoke tests =="
-cmake -B "$tsan_dir" -S "$repo_root" \
-  -DSSCOR_SANITIZE=thread \
-  -DSSCOR_BUILD_BENCH=OFF \
-  -DSSCOR_BUILD_EXAMPLES=OFF
-cmake --build "$tsan_dir" -j "$jobs" \
-  --target tsan_smoke_test util_test parallel_determinism_test trace_test
-ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-  -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace'
+step_2() {  # ThreadSanitizer build + concurrency smoke tests
+  cmake -B "$tsan_dir" -S "$repo_root" \
+    -DSSCOR_SANITIZE=thread \
+    -DSSCOR_BUILD_BENCH=OFF \
+    -DSSCOR_BUILD_EXAMPLES=OFF
+  cmake --build "$tsan_dir" -j "$jobs" \
+    --target tsan_smoke_test util_test parallel_determinism_test trace_test
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
+    -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace'
+}
 
-echo "== [3/5] ASan/UBSan build + match-context parity + bench smoke =="
-cmake -B "$asan_dir" -S "$repo_root" \
-  -DSSCOR_SANITIZE=address,undefined \
-  -DSSCOR_BUILD_EXAMPLES=OFF
-cmake --build "$asan_dir" -j "$jobs" \
-  --target match_context_test parallel_determinism_test decode_cache
-ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
-  -R 'MatchContext|Parallel'
-# 400 packets is near the smallest flow that still fits the default
-# 24-bit watermark (192 redundant bit pairs).
-"$asan_dir/bench/decode_cache" --pairs=3 --packets=400 --reps=1 \
-  --json="$asan_dir/BENCH_decode_cache.json"
+step_3() {  # ASan/UBSan build + match-context parity + bench smoke
+  cmake -B "$asan_dir" -S "$repo_root" \
+    -DSSCOR_SANITIZE=address,undefined \
+    -DSSCOR_BUILD_EXAMPLES=OFF
+  cmake --build "$asan_dir" -j "$jobs" \
+    --target match_context_test parallel_determinism_test decode_cache
+  ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs" \
+    -R 'MatchContext|Parallel'
+  # 400 packets is near the smallest flow that still fits the default
+  # 24-bit watermark (192 redundant bit pairs).
+  "$asan_dir/bench/decode_cache" --pairs=3 --packets=400 --reps=1 \
+    --json="$asan_dir/BENCH_decode_cache.json"
+}
 
-echo "== [4/5] trace smoke: end-to-end pipeline with --trace/--trace-spans =="
-trace_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir"' EXIT
-tool="$build_dir/tools/sscor_tool"
-check="$build_dir/tools/trace_check"
-"$tool" generate --out "$trace_dir/corpus.pcap" --flows 2 --packets 600 \
-  --seed 7
-"$tool" embed --in "$trace_dir/corpus.pcap" --out "$trace_dir/marked.pcap" \
-  --key-out "$trace_dir/secret.key"
-"$tool" perturb --in "$trace_dir/marked.pcap" \
-  --out "$trace_dir/perturbed.pcap" --max-delay-s 2 --chaff 2.0
-"$tool" detect --up "$trace_dir/marked.pcap" \
-  --down "$trace_dir/perturbed.pcap" --key "$trace_dir/secret.key" \
-  --max-delay-s 9 \
-  --trace "$trace_dir/decode.jsonl" --trace-spans "$trace_dir/spans.json"
-"$check" --jsonl "$trace_dir/decode.jsonl"
-"$check" "$trace_dir/spans.json"
+step_4() {  # trace smoke: end-to-end pipeline with --trace/--trace-spans
+  local trace_dir
+  trace_dir="$(mktemp -d)"
+  trap 'rm -rf "$trace_dir"' RETURN
+  local tool="$build_dir/tools/sscor_tool"
+  local check="$build_dir/tools/trace_check"
+  "$tool" generate --out "$trace_dir/corpus.pcap" --flows 2 --packets 600 \
+    --seed 7
+  "$tool" embed --in "$trace_dir/corpus.pcap" --out "$trace_dir/marked.pcap" \
+    --key-out "$trace_dir/secret.key"
+  "$tool" perturb --in "$trace_dir/marked.pcap" \
+    --out "$trace_dir/perturbed.pcap" --max-delay-s 2 --chaff 2.0
+  "$tool" detect --up "$trace_dir/marked.pcap" \
+    --down "$trace_dir/perturbed.pcap" --key "$trace_dir/secret.key" \
+    --max-delay-s 9 \
+    --trace "$trace_dir/decode.jsonl" --trace-spans "$trace_dir/spans.json"
+  "$check" --jsonl "$trace_dir/decode.jsonl"
+  "$check" "$trace_dir/spans.json"
+}
 
-echo "== [5/5] differential fuzz smoke under ASan/UBSan =="
-cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz
-# Fixed budget + fixed seed: the run is deterministic, so a clean pass here
-# is reproducible anywhere.  Violations land as replay artifacts; re-run one
-# with: build-asan/tools/sscor_fuzz --replay <artifact>
-"$asan_dir/tools/sscor_fuzz" --iterations 3000 --seed 1 \
-  --corpus "$repo_root/tests/corpus" --artifacts "$asan_dir/fuzz-artifacts"
-for artifact in "$repo_root"/tests/corpus/regress-*.replay; do
-  "$asan_dir/tools/sscor_fuzz" --replay "$artifact"
+step_5() {  # differential fuzz smoke under ASan/UBSan
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz
+  # Fixed budget + fixed seed: the run is deterministic, so a clean pass
+  # here is reproducible anywhere.  Violations land as replay artifacts;
+  # re-run one with: build-asan/tools/sscor_fuzz --replay <artifact>
+  "$asan_dir/tools/sscor_fuzz" --iterations 3000 --seed 1 \
+    --corpus "$repo_root/tests/corpus" --artifacts "$asan_dir/fuzz-artifacts"
+  local artifact
+  for artifact in "$repo_root"/tests/corpus/regress-*.replay; do
+    "$asan_dir/tools/sscor_fuzz" --replay "$artifact"
+  done
+}
+
+step_6() {  # chaos harness: seeded fault injection under ASan/UBSan
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz sscor_tool
+  # 1500 round-robin iterations over the three resilience oracles: every
+  # case arms at least one deterministic fault (probe-counted cancel,
+  # pre-expired deadline, allocation budget, mid-sweep abort, tampered
+  # checkpoint) and asserts clean-error-or-correct-result.  Same seed =>
+  # same injections on any machine.
+  "$asan_dir/tools/sscor_fuzz" \
+    --oracle resilient_parity --oracle chaos_decode --oracle chaos_sweep \
+    --iterations 1500 --seed 1 --artifacts "$asan_dir/chaos-artifacts"
+  # Real process death: SIGKILL the sweep after 2 journaled points, then
+  # --resume must reproduce the uncrashed table byte-for-byte.
+  local chaos_dir
+  chaos_dir="$(mktemp -d)"
+  trap 'rm -rf "$chaos_dir"' RETURN
+  local tool="$asan_dir/tools/sscor_tool"
+  "$tool" sweep --flows=4 --packets=600 --fp-pairs=4 --axis=chaff \
+    --out="$chaos_dir/clean.csv" >/dev/null
+  "$tool" sweep --flows=4 --packets=600 --fp-pairs=4 --axis=chaff \
+    --checkpoint="$chaos_dir/journal.jsonl" --kill-after=2 \
+    >/dev/null 2>&1 && {
+    echo "kill-after sweep was expected to die by SIGKILL" >&2
+    return 1
+  }
+  "$tool" sweep --flows=4 --packets=600 --fp-pairs=4 --axis=chaff \
+    --checkpoint="$chaos_dir/journal.jsonl" --resume \
+    --out="$chaos_dir/resumed.csv" >/dev/null
+  cmp "$chaos_dir/clean.csv" "$chaos_dir/resumed.csv"
+}
+
+step_names=(
+  "default build + full test suite"
+  "ThreadSanitizer build + concurrency smoke tests"
+  "ASan/UBSan build + match-context parity + bench smoke"
+  "trace smoke: end-to-end pipeline with --trace/--trace-spans"
+  "differential fuzz smoke under ASan/UBSan"
+  "chaos harness: seeded fault injection under ASan/UBSan"
+)
+# Per-step wall-clock budgets (seconds).  Generous: these exist to convert
+# a hang into a step failure, not to race the machine.
+step_timeouts=(2400 1800 1800 600 2400 2400)
+
+# Self-reexec dispatcher: `timeout` runs an external command, so each step
+# re-enters this script with --step N and the same directory arguments.
+if [[ "${1:-}" == "--step" ]]; then
+  step_n="$2"
+  shift 2
+  build_dir="${1:-$repo_root/build}"
+  tsan_dir="${2:-$repo_root/build-tsan}"
+  asan_dir="${3:-$repo_root/build-asan}"
+  "step_${step_n}"
+  exit 0
+fi
+
+overall=0
+step_results=()
+for n in 1 2 3 4 5 6; do
+  name="${step_names[$((n - 1))]}"
+  limit="${step_timeouts[$((n - 1))]}"
+  echo "== [$n/6] $name (timeout ${limit}s) =="
+  if timeout --foreground --kill-after=30 "$limit" \
+    "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir"; then
+    step_results+=("PASS  [$n/6] $name")
+  else
+    rc=$?
+    if [[ $rc -eq 124 ]]; then
+      step_results+=("FAIL  [$n/6] $name (timed out after ${limit}s)")
+    else
+      step_results+=("FAIL  [$n/6] $name (exit $rc)")
+    fi
+    overall=1
+  fi
 done
 
-echo "all checks passed"
+echo
+echo "== summary =="
+for line in "${step_results[@]}"; do
+  echo "$line"
+done
+if [[ $overall -eq 0 ]]; then
+  echo "all checks passed"
+else
+  echo "some checks FAILED"
+fi
+exit "$overall"

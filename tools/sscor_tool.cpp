@@ -11,6 +11,21 @@
 //   sscor_tool detect   --up marked.pcap --down capture.pcap
 //                       --key secret.key [--algorithm greedy+]
 //                       [--max-delay-s 7] [--threshold 7] [--robust]
+//                       [--deadline-ms N] [--budget N]
+//   sscor_tool sweep    [--metric detection|fp|cost-corr|cost-uncorr]
+//                       [--axis chaff|delay] [--flows N] [--packets N]
+//                       [--fp-pairs N] [--seed S] [--threads N]
+//                       [--corpus interactive|tcplib] [--out table.csv]
+//                       [--checkpoint journal.jsonl] [--resume]
+//                       [--kill-after N]
+//
+// detect's --deadline-ms / --budget bound each decode's wall clock /
+// packet accesses; when a decode blows its budget the resilient fallback
+// ladder (BruteForce -> Greedy* -> Greedy+ -> Greedy) degrades to a
+// cheaper algorithm instead of hanging (DESIGN.md §11).  sweep's
+// --checkpoint journals each completed point to an append-only checksummed
+// JSONL file and --resume replays it, recomputing only missing points;
+// --kill-after N SIGKILLs the process after N points (crash testing).
 //
 // Every command additionally accepts --metrics: print the run-metrics
 // registry (counters, timers, and histograms) to stderr on exit.  Commands
@@ -29,7 +44,9 @@
 #include <vector>
 
 #include "sscor/correlation/correlator.hpp"
+#include "sscor/correlation/resilient.hpp"
 #include "sscor/correlation/robust.hpp"
+#include "sscor/experiment/sweep.hpp"
 #include "sscor/flow/flow_extractor.hpp"
 #include "sscor/flow/pcap_synth.hpp"
 #include "sscor/traffic/chaff.hpp"
@@ -233,6 +250,16 @@ int cmd_detect(const Args& args) {
                  "--algorithm is ignored\n");
   }
 
+  ResilientOptions resilience;
+  resilience.deadline_us =
+      millis(static_cast<std::int64_t>(args.u64("deadline-ms", 0)));
+  resilience.max_cost_per_attempt = args.u64("budget", 0);
+  if (robust && resilience.enabled()) {
+    std::fprintf(stderr,
+                 "warning: --deadline-ms/--budget apply to the ladder "
+                 "algorithms, not --robust; ignored\n");
+  }
+
   int correlated = 0;
   const metrics::ScopedTimer timer("tool.detect");
   for (const auto& up : upstream) {
@@ -248,19 +275,29 @@ int cmd_detect(const Args& args) {
       if (robust) {
         r = run_greedy_plus_robust(handle.schedule, handle.watermark,
                                    handle.flow, down.flow, config);
+      } else if (resilience.enabled()) {
+        r = ResilientCorrelator(config, algorithm, resilience)
+                .correlate(handle, down.flow);
       } else {
         r = Correlator(config, algorithm).correlate(handle, down.flow);
       }
       metrics::counter("tool.detections_run").add(1);
       metrics::counter("tool.packets_accessed").add(r.cost);
-      std::printf("%-42s -> %-42s : %s (hamming %s, cost %llu)\n",
+      std::string annotation;
+      if (r.degraded) {
+        annotation = ", degraded to " + to_string(r.algorithm);
+      } else if (r.interrupted) {
+        annotation = ", interrupted: " + to_string(r.stop_reason);
+      }
+      std::printf("%-42s -> %-42s : %s (hamming %s, cost %llu%s)\n",
                   up.tuple.to_string().c_str(),
                   down.tuple.to_string().c_str(),
                   r.correlated ? "CORRELATED" : "-",
                   r.matching_complete || r.correlated
                       ? std::to_string(r.hamming).c_str()
                       : "n/a",
-                  static_cast<unsigned long long>(r.cost));
+                  static_cast<unsigned long long>(r.cost),
+                  annotation.c_str());
       correlated += r.correlated;
     }
   }
@@ -268,10 +305,69 @@ int cmd_detect(const Args& args) {
   return 0;
 }
 
+experiment::Metric parse_metric(const std::string& name) {
+  if (name == "detection") return experiment::Metric::kDetectionRate;
+  if (name == "fp") return experiment::Metric::kFalsePositiveRate;
+  if (name == "cost-corr") return experiment::Metric::kCostCorrelated;
+  if (name == "cost-uncorr") return experiment::Metric::kCostUncorrelated;
+  throw InvalidArgument("unknown metric: " + name);
+}
+
+int cmd_sweep(const Args& args) {
+  experiment::ExperimentConfig config;
+  // Scaled-down defaults so a shell invocation finishes in seconds; the
+  // paper-sized sweep is reachable by raising --flows/--packets/--fp-pairs.
+  config.flows = args.u64("flows", 8);
+  config.packets_per_flow = args.u64("packets", 600);
+  config.fp_pairs = args.u64("fp-pairs", 40);
+  config.master_seed = args.u64("seed", config.master_seed);
+  config.threads = static_cast<unsigned>(args.u64("threads", 0));
+  const std::string corpus = args.get("corpus").value_or("interactive");
+  if (corpus == "tcplib") {
+    config.corpus = experiment::Corpus::kTcplib;
+  } else if (corpus != "interactive") {
+    throw InvalidArgument("unknown corpus: " + corpus);
+  }
+
+  experiment::SweepSpec spec;
+  spec.metric = parse_metric(args.get("metric").value_or("detection"));
+  const std::string axis = args.get("axis").value_or("chaff");
+  if (axis == "delay") {
+    spec.axis = experiment::SweepAxis::kMaxDelay;
+  } else if (axis != "chaff") {
+    throw InvalidArgument("unknown axis: " + axis);
+  }
+
+  experiment::SweepControl control;
+  control.checkpoint.path = args.get("checkpoint").value_or("");
+  control.checkpoint.resume = args.flag("resume");
+  if (args.flag("kill-after")) {
+    control.checkpoint.sigkill_after_points =
+        static_cast<std::int64_t>(args.u64("kill-after", 0));
+  }
+  if (control.checkpoint.resume && !control.checkpoint.enabled()) {
+    throw InvalidArgument("--resume requires --checkpoint PATH");
+  }
+
+  const auto progress = [](std::size_t index, std::size_t count,
+                           const std::string& label) {
+    std::fprintf(stderr, "[%zu/%zu] %s\n", index + 1, count, label.c_str());
+  };
+  const TextTable table =
+      experiment::run_sweep(config, spec, progress, control);
+  std::printf("%s", table.to_string().c_str());
+  if (const auto out = args.get("out"); out && !out->empty()) {
+    table.write_csv(*out);
+    std::fprintf(stderr, "csv written: %s\n", out->c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sscor_tool <generate|stats|embed|perturb|detect> [flags]\n"
+      "usage: sscor_tool <generate|stats|embed|perturb|detect|sweep> "
+      "[flags]\n"
       "       (append --metrics to print run counters/timers on exit;\n"
       "        --trace PATH writes decode introspection JSONL and\n"
       "        --trace-spans PATH writes Chrome trace JSON)\n"
@@ -301,6 +397,8 @@ int main(int argc, char** argv) {
       rc = cmd_perturb(args);
     } else if (command == "detect") {
       rc = cmd_detect(args);
+    } else if (command == "sweep") {
+      rc = cmd_sweep(args);
     } else {
       return usage();
     }
