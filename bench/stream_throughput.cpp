@@ -1,0 +1,171 @@
+// Streaming-engine throughput baseline: replays one merged multi-flow
+// capture through StreamEngine at several shard counts (serial and pooled
+// workers), checks every run reaches the same verdicts (the engine's
+// shard/thread-count independence guarantee) and records packets/sec per
+// configuration as JSON — the BENCH_stream.json perf trajectory future PRs
+// compare against.
+//
+//   stream_throughput [--flows=N] [--packets=N] [--seed=N]
+//                     [--json=PATH]             (default BENCH_stream.json)
+//
+// --flows counts watermarked carriers; three decoy flows ride along per
+// carrier to keep the flow table busy with provably-negative pairs.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sscor/experiment/bench_main.hpp"
+#include "sscor/experiment/stream_corpus.hpp"
+#include "sscor/stream/stream_engine.hpp"
+#include "sscor/util/json.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace {
+
+using namespace sscor;
+using namespace sscor::experiment;
+
+struct RunResult {
+  std::size_t shards = 0;
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double packets_per_sec = 0.0;
+  std::string verdict_digest;
+};
+
+/// Order-preserving digest of the verdict sequence, compared across runs.
+std::string digest(const std::vector<stream::StreamVerdict>& verdicts) {
+  std::string out;
+  for (const auto& v : verdicts) {
+    out += v.tuple.to_string();
+    out += '/';
+    out += std::to_string(v.flow_seq);
+    out += '/';
+    out += std::to_string(v.upstream);
+    out += '/';
+    out += to_string(v.kind);
+    out += '/';
+    out += std::to_string(v.result.cost);
+    out += ';';
+  }
+  return out;
+}
+
+RunResult run_once(const StreamCorpus& corpus, std::size_t shards,
+                   unsigned threads) {
+  stream::StreamOptions options;
+  options.table.shards = shards;
+  options.threads = threads;
+
+  CorrelatorConfig config;
+  config.max_delay = seconds(std::int64_t{4});
+
+  RunResult result;
+  result.shards = shards;
+  result.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  stream::StreamEngine engine(corpus.upstreams, config, options);
+  for (const stream::StreamPacket& packet : corpus.packets) {
+    engine.ingest(packet);
+  }
+  engine.finish();
+  const std::vector<stream::StreamVerdict> verdicts =
+      engine.drain_verdicts();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.packets_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(corpus.packets.size()) / result.seconds
+          : 0.0;
+  result.verdict_digest = digest(verdicts);
+  std::printf("shards=%zu threads=%u: %.3fs, %.0f packets/s, %zu verdicts\n",
+              shards, threads, result.seconds, result.packets_per_sec,
+              verdicts.size());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_stream.json";
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  // Bench-scale defaults (vs the figure benches' paper-scale 91 flows):
+  // the streaming run multiplies flows into carrier x suspicious pairs.
+  ExperimentConfig defaults;
+  defaults.flows = 4;
+  defaults.packets_per_flow = 600;
+  const BenchOptions options =
+      parse_bench_options(static_cast<int>(rest.size()), rest.data(),
+                          defaults);
+
+  StreamCorpusConfig corpus_config;
+  corpus_config.watermarked_flows = options.config.flows;
+  corpus_config.decoy_flows = 3 * options.config.flows;
+  corpus_config.packets_per_flow = options.config.packets_per_flow;
+  corpus_config.seed = options.config.master_seed;
+  const StreamCorpus corpus = make_stream_corpus(corpus_config);
+
+  std::printf("== stream_throughput: %zu carriers + %zu decoys, %zu packets"
+              " ==\n",
+              corpus.upstreams.size(),
+              corpus.downstream.size() - corpus.upstreams.size(),
+              corpus.packets.size());
+
+  std::vector<RunResult> runs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    runs.push_back(run_once(corpus, shards, /*threads=*/1));
+  }
+  // One pooled run at the widest shard count: the parallelism headroom.
+  runs.push_back(run_once(corpus, 8, /*threads=*/0));
+
+  bool identical = true;
+  for (const RunResult& run : runs) {
+    identical = identical && run.verdict_digest == runs[0].verdict_digest;
+  }
+  std::printf("verdicts identical across configurations: %s\n",
+              identical ? "yes" : "NO");
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": " << json::escape("stream_throughput") << ",\n"
+      << "  \"carriers\": " << corpus.upstreams.size() << ",\n"
+      << "  \"flows\": " << corpus.downstream.size() << ",\n"
+      << "  \"packets\": " << corpus.packets.size() << ",\n"
+      << "  \"seed\": " << corpus_config.seed << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"verdicts_identical\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "    {\"shards\": " << runs[i].shards
+        << ", \"threads\": " << runs[i].threads
+        << ", \"seconds\": " << json::number(runs[i].seconds, 3)
+        << ", \"packets_per_sec\": "
+        << json::number(runs[i].packets_per_sec, 1) << "}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n"
+      << "  \"metrics\": " << metrics::snapshot().to_json() << "}\n";
+  std::printf("json written: %s\n", json_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -1,14 +1,10 @@
 #include "sscor/correlation/online.hpp"
 
-#include <limits>
-
 #include "sscor/util/error.hpp"
 #include "sscor/watermark/decoder.hpp"
 
 namespace sscor {
 namespace {
-
-constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
 
 /// The configured algorithm rejects on any unmatched upstream packet.
 bool requires_complete_matching(Algorithm algorithm) {
@@ -17,35 +13,64 @@ bool requires_complete_matching(Algorithm algorithm) {
 
 }  // namespace
 
-OnlineCorrelator::OnlineCorrelator(WatermarkedFlow watermarked,
-                                   CorrelatorConfig config,
-                                   Algorithm algorithm)
+OnlineUpstream::OnlineUpstream(WatermarkedFlow watermarked)
     : watermarked_(std::move(watermarked)),
-      config_(config),
-      algorithm_(algorithm),
-      plan_(watermarked_.schedule, watermarked_.watermark),
-      up_ts_(watermarked_.flow.timestamps()) {
-  require(config.max_delay >= 0, "max delay must be non-negative");
-  windows_.resize(up_ts_.size());
-  window_final_.assign(up_ts_.size(), false);
-  slot_of_.assign(up_ts_.size(), kNoSlot);
+      plan_(watermarked_.schedule, watermarked_.watermark) {
+  slot_of_.assign(watermarked_.flow.size(), kNoSlot);
   for (std::uint32_t s = 0; s < plan_.slots().size(); ++s) {
     slot_of_[plan_.slots()[s].up_index] = s;
   }
-  final_slots_per_bit_.assign(plan_.bit_count(), 0);
-  bit_checked_.assign(plan_.bit_count(), false);
+}
+
+OnlineCorrelator::OnlineCorrelator(WatermarkedFlow watermarked,
+                                   CorrelatorConfig config,
+                                   Algorithm algorithm, OnlineOptions options)
+    : OnlineCorrelator(
+          std::make_shared<const OnlineUpstream>(std::move(watermarked)),
+          nullptr, config, algorithm, options) {
+  owned_downstream_ = std::make_shared<AppendOnlyFlow>();
+  downstream_ = owned_downstream_;
+}
+
+OnlineCorrelator::OnlineCorrelator(
+    std::shared_ptr<const OnlineUpstream> upstream,
+    std::shared_ptr<const AppendOnlyFlow> downstream, CorrelatorConfig config,
+    Algorithm algorithm, OnlineOptions options)
+    : upstream_(std::move(upstream)),
+      downstream_(std::move(downstream)),
+      config_(config),
+      algorithm_(algorithm),
+      options_(options),
+      up_ts_(upstream_->timestamps()) {
+  require(config.max_delay >= 0, "max delay must be non-negative");
+  windows_.resize(up_ts_.size());
+  window_final_.assign(up_ts_.size(), false);
+  final_slots_per_bit_.assign(upstream_->plan().bit_count(), 0);
+  bit_checked_.assign(upstream_->plan().bit_count(), false);
 }
 
 bool OnlineCorrelator::ingest(const PacketRecord& packet) {
   require(!finished_, "ingest after finish()");
-  require(downstream_.empty() ||
-              packet.timestamp >= downstream_.back().timestamp,
-          "downstream packets must arrive in timestamp order");
+  require(owned_downstream_ != nullptr,
+          "ingest() on a shared-buffer correlator; append to the shared "
+          "buffer and call ingest_appended()");
   if (decided()) return false;
+  owned_downstream_->append(packet);  // enforces timestamp ordering
+  return ingest_appended();
+}
 
-  const auto j = static_cast<std::uint32_t>(downstream_.size());
-  downstream_.push_back(packet);
+bool OnlineCorrelator::ingest_appended() {
+  require(!finished_, "ingest after finish()");
+  if (decided()) return false;
+  while (next_index_ < downstream_->size()) {
+    const std::uint32_t j = next_index_++;
+    process(j, downstream_->packet(j));
+    if (decided()) return false;
+  }
+  return true;
+}
 
+void OnlineCorrelator::process(std::uint32_t j, const PacketRecord& packet) {
   // Windows whose upper bound this arrival crosses are now final.  (Must
   // run before the lo pass so a window that opens and closes on the same
   // arrival ends up empty: lo == hi == j.)
@@ -61,7 +86,7 @@ bool OnlineCorrelator::ingest(const PacketRecord& packet) {
     windows_[hi_cursor_].hi = j;
     finalize_window(hi_cursor_);
     ++hi_cursor_;
-    if (decided()) return false;
+    if (decided()) return;
   }
 
   // Windows this arrival opens (first packet at or after t_i).
@@ -70,13 +95,16 @@ bool OnlineCorrelator::ingest(const PacketRecord& packet) {
     windows_[lo_cursor_].lo = j;
     ++lo_cursor_;
   }
-  return !decided();
 }
 
 void OnlineCorrelator::finish() {
   if (finished_) return;
+  // Catch up on anything appended to a shared buffer since the last
+  // ingest_appended() so the end-of-stream finalisation below sees every
+  // packet (a no-op for standalone buffers and decided pairs).
+  if (!decided()) ingest_appended();
   finished_ = true;
-  const auto m = static_cast<std::uint32_t>(downstream_.size());
+  const auto m = static_cast<std::uint32_t>(next_index_);
   while (hi_cursor_ < up_ts_.size()) {
     if (hi_cursor_ >= lo_cursor_) {
       windows_[hi_cursor_].lo = m;  // never opened: empty
@@ -101,21 +129,23 @@ double OnlineCorrelator::finalized_fraction() const {
 
 void OnlineCorrelator::finalize_window(std::uint32_t index) {
   window_final_[index] = true;
+  if (!options_.early_exit) return;
   if (windows_[index].empty() &&
       requires_complete_matching(algorithm_)) {
     early_rejected_ = true;
     return;
   }
-  if (slot_of_[index] != kNoSlot) {
+  if (upstream_->slot_of()[index] != OnlineUpstream::kNoSlot) {
     check_bit_of(index);
   }
 }
 
 void OnlineCorrelator::check_bit_of(std::uint32_t up_index) {
-  const std::uint32_t slot = slot_of_[up_index];
-  const std::uint16_t bit = plan_.slots()[slot].bit;
+  const DecodePlan& plan = upstream_->plan();
+  const std::uint32_t slot = upstream_->slot_of()[up_index];
+  const std::uint16_t bit = plan.slots()[slot].bit;
   if (bit_checked_[bit]) return;
-  const auto slots_of_bit = plan_.bit_slots(bit);
+  const auto slots_of_bit = plan.bit_slots(bit);
   if (++final_slots_per_bit_[bit] < slots_of_bit.size()) return;
   bit_checked_[bit] = true;
 
@@ -124,22 +154,22 @@ void OnlineCorrelator::check_bit_of(std::uint32_t up_index) {
   // will.
   DurationUs extreme = 0;
   bool any_pair = false;
-  for (std::uint32_t pair = 0; pair < plan_.pairs_per_bit(); ++pair) {
-    const PairSlots& ps = plan_.pair_slots(bit, pair);
-    const SlotInfo& first = plan_.slots()[ps.first_slot];
-    const SlotInfo& second = plan_.slots()[ps.second_slot];
+  for (std::uint32_t pair = 0; pair < plan.pairs_per_bit(); ++pair) {
+    const PairSlots& ps = plan.pair_slots(bit, pair);
+    const SlotInfo& first = plan.slots()[ps.first_slot];
+    const SlotInfo& second = plan.slots()[ps.second_slot];
     const MatchWindow& wf = windows_[first.up_index];
     const MatchWindow& ws = windows_[second.up_index];
     if (wf.empty() || ws.empty()) continue;
     const TimeUs t_first =
-        downstream_[first.prefer_earliest ? wf.lo : wf.hi - 1].timestamp;
+        downstream_->timestamp(first.prefer_earliest ? wf.lo : wf.hi - 1);
     const TimeUs t_second =
-        downstream_[second.prefer_earliest ? ws.lo : ws.hi - 1].timestamp;
+        downstream_->timestamp(second.prefer_earliest ? ws.lo : ws.hi - 1);
     const DurationUs ipd = t_second - t_first;
     extreme += ps.group1 ? ipd : -ipd;
     any_pair = true;
   }
-  const std::uint8_t target = plan_.target().bit(bit);
+  const std::uint8_t target = plan.target().bit(bit);
   const bool matchable = any_pair && decode_bit(extreme) == target;
   if (!matchable) {
     ++doomed_bits_;
@@ -159,15 +189,14 @@ CorrelationResult OnlineCorrelator::result() {
     result.correlated = false;
     result.matching_complete = false;
     result.hamming = doomed_bits_;
-    result.cost = downstream_.size();  // one pass over the stream so far
+    result.cost = next_index_;  // one pass over the stream so far
     cached_result_ = result;
     return result;
   }
 
-  const Flow downstream(std::vector<PacketRecord>(downstream_.begin(),
-                                                  downstream_.end()));
+  const Flow downstream = downstream_->to_flow();
   const Correlator offline(config_, algorithm_);
-  cached_result_ = offline.correlate(watermarked_, downstream);
+  cached_result_ = offline.correlate(upstream_->watermarked(), downstream);
   return *cached_result_;
 }
 

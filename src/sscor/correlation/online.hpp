@@ -19,10 +19,25 @@
 //
 // The final verdict (when neither early exit fired) is produced by the
 // configured offline algorithm over the buffered flow and is bit-identical
-// to running it offline — a property the test suite checks.
+// to running it offline — a property pinned by the golden interleaving test
+// in tests/correlation_test.cpp and the streaming parity suite.
+//
+// Two ownership modes:
+//
+//  * Standalone (the original API): the correlator copies the watermarked
+//    flow and owns its downstream buffer; feed it with ingest().
+//  * Shared (the streaming engine's mode): the upstream side lives in one
+//    immutable OnlineUpstream shared by every pair tracking that
+//    watermarked flow, and the downstream packets live in one
+//    AppendOnlyFlow shared by every pair tracking that suspicious flow.
+//    The engine appends to the buffer once and calls ingest_appended() on
+//    each undecided pair — N upstreams x M flows cost one packet copy, not
+//    N copies, which is what lets tens of thousands of concurrent pairs
+//    fit in bounded memory.
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -35,17 +50,67 @@
 
 namespace sscor {
 
+/// The immutable per-upstream half of an online decode, shared by every
+/// pair tracking the same watermarked flow: the flow itself, its decode
+/// plan, and the upstream-index -> slot mapping.  Building these once per
+/// upstream (instead of once per pair) is what the streaming flow table
+/// relies on.
+class OnlineUpstream {
+ public:
+  explicit OnlineUpstream(WatermarkedFlow watermarked);
+
+  const WatermarkedFlow& watermarked() const { return watermarked_; }
+  const DecodePlan& plan() const { return plan_; }
+  std::span<const TimeUs> timestamps() const {
+    return watermarked_.flow.timestamps();
+  }
+  /// Slot id of upstream packet i, or kNoSlot when it carries no bit.
+  std::span<const std::uint32_t> slot_of() const { return slot_of_; }
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+ private:
+  WatermarkedFlow watermarked_;
+  DecodePlan plan_;
+  std::vector<std::uint32_t> slot_of_;
+};
+
+struct OnlineOptions {
+  /// When false the two early exits never fire: the correlator only
+  /// maintains windows and buffers, and the verdict is always the offline
+  /// algorithm over the full stream — byte-identical to the batch pipeline
+  /// even for pairs the exits would have rejected.  The streaming parity
+  /// suite runs both modes.
+  bool early_exit = true;
+};
+
 class OnlineCorrelator {
  public:
-  /// `watermarked` is copied; the upstream side is fully known up front
-  /// (the defender produced it).
+  /// Standalone mode: `watermarked` is copied (the upstream side is fully
+  /// known up front — the defender produced it) and the correlator owns
+  /// its downstream buffer.
   OnlineCorrelator(WatermarkedFlow watermarked, CorrelatorConfig config,
-                   Algorithm algorithm = Algorithm::kGreedyPlus);
+                   Algorithm algorithm = Algorithm::kGreedyPlus,
+                   OnlineOptions options = {});
 
-  /// Feeds the next downstream packet; timestamps must be non-decreasing.
-  /// Returns true while the pair is still undecided (callers may stop
-  /// feeding once it returns false).
+  /// Shared mode: upstream state and the downstream buffer are owned by
+  /// the caller (the streaming engine) and shared across pairs.  Feed with
+  /// ingest_appended() after appending to `downstream`.
+  OnlineCorrelator(std::shared_ptr<const OnlineUpstream> upstream,
+                   std::shared_ptr<const AppendOnlyFlow> downstream,
+                   CorrelatorConfig config,
+                   Algorithm algorithm = Algorithm::kGreedyPlus,
+                   OnlineOptions options = {});
+
+  /// Standalone mode only: appends the next downstream packet (timestamps
+  /// must be non-decreasing) and processes it.  Returns true while the
+  /// pair is still undecided (callers may stop feeding once it returns
+  /// false).
   bool ingest(const PacketRecord& packet);
+
+  /// Processes every packet appended to the shared downstream buffer since
+  /// the last call.  Returns true while the pair is still undecided.
+  bool ingest_appended();
 
   /// Declares the stream over: every window still open is finalised at
   /// the current end of stream.
@@ -65,8 +130,9 @@ class OnlineCorrelator {
   /// exceeds the Hamming threshold.
   std::uint32_t provably_mismatched_bits() const { return doomed_bits_; }
 
-  /// Packets ingested so far.
-  std::size_t packets_seen() const { return downstream_.size(); }
+  /// Packets processed so far (equals the buffer length until the pair
+  /// decides, then freezes).
+  std::size_t packets_seen() const { return next_index_; }
 
   /// The verdict.  Available after decided(); early rejections synthesise
   /// a negative result, otherwise the configured offline algorithm runs
@@ -74,27 +140,29 @@ class OnlineCorrelator {
   CorrelationResult result();
 
  private:
+  void process(std::uint32_t j, const PacketRecord& packet);
   void finalize_window(std::uint32_t index);
   void check_bit_of(std::uint32_t up_index);
 
-  WatermarkedFlow watermarked_;
+  std::shared_ptr<const OnlineUpstream> upstream_;
+  std::shared_ptr<const AppendOnlyFlow> downstream_;
+  /// Standalone mode appends into the same buffer downstream_ views.
+  std::shared_ptr<AppendOnlyFlow> owned_downstream_;
   CorrelatorConfig config_;
   Algorithm algorithm_;
-  DecodePlan plan_;
+  OnlineOptions options_;
 
-  /// View into watermarked_.flow's timestamp cache (declared after it, so
-  /// the viewed vector is already constructed and owned by this object).
+  /// View into the upstream flow's timestamp cache (owned by upstream_,
+  /// which this object keeps alive).
   std::span<const TimeUs> up_ts_;
-  std::vector<PacketRecord> downstream_;
   std::vector<MatchWindow> windows_;
   std::vector<bool> window_final_;
-  /// slot id for relevant upstream packets, kMissingSlot otherwise.
-  std::vector<std::uint32_t> slot_of_;
   std::vector<std::uint32_t> final_slots_per_bit_;
   std::vector<bool> bit_checked_;
 
-  std::uint32_t lo_cursor_ = 0;  ///< next upstream index awaiting its lo
-  std::uint32_t hi_cursor_ = 0;  ///< next upstream index awaiting its hi
+  std::uint32_t next_index_ = 0;  ///< next downstream index to process
+  std::uint32_t lo_cursor_ = 0;   ///< next upstream index awaiting its lo
+  std::uint32_t hi_cursor_ = 0;   ///< next upstream index awaiting its hi
   std::uint32_t doomed_bits_ = 0;
   bool early_rejected_ = false;
   bool finished_ = false;

@@ -1,0 +1,78 @@
+#include "sscor/experiment/stream_corpus.hpp"
+
+#include <algorithm>
+
+#include "sscor/experiment/dataset.hpp"
+#include "sscor/traffic/interactive_model.hpp"
+#include "sscor/util/rng.hpp"
+
+namespace sscor::experiment {
+
+net::FiveTuple stream_corpus_tuple(std::size_t index) {
+  return net::FiveTuple{
+      net::Ipv4Address::from_octets(
+          10, 1, static_cast<std::uint8_t>(index / 250),
+          static_cast<std::uint8_t>(index % 250 + 2)),
+      net::Ipv4Address::from_octets(10, 99, 0, 1),
+      static_cast<std::uint16_t>(20000 + index % 40000), 22,
+      net::IpProtocol::kTcp};
+}
+
+StreamCorpus make_stream_corpus(const StreamCorpusConfig& config) {
+  ExperimentConfig experiment;
+  experiment.watermark = config.watermark;
+  experiment.corpus = config.corpus;
+  experiment.flows = config.watermarked_flows;
+  experiment.packets_per_flow = config.packets_per_flow;
+  experiment.master_seed = config.seed;
+
+  StreamCorpus corpus;
+  if (config.watermarked_flows > 0) {
+    const Dataset dataset = Dataset::build(experiment);
+    corpus.upstreams.reserve(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      corpus.upstreams.push_back(dataset.upstream(i));
+      corpus.downstream.push_back(
+          dataset.downstream(i, config.max_perturbation, config.chaff_rate));
+    }
+  }
+  for (std::size_t d = 0; d < config.decoy_flows; ++d) {
+    // Decoys share the corpus model but not the watermark pipeline; offset
+    // the seed space so no decoy duplicates a carrier trace.
+    const std::uint64_t decoy_seed =
+        mix_seeds(config.seed, mix_seeds(0xdec0755eedULL, d));
+    Rng jitter_rng(mix_seeds(decoy_seed, 0xb00f));
+    const TimeUs start = jitter_rng.uniform_duration(millis(900));
+    Flow decoy;
+    if (config.corpus == Corpus::kInteractive) {
+      decoy = traffic::InteractiveSessionModel().generate(
+          config.packets_per_flow, start, decoy_seed);
+    } else {
+      decoy = traffic::TcplibTelnetModel().generate(config.packets_per_flow,
+                                                    start, decoy_seed);
+    }
+    corpus.downstream.push_back(std::move(decoy));
+  }
+
+  corpus.tuples.reserve(corpus.downstream.size());
+  for (std::size_t k = 0; k < corpus.downstream.size(); ++k) {
+    corpus.tuples.push_back(stream_corpus_tuple(k));
+    corpus.downstream[k].set_id(corpus.tuples[k].to_string());
+  }
+
+  for (std::size_t k = 0; k < corpus.downstream.size(); ++k) {
+    for (const PacketRecord& packet : corpus.downstream[k].packets()) {
+      corpus.packets.push_back(stream::StreamPacket{corpus.tuples[k], packet});
+    }
+  }
+  // Stable sort: ties keep (flow index, packet index) order, so the merged
+  // stream — and everything downstream of it — is deterministic.
+  std::stable_sort(corpus.packets.begin(), corpus.packets.end(),
+                   [](const stream::StreamPacket& a,
+                      const stream::StreamPacket& b) {
+                     return a.packet.timestamp < b.packet.timestamp;
+                   });
+  return corpus;
+}
+
+}  // namespace sscor::experiment

@@ -96,6 +96,26 @@ void Flow::append(PacketRecord packet) {
   timestamps_.push_back(packet.timestamp);
 }
 
+void AppendOnlyFlow::append(PacketRecord packet) {
+  require(packets_.empty() || packet.timestamp >= packets_.back().timestamp,
+          "append would violate timestamp ordering");
+  packets_.push_back(packet);
+}
+
+TimeUs AppendOnlyFlow::last_timestamp() const {
+  require(!packets_.empty(), "last_timestamp of an empty buffer");
+  return packets_.back().timestamp;
+}
+
+Flow AppendOnlyFlow::to_flow(std::string id) const {
+  return Flow(packets_, std::move(id));
+}
+
+void AppendOnlyFlow::release() {
+  packets_.clear();
+  packets_.shrink_to_fit();
+}
+
 Flow merge_flows(const Flow& a, const Flow& b, std::string id) {
   std::vector<PacketRecord> merged;
   merged.reserve(a.size() + b.size());

@@ -84,4 +84,41 @@ class Flow {
 /// and for building multi-connection captures).
 Flow merge_flows(const Flow& a, const Flow& b, std::string id = {});
 
+/// An append-only view of one growing (streaming) flow.
+///
+/// The streaming engine tracks one downstream buffer per live flow and any
+/// number of incremental decoders against it (one OnlineCorrelator per
+/// watermarked upstream).  Sharing the buffer instead of copying it into
+/// every decoder is what makes tens of thousands of concurrent pairs fit in
+/// memory; consumers address packets by index (indices are stable — packets
+/// are only ever appended), never by iterator or span, so the underlying
+/// storage may reallocate as the flow grows.
+class AppendOnlyFlow {
+ public:
+  /// Appends a packet; its timestamp must not precede the current last
+  /// packet (the same FIFO invariant as Flow).
+  void append(PacketRecord packet);
+
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+  const PacketRecord& packet(std::size_t i) const { return packets_.at(i); }
+  TimeUs timestamp(std::size_t i) const { return packets_.at(i).timestamp; }
+  TimeUs last_timestamp() const;
+
+  /// Materializes the buffered packets as an immutable Flow (the form the
+  /// batch correlators consume).  Byte-identical to building a Flow from
+  /// the same packets directly: the buffer is already timestamp-ordered, so
+  /// the Flow constructor's stable sort is the identity permutation.
+  Flow to_flow(std::string id = {}) const;
+
+  /// Drops the buffered packets and releases their storage.  Used once
+  /// every decoder of the flow has reached a decision: the flow table keeps
+  /// the (now cheap) entry as a tombstone while the packet memory returns
+  /// to the allocator.  Indices handed out earlier become invalid.
+  void release();
+
+ private:
+  std::vector<PacketRecord> packets_;
+};
+
 }  // namespace sscor

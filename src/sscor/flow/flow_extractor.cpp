@@ -31,6 +31,28 @@ std::span<const std::uint8_t> ip_bytes(const pcap::Record& record,
 
 }  // namespace
 
+IncrementalFlowExtractor::IncrementalFlowExtractor(pcap::LinkType link_type,
+                                                   ExtractorOptions options)
+    : link_type_(link_type), options_(options) {}
+
+std::optional<FlowPacket> IncrementalFlowExtractor::ingest(
+    const pcap::Record& record) const {
+  const auto bytes = ip_bytes(record, link_type_);
+  if (bytes.empty()) return std::nullopt;
+  const auto parsed = net::parse_tcp_packet(bytes);
+  if (!parsed) return std::nullopt;
+  if (options_.payload_only && parsed->payload.empty()) return std::nullopt;
+  if (options_.skip_control &&
+      (parsed->tcp.flags & (net::kTcpSyn | net::kTcpFin | net::kTcpRst))) {
+    return std::nullopt;
+  }
+  return FlowPacket{
+      parsed->tuple(),
+      PacketRecord{record.timestamp,
+                   static_cast<std::uint32_t>(parsed->payload.size()),
+                   false}};
+}
+
 std::vector<ExtractedFlow> extract_flows(
     const std::vector<pcap::Record>& records, pcap::LinkType link_type,
     const ExtractorOptions& options) {
@@ -39,22 +61,16 @@ std::vector<ExtractedFlow> extract_flows(
       grouped;
   std::vector<net::FiveTuple> order;  // deterministic output ordering
 
+  // One shared classifier keeps the batch and streaming pipelines
+  // filter-identical by construction.
+  const IncrementalFlowExtractor extractor(link_type, options);
   for (const auto& record : records) {
-    const auto bytes = ip_bytes(record, link_type);
-    if (bytes.empty()) continue;
-    const auto parsed = net::parse_tcp_packet(bytes);
-    if (!parsed) continue;
-    if (options.payload_only && parsed->payload.empty()) continue;
-    if (options.skip_control &&
-        (parsed->tcp.flags & (net::kTcpSyn | net::kTcpFin | net::kTcpRst))) {
-      continue;
-    }
-    const auto tuple = parsed->tuple();
+    const auto classified = extractor.ingest(record);
+    if (!classified) continue;
+    const auto& tuple = classified->tuple;
     auto [it, inserted] = grouped.try_emplace(tuple);
     if (inserted) order.push_back(tuple);
-    it->second.push_back(PacketRecord{
-        record.timestamp, static_cast<std::uint32_t>(parsed->payload.size()),
-        false});
+    it->second.push_back(classified->packet);
   }
 
   std::vector<ExtractedFlow> flows;

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,38 @@ struct ExtractorOptions {
   bool skip_control = true;
   /// Drop flows with fewer packets than this after filtering.
   std::size_t min_packets = 2;
+};
+
+/// One classified capture record: the flow it belongs to plus its timing
+/// payload.  The unit the streaming engine ingests.
+struct FlowPacket {
+  net::FiveTuple tuple;
+  PacketRecord packet;
+};
+
+/// Per-record flow classification for streaming consumers.
+///
+/// Applies exactly the per-packet filters of the batch extractor
+/// (IPv4/TCP parsing, payload_only, skip_control) one record at a time, so
+/// a streaming pipeline built on it sees the same packet set the batch
+/// pipeline groups — the parity the stream test suite pins.  The
+/// whole-flow `min_packets` filter needs the complete capture and is left
+/// to the consumer (the batch extract_flows applies it at the end; the
+/// streaming engine applies it by per-flow packet count).
+class IncrementalFlowExtractor {
+ public:
+  explicit IncrementalFlowExtractor(pcap::LinkType link_type,
+                                    ExtractorOptions options = {});
+
+  /// Classifies one capture record; nullopt when the record is filtered
+  /// out (non-IPv4/TCP, empty payload, control packet).
+  std::optional<FlowPacket> ingest(const pcap::Record& record) const;
+
+  const ExtractorOptions& options() const { return options_; }
+
+ private:
+  pcap::LinkType link_type_;
+  ExtractorOptions options_;
 };
 
 /// Extracts unidirectional flows from decoded pcap records.

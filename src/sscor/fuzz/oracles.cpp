@@ -19,8 +19,10 @@
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
 #include "sscor/correlation/resilient.hpp"
+#include "sscor/experiment/stream_corpus.hpp"
 #include "sscor/experiment/sweep.hpp"
 #include "sscor/flow/flow_io.hpp"
+#include "sscor/stream/stream_engine.hpp"
 #include "sscor/fuzz/alloc_guard.hpp"
 #include "sscor/fuzz/generators.hpp"
 #include "sscor/matching/match_context.hpp"
@@ -1344,6 +1346,193 @@ class FlowTextReaderOracle final : public ReaderOracleBase {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Oracle 10: stream_parity.
+
+/// stream_parity: the streaming engine is the batch pipeline, incrementally.
+/// For a generated capture — the pipeline's downstream flow plus
+/// constant-delay decoy copies, merged in timestamp order — StreamEngine
+/// with early exits disabled must reproduce Correlator::correlate byte for
+/// byte for every (flow, upstream) pair, at shard count 1 and at a
+/// payload-chosen shard count, in identical verdict order.  With early
+/// exits enabled the decisions must still agree, and every early
+/// rejection's cost must equal the stream prefix it inspected.
+class StreamParityOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "stream_parity"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return generate_pipeline_case(
+        rng, /*max_bits=*/4,
+        {{"algo", static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"shards", 1 + static_cast<std::int64_t>(rng.uniform_u64(8))},
+         {"decoys", static_cast<std::int64_t>(rng.uniform_u64(3))},
+         {"batch", 1 + static_cast<std::int64_t>(rng.uniform_u64(128))},
+         {"early", rng.bernoulli(0.5) ? 1 : 0}});
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+    const Algorithm algo =
+        kResilienceTiers[get_clamped(*parsed, "algo", 0, 0, 3)];
+    const auto shards = static_cast<std::size_t>(
+        get_clamped(*parsed, "shards", 1, 1, 8));
+    const auto decoys = static_cast<std::size_t>(
+        get_clamped(*parsed, "decoys", 0, 0, 4));
+    const auto batch_size = static_cast<std::size_t>(
+        get_clamped(*parsed, "batch", 16, 1, 1024));
+    const bool try_early = get_clamped(*parsed, "early", 0, 0, 1) != 0;
+
+    // The capture: the pipeline's downstream plus delayed decoy copies,
+    // each under its own five-tuple, merged in timestamp order.
+    std::vector<Flow> flows;
+    flows.push_back(pipe->downstream);
+    for (std::size_t d = 0; d < decoys; ++d) {
+      flows.push_back(
+          traffic::ConstantDelay(millis(static_cast<std::int64_t>(37 * (d + 1))))
+              .apply(pipe->downstream));
+    }
+    std::vector<net::FiveTuple> tuples;
+    std::vector<stream::StreamPacket> packets;
+    for (std::size_t k = 0; k < flows.size(); ++k) {
+      tuples.push_back(experiment::stream_corpus_tuple(k));
+      for (const PacketRecord& packet : flows[k].packets()) {
+        packets.push_back(stream::StreamPacket{tuples[k], packet});
+      }
+    }
+    std::stable_sort(packets.begin(), packets.end(),
+                     [](const stream::StreamPacket& a,
+                        const stream::StreamPacket& b) {
+                       return a.packet.timestamp < b.packet.timestamp;
+                     });
+
+    std::vector<CorrelationResult> batch;
+    const Correlator correlator(pipe->config, algo);
+    for (const Flow& flow : flows) {
+      batch.push_back(correlator.correlate(pipe->watermarked, flow));
+    }
+
+    const auto run_stream =
+        [&](std::size_t shard_count,
+            bool early_exit) -> std::vector<stream::StreamVerdict> {
+      stream::StreamOptions options;
+      options.algorithm = algo;
+      options.table.shards = shard_count;
+      options.early_exit = early_exit;
+      options.batch_size = batch_size;
+      stream::StreamEngine engine({pipe->watermarked}, pipe->config,
+                                  options);
+      for (const stream::StreamPacket& packet : packets) {
+        engine.ingest(packet);
+      }
+      engine.finish();
+      return engine.drain_verdicts();
+    };
+
+    // Exact parity at shard counts 1 and N with early exits off.
+    std::vector<stream::StreamVerdict> reference;
+    for (const std::size_t shard_count :
+         {std::size_t{1}, shards}) {
+      std::vector<stream::StreamVerdict> verdicts;
+      try {
+        verdicts = run_stream(shard_count, false);
+      } catch (const std::exception& e) {
+        return violation("stream engine threw at " +
+                         std::to_string(shard_count) + " shards: " +
+                         e.what());
+      }
+      if (verdicts.size() != flows.size()) {
+        return violation("stream engine produced " +
+                         std::to_string(verdicts.size()) +
+                         " verdicts for " + std::to_string(flows.size()) +
+                         " flows at " + std::to_string(shard_count) +
+                         " shards");
+      }
+      for (const stream::StreamVerdict& v : verdicts) {
+        const auto it = std::find(tuples.begin(), tuples.end(), v.tuple);
+        if (it == tuples.end()) {
+          return violation("verdict for unknown tuple " +
+                           v.tuple.to_string());
+        }
+        const auto flow_index =
+            static_cast<std::size_t>(it - tuples.begin());
+        if (auto m = result_mismatch(
+                "stream verdict at " + std::to_string(shard_count) +
+                    " shards diverges from batch for flow " +
+                    std::to_string(flow_index),
+                v.result, batch[flow_index]);
+            !m.empty()) {
+          return violation(std::move(m));
+        }
+        const stream::VerdictKind want_kind =
+            batch[flow_index].correlated ? stream::VerdictKind::kPositive
+                                         : stream::VerdictKind::kNegative;
+        if (v.kind != want_kind || v.early) {
+          return violation(
+              "stream verdict kind/early inconsistent with batch "
+              "decision for flow " +
+              std::to_string(flow_index));
+        }
+      }
+      if (reference.empty()) {
+        reference = std::move(verdicts);
+      } else {
+        for (std::size_t i = 0; i < verdicts.size(); ++i) {
+          if (verdicts[i].tuple != reference[i].tuple ||
+              verdicts[i].flow_seq != reference[i].flow_seq ||
+              verdicts[i].upstream != reference[i].upstream) {
+            return violation("verdict order differs between 1 and " +
+                             std::to_string(shards) + " shards at index " +
+                             std::to_string(i));
+          }
+        }
+      }
+    }
+
+    // Decision agreement with early exits on.
+    if (try_early) {
+      std::vector<stream::StreamVerdict> verdicts;
+      try {
+        verdicts = run_stream(shards, true);
+      } catch (const std::exception& e) {
+        return violation(std::string("stream engine threw with early "
+                                     "exits on: ") +
+                         e.what());
+      }
+      if (verdicts.size() != flows.size()) {
+        return violation("early-exit run produced " +
+                         std::to_string(verdicts.size()) +
+                         " verdicts for " + std::to_string(flows.size()) +
+                         " flows");
+      }
+      for (const stream::StreamVerdict& v : verdicts) {
+        const auto it = std::find(tuples.begin(), tuples.end(), v.tuple);
+        if (it == tuples.end()) {
+          return violation("early-exit verdict for unknown tuple " +
+                           v.tuple.to_string());
+        }
+        const auto flow_index =
+            static_cast<std::size_t>(it - tuples.begin());
+        if (v.result.correlated != batch[flow_index].correlated) {
+          return violation("early-exit decision diverges from batch for "
+                           "flow " +
+                           std::to_string(flow_index));
+        }
+        if (v.early && v.result.cost != v.packets_seen) {
+          return violation("early rejection cost " +
+                           std::to_string(v.result.cost) +
+                           " != packets seen " +
+                           std::to_string(v.packets_seen));
+        }
+      }
+    }
+    return {};
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
@@ -1357,6 +1546,7 @@ std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
   oracles.push_back(std::make_unique<PcapReaderOracle>());
   oracles.push_back(std::make_unique<PcapngReaderOracle>());
   oracles.push_back(std::make_unique<FlowTextReaderOracle>());
+  oracles.push_back(std::make_unique<StreamParityOracle>());
   return oracles;
 }
 

@@ -13,7 +13,7 @@
 //                    out-of-clamp — the shrinker legitimately produces
 //                    such payloads and they count as passes).
 //
-// The nine oracles:
+// The ten oracles:
 //
 //   qim_roundtrip    embed → decode of the QIM scheme is exact whenever all
 //                    IPDs exceed 2*step (no FIFO cascade).  Catches the
@@ -43,6 +43,12 @@
 //                    read_flow_text must agree on accept/reject (and on the
 //                    packet count when both accept).  Catches the lenient
 //                    trailing-token / signed-size parsing.
+//   stream_parity    the streaming engine reproduces the batch pipeline:
+//                    for a merged multi-flow capture, StreamEngine verdicts
+//                    with early exits off are byte-identical to
+//                    Correlator::correlate at shard counts 1 and N (same
+//                    order, same costs), and with early exits on the
+//                    decisions still agree.
 
 #pragma once
 
@@ -82,7 +88,7 @@ class Oracle {
   virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
 };
 
-/// All nine oracles, in the round-robin order the fuzzer drives them.
+/// All ten oracles, in the round-robin order the fuzzer drives them.
 std::vector<std::unique_ptr<Oracle>> make_default_oracles();
 
 /// Deterministic regression payloads reproducing the historical bugs this

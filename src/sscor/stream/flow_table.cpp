@@ -1,0 +1,194 @@
+#include "sscor/stream/flow_table.hpp"
+
+#include <algorithm>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor::stream {
+
+TimestampRing::TimestampRing(std::size_t capacity) : buffer_(capacity) {
+  require(capacity >= 1, "ring capacity must be positive");
+}
+
+void TimestampRing::push(TimeUs t) {
+  buffer_[pushed_ % buffer_.size()] = t;
+  ++pushed_;
+}
+
+std::size_t TimestampRing::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(pushed_, buffer_.size()));
+}
+
+TimeUs TimestampRing::at(std::size_t i) const {
+  require(i < size(), "ring index out of range");
+  const std::uint64_t oldest =
+      pushed_ > buffer_.size() ? pushed_ % buffer_.size() : 0;
+  return buffer_[(oldest + i) % buffer_.size()];
+}
+
+TimeUs TimestampRing::newest() const {
+  require(size() > 0, "newest of an empty ring");
+  return buffer_[(pushed_ - 1) % buffer_.size()];
+}
+
+const char* to_string(EvictionCause cause) {
+  switch (cause) {
+    case EvictionCause::kIdle:
+      return "idle";
+    case EvictionCause::kFlowCount:
+      return "flow-count";
+    case EvictionCause::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+FlowTable::FlowTable(FlowTableConfig config) : config_(config) {
+  require(config.shards >= 1, "shard count must be positive");
+  require(config.ring_capacity >= 1, "ring capacity must be positive");
+  require(config.max_flows == 0 || config.max_flows >= config.shards,
+          "max_flows must be >= the shard count (it is split per shard)");
+  require(config.max_buffered_packets == 0 ||
+              config.max_buffered_packets >= config.shards,
+          "max_buffered_packets must be >= the shard count");
+  // Floor division keeps the sum of per-shard budgets within the
+  // configured totals, so the table-wide bounds hold unconditionally.
+  max_flows_per_shard_ = config.max_flows / config.shards;
+  max_buffered_per_shard_ = config.max_buffered_packets / config.shards;
+  shards_.resize(config.shards);
+}
+
+std::size_t FlowTable::shard_of(const net::FiveTuple& tuple) const {
+  return net::FiveTupleHash{}(tuple) % shards_.size();
+}
+
+FlowEntry* FlowTable::touch(std::size_t shard, const net::FiveTuple& tuple,
+                            const PacketRecord& packet, std::uint64_t seq,
+                            std::vector<EvictedFlow>& evicted) {
+  Shard& s = shards_[shard];
+  auto it = s.flows.find(tuple);
+  if (it != s.flows.end() && config_.idle_ttl != 0 &&
+      packet.timestamp - it->second->last_seen > config_.idle_ttl) {
+    // The flow's own gap exceeded the TTL: the old instance expired during
+    // the silence, independent of whether other traffic swept the shard in
+    // the meantime — self-expiry is a pure function of the flow's own
+    // timing, so a gap splits the flow identically for any shard count.
+    evict(s, it->second.get(), EvictionCause::kIdle, evicted);
+    it = s.flows.end();
+  }
+  FlowEntry* entry = nullptr;
+  if (it == s.flows.end()) {
+    // Expire idle flows first — they may free the slot this insert needs —
+    // then displace the least recently touched until the new flow fits.
+    evict_idle(s, packet.timestamp, evicted);
+    if (max_flows_per_shard_ != 0) {
+      while (s.flows.size() >= max_flows_per_shard_) {
+        evict(s, s.lru.front(), EvictionCause::kFlowCount, evicted);
+      }
+    }
+    auto owned = std::make_unique<FlowEntry>(config_.ring_capacity);
+    entry = owned.get();
+    entry->tuple = tuple;
+    entry->first_seen_seq = seq;
+    entry->first_seen = packet.timestamp;
+    s.flows.emplace(tuple, std::move(owned));
+    entry->lru_ = s.lru.insert(s.lru.end(), entry);
+  } else {
+    entry = it->second.get();
+    s.lru.splice(s.lru.end(), s.lru, entry->lru_);
+    // Refresh last_seen before the sweep so the entry in hand (now at the
+    // LRU back) is out of the sweep's reach.
+    entry->last_seen = packet.timestamp;
+    evict_idle(s, packet.timestamp, evicted);
+  }
+  entry->last_seen = packet.timestamp;
+  ++entry->packets;
+  entry->ring.push(packet.timestamp);
+  return entry;
+}
+
+bool FlowTable::add_buffered(std::size_t shard, FlowEntry* entry,
+                             std::uint64_t n,
+                             std::vector<EvictedFlow>& evicted) {
+  Shard& s = shards_[shard];
+  entry->buffered += n;
+  s.buffered += n;
+  if (max_buffered_per_shard_ == 0) return true;
+  while (s.buffered > max_buffered_per_shard_) {
+    // Oldest flow that actually holds buffer, sparing the one being
+    // charged for as long as possible.  Tombstones hold no buffer, so
+    // evicting them would not restore the cap.
+    FlowEntry* victim = nullptr;
+    for (FlowEntry* candidate : s.lru) {
+      if (candidate != entry && candidate->buffered > 0) {
+        victim = candidate;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      // Only the charged entry itself can pay: the cap is unconditional.
+      evict(s, entry, EvictionCause::kMemory, evicted);
+      return false;
+    }
+    evict(s, victim, EvictionCause::kMemory, evicted);
+  }
+  return true;
+}
+
+void FlowTable::tombstone(std::size_t shard, FlowEntry* entry) {
+  Shard& s = shards_[shard];
+  s.buffered -= entry->buffered;
+  entry->buffered = 0;
+  entry->tombstone = true;
+}
+
+void FlowTable::evict(Shard& shard, FlowEntry* entry, EvictionCause cause,
+                      std::vector<EvictedFlow>& evicted) {
+  EvictedFlow record;
+  record.tuple = entry->tuple;
+  record.cause = cause;
+  record.first_seen_seq = entry->first_seen_seq;
+  record.packets = entry->packets;
+  record.tombstone = entry->tombstone;
+  record.state = std::move(entry->state);
+  shard.buffered -= entry->buffered;
+  shard.lru.erase(entry->lru_);
+  shard.flows.erase(entry->tuple);  // destroys *entry
+  evicted.push_back(std::move(record));
+}
+
+void FlowTable::evict_idle(Shard& shard, TimeUs now,
+                           std::vector<EvictedFlow>& evicted) {
+  if (config_.idle_ttl == 0) return;
+  // LRU order approximates last_seen order, so stopping at the first
+  // fresh-enough entry bounds the sweep without missing steady-state
+  // expiry.
+  while (!shard.lru.empty()) {
+    FlowEntry* oldest = shard.lru.front();
+    if (now - oldest->last_seen <= config_.idle_ttl) break;
+    evict(shard, oldest, EvictionCause::kIdle, evicted);
+  }
+}
+
+std::size_t FlowTable::flows(std::size_t shard) const {
+  return shards_[shard].flows.size();
+}
+
+std::size_t FlowTable::flows() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.flows.size();
+  return total;
+}
+
+std::uint64_t FlowTable::buffered_packets(std::size_t shard) const {
+  return shards_[shard].buffered;
+}
+
+std::uint64_t FlowTable::buffered_packets() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.buffered;
+  return total;
+}
+
+}  // namespace sscor::stream

@@ -1,0 +1,102 @@
+// Packet sources for the streaming engine.
+//
+// A PacketSource yields classified packets (five-tuple + timing payload)
+// one at a time — the pull side of `sscor_tool watch`.  Two concrete
+// sources:
+//
+//  * CaptureReplaySource replays a pcap/pcapng capture through the same
+//    per-packet filters as the batch extractor, in global timestamp order,
+//    optionally paced against the wall clock (speed 1.0 = real time) so a
+//    capture stands in for a live tap.
+//  * FlowTextStreamSource reads a line-delimited text feed — the
+//    streaming analogue of the flow-text format — so tests and scripts
+//    can feed an engine without synthesising captures.
+//
+// Both yield per-flow non-decreasing timestamps, the engine's ingest
+// contract.
+
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sscor/flow/flow_extractor.hpp"
+
+namespace sscor::stream {
+
+/// The unit the engine ingests; classification is shared with the batch
+/// extractor so the two pipelines see identical packets.
+using StreamPacket = FlowPacket;
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// The next packet, or nullopt at end of stream.
+  virtual std::optional<StreamPacket> next() = 0;
+};
+
+struct ReplayOptions {
+  /// Per-packet filters, shared with the batch extractor.  The whole-flow
+  /// min_packets filter is the engine's job and is ignored here.
+  ExtractorOptions extractor;
+  /// Capture-seconds per wall-clock second; 0 = as fast as possible,
+  /// 1.0 = real time, 2.0 = twice real time.
+  double speed = 0.0;
+};
+
+/// Replays a capture file as a packet stream.
+///
+/// Records are classified with the batch extractor's per-packet filters
+/// and replayed in timestamp order (stable, preserving capture order for
+/// ties).  Restricting a stable global sort to one flow's packets gives
+/// exactly the stable per-flow sort the batch Flow constructor performs,
+/// so the stream the engine sees regroups to the batch extractor's flows
+/// byte-for-byte — even for captures with out-of-order timestamps.
+class CaptureReplaySource : public PacketSource {
+ public:
+  explicit CaptureReplaySource(const std::string& path,
+                               ReplayOptions options = {});
+
+  std::optional<StreamPacket> next() override;
+
+  /// Packets that survived filtering (known up front: replay is offline).
+  std::size_t total_packets() const { return packets_.size(); }
+
+ private:
+  std::vector<StreamPacket> packets_;
+  std::size_t next_ = 0;
+  double speed_ = 0.0;
+  std::optional<std::chrono::steady_clock::time_point> epoch_;
+  TimeUs first_timestamp_ = 0;
+};
+
+/// Line-delimited packet feed:
+///
+///   # sscor-stream v1
+///   <flow-token> <timestamp_us> <size_bytes> <chaff01>
+///
+/// one packet per line, blank lines and later '#' comments skipped.  The
+/// flow token is any whitespace-free string; the five-tuple is derived
+/// from it deterministically (equal tokens -> equal tuple), so a test can
+/// name flows "a", "b", ... without inventing addresses.
+class FlowTextStreamSource : public PacketSource {
+ public:
+  /// The stream must outlive the source.  Throws IoError when the header
+  /// line is missing or malformed.
+  explicit FlowTextStreamSource(std::istream& in);
+
+  std::optional<StreamPacket> next() override;
+
+  /// The tuple a flow token maps to (deterministic hash of the token).
+  static net::FiveTuple tuple_for_token(const std::string& token);
+
+ private:
+  std::istream* in_;
+  std::size_t line_number_ = 1;
+};
+
+}  // namespace sscor::stream

@@ -1,0 +1,305 @@
+#include "sscor/stream/stream_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
+#include "sscor/util/parallel.hpp"
+#include "sscor/util/trace.hpp"
+
+namespace sscor::stream {
+
+const char* to_string(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kPositive:
+      return "positive";
+    case VerdictKind::kNegative:
+      return "negative";
+    case VerdictKind::kEvicted:
+      return "evicted";
+    case VerdictKind::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
+/// Per-flow engine state: one shared packet buffer feeding one incremental
+/// decoder per upstream, plus verdicts held back until the flow clears the
+/// min_packets filter.
+struct StreamEngine::FlowState : FlowUserState {
+  std::shared_ptr<AppendOnlyFlow> buffer = std::make_shared<AppendOnlyFlow>();
+  std::vector<OnlineCorrelator> pairs;
+  std::vector<StreamVerdict> held;
+};
+
+struct StreamEngine::ShardState {
+  std::vector<std::pair<std::uint64_t, StreamPacket>> pending;
+  std::vector<StreamVerdict> verdicts;
+};
+
+StreamEngine::StreamEngine(std::vector<WatermarkedFlow> upstreams,
+                           CorrelatorConfig config, StreamOptions options)
+    : config_(config), options_(options), table_(options.table) {
+  require(options.batch_size >= 1, "batch size must be positive");
+  upstreams_.reserve(upstreams.size());
+  for (auto& watermarked : upstreams) {
+    upstreams_.push_back(
+        std::make_shared<const OnlineUpstream>(std::move(watermarked)));
+  }
+  shards_.reserve(table_.shard_count());
+  for (std::size_t i = 0; i < table_.shard_count(); ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+}
+
+StreamEngine::~StreamEngine() = default;
+
+void StreamEngine::ingest(const StreamPacket& packet) {
+  require(!finished_, "ingest after finish()");
+  const std::uint64_t seq = next_seq_++;
+  metrics::counter("stream.packets.ingested").add();
+  const std::size_t shard = table_.shard_of(packet.tuple);
+  shards_[shard]->pending.emplace_back(seq, packet);
+  if (++pending_total_ >= options_.batch_size) flush();
+}
+
+void StreamEngine::flush() {
+  if (pending_total_ == 0) return;
+  TRACE_SPAN("stream.flush");
+  const metrics::ScopedTimer timer("stream.flush");
+  parallel_for(
+      shards_.size(), [this](std::size_t shard) { process_shard(shard); },
+      options_.threads);
+  pending_total_ = 0;
+  metrics::histogram("stream.table.occupancy").record(table_.flows());
+  metrics::histogram("stream.table.buffered")
+      .record(table_.buffered_packets());
+}
+
+void StreamEngine::finish() {
+  if (finished_) return;
+  flush();
+  finished_ = true;
+  TRACE_SPAN("stream.finish");
+  const metrics::ScopedTimer timer("stream.finish");
+  parallel_for(
+      shards_.size(), [this](std::size_t shard) { finalize_shard(shard); },
+      options_.threads);
+}
+
+std::vector<StreamVerdict> StreamEngine::drain_verdicts() {
+  std::vector<StreamVerdict> out;
+  for (auto& shard : shards_) {
+    out.insert(out.end(), std::make_move_iterator(shard->verdicts.begin()),
+               std::make_move_iterator(shard->verdicts.end()));
+    shard->verdicts.clear();
+  }
+  // (flow_seq, upstream) is unique per verdict and independent of the
+  // shard and thread counts, so the drained order is deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StreamVerdict& a, const StreamVerdict& b) {
+                     if (a.flow_seq != b.flow_seq)
+                       return a.flow_seq < b.flow_seq;
+                     return a.upstream < b.upstream;
+                   });
+  return out;
+}
+
+StreamEngine::FlowState* StreamEngine::ensure_state(FlowEntry& entry) {
+  if (entry.state == nullptr) {
+    auto state = std::make_unique<FlowState>();
+    state->pairs.reserve(upstreams_.size());
+    for (const auto& upstream : upstreams_) {
+      state->pairs.emplace_back(upstream, state->buffer, config_,
+                                options_.algorithm,
+                                OnlineOptions{options_.early_exit});
+    }
+    entry.state = std::move(state);
+    metrics::counter("stream.flows.created").add();
+  }
+  return static_cast<FlowState*>(entry.state.get());
+}
+
+void StreamEngine::process_shard(std::size_t shard) {
+  ShardState& state = *shards_[shard];
+  for (const auto& [seq, packet] : state.pending) {
+    route(shard, seq, packet);
+  }
+  state.pending.clear();
+}
+
+void StreamEngine::route(std::size_t shard, std::uint64_t seq,
+                         const StreamPacket& packet) {
+  std::vector<EvictedFlow> evicted;
+  FlowEntry* entry = table_.touch(shard, packet.tuple, packet.packet, seq,
+                                  evicted);
+  handle_evictions(shard, std::move(evicted));
+  FlowState* state = ensure_state(*entry);
+  if (entry->packets >= options_.min_packets) {
+    flush_held(shard, *state);
+  }
+  if (entry->tombstone) {
+    metrics::counter("stream.packets.late").add();
+    return;
+  }
+  if (!state->buffer->empty() &&
+      packet.packet.timestamp < state->buffer->last_timestamp()) {
+    // A live source broke the per-flow FIFO assumption; dropping the
+    // packet keeps the daemon up (sorted replay sources never hit this).
+    metrics::counter("stream.packets.out_of_order").add();
+    return;
+  }
+  state->buffer->append(packet.packet);
+  std::vector<EvictedFlow> over_cap;
+  const bool alive = table_.add_buffered(shard, entry, 1, over_cap);
+  handle_evictions(shard, std::move(over_cap));
+  if (!alive) return;  // the entry itself paid for the cap
+
+  bool all_decided = true;
+  for (std::size_t i = 0; i < state->pairs.size(); ++i) {
+    OnlineCorrelator& pair = state->pairs[i];
+    if (!pair.decided()) {
+      pair.ingest_appended();
+      if (pair.decided()) {
+        StreamVerdict verdict;
+        verdict.tuple = entry->tuple;
+        verdict.flow_seq = entry->first_seen_seq;
+        verdict.upstream = i;
+        verdict.kind = VerdictKind::kNegative;
+        verdict.early = true;
+        verdict.packets_seen = pair.packets_seen();
+        verdict.result = pair.result();
+        if (entry->packets >= options_.min_packets) {
+          emit(shard, std::move(verdict));
+        } else {
+          state->held.push_back(std::move(verdict));
+        }
+      }
+    }
+    all_decided = all_decided && pair.decided();
+  }
+  if (all_decided && !state->pairs.empty()) {
+    // Every pair rejected before the stream ended: drop the buffer, keep
+    // the entry as a tombstone absorbing late packets.
+    state->buffer->release();
+    state->pairs.clear();
+    state->pairs.shrink_to_fit();
+    table_.tombstone(shard, entry);
+    metrics::counter("stream.flows.early_decided").add();
+  }
+}
+
+void StreamEngine::emit(std::size_t shard, StreamVerdict verdict) {
+  record_verdict_metrics(verdict);
+  shards_[shard]->verdicts.push_back(std::move(verdict));
+}
+
+void StreamEngine::flush_held(std::size_t shard, FlowState& state) {
+  if (state.held.empty()) return;
+  for (auto& verdict : state.held) {
+    emit(shard, std::move(verdict));
+  }
+  state.held.clear();
+}
+
+void StreamEngine::handle_evictions(std::size_t shard,
+                                    std::vector<EvictedFlow> evicted) {
+  for (auto& ev : evicted) {
+    metrics::counter("stream.flows.evicted").add();
+    metrics::counter(std::string("stream.flows.evicted.") +
+                     to_string(ev.cause))
+        .add();
+    metrics::histogram("stream.flow.packets").record(ev.packets);
+    auto* state = static_cast<FlowState*>(ev.state.get());
+    if (state == nullptr) continue;
+    // Mirror the batch min_packets filter: a flow this short yields no
+    // verdicts at all.
+    if (ev.packets < options_.min_packets) continue;
+    for (auto& verdict : state->held) {
+      emit(shard, std::move(verdict));
+    }
+    state->held.clear();
+    for (std::size_t i = 0; i < state->pairs.size(); ++i) {
+      OnlineCorrelator& pair = state->pairs[i];
+      if (pair.decided()) continue;  // verdict already surfaced
+      StreamVerdict verdict;
+      verdict.tuple = ev.tuple;
+      verdict.flow_seq = ev.first_seen_seq;
+      verdict.upstream = i;
+      verdict.kind = VerdictKind::kEvicted;
+      verdict.early = false;
+      verdict.packets_seen = pair.packets_seen();
+      verdict.result.algorithm = options_.algorithm;
+      verdict.result.correlated = false;
+      verdict.result.matching_complete = false;
+      verdict.result.cost = pair.packets_seen();
+      emit(shard, std::move(verdict));
+    }
+  }
+}
+
+void StreamEngine::finalize_shard(std::size_t shard) {
+  const ResilientCorrelator resilient(config_, options_.algorithm,
+                                      options_.admission);
+  const Correlator offline(config_, options_.algorithm);
+  table_.for_each(shard, [&](FlowEntry& entry) {
+    auto* state = static_cast<FlowState*>(entry.state.get());
+    if (state == nullptr) return;
+    metrics::histogram("stream.flow.packets").record(entry.packets);
+    if (entry.packets < options_.min_packets) return;  // batch drops these
+    flush_held(shard, *state);
+    if (entry.tombstone || state->pairs.empty()) return;
+
+    Flow downstream;
+    bool materialized = false;
+    for (std::size_t i = 0; i < state->pairs.size(); ++i) {
+      OnlineCorrelator& pair = state->pairs[i];
+      if (pair.decided()) continue;  // emitted while streaming
+      pair.finish();
+      StreamVerdict verdict;
+      verdict.tuple = entry.tuple;
+      verdict.flow_seq = entry.first_seen_seq;
+      verdict.upstream = i;
+      verdict.packets_seen = pair.packets_seen();
+      if (pair.early_rejected()) {
+        // A finality proof completed at end-of-stream: still no offline
+        // decode needed.
+        verdict.kind = VerdictKind::kNegative;
+        verdict.early = true;
+        verdict.result = pair.result();
+      } else {
+        // One materialisation serves every remaining pair of the flow;
+        // byte-identical to pair.result(), which would rebuild it per
+        // pair.
+        if (!materialized) {
+          downstream = state->buffer->to_flow(entry.tuple.to_string());
+          materialized = true;
+        }
+        const trace::DecodePairScope scope(
+            entry.tuple.to_string() + "#" +
+            std::to_string(entry.first_seen_seq) + " up" + std::to_string(i));
+        const WatermarkedFlow& upstream = upstreams_[i]->watermarked();
+        verdict.result =
+            options_.admission.enabled()
+                ? resilient.correlate(upstream, downstream)
+                : offline.correlate(upstream, downstream);
+        verdict.early = false;
+        verdict.kind = verdict.result.degraded ? VerdictKind::kDegraded
+                       : verdict.result.correlated ? VerdictKind::kPositive
+                                                   : VerdictKind::kNegative;
+      }
+      emit(shard, std::move(verdict));
+    }
+  });
+}
+
+void StreamEngine::record_verdict_metrics(const StreamVerdict& verdict) {
+  metrics::counter(std::string("stream.verdicts.") + to_string(verdict.kind))
+      .add();
+  if (verdict.early) metrics::counter("stream.verdicts.early").add();
+  metrics::histogram("stream.verdict.packets_seen")
+      .record(verdict.packets_seen);
+}
+
+}  // namespace sscor::stream

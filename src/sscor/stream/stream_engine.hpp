@@ -1,0 +1,155 @@
+// The streaming correlation engine: many concurrent flows, bounded
+// memory, batch-identical verdicts.
+//
+// StreamEngine is the system around OnlineCorrelator that the deployment
+// story needs: packets arrive one at a time from any PacketSource, flows
+// are tracked in a sharded FlowTable under hard memory bounds, and every
+// (suspicious flow x watermarked upstream) pair runs an incremental decode
+// that can reject provably-negative pairs long before their streams end.
+// Verdicts surface as they finalise:
+//
+//   kPositive  — the configured algorithm decoded the watermark;
+//   kNegative  — decoded clean, or rejected early by a finality proof;
+//   kEvicted   — a table bound cut the flow off before a decision;
+//   kDegraded  — admission control demoted the final decode to a cheaper
+//                tier (the resilient ladder), so the verdict is best-effort.
+//
+// Parity with the batch pipeline is the design invariant the test suite
+// pins: with the bounds disabled, the verdict (and with early exits
+// disabled, every CorrelationResult byte) for each pair equals
+// Correlator::correlate over the batch-extracted flow — for any shard
+// count and any thread count.  The mechanics behind that:
+//
+//   * a flow's shard is a pure function of its five-tuple, so per-flow
+//     packet order is arrival order regardless of shard count;
+//   * shards share nothing; a flush processes each shard sequentially on
+//     one worker (parallelism is across shards only);
+//   * verdicts are buffered per shard and drained in (flow first-seen
+//     sequence, upstream index) order.
+//
+// Memory scales with live flows, not pairs: each flow buffers its packets
+// once in one AppendOnlyFlow shared by its pair decoders, and each
+// upstream's decode plan is built once in one shared OnlineUpstream.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sscor/correlation/online.hpp"
+#include "sscor/correlation/resilient.hpp"
+#include "sscor/stream/flow_table.hpp"
+#include "sscor/stream/packet_source.hpp"
+
+namespace sscor::stream {
+
+enum class VerdictKind {
+  kPositive,
+  kNegative,
+  kEvicted,
+  kDegraded,
+};
+
+const char* to_string(VerdictKind kind);
+
+/// One finalised (flow, upstream) decision.
+struct StreamVerdict {
+  net::FiveTuple tuple;
+  /// First-seen ingest sequence of the flow instance (its deterministic
+  /// id; a flow split by TTL or eviction yields one verdict per instance).
+  std::uint64_t flow_seq = 0;
+  /// Index into upstreams().
+  std::size_t upstream = 0;
+  VerdictKind kind = VerdictKind::kNegative;
+  /// Decided by a finality proof (no offline decode ran) — usually long
+  /// before the flow's stream ended.
+  bool early = false;
+  /// Downstream packets the pair had processed when it decided.
+  std::uint64_t packets_seen = 0;
+  CorrelationResult result;
+};
+
+struct StreamOptions {
+  Algorithm algorithm = Algorithm::kGreedyPlus;
+  FlowTableConfig table;
+  /// Forwarded to every pair's OnlineCorrelator.  With false, no pair
+  /// decides before finish() and every result byte matches the batch
+  /// pipeline; with true, provably-negative pairs reject early (verdicts
+  /// still agree, but an early rejection's cost field counts the stream
+  /// prefix it inspected rather than a full batch decode).
+  bool early_exit = true;
+  /// Flows with fewer packets yield no verdicts — mirrors the batch
+  /// extractor's min_packets filter.
+  std::size_t min_packets = 2;
+  /// Ingested packets are queued per shard and processed every
+  /// `batch_size` arrivals (and on flush()/finish()).
+  std::size_t batch_size = 256;
+  /// Worker threads for per-shard processing; 1 = inline, 0 = hardware
+  /// concurrency.  Never affects results.
+  unsigned threads = 1;
+  /// Per-pair admission control for the final offline decode, reusing the
+  /// resilient ladder: when enabled, a pair exceeding its budget degrades
+  /// tier by tier instead of stalling the engine (verdict kind kDegraded).
+  ResilientOptions admission;
+};
+
+class StreamEngine {
+ public:
+  /// `upstreams` are the watermarked flows to correlate every suspicious
+  /// flow against; per-upstream decode state is built once here.
+  StreamEngine(std::vector<WatermarkedFlow> upstreams,
+               CorrelatorConfig config, StreamOptions options = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Queues one packet (timestamps per flow must be non-decreasing; an
+  /// out-of-order packet is counted and dropped, never fatal).  Triggers a
+  /// flush every `batch_size` ingests.
+  void ingest(const StreamPacket& packet);
+
+  /// Processes every queued packet now (parallel across shards).
+  void flush();
+
+  /// Flushes, then finalises every live flow: remaining windows close at
+  /// end-of-stream and undecided pairs run their offline decode.  The
+  /// engine stays usable for inspection afterwards, but not for ingest.
+  void finish();
+
+  /// All verdicts finalised since the last drain, in deterministic
+  /// (flow_seq, upstream) order; clears the buffer.
+  std::vector<StreamVerdict> drain_verdicts();
+
+  std::uint64_t packets_ingested() const { return next_seq_; }
+  std::size_t live_flows() const { return table_.flows(); }
+  std::uint64_t buffered_packets() const { return table_.buffered_packets(); }
+  std::size_t upstream_count() const { return upstreams_.size(); }
+  const FlowTable& table() const { return table_; }
+  const StreamOptions& options() const { return options_; }
+
+ private:
+  struct FlowState;
+  struct ShardState;
+
+  FlowState* ensure_state(FlowEntry& entry);
+  void process_shard(std::size_t shard);
+  void finalize_shard(std::size_t shard);
+  void route(std::size_t shard, std::uint64_t seq, const StreamPacket& packet);
+  void emit(std::size_t shard, StreamVerdict verdict);
+  void flush_held(std::size_t shard, FlowState& state);
+  void handle_evictions(std::size_t shard, std::vector<EvictedFlow> evicted);
+  void record_verdict_metrics(const StreamVerdict& verdict);
+
+  std::vector<std::shared_ptr<const OnlineUpstream>> upstreams_;
+  CorrelatorConfig config_;
+  StreamOptions options_;
+  FlowTable table_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_total_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace sscor::stream

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "sscor/correlation/brute_force.hpp"
 #include "sscor/correlation/correlator.hpp"
@@ -17,6 +18,7 @@
 #include "sscor/correlation/greedy.hpp"
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
+#include "sscor/correlation/online.hpp"
 #include "sscor/correlation/selection.hpp"
 #include "sscor/traffic/chaff.hpp"
 #include "sscor/traffic/interactive_model.hpp"
@@ -325,6 +327,129 @@ TEST(BruteForce, PruningDoesNotChangeTheOptimum) {
     if (raw.matching_complete) {
       EXPECT_EQ(pruned.hamming, raw.hamming) << "seed " << s;
       EXPECT_LE(pruned.cost, raw.cost) << "pruning should not cost more";
+    }
+  }
+}
+
+/// Field-by-field equality of two results — the golden interleaving tests
+/// pin every observable, not just the verdict.
+void expect_identical_result(const CorrelationResult& got,
+                             const CorrelationResult& want,
+                             const std::string& label) {
+  EXPECT_EQ(got.algorithm, want.algorithm) << label;
+  EXPECT_EQ(got.correlated, want.correlated) << label;
+  EXPECT_EQ(got.hamming, want.hamming) << label;
+  EXPECT_EQ(got.best_watermark, want.best_watermark) << label;
+  EXPECT_EQ(got.cost, want.cost) << label;
+  EXPECT_EQ(got.matching_complete, want.matching_complete) << label;
+  EXPECT_EQ(got.cost_bound_hit, want.cost_bound_hit) << label;
+  EXPECT_EQ(got.interrupted, want.interrupted) << label;
+  EXPECT_EQ(got.stop_reason, want.stop_reason) << label;
+  EXPECT_EQ(got.degraded, want.degraded) << label;
+}
+
+// Golden interleaving test: the same downstream flow replayed under three
+// arrival-order interleavings — one packet per ingest(), shared-buffer
+// chunked ingest_appended(), and one bulk append — must produce a
+// CorrelationResult identical to the batch Correlator in every field,
+// including the paper's cost metric.  Early exits are disabled so even
+// pairs the finality proofs would reject take the offline path.
+TEST(OnlineCorrelator, GoldenInterleavingsMatchBatch) {
+  OnlineOptions no_exit;
+  no_exit.early_exit = false;
+  for (const Algorithm algorithm :
+       {Algorithm::kGreedy, Algorithm::kGreedyPlus, Algorithm::kGreedyStar,
+        Algorithm::kBruteForce}) {
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      const SmallInstance instance =
+          make_small_instance(seed, 2.0, seconds(std::int64_t{1}));
+      CorrelatorConfig config;
+      config.max_delay = seconds(std::int64_t{2});
+      const CorrelationResult batch = Correlator(config, algorithm)
+                                          .correlate(instance.marked,
+                                                     instance.downstream);
+      const std::string label = "algorithm " + to_string(algorithm) +
+                                ", seed " + std::to_string(seed);
+
+      // Interleaving 1: standalone, one packet per ingest() call.
+      OnlineCorrelator per_packet(instance.marked, config, algorithm,
+                                  no_exit);
+      for (const PacketRecord& packet : instance.downstream.packets()) {
+        per_packet.ingest(packet);
+      }
+      per_packet.finish();
+      expect_identical_result(per_packet.result(), batch,
+                              label + ", per-packet");
+
+      // Interleaving 2: shared buffer, ingest_appended() every 3 packets
+      // (the streaming engine's batched cadence).
+      const auto upstream =
+          std::make_shared<OnlineUpstream>(instance.marked);
+      const auto chunk_buffer = std::make_shared<AppendOnlyFlow>();
+      OnlineCorrelator chunked(upstream, chunk_buffer, config, algorithm,
+                               no_exit);
+      std::size_t pending = 0;
+      for (const PacketRecord& packet : instance.downstream.packets()) {
+        chunk_buffer->append(packet);
+        if (++pending == 3) {
+          chunked.ingest_appended();
+          pending = 0;
+        }
+      }
+      chunked.ingest_appended();
+      chunked.finish();
+      expect_identical_result(chunked.result(), batch, label + ", chunked");
+
+      // Interleaving 3: the whole capture lands in one append burst.
+      const auto bulk_buffer = std::make_shared<AppendOnlyFlow>();
+      OnlineCorrelator bulk(upstream, bulk_buffer, config, algorithm,
+                            no_exit);
+      for (const PacketRecord& packet : instance.downstream.packets()) {
+        bulk_buffer->append(packet);
+      }
+      bulk.ingest_appended();
+      bulk.finish();
+      expect_identical_result(bulk.result(), batch, label + ", bulk");
+    }
+  }
+}
+
+// With early exits enabled the online verdict must still agree with batch
+// on the decision, and a caller that stops feeding once ingest() returns
+// false gets the same verdict as one that replays the full stream.
+TEST(OnlineCorrelator, EarlyExitVerdictAgreesWithBatch) {
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    // Mismatched pair: watermarked flow from one instance, downstream from
+    // another — the typical candidate for a finality-proof rejection.
+    const SmallInstance a =
+        make_small_instance(seed, 2.0, seconds(std::int64_t{1}));
+    const SmallInstance b =
+        make_small_instance(seed + 100, 2.0, seconds(std::int64_t{1}));
+    CorrelatorConfig config;
+    config.max_delay = seconds(std::int64_t{2});
+    const Algorithm algorithm = Algorithm::kGreedyPlus;
+    const CorrelationResult batch =
+        Correlator(config, algorithm).correlate(a.marked, b.downstream);
+
+    OnlineCorrelator online(a.marked, config, algorithm);
+    bool undecided = true;
+    std::size_t fed = 0;
+    for (const PacketRecord& packet : b.downstream.packets()) {
+      if (!undecided) break;  // stop-feeding-once-decided interleaving
+      undecided = online.ingest(packet);
+      ++fed;
+    }
+    online.finish();
+    const CorrelationResult result = online.result();
+    EXPECT_EQ(result.correlated, batch.correlated) << "seed " << seed;
+    if (online.early_rejected()) {
+      // Early rejection freezes the cost at the packets actually seen.
+      EXPECT_FALSE(result.correlated);
+      EXPECT_EQ(result.cost, fed);
+      EXPECT_FALSE(result.matching_complete);
+    } else {
+      expect_identical_result(result, batch,
+                              "undecided pair, seed " + std::to_string(seed));
     }
   }
 }

@@ -5,7 +5,9 @@
 #      whole ctest suite — the tier-1 gate;
 #   2. configure + build a ThreadSanitizer tree (-DSSCOR_SANITIZE=thread,
 #      tests only) and run the concurrency smoke tests — including the
-#      trace/histogram recording tests — which must report zero races;
+#      trace/histogram recording tests and the streaming engine's
+#      multi-shard ingest stress (StreamStress) — which must report zero
+#      races;
 #   3. configure + build an ASan/UBSan tree
 #      (-DSSCOR_SANITIZE=address,undefined), run the match-context parity
 #      and parallel-determinism tests under it, and smoke-run the
@@ -24,7 +26,12 @@
 #      resilience oracles (resilient_parity / chaos_decode / chaos_sweep)
 #      under ASan/UBSan, plus a CLI kill -9 + --resume round trip.  The
 #      contract: clean error or correct result, never corruption
-#      (DESIGN.md §11).
+#      (DESIGN.md §11);
+#   7. streaming smoke: 1000 stream_parity oracle iterations under
+#      ASan/UBSan (incremental == batch, byte for byte — DESIGN.md §12),
+#      then an end-to-end `sscor_tool watch` replay of a generated corpus
+#      capture with --metrics-json/--trace-spans, both outputs validated
+#      with trace_check, plus a BENCH_stream.json throughput baseline.
 #
 # Every step runs under its own timeout(1) budget — a hung build or a
 # wedged decode fails that step instead of stalling the whole run — and
@@ -53,9 +60,10 @@ step_2() {  # ThreadSanitizer build + concurrency smoke tests
     -DSSCOR_BUILD_BENCH=OFF \
     -DSSCOR_BUILD_EXAMPLES=OFF
   cmake --build "$tsan_dir" -j "$jobs" \
-    --target tsan_smoke_test util_test parallel_determinism_test trace_test
+    --target tsan_smoke_test util_test parallel_determinism_test trace_test \
+             flow_table_test
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace'
+    -R 'TsanSmoke|ThreadPool|Parallel|Span|Histogram|DecodeTrace|StreamStress'
 }
 
 step_3() {  # ASan/UBSan build + match-context parity + bench smoke
@@ -135,6 +143,40 @@ step_6() {  # chaos harness: seeded fault injection under ASan/UBSan
   cmp "$chaos_dir/clean.csv" "$chaos_dir/resumed.csv"
 }
 
+step_7() {  # streaming smoke: parity fuzz + watch e2e + throughput baseline
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz sscor_tool
+  cmake --build "$build_dir" -j "$jobs" \
+    --target sscor_tool trace_check stream_throughput
+  # 1000 dedicated stream_parity iterations under ASan/UBSan: incremental
+  # verdicts/bits/costs byte-identical to batch at shard counts 1 and N.
+  "$asan_dir/tools/sscor_fuzz" --oracle stream_parity \
+    --iterations 1000 --seed 1 --artifacts "$asan_dir/stream-artifacts"
+  # End-to-end watch: generate -> embed -> perturb a corpus capture, then
+  # replay it through the streaming daemon with metrics + trace spans.
+  local watch_dir
+  watch_dir="$(mktemp -d)"
+  trap 'rm -rf "$watch_dir"' RETURN
+  local tool="$build_dir/tools/sscor_tool"
+  local check="$build_dir/tools/trace_check"
+  "$tool" generate --out "$watch_dir/corpus.pcap" --flows 2 --packets 600 \
+    --seed 11
+  "$tool" embed --in "$watch_dir/corpus.pcap" \
+    --out "$watch_dir/marked.pcap" --key-out "$watch_dir/secret.key"
+  "$tool" perturb --in "$watch_dir/marked.pcap" \
+    --out "$watch_dir/perturbed.pcap" --max-delay-s 2 --chaff 2.0
+  "$tool" watch --up "$watch_dir/marked.pcap" --key "$watch_dir/secret.key" \
+    --in "$watch_dir/perturbed.pcap" --max-delay-s 9 --shards 4 \
+    --metrics-json "$watch_dir/metrics.json" --metrics-interval 256 \
+    --trace-spans "$watch_dir/spans.json" | tee "$watch_dir/watch.out"
+  grep -q "POSITIVE" "$watch_dir/watch.out"
+  "$check" "$watch_dir/spans.json"
+  "$check" "$watch_dir/metrics.json"
+  # Throughput trajectory: packets/sec vs shard count (verdicts must be
+  # identical across every configuration or the bench exits nonzero).
+  "$build_dir/bench/stream_throughput" --flows=2 --packets=600 --seed=5 \
+    --json="$build_dir/BENCH_stream.json"
+}
+
 step_names=(
   "default build + full test suite"
   "ThreadSanitizer build + concurrency smoke tests"
@@ -142,10 +184,11 @@ step_names=(
   "trace smoke: end-to-end pipeline with --trace/--trace-spans"
   "differential fuzz smoke under ASan/UBSan"
   "chaos harness: seeded fault injection under ASan/UBSan"
+  "streaming smoke: parity fuzz + watch e2e + throughput baseline"
 )
 # Per-step wall-clock budgets (seconds).  Generous: these exist to convert
 # a hang into a step failure, not to race the machine.
-step_timeouts=(2400 1800 1800 600 2400 2400)
+step_timeouts=(2400 1800 1800 600 2400 2400 1200)
 
 # Self-reexec dispatcher: `timeout` runs an external command, so each step
 # re-enters this script with --step N and the same directory arguments.
@@ -161,19 +204,19 @@ fi
 
 overall=0
 step_results=()
-for n in 1 2 3 4 5 6; do
+for n in 1 2 3 4 5 6 7; do
   name="${step_names[$((n - 1))]}"
   limit="${step_timeouts[$((n - 1))]}"
-  echo "== [$n/6] $name (timeout ${limit}s) =="
+  echo "== [$n/7] $name (timeout ${limit}s) =="
   if timeout --foreground --kill-after=30 "$limit" \
     "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir"; then
-    step_results+=("PASS  [$n/6] $name")
+    step_results+=("PASS  [$n/7] $name")
   else
     rc=$?
     if [[ $rc -eq 124 ]]; then
-      step_results+=("FAIL  [$n/6] $name (timed out after ${limit}s)")
+      step_results+=("FAIL  [$n/7] $name (timed out after ${limit}s)")
     else
-      step_results+=("FAIL  [$n/6] $name (exit $rc)")
+      step_results+=("FAIL  [$n/7] $name (exit $rc)")
     fi
     overall=1
   fi

@@ -18,6 +18,25 @@
 //                       [--corpus interactive|tcplib] [--out table.csv]
 //                       [--checkpoint journal.jsonl] [--resume]
 //                       [--kill-after N]
+//   sscor_tool watch    --up marked.pcap --key secret.key --in capture.pcap
+//                       [--feed pcap|text] [--speed X]
+//                       [--algorithm greedy+] [--max-delay-s 7]
+//                       [--threshold 7] [--shards N] [--threads N]
+//                       [--batch N] [--min-packets N] [--no-early-exit]
+//                       [--max-flows N] [--max-buffered-packets N]
+//                       [--ttl-s N] [--deadline-ms N] [--budget N]
+//                       [--metrics-json PATH] [--metrics-interval N]
+//
+// watch is the streaming daemon: it replays --in as a live packet stream
+// (--speed 1 paces it in real time; --feed text reads the line-delimited
+// sscor-stream format, "-" for stdin), tracks every flow in a sharded
+// bounded-memory table, and prints a verdict per (flow, upstream) pair as
+// it finalises — provably-negative pairs reject long before their flow
+// ends.  --max-flows/--max-buffered-packets/--ttl-s bound the table
+// (evicted flows get an EVICTED verdict); --deadline-ms/--budget reuse the
+// resilient ladder as per-pair admission control for the final decodes;
+// --metrics-json snapshots the metrics registry every --metrics-interval
+// packets (and at exit).
 //
 // detect's --deadline-ms / --budget bound each decode's wall clock /
 // packet accesses; when a decode blows its budget the resilient fallback
@@ -36,9 +55,13 @@
 // generate -> embed -> perturb -> detect exercises the full system from
 // the shell; see README.md for a walkthrough.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,7 +69,10 @@
 #include "sscor/correlation/correlator.hpp"
 #include "sscor/correlation/resilient.hpp"
 #include "sscor/correlation/robust.hpp"
+#include "sscor/experiment/bench_main.hpp"
 #include "sscor/experiment/sweep.hpp"
+#include "sscor/stream/packet_source.hpp"
+#include "sscor/stream/stream_engine.hpp"
 #include "sscor/flow/flow_extractor.hpp"
 #include "sscor/flow/pcap_synth.hpp"
 #include "sscor/traffic/chaff.hpp"
@@ -363,10 +389,124 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+void print_verdict(const stream::StreamVerdict& verdict) {
+  const CorrelationResult& r = verdict.result;
+  std::string kind = to_string(verdict.kind);
+  for (auto& c : kind) c = static_cast<char>(std::toupper(c));
+  std::string annotation;
+  if (verdict.early) annotation += ", early";
+  if (r.degraded) annotation += ", degraded to " + to_string(r.algorithm);
+  const bool evicted = verdict.kind == stream::VerdictKind::kEvicted;
+  std::printf("flow %-42s x up%-2zu : %-8s (%llu pkts, hamming %s, "
+              "cost %llu%s)\n",
+              verdict.tuple.to_string().c_str(), verdict.upstream,
+              kind.c_str(),
+              static_cast<unsigned long long>(verdict.packets_seen),
+              !evicted && (r.matching_complete || r.correlated)
+                  ? std::to_string(r.hamming).c_str()
+                  : "n/a",
+              static_cast<unsigned long long>(r.cost), annotation.c_str());
+}
+
+int cmd_watch(const Args& args) {
+  const auto upstream_flows = extract_flows_from_file(args.require_str("up"));
+  const WatermarkSecret secret = read_secret_file(args.require_str("key"));
+  require(!upstream_flows.empty(), "no flows in the upstream capture");
+  std::vector<WatermarkedFlow> upstreams;
+  upstreams.reserve(upstream_flows.size());
+  for (const auto& up : upstream_flows) {
+    upstreams.push_back(WatermarkedFlow{
+        up.flow, secret.schedule_for(up.flow.size()), secret.watermark});
+  }
+
+  CorrelatorConfig config;
+  config.max_delay = seconds(args.number("max-delay-s", 7.0));
+  config.hamming_threshold =
+      static_cast<std::uint32_t>(args.u64("threshold", 7));
+
+  stream::StreamOptions options;
+  options.algorithm =
+      parse_algorithm(args.get("algorithm").value_or("greedy+"));
+  options.early_exit = !args.flag("no-early-exit");
+  options.min_packets = args.u64("min-packets", 2);
+  options.batch_size = args.u64("batch", 256);
+  options.threads = static_cast<unsigned>(args.u64("threads", 1));
+  options.table.shards = args.u64("shards", 4);
+  options.table.max_flows = args.u64("max-flows", 0);
+  options.table.max_buffered_packets = args.u64("max-buffered-packets", 0);
+  options.table.idle_ttl = seconds(args.number("ttl-s", 0.0));
+  options.admission.deadline_us =
+      millis(static_cast<std::int64_t>(args.u64("deadline-ms", 0)));
+  options.admission.max_cost_per_attempt = args.u64("budget", 0);
+
+  const std::string in = args.require_str("in");
+  const std::string feed = args.get("feed").value_or("pcap");
+  std::ifstream text_file;
+  std::unique_ptr<stream::PacketSource> source;
+  if (feed == "text") {
+    if (in == "-") {
+      source = std::make_unique<stream::FlowTextStreamSource>(std::cin);
+    } else {
+      text_file.open(in);
+      if (!text_file) throw IoError("cannot open stream feed: " + in);
+      source = std::make_unique<stream::FlowTextStreamSource>(text_file);
+    }
+  } else if (feed == "pcap") {
+    stream::ReplayOptions replay;
+    replay.speed = args.number("speed", 0.0);
+    source = std::make_unique<stream::CaptureReplaySource>(in, replay);
+  } else {
+    throw InvalidArgument("unknown feed: " + feed);
+  }
+
+  const std::string metrics_json = args.get("metrics-json").value_or("");
+  const auto metrics_interval = args.u64("metrics-interval", 0);
+
+  std::printf("watching %s (%zu upstream(s), %zu shard(s), algorithm %s)\n",
+              in.c_str(), upstreams.size(), options.table.shards,
+              to_string(options.algorithm).c_str());
+
+  stream::StreamEngine engine(std::move(upstreams), config, options);
+  std::map<std::string, std::size_t> kind_counts;
+  const auto drain = [&] {
+    for (const auto& verdict : engine.drain_verdicts()) {
+      print_verdict(verdict);
+      ++kind_counts[to_string(verdict.kind)];
+    }
+  };
+
+  std::uint64_t ingested = 0;
+  const metrics::ScopedTimer timer("tool.watch");
+  while (const auto packet = source->next()) {
+    engine.ingest(*packet);
+    ++ingested;
+    if (ingested % options.batch_size == 0) drain();
+    if (metrics_interval != 0 && !metrics_json.empty() &&
+        ingested % metrics_interval == 0) {
+      experiment::write_metrics_json(metrics_json);
+    }
+  }
+  engine.finish();
+  drain();
+
+  std::printf("stream over: %llu packets, %zu tracked flow(s)",
+              static_cast<unsigned long long>(engine.packets_ingested()),
+              engine.live_flows());
+  for (const auto& [kind, count] : kind_counts) {
+    std::printf(", %zu %s", count, kind.c_str());
+  }
+  std::printf("\n");
+  if (!metrics_json.empty()) {
+    experiment::write_metrics_json(metrics_json);
+    std::fprintf(stderr, "metrics json written: %s\n", metrics_json.c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sscor_tool <generate|stats|embed|perturb|detect|sweep> "
+      "usage: sscor_tool <generate|stats|embed|perturb|detect|sweep|watch> "
       "[flags]\n"
       "       (append --metrics to print run counters/timers on exit;\n"
       "        --trace PATH writes decode introspection JSONL and\n"
@@ -399,6 +539,8 @@ int main(int argc, char** argv) {
       rc = cmd_detect(args);
     } else if (command == "sweep") {
       rc = cmd_sweep(args);
+    } else if (command == "watch") {
+      rc = cmd_watch(args);
     } else {
       return usage();
     }
