@@ -96,6 +96,40 @@ void BM_MatchingScan(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchingScan)->Arg(0)->Arg(3)->Arg(5);
 
+// Window-scan throughput shoot-out (packets/sec over the suspicious flow):
+// the counting two-pointer reference vs the paper's §3.2 heuristic vs the
+// batched engine's tight-loop scan (same windows, same recorded cost — the
+// parity tests pin it — but per-element counting replaced by pointer
+// arithmetic and the output buffer reused across scans).
+void BM_MatchingScanPaperHeuristic(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<double>(state.range(0)));
+  const auto& up = f.marked.flow.timestamps();
+  const auto& down = f.downstream.timestamps();
+  for (auto _ : state) {
+    CostMeter cost;
+    benchmark::DoNotOptimize(
+        scan_match_windows_paper_heuristic(up, down, kDelta, cost));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * down.size()));
+}
+BENCHMARK(BM_MatchingScanPaperHeuristic)->Arg(0)->Arg(3)->Arg(5);
+
+void BM_MatchingScanBatched(benchmark::State& state) {
+  const Fixture& f = fixture(static_cast<double>(state.range(0)));
+  const auto& up = f.marked.flow.timestamps();
+  const auto& down = f.downstream.timestamps();
+  std::vector<MatchWindow> windows;
+  for (auto _ : state) {
+    CostMeter cost;
+    scan_match_windows_batched(up, down, kDelta, cost, windows);
+    benchmark::DoNotOptimize(windows.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * down.size()));
+}
+BENCHMARK(BM_MatchingScanBatched)->Arg(0)->Arg(3)->Arg(5);
+
 void BM_CandidateBuildAndPrune(benchmark::State& state) {
   const Fixture& f = fixture(static_cast<double>(state.range(0)));
   for (auto _ : state) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 
 #include "sscor/correlation/brute_force.hpp"
 #include "sscor/correlation/greedy.hpp"
@@ -19,7 +20,7 @@ namespace {
 /// the best watermark vs the embedded one, plus the pair's matching-window
 /// shape.  Only called when decode tracing is on; the extra window scan
 /// uses a throwaway meter, so the reported cost metric is untouched.
-void record_decode_trace(const WatermarkedFlow& watermarked,
+void record_decode_trace(const Flow& upstream, const Watermark& target,
                          const Flow& suspicious,
                          const CorrelatorConfig& config,
                          const MatchContext* context,
@@ -32,7 +33,6 @@ void record_decode_trace(const WatermarkedFlow& watermarked,
   record.matching_complete = result.matching_complete;
   record.cost_bound_hit = result.cost_bound_hit;
 
-  const Watermark& target = watermarked.watermark;
   if (result.best_watermark.size() == target.size()) {
     record.bit_outcomes.reserve(target.size());
     for (std::size_t bit = 0; bit < target.size(); ++bit) {
@@ -43,10 +43,10 @@ void record_decode_trace(const WatermarkedFlow& watermarked,
     record.bit_outcomes.assign(target.size(), '-');
   }
 
-  record.upstream_packets = watermarked.flow.size();
+  record.upstream_packets = upstream.size();
   record.downstream_packets = suspicious.size();
   record.excess_packets = static_cast<std::int64_t>(suspicious.size()) -
-                          static_cast<std::int64_t>(watermarked.flow.size());
+                          static_cast<std::int64_t>(upstream.size());
 
   std::vector<MatchWindow> scanned;
   std::span<const MatchWindow> windows;
@@ -54,7 +54,7 @@ void record_decode_trace(const WatermarkedFlow& watermarked,
     windows = context->windows();
   } else {
     CostMeter scratch;  // diagnostic scan: never charged to the run
-    scanned = scan_match_windows(watermarked.flow.timestamps(),
+    scanned = scan_match_windows(upstream.timestamps(),
                                  suspicious.timestamps(), config.max_delay,
                                  scratch);
     windows = scanned;
@@ -66,6 +66,23 @@ void record_decode_trace(const WatermarkedFlow& watermarked,
     record.window_max = std::max(record.window_max, width);
   }
   trace::record_decode(std::move(record));
+}
+
+/// The per-run distributional metrics shared by every correlate entry
+/// point: where a detect's packet accesses actually land, plus the
+/// interruption tallies (heavy tails are invisible in process-wide totals).
+void record_run_metrics(const CorrelationResult& result) {
+  static metrics::Histogram& pair_cost =
+      metrics::histogram("correlate.pair_cost");
+  pair_cost.record(result.cost);
+  if (result.interrupted) {
+    static metrics::Counter& interrupted =
+        metrics::counter("correlate.interrupted");
+    static metrics::Counter& cancelled =
+        metrics::counter("correlate.cancelled");
+    interrupted.add();
+    if (result.stop_reason == StopReason::kCancelled) cancelled.add();
+  }
 }
 
 }  // namespace
@@ -165,25 +182,80 @@ CorrelationResult Correlator::correlate(const WatermarkedFlow& watermarked,
   };
   const CorrelationResult result = run();
 
-  // Distributional signals behind the headline counters: where a detect's
-  // packet accesses actually land, per run (heavy tails are invisible in
-  // the process-wide totals).  Latency flushes via latency_guard so aborted
-  // runs are measured too.
-  static metrics::Histogram& pair_cost =
-      metrics::histogram("correlate.pair_cost");
-  pair_cost.record(result.cost);
-  if (result.interrupted) {
-    static metrics::Counter& interrupted =
-        metrics::counter("correlate.interrupted");
-    static metrics::Counter& cancelled =
-        metrics::counter("correlate.cancelled");
-    interrupted.add();
-    if (result.stop_reason == StopReason::kCancelled) cancelled.add();
-  }
+  // Latency flushes via latency_guard so aborted runs are measured too.
+  record_run_metrics(result);
   if (trace::decode_enabled()) {
-    record_decode_trace(watermarked, suspicious, config_, context, result);
+    record_decode_trace(watermarked.flow, watermarked.watermark, suspicious,
+                        config_, context, result);
   }
   return result;
+}
+
+CorrelationResult Correlator::correlate_prepared(
+    const WatermarkedFlow& watermarked, const Flow& suspicious,
+    const MatchContext& context, const batch::SoaPlan* plan) const {
+  static metrics::Counter& hits = metrics::counter("match_context.hits");
+  static metrics::Counter& misses = metrics::counter("match_context.misses");
+  if (!context.matches(watermarked.flow, suspicious, config_.max_delay,
+                       config_.size_constraint)) {
+    // Same tolerance as correlate(): a context for another pair or key is
+    // dropped, not fatal — the caller may hold one context while scanning
+    // many suspects.  (correlate() would double-count the miss.)
+    misses.add();
+    return correlate(watermarked, suspicious, nullptr);
+  }
+  hits.add();
+  TRACE_SPAN("correlate");
+  const LatencyFlusher latency_guard;
+  batch::BatchDecoder decoder(config_);
+  const CorrelationResult result =
+      plan != nullptr
+          ? decoder.decode_one(algorithm_, context, *plan)
+          : decoder.decode_one(
+                algorithm_, context,
+                batch::DecodeHypothesis{&watermarked.schedule,
+                                        &watermarked.watermark});
+  record_run_metrics(result);
+  if (trace::decode_enabled()) {
+    record_decode_trace(watermarked.flow, watermarked.watermark, suspicious,
+                        config_, &context, result);
+  }
+  return result;
+}
+
+std::vector<CorrelationResult> Correlator::correlate_hypotheses(
+    const Flow& upstream, std::span<const batch::DecodeHypothesis> hypotheses,
+    const Flow& suspicious, const MatchContext* context) const {
+  TRACE_SPAN("correlate.batch");
+  const LatencyFlusher latency_guard;  // one sample covers the batch
+  static metrics::Counter& hits = metrics::counter("match_context.hits");
+  static metrics::Counter& misses = metrics::counter("match_context.misses");
+  std::optional<MatchContext> local;
+  if (context != nullptr &&
+      context->matches(upstream, suspicious, config_.max_delay,
+                       config_.size_constraint)) {
+    hits.add();
+  } else {
+    if (context != nullptr) misses.add();
+    local.emplace(MatchContext::build(upstream, suspicious, config_.max_delay,
+                                      config_.size_constraint));
+    context = &*local;
+  }
+
+  batch::BatchDecoder decoder(config_);
+  std::vector<CorrelationResult> results;
+  results.reserve(hypotheses.size());
+  for (const batch::DecodeHypothesis& hypothesis : hypotheses) {
+    const CorrelationResult result =
+        decoder.decode_one(algorithm_, *context, hypothesis);
+    record_run_metrics(result);
+    if (trace::decode_enabled()) {
+      record_decode_trace(upstream, *hypothesis.target, suspicious, config_,
+                          context, result);
+    }
+    results.push_back(result);
+  }
+  return results;
 }
 
 }  // namespace sscor

@@ -19,12 +19,14 @@
 #include "sscor/correlation/greedy_plus.hpp"
 #include "sscor/correlation/greedy_star.hpp"
 #include "sscor/correlation/resilient.hpp"
+#include "sscor/correlation/robust.hpp"
 #include "sscor/experiment/stream_corpus.hpp"
 #include "sscor/experiment/sweep.hpp"
 #include "sscor/flow/flow_io.hpp"
 #include "sscor/stream/stream_engine.hpp"
 #include "sscor/fuzz/alloc_guard.hpp"
 #include "sscor/fuzz/generators.hpp"
+#include "sscor/matching/batch_kernel.hpp"
 #include "sscor/matching/match_context.hpp"
 #include "sscor/pcap/pcap_reader.hpp"
 #include "sscor/pcap/pcapng_reader.hpp"
@@ -635,6 +637,119 @@ std::string result_mismatch(const std::string& label,
   }
   return {};
 }
+
+/// batch_parity: the batched SoA decode engine is byte-identical to the
+/// scalar runners over a shared MatchContext — for every algorithm, the
+/// loss-robust variant, and a multi-hypothesis batch through one reused
+/// workspace (where stale scratch from the previous hypothesis is the
+/// failure mode the scalar engines cannot have).
+class BatchParityOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "batch_parity"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return generate_pipeline_case(rng, /*max_bits=*/4);
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto pipe = build_pipeline(*parsed);
+    if (!pipe) return skip_case();
+
+    const KeySchedule& schedule = pipe->watermarked.schedule;
+    const Watermark& wm = pipe->watermarked.watermark;
+    const Flow& up = pipe->watermarked.flow;
+    const Flow& down = pipe->downstream;
+    const CorrelatorConfig& config = pipe->config;
+    const MatchContext context = MatchContext::build(
+        up, down, config.max_delay, config.size_constraint);
+
+    // One workspace across every check: later decodes run over scratch the
+    // earlier ones dirtied.
+    batch::DecodeWorkspace workspace;
+    batch::BatchDecoder decoder(config, &workspace);
+    const batch::DecodeHypothesis hyp{&schedule, &wm};
+
+    {
+      const auto scalar =
+          run_brute_force(schedule, wm, up, down, config, {}, &context);
+      const auto batched =
+          decoder.decode_one(Algorithm::kBruteForce, context, hyp);
+      if (auto m = result_mismatch("brute-force scalar vs batched", scalar,
+                                   batched);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const DecodePlan plan(schedule, wm);
+      const auto scalar = run_greedy(plan, up, down, config, &context);
+      const auto batched = decoder.decode_one(Algorithm::kGreedy, context, hyp);
+      if (auto m = result_mismatch("greedy scalar vs batched", scalar, batched);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto scalar =
+          run_greedy_plus(schedule, wm, up, down, config, &context);
+      const auto batched =
+          decoder.decode_one(Algorithm::kGreedyPlus, context, hyp);
+      if (auto m = result_mismatch("greedy+ scalar vs batched", scalar,
+                                   batched);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto scalar =
+          run_greedy_star(schedule, wm, up, down, config, &context);
+      const auto batched =
+          decoder.decode_one(Algorithm::kGreedyStar, context, hyp);
+      if (auto m = result_mismatch("greedy* scalar vs batched", scalar,
+                                   batched);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    {
+      const auto scalar = run_greedy_plus_robust(schedule, wm, up, down,
+                                                 config, {}, &context);
+      const auto batched = decoder.robust(context, hyp, {});
+      if (auto m = result_mismatch("robust scalar vs batched", scalar,
+                                   batched);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+
+    // Multi-hypothesis batch: the embedded watermark plus its bitwise
+    // complement through decode(); each result must equal a scalar run of
+    // that hypothesis.
+    std::vector<std::uint8_t> flipped_bits;
+    for (std::size_t bit = 0; bit < wm.size(); ++bit) {
+      flipped_bits.push_back(static_cast<std::uint8_t>(1 - wm.bit(bit)));
+    }
+    const Watermark flipped(std::move(flipped_bits));
+    const batch::DecodeHypothesis hypotheses[] = {{&schedule, &wm},
+                                                  {&schedule, &flipped}};
+    const auto batched =
+        decoder.decode(Algorithm::kGreedyPlus, context, hypotheses);
+    const CorrelationResult scalars[] = {
+        run_greedy_plus(schedule, wm, up, down, config, &context),
+        run_greedy_plus(schedule, flipped, up, down, config, &context)};
+    for (std::size_t i = 0; i < 2; ++i) {
+      if (auto m = result_mismatch(
+              "greedy+ hypothesis " + std::to_string(i) + " in batch",
+              scalars[i], batched[i]);
+          !m.empty()) {
+        return violation(std::move(m));
+      }
+    }
+    return {};
+  }
+};
 
 /// resilient_parity: whatever tier the fallback ladder lands on, its result
 /// must be byte-identical to running that tier's algorithm directly under
@@ -1540,6 +1655,7 @@ std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
   oracles.push_back(std::make_unique<QimRoundtripOracle>());
   oracles.push_back(std::make_unique<DifferentialOracle>());
   oracles.push_back(std::make_unique<CacheParityOracle>());
+  oracles.push_back(std::make_unique<BatchParityOracle>());
   oracles.push_back(std::make_unique<ResilientParityOracle>());
   oracles.push_back(std::make_unique<ChaosDecodeOracle>());
   oracles.push_back(std::make_unique<ChaosSweepOracle>());

@@ -13,7 +13,7 @@
 //                    out-of-clamp — the shrinker legitimately produces
 //                    such payloads and they count as passes).
 //
-// The ten oracles:
+// The eleven oracles:
 //
 //   qim_roundtrip    embed → decode of the QIM scheme is exact whenever all
 //                    IPDs exceed 2*step (no FIFO cascade).  Catches the
@@ -25,6 +25,10 @@
 //                    watermark.
 //   cache_parity     every algorithm returns byte-identical results with a
 //                    cached MatchContext and with a cold matching run.
+//   batch_parity     the batched SoA decode engine equals the scalar
+//                    runners over a shared context — every algorithm, the
+//                    robust variant, and multi-hypothesis batches through
+//                    one reused workspace.
 //   resilient_parity whatever tier the fallback ladder lands on equals that
 //                    algorithm run directly under the same budget; with
 //                    resilience disabled the ladder collapses to the plain
@@ -88,7 +92,7 @@ class Oracle {
   virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
 };
 
-/// All ten oracles, in the round-robin order the fuzzer drives them.
+/// All eleven oracles, in the round-robin order the fuzzer drives them.
 std::vector<std::unique_ptr<Oracle>> make_default_oracles();
 
 /// Deterministic regression payloads reproducing the historical bugs this

@@ -22,7 +22,8 @@ CandidateSets CandidateSets::build(const Flow& upstream,
 CandidateSets CandidateSets::build_from_windows(
     std::span<const MatchWindow> windows, const Flow& upstream,
     const Flow& downstream, const std::optional<SizeConstraint>& size,
-    std::span<const std::uint32_t> up_quantized, CostMeter& cost) {
+    std::span<const std::uint32_t> up_quantized, CostMeter& cost,
+    std::span<const std::uint32_t> down_quantized) {
   CandidateSets out;
   out.ranges_.resize(windows.size());
   std::size_t total = 0;
@@ -47,8 +48,12 @@ CandidateSets CandidateSets::build_from_windows(
             : up_quantized[i];
     for (std::uint32_t j = window.lo; j < window.hi; ++j) {
       cost.count();  // examining the candidate's size is a packet access
-      if (traffic::quantize_size(downstream.packet(j).size,
-                                 size->block_bytes) == quantized_up) {
+      const std::uint32_t quantized_down =
+          down_quantized.empty()
+              ? traffic::quantize_size(downstream.packet(j).size,
+                                       size->block_bytes)
+              : down_quantized[j];
+      if (quantized_down == quantized_up) {
         flat.push_back(j);
       }
     }
@@ -70,44 +75,49 @@ std::size_t CandidateSets::empty_count() const {
                     [](const Range& r) { return r.begin == r.end; }));
 }
 
+// Both prune passes only ever narrow each range over the immutable flat
+// array, so the loops below run on a raw pointer with local cursors and
+// charge the meter once per range with the pointer distance — one access
+// per dropped candidate plus one for reading the surviving extreme, the
+// same totals the previous per-element counting produced.
+
 bool CandidateSets::prune_allowing_gaps(CostMeter& cost,
                                         std::size_t max_empty) {
   std::size_t empties = empty_count();
   if (empties > max_empty) return false;
 
+  const std::uint32_t* flat = flat_->data();
   std::int64_t floor = -1;
   for (auto& range : ranges_) {
     if (range.begin == range.end) continue;
-    while (range.begin != range.end &&
-           static_cast<std::int64_t>((*flat_)[range.begin]) <= floor) {
-      cost.count();
-      ++range.begin;
-    }
-    cost.count();
-    if (range.begin == range.end) {
+    std::size_t b = range.begin;
+    const std::size_t e = range.end;
+    while (b != e && static_cast<std::int64_t>(flat[b]) <= floor) ++b;
+    cost.count(b - range.begin + 1);
+    range.begin = b;
+    if (b == e) {
       // A packet just lost its last candidate: treat it as lost too, if
       // the budget allows.
       if (++empties > max_empty) return false;
       continue;
     }
-    floor = (*flat_)[range.begin];
+    floor = flat[b];
   }
 
   std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
   for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
     Range& range = *it;
     if (range.begin == range.end) continue;
-    while (range.begin != range.end &&
-           static_cast<std::int64_t>((*flat_)[range.end - 1]) >= ceiling) {
-      cost.count();
-      --range.end;
-    }
-    cost.count();
-    if (range.begin == range.end) {
+    const std::size_t b = range.begin;
+    std::size_t e = range.end;
+    while (e != b && static_cast<std::int64_t>(flat[e - 1]) >= ceiling) --e;
+    cost.count(range.end - e + 1);
+    range.end = e;
+    if (b == e) {
       if (++empties > max_empty) return false;
       continue;
     }
-    ceiling = (*flat_)[range.end - 1];
+    ceiling = flat[e - 1];
   }
   pruned_ = true;
   return true;
@@ -116,30 +126,29 @@ bool CandidateSets::prune_allowing_gaps(CostMeter& cost,
 bool CandidateSets::prune(CostMeter& cost) {
   // Forward pass: the i-th packet's candidate must exceed the smallest
   // feasible candidate of packet i-1, so drop any prefix at or below it.
+  const std::uint32_t* flat = flat_->data();
   std::int64_t floor = -1;
   for (auto& range : ranges_) {
-    while (range.begin != range.end &&
-           static_cast<std::int64_t>((*flat_)[range.begin]) <= floor) {
-      cost.count();
-      ++range.begin;
-    }
-    cost.count();  // reading the new minimum
-    if (range.begin == range.end) return false;
-    floor = (*flat_)[range.begin];
+    std::size_t b = range.begin;
+    const std::size_t e = range.end;
+    while (b != e && static_cast<std::int64_t>(flat[b]) <= floor) ++b;
+    cost.count(b - range.begin + 1);  // drops + reading the new minimum
+    range.begin = b;
+    if (b == e) return false;
+    floor = flat[b];
   }
 
   // Backward pass: symmetric, with strictly decreasing maxima.
   std::int64_t ceiling = std::numeric_limits<std::int64_t>::max();
   for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
     Range& range = *it;
-    while (range.begin != range.end &&
-           static_cast<std::int64_t>((*flat_)[range.end - 1]) >= ceiling) {
-      cost.count();
-      --range.end;
-    }
-    cost.count();
-    if (range.begin == range.end) return false;
-    ceiling = (*flat_)[range.end - 1];
+    const std::size_t b = range.begin;
+    std::size_t e = range.end;
+    while (e != b && static_cast<std::int64_t>(flat[e - 1]) >= ceiling) --e;
+    cost.count(range.end - e + 1);
+    range.end = e;
+    if (b == e) return false;
+    ceiling = flat[e - 1];
   }
   pruned_ = true;
   return true;

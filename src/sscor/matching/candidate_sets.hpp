@@ -42,12 +42,17 @@ class CandidateSets {
   /// watermark-independent scan output that MatchContext caches).
   /// `up_quantized` may supply the upstream packets' pre-quantized sizes
   /// (one entry per upstream packet) so repeated builds skip the upstream
-  /// quantization; pass empty to quantize inline.  Cost accounting is
-  /// identical to build(): only downstream size reads count.
+  /// quantization; pass empty to quantize inline.  `down_quantized` may
+  /// likewise supply the downstream packets' pre-quantized sizes (one
+  /// entry per downstream packet, from MatchContext's flat kernel sweep) so
+  /// the overlapping windows stop re-quantizing the same packet.  Cost
+  /// accounting is identical to build() either way: each *examined*
+  /// downstream candidate still counts one size read.
   static CandidateSets build_from_windows(
       std::span<const MatchWindow> windows, const Flow& upstream,
       const Flow& downstream, const std::optional<SizeConstraint>& size,
-      std::span<const std::uint32_t> up_quantized, CostMeter& cost);
+      std::span<const std::uint32_t> up_quantized, CostMeter& cost,
+      std::span<const std::uint32_t> down_quantized = {});
 
   std::size_t upstream_size() const { return ranges_.size(); }
 

@@ -1,5 +1,6 @@
 #include "sscor/matching/match_context.hpp"
 
+#include "sscor/matching/batch_kernels.hpp"
 #include "sscor/traffic/size_model.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/trace.hpp"
@@ -18,9 +19,10 @@ MatchContext MatchContext::build(const Flow& upstream, const Flow& downstream,
   // The build meter records exactly what a cold run of CandidateSets::build
   // would have counted: the window scan plus the size-filter reads.
   CostMeter build_meter;
-  ctx.windows_ = scan_match_windows(upstream.timestamps(),
-                                    downstream.timestamps(), max_delay,
-                                    build_meter);
+  // Tight-loop scan: identical windows and access counts to
+  // scan_match_windows (a tested property), minus the per-element counting.
+  scan_match_windows_batched(upstream.timestamps(), downstream.timestamps(),
+                             max_delay, build_meter, ctx.windows_);
   if (size) {
     ctx.up_quantized_.reserve(upstream.size());
     for (std::size_t i = 0; i < upstream.size(); ++i) {
@@ -30,10 +32,22 @@ MatchContext MatchContext::build(const Flow& upstream, const Flow& downstream,
       ctx.up_quantized_.push_back(traffic::quantize_size(
           upstream.packet(i).size, size->block_bytes));
     }
+    // One flat sweep over the suspicious flow's sizes.  Each *examined*
+    // candidate below still counts one access, so the pre-quantization only
+    // removes the repeated divisions, never a counted read.
+    std::vector<std::uint32_t> down_sizes;
+    down_sizes.reserve(downstream.size());
+    for (std::size_t j = 0; j < downstream.size(); ++j) {
+      down_sizes.push_back(downstream.packet(j).size);
+    }
+    ctx.down_quantized_.resize(down_sizes.size());
+    batch::kernels::quantize_sizes(down_sizes.data(), size->block_bytes,
+                                   ctx.down_quantized_.data(),
+                                   down_sizes.size());
   }
   ctx.built_sets_ = CandidateSets::build_from_windows(
       ctx.windows_, upstream, downstream, size, ctx.up_quantized_,
-      build_meter);
+      build_meter, ctx.down_quantized_);
   ctx.build_cost_ = build_meter.accesses();
   ctx.complete_ = ctx.built_sets_.complete();
 

@@ -94,6 +94,16 @@ class MatchContext {
     return up_quantized_;
   }
 
+  /// Downstream packet sizes quantized to the size constraint's block
+  /// (empty without a size constraint), computed in one flat kernel sweep.
+  /// Overlapping windows examine the same downstream packet many times;
+  /// the sweep replaces each re-quantization with an array read.  The cost
+  /// metric is unchanged: build_from_windows still counts one access per
+  /// examined candidate.
+  std::span<const std::uint32_t> downstream_quantized_sizes() const {
+    return down_quantized_;
+  }
+
   /// Candidate sets after build, before pruning (what Brute Force with
   /// pruning disabled and the robust gap-aware pruning start from).
   const CandidateSets& built_sets() const { return built_sets_; }
@@ -123,6 +133,7 @@ class MatchContext {
   MatchContextKey key_;
   std::vector<MatchWindow> windows_;
   std::vector<std::uint32_t> up_quantized_;
+  std::vector<std::uint32_t> down_quantized_;
   CandidateSets built_sets_;
   CandidateSets pruned_sets_;
   bool complete_ = false;

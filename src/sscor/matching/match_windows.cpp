@@ -89,6 +89,36 @@ std::vector<MatchWindow> scan_match_windows_paper_heuristic(
   return windows;
 }
 
+void scan_match_windows_batched(std::span<const TimeUs> upstream,
+                                std::span<const TimeUs> downstream,
+                                DurationUs max_delay, CostMeter& cost,
+                                std::vector<MatchWindow>& out) {
+  require(max_delay >= 0, "maximum delay must be non-negative");
+  out.clear();
+  out.resize(upstream.size());
+  const TimeUs* __restrict down = downstream.data();
+  const auto m = static_cast<std::uint32_t>(downstream.size());
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  std::uint64_t counted = 0;
+  for (std::size_t i = 0; i < upstream.size(); ++i) {
+    const TimeUs t = upstream[i];
+    // Each reference-scan loop iteration counts one access: every advance,
+    // plus the final probe that stopped the pointer — unless the pointer
+    // ran off the end, where the reference loop exits uncounted.
+    const std::uint32_t lo_start = lo;
+    while (lo < m && down[lo] < t) ++lo;
+    counted += (lo - lo_start) + (lo < m ? 1 : 0);
+    if (hi < lo) hi = lo;
+    const std::uint32_t hi_start = hi;
+    const TimeUs limit = t + max_delay;
+    while (hi < m && down[hi] <= limit) ++hi;
+    counted += (hi - hi_start) + (hi < m ? 1 : 0);
+    out[i] = MatchWindow{lo, hi};
+  }
+  cost.count(counted);
+}
+
 MatchWindow find_match_window(TimeUs upstream_time,
                               std::span<const TimeUs> downstream,
                               DurationUs max_delay, CostMeter& cost) {

@@ -47,6 +47,18 @@ std::vector<MatchWindow> scan_match_windows_paper_heuristic(
     std::span<const TimeUs> upstream, std::span<const TimeUs> downstream,
     DurationUs max_delay, CostMeter& cost);
 
+/// Tight-loop variant of scan_match_windows for the batched decode engine:
+/// identical windows and identical access counts, but the per-element
+/// cost.count() calls are replaced by arithmetic on the pointer distances
+/// (one bulk count at the end) and the output reuses `out`'s storage, so
+/// repeated scans allocate nothing.  MatchContext::build scans through this
+/// entry point; scan_match_windows stays as the counting reference the
+/// parity tests compare against.
+void scan_match_windows_batched(std::span<const TimeUs> upstream,
+                                std::span<const TimeUs> downstream,
+                                DurationUs max_delay, CostMeter& cost,
+                                std::vector<MatchWindow>& out);
+
 /// Computes the matching window of a single timestamp by binary search —
 /// O(log m) accesses.  Used by the standalone Greedy algorithm, which only
 /// needs the embedding packets' windows and therefore avoids the full scan

@@ -31,7 +31,13 @@
 #      ASan/UBSan (incremental == batch, byte for byte — DESIGN.md §12),
 #      then an end-to-end `sscor_tool watch` replay of a generated corpus
 #      capture with --metrics-json/--trace-spans, both outputs validated
-#      with trace_check, plus a BENCH_stream.json throughput baseline.
+#      with trace_check, plus a BENCH_stream.json throughput baseline;
+#   8. batched decode kernel: 600 batch_parity oracle iterations under
+#      ASan/UBSan (scalar vs batched SoA decode byte-identical for every
+#      correlator, cost included — DESIGN.md §13), a batch_decode bench
+#      smoke under the sanitized -DSSCOR_SIMD=ON tree, then a separate
+#      -DSSCOR_SIMD=OFF tree whose scalar-dispatch batch_kernel_test and
+#      batch_decode smoke must produce the same byte-identical results.
 #
 # Every step runs under its own timeout(1) budget — a hung build or a
 # wedged decode fails that step instead of stalling the whole run — and
@@ -40,12 +46,14 @@
 # yields a complete report.  Exit status is 0 iff every step passed.
 #
 # Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
+#                            [scalar-build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 tsan_dir="${2:-$repo_root/build-tsan}"
 asan_dir="${3:-$repo_root/build-asan}"
+scalar_dir="${4:-$repo_root/build-scalar}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 step_1() {  # default build + full test suite
@@ -69,6 +77,7 @@ step_2() {  # ThreadSanitizer build + concurrency smoke tests
 step_3() {  # ASan/UBSan build + match-context parity + bench smoke
   cmake -B "$asan_dir" -S "$repo_root" \
     -DSSCOR_SANITIZE=address,undefined \
+    -DSSCOR_SIMD=ON \
     -DSSCOR_BUILD_EXAMPLES=OFF
   cmake --build "$asan_dir" -j "$jobs" \
     --target match_context_test parallel_determinism_test decode_cache
@@ -177,6 +186,32 @@ step_7() {  # streaming smoke: parity fuzz + watch e2e + throughput baseline
     --json="$build_dir/BENCH_stream.json"
 }
 
+step_8() {  # batched decode kernel: parity fuzz + SIMD on/off bench smoke
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz batch_decode
+  # 600 batch_parity iterations under ASan/UBSan: every correlator's
+  # batched SoA decode (and the multi-hypothesis entry point) must be
+  # byte-identical to the scalar path, the paper's cost metric included.
+  "$asan_dir/tools/sscor_fuzz" --oracle batch_parity \
+    --iterations 600 --seed 1 --artifacts "$asan_dir/batch-artifacts"
+  # Vectorized-dispatch smoke (the asan tree configures -DSSCOR_SIMD=ON):
+  # batch_decode exits nonzero unless every batched CorrelationResult is
+  # field-identical to the per-hypothesis scalar pass.
+  "$asan_dir/bench/batch_decode" --pairs=2 --packets=400 --hypotheses=4 \
+    --reps=1 --json="$asan_dir/BENCH_batch_decode.json"
+  # Scalar-dispatch tree: -DSSCOR_SIMD=OFF flips the default kernel
+  # dispatch to the reference variants; the parity suite and the bench's
+  # built-in identity check must still pass bit for bit.
+  cmake -B "$scalar_dir" -S "$repo_root" \
+    -DSSCOR_SIMD=OFF \
+    -DSSCOR_BUILD_EXAMPLES=OFF
+  cmake --build "$scalar_dir" -j "$jobs" \
+    --target batch_kernel_test batch_decode
+  ctest --test-dir "$scalar_dir" --output-on-failure -j "$jobs" \
+    -R 'BatchKernel'
+  "$scalar_dir/bench/batch_decode" --pairs=2 --packets=400 --hypotheses=4 \
+    --reps=1 --json="$scalar_dir/BENCH_batch_decode.json"
+}
+
 step_names=(
   "default build + full test suite"
   "ThreadSanitizer build + concurrency smoke tests"
@@ -185,10 +220,11 @@ step_names=(
   "differential fuzz smoke under ASan/UBSan"
   "chaos harness: seeded fault injection under ASan/UBSan"
   "streaming smoke: parity fuzz + watch e2e + throughput baseline"
+  "batched decode kernel: parity fuzz + SIMD on/off bench smoke"
 )
 # Per-step wall-clock budgets (seconds).  Generous: these exist to convert
 # a hang into a step failure, not to race the machine.
-step_timeouts=(2400 1800 1800 600 2400 2400 1200)
+step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800)
 
 # Self-reexec dispatcher: `timeout` runs an external command, so each step
 # re-enters this script with --step N and the same directory arguments.
@@ -198,25 +234,26 @@ if [[ "${1:-}" == "--step" ]]; then
   build_dir="${1:-$repo_root/build}"
   tsan_dir="${2:-$repo_root/build-tsan}"
   asan_dir="${3:-$repo_root/build-asan}"
+  scalar_dir="${4:-$repo_root/build-scalar}"
   "step_${step_n}"
   exit 0
 fi
 
 overall=0
 step_results=()
-for n in 1 2 3 4 5 6 7; do
+for n in 1 2 3 4 5 6 7 8; do
   name="${step_names[$((n - 1))]}"
   limit="${step_timeouts[$((n - 1))]}"
-  echo "== [$n/7] $name (timeout ${limit}s) =="
+  echo "== [$n/8] $name (timeout ${limit}s) =="
   if timeout --foreground --kill-after=30 "$limit" \
-    "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir"; then
-    step_results+=("PASS  [$n/7] $name")
+    "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir" "$scalar_dir"; then
+    step_results+=("PASS  [$n/8] $name")
   else
     rc=$?
     if [[ $rc -eq 124 ]]; then
-      step_results+=("FAIL  [$n/7] $name (timed out after ${limit}s)")
+      step_results+=("FAIL  [$n/8] $name (timed out after ${limit}s)")
     else
-      step_results+=("FAIL  [$n/7] $name (exit $rc)")
+      step_results+=("FAIL  [$n/8] $name (exit $rc)")
     fi
     overall=1
   fi
