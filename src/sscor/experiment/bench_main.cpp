@@ -104,10 +104,22 @@ BenchOptions parse_bench_options(int argc, char** argv,
 }
 
 void write_metrics_json(const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open metrics JSON output: " + path);
-  out << metrics::snapshot().to_json();
-  if (!out) throw IoError("failed writing metrics JSON: " + path);
+  // Written atomically (temp file + rename) because the watch daemon
+  // rewrites this file mid-run while a monitoring job may be reading it: a
+  // reader must see the previous complete snapshot or the new one, never a
+  // truncated JSON prefix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw IoError("cannot open metrics JSON output: " + tmp);
+    out << metrics::snapshot().to_json();
+    out.flush();
+    if (!out) throw IoError("failed writing metrics JSON: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename " + tmp + " to " + path);
+  }
 }
 
 int run_figure_bench(const std::string& figure_id, const std::string& title,

@@ -1,0 +1,111 @@
+#include "sscor/net/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sscor/net/stats_server.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::net {
+namespace {
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& path, int timeout_ms) {
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("http_get host must be an IPv4 address: " + host);
+  }
+
+  const Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) throw IoError("http_get: socket() failed");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw IoError("http_get: cannot connect to " + host + ":" +
+                  std::to_string(port) + " (" + std::strerror(errno) + ")");
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd.get(), request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) throw IoError("http_get: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) throw IoError("http_get: receive failed or timed out");
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    throw IoError("http_get: malformed response (no status line)");
+  }
+  const auto sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    throw IoError("http_get: malformed status line");
+  }
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  if (result.status < 100 || result.status > 599) {
+    throw IoError("http_get: malformed status code");
+  }
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw IoError("http_get: response has no header terminator");
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+HttpResult http_get_url(const std::string& url, int timeout_ms) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    throw InvalidArgument("only http:// URLs are supported: " + url);
+  }
+  const std::string rest = url.substr(scheme.size());
+  const auto slash = rest.find('/');
+  const std::string authority =
+      slash == std::string::npos ? rest : rest.substr(0, slash);
+  const std::string path =
+      slash == std::string::npos ? "/" : rest.substr(slash);
+  const HostPort hp = parse_host_port(authority);
+  return http_get(hp.host, hp.port, path, timeout_ms);
+}
+
+}  // namespace sscor::net

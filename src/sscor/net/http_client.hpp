@@ -1,0 +1,31 @@
+// Tiny blocking HTTP GET client — the consumer side of the stats server.
+//
+// `sscor_tool top`, the telemetry tests, and `trace_check --fetch` all
+// need to read an endpoint without assuming curl exists in the
+// environment.  Like the server, this is deliberately minimal: IPv4,
+// HTTP/1.1 with Connection: close, reads to EOF, bounded by socket
+// timeouts.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sscor::net {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Fetches http://host:port/path.  `host` must be an IPv4 dotted quad or
+/// "localhost".  Throws IoError on connect/transport failure or an
+/// unparsable response; an HTTP error status is returned, not thrown.
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& path, int timeout_ms = 2000);
+
+/// Splits "http://HOST:PORT/PATH" (PATH optional, defaults to "/") and
+/// fetches it.  Throws InvalidArgument on any other URL shape.
+HttpResult http_get_url(const std::string& url, int timeout_ms = 2000);
+
+}  // namespace sscor::net

@@ -1,0 +1,216 @@
+#include "sscor/net/stats_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace sscor::net {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+void set_socket_timeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+HostPort parse_host_port(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw InvalidArgument("expected HOST:PORT, got \"" + spec + "\"");
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  unsigned value = 0;
+  const auto [end, ec] =
+      std::from_chars(port.data(), port.data() + port.size(), value);
+  if (ec != std::errc() || end != port.data() + port.size() ||
+      value > 65535) {
+    throw InvalidArgument("invalid port in \"" + spec +
+                          "\" (need an integer in [0, 65535])");
+  }
+  hp.port = static_cast<std::uint16_t>(value);
+  if (hp.host == "localhost") hp.host = "127.0.0.1";
+  in_addr probe{};
+  if (::inet_pton(AF_INET, hp.host.c_str(), &probe) != 1) {
+    throw InvalidArgument("invalid host in \"" + spec +
+                          "\" (need an IPv4 address or localhost)");
+  }
+  return hp;
+}
+
+StatsServer::~StatsServer() { stop(); }
+
+void StatsServer::handle(const std::string& path, Handler handler) {
+  require(!running(), "register handlers before start()");
+  handlers_[path] = std::move(handler);
+}
+
+void StatsServer::start(const std::string& host, std::uint16_t port) {
+  require(!running(), "stats server already started");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (resolved.empty() || resolved == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("stats server host must be an IPv4 address: " +
+                          host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("stats server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("stats server: cannot bind " + host + ":" +
+                  std::to_string(port) + " (" + std::strerror(err) + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError(std::string("stats server: listen() failed (") +
+                  std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void StatsServer::stop() {
+  if (!running()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock accept(): shutdown wakes it on Linux, close guarantees it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+void StatsServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket gone
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void StatsServer::handle_connection(int fd) {
+  set_socket_timeouts(fd);
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  const auto line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    HttpRequest parsed;
+    parsed.method = line.substr(0, sp1);
+    parsed.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto query = parsed.path.find('?');
+    if (query != std::string::npos) parsed.path.resize(query);
+    if (parsed.method != "GET" && parsed.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else {
+      const auto it = handlers_.find(parsed.path);
+      if (it == handlers_.end()) {
+        response.status = 404;
+        response.body = "no such endpoint: " + parsed.path + "\n";
+      } else {
+        try {
+          response = it->second(parsed);
+        } catch (const std::exception& e) {
+          response = HttpResponse{};
+          response.status = 500;
+          response.body = std::string("handler error: ") + e.what() + "\n";
+        }
+      }
+    }
+    if (parsed.method == "HEAD") response.body.clear();
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " +
+                    std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + response.body;
+  send_all(fd, out);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics::counter("stats_server.requests").add();
+}
+
+}  // namespace sscor::net

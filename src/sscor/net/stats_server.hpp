@@ -1,0 +1,91 @@
+// Minimal dependency-free HTTP/1.x server for the live ops surface.
+//
+// The streaming daemon must be observable without restarting it: a scraper
+// (Prometheus, curl, `sscor_tool top`) connects to --stats-addr and reads
+// /metrics, /healthz or /statusz.  The server is deliberately tiny — plain
+// POSIX sockets, GET only, one connection at a time, Connection: close —
+// because its only job is serving a few kilobytes of telemetry a few times
+// a second.  The accept loop runs on one dedicated thread (the shared
+// worker pool runs the engine's data-parallel flushes; parking a blocking
+// accept on it would steal a flush worker for the process lifetime), and
+// every handler runs on that thread, so handlers must be thread-safe
+// against the engine — the telemetry layer reads only atomics and
+// mutex-guarded status copies.
+//
+// Sockets get short send/receive timeouts so a stuck client costs the
+// server a bounded stall, never a wedge.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace sscor::net {
+
+/// A numeric listen address, parsed from "HOST:PORT" ("127.0.0.1:9100").
+/// HOST must be an IPv4 dotted quad or "localhost"; PORT 0 binds an
+/// ephemeral port (the server reports the actual one).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Throws InvalidArgument on anything but HOST:PORT with a valid port.
+HostPort parse_host_port(const std::string& spec);
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  ///< request target with any ?query stripped
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class StatsServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  StatsServer() = default;
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers the handler serving GET `path` (exact match).  Register
+  /// every handler before start(); unknown paths get 404.
+  void handle(const std::string& path, Handler handler);
+
+  /// Binds host:port (throws IoError on bind failure) and starts the
+  /// accept thread.  With port 0 the kernel picks a free port — read it
+  /// back via port().
+  void start(const std::string& host, std::uint16_t port);
+
+  /// Stops accepting, joins the accept thread (idempotent).
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace sscor::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sscor/util/error.hpp"
+#include "sscor/util/event_log.hpp"
 
 namespace sscor::stream {
 
@@ -74,6 +75,15 @@ FlowEntry* FlowTable::touch(std::size_t shard, const net::FiveTuple& tuple,
     // the silence, independent of whether other traffic swept the shard in
     // the meantime — self-expiry is a pure function of the flow's own
     // timing, so a gap splits the flow identically for any shard count.
+    if (eventlog::enabled()) {
+      eventlog::emit(eventlog::Severity::kInfo, "flow.ttl_split",
+                     {{"tuple", tuple.to_string()},
+                      {"old_flow_seq", it->second->first_seen_seq},
+                      {"new_flow_seq", seq},
+                      {"gap_us", static_cast<std::int64_t>(
+                                     packet.timestamp -
+                                     it->second->last_seen)}});
+    }
     evict(s, it->second.get(), EvictionCause::kIdle, evicted);
     it = s.flows.end();
   }

@@ -1,14 +1,31 @@
 #include "sscor/stream/stream_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "sscor/util/error.hpp"
+#include "sscor/util/event_log.hpp"
 #include "sscor/util/metrics.hpp"
 #include "sscor/util/parallel.hpp"
 #include "sscor/util/trace.hpp"
 
 namespace sscor::stream {
+namespace {
+
+/// Monotonic clock in microseconds — used only for telemetry freshness
+/// (pressure age, hottest-flow walk throttle), never for correlation.
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A pressure eviction younger than this marks the onset of a new
+/// overload episode (one kWarn event per episode, not per eviction).
+constexpr std::int64_t kPressureEpisodeUs = 5'000'000;
+
+}  // namespace
 
 const char* to_string(VerdictKind kind) {
   switch (kind) {
@@ -36,6 +53,12 @@ struct StreamEngine::FlowState : FlowUserState {
 struct StreamEngine::ShardState {
   std::vector<std::pair<std::uint64_t, StreamPacket>> pending;
   std::vector<StreamVerdict> verdicts;
+  /// Lifetime verdict tallies, owned by the shard like everything else
+  /// here (only its worker writes them; the serial publish points read
+  /// them after the parallel phase joins).
+  std::uint64_t verdicts_emitted = 0;
+  std::uint64_t tally_by_kind[4] = {0, 0, 0, 0};
+  std::uint64_t tally_early = 0;
 };
 
 StreamEngine::StreamEngine(std::vector<WatermarkedFlow> upstreams,
@@ -51,6 +74,8 @@ StreamEngine::StreamEngine(std::vector<WatermarkedFlow> upstreams,
   for (std::size_t i = 0; i < table_.shard_count(); ++i) {
     shards_.push_back(std::make_unique<ShardState>());
   }
+  status_.upstreams = upstreams_.size();
+  status_.shards.resize(table_.shard_count());
 }
 
 StreamEngine::~StreamEngine() = default;
@@ -75,6 +100,7 @@ void StreamEngine::flush() {
   metrics::histogram("stream.table.occupancy").record(table_.flows());
   metrics::histogram("stream.table.buffered")
       .record(table_.buffered_packets());
+  publish_status();
 }
 
 void StreamEngine::finish() {
@@ -86,6 +112,90 @@ void StreamEngine::finish() {
   parallel_for(
       shards_.size(), [this](std::size_t shard) { finalize_shard(shard); },
       options_.threads);
+  publish_status();
+}
+
+EngineStatus StreamEngine::status() const {
+  EngineStatus out;
+  {
+    const std::lock_guard<std::mutex> lock(status_mutex_);
+    out = status_;
+  }
+  const std::int64_t last = last_pressure_us_.load(std::memory_order_relaxed);
+  out.seconds_since_pressure =
+      last < 0 ? -1.0
+               : static_cast<double>(steady_now_us() - last) / 1e6;
+  return out;
+}
+
+void StreamEngine::publish_status() {
+  EngineStatus status;
+  status.packets_ingested = next_seq_;
+  status.flows_live = table_.flows();
+  status.buffered_packets = table_.buffered_packets();
+  status.upstreams = upstreams_.size();
+  status.finished = finished_;
+  status.shards.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    EngineStatus::Shard& shard = status.shards[i];
+    shard.flows = table_.flows(i);
+    shard.buffered_packets = table_.buffered_packets(i);
+    shard.verdicts = shards_[i]->verdicts_emitted;
+    status.verdicts_positive +=
+        shards_[i]->tally_by_kind[static_cast<int>(VerdictKind::kPositive)];
+    status.verdicts_negative +=
+        shards_[i]->tally_by_kind[static_cast<int>(VerdictKind::kNegative)];
+    status.verdicts_evicted +=
+        shards_[i]->tally_by_kind[static_cast<int>(VerdictKind::kEvicted)];
+    status.verdicts_degraded +=
+        shards_[i]->tally_by_kind[static_cast<int>(VerdictKind::kDegraded)];
+    status.verdicts_early += shards_[i]->tally_early;
+    const std::string prefix = "stream.shard." + std::to_string(i);
+    metrics::gauge(prefix + ".flows")
+        .set(static_cast<std::int64_t>(shard.flows));
+    metrics::gauge(prefix + ".buffered")
+        .set(static_cast<std::int64_t>(shard.buffered_packets));
+  }
+  metrics::gauge("stream.flows.live")
+      .set(static_cast<std::int64_t>(status.flows_live));
+  metrics::gauge("stream.packets.buffered")
+      .set(static_cast<std::int64_t>(status.buffered_packets));
+
+  // The hottest-flow ranking walks every live entry, so throttle it to the
+  // telemetry timescale; flushes can be far more frequent than scrapes.
+  const std::int64_t now_us = steady_now_us();
+  if (options_.status_top_k > 0 &&
+      (finished_ || last_topk_us_ < 0 ||
+       now_us - last_topk_us_ >= 250'000)) {
+    last_topk_us_ = now_us;
+    std::vector<EngineStatus::HotFlow> hot;
+    for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+      table_.for_each(shard, [&](FlowEntry& entry) {
+        EngineStatus::HotFlow flow;
+        flow.tuple = entry.tuple.to_string();
+        flow.flow_seq = entry.first_seen_seq;
+        flow.packets = entry.packets;
+        flow.buffered = entry.buffered;
+        hot.push_back(std::move(flow));
+      });
+    }
+    const std::size_t keep = std::min(options_.status_top_k, hot.size());
+    std::partial_sort(hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(keep),
+                      hot.end(),
+                      [](const EngineStatus::HotFlow& a,
+                         const EngineStatus::HotFlow& b) {
+                        if (a.buffered != b.buffered)
+                          return a.buffered > b.buffered;
+                        if (a.packets != b.packets) return a.packets > b.packets;
+                        return a.flow_seq < b.flow_seq;
+                      });
+    hot.resize(keep);
+    cached_hottest_ = std::move(hot);
+  }
+  status.hottest = cached_hottest_;
+
+  const std::lock_guard<std::mutex> lock(status_mutex_);
+  status_ = std::move(status);
 }
 
 std::vector<StreamVerdict> StreamEngine::drain_verdicts() {
@@ -117,6 +227,11 @@ StreamEngine::FlowState* StreamEngine::ensure_state(FlowEntry& entry) {
     }
     entry.state = std::move(state);
     metrics::counter("stream.flows.created").add();
+    if (eventlog::enabled()) {
+      eventlog::emit(eventlog::Severity::kDebug, "flow.admitted",
+                     {{"tuple", entry.tuple.to_string()},
+                      {"flow_seq", entry.first_seen_seq}});
+    }
   }
   return static_cast<FlowState*>(entry.state.get());
 }
@@ -191,7 +306,7 @@ void StreamEngine::route(std::size_t shard, std::uint64_t seq,
 }
 
 void StreamEngine::emit(std::size_t shard, StreamVerdict verdict) {
-  record_verdict_metrics(verdict);
+  record_verdict_metrics(shard, verdict);
   shards_[shard]->verdicts.push_back(std::move(verdict));
 }
 
@@ -211,6 +326,31 @@ void StreamEngine::handle_evictions(std::size_t shard,
                      to_string(ev.cause))
         .add();
     metrics::histogram("stream.flow.packets").record(ev.packets);
+    if (ev.cause != EvictionCause::kIdle) {
+      // A bound displaced live work: stamp the overload clock (read by
+      // /healthz) and log the onset of a new episode.
+      const std::int64_t now = steady_now_us();
+      const std::int64_t prev =
+          last_pressure_us_.exchange(now, std::memory_order_relaxed);
+      if (eventlog::enabled() &&
+          (prev < 0 || now - prev >= kPressureEpisodeUs)) {
+        eventlog::emit(eventlog::Severity::kWarn, "engine.overload",
+                       {{"cause", to_string(ev.cause)},
+                        {"live_flows",
+                         static_cast<std::uint64_t>(table_.flows(shard))}});
+      }
+    }
+    if (eventlog::enabled()) {
+      eventlog::emit(ev.cause == EvictionCause::kMemory
+                         ? eventlog::Severity::kWarn
+                         : eventlog::Severity::kInfo,
+                     "flow.evicted",
+                     {{"tuple", ev.tuple.to_string()},
+                      {"flow_seq", ev.first_seen_seq},
+                      {"cause", to_string(ev.cause)},
+                      {"packets", ev.packets},
+                      {"tombstone", ev.tombstone}});
+    }
     auto* state = static_cast<FlowState*>(ev.state.get());
     if (state == nullptr) continue;
     // Mirror the batch min_packets filter: a flow this short yields no
@@ -294,12 +434,32 @@ void StreamEngine::finalize_shard(std::size_t shard) {
   });
 }
 
-void StreamEngine::record_verdict_metrics(const StreamVerdict& verdict) {
+void StreamEngine::record_verdict_metrics(std::size_t shard,
+                                          const StreamVerdict& verdict) {
   metrics::counter(std::string("stream.verdicts.") + to_string(verdict.kind))
       .add();
   if (verdict.early) metrics::counter("stream.verdicts.early").add();
   metrics::histogram("stream.verdict.packets_seen")
       .record(verdict.packets_seen);
+  ShardState& state = *shards_[shard];
+  ++state.verdicts_emitted;
+  ++state.tally_by_kind[static_cast<int>(verdict.kind)];
+  if (verdict.early) ++state.tally_early;
+  if (eventlog::enabled()) {
+    eventlog::Severity severity = eventlog::Severity::kDebug;
+    if (verdict.kind == VerdictKind::kPositive) {
+      severity = eventlog::Severity::kInfo;
+    } else if (verdict.kind == VerdictKind::kDegraded) {
+      severity = eventlog::Severity::kWarn;
+    }
+    eventlog::emit(severity, "verdict",
+                   {{"tuple", verdict.tuple.to_string()},
+                    {"flow_seq", verdict.flow_seq},
+                    {"upstream", static_cast<std::uint64_t>(verdict.upstream)},
+                    {"kind", to_string(verdict.kind)},
+                    {"early", verdict.early},
+                    {"packets_seen", verdict.packets_seen}});
+  }
 }
 
 }  // namespace sscor::stream

@@ -33,8 +33,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "sscor/correlation/online.hpp"
@@ -70,6 +73,49 @@ struct StreamVerdict {
   CorrelationResult result;
 };
 
+/// Point-in-time view of the engine for the live ops surface (/statusz,
+/// `sscor_tool top`).  Published under a mutex at the engine's serial
+/// points (end of flush()/finish()), so status() is safe from any thread —
+/// including a stats-server thread scraping mid-ingest — and never touches
+/// shard state concurrently with the workers.  Values are therefore
+/// up-to-date as of the last flush, not the last packet.
+struct EngineStatus {
+  struct Shard {
+    std::size_t flows = 0;
+    std::uint64_t buffered_packets = 0;
+    std::uint64_t verdicts = 0;
+  };
+  /// One of the heaviest live flows (ranked by buffered packets, then
+  /// total packets) — the flows an operator looks at first under memory
+  /// pressure.
+  struct HotFlow {
+    std::string tuple;
+    std::uint64_t flow_seq = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t buffered = 0;
+  };
+
+  std::uint64_t packets_ingested = 0;
+  std::uint64_t flows_live = 0;
+  std::uint64_t buffered_packets = 0;
+  std::size_t upstreams = 0;
+  bool finished = false;
+  std::uint64_t verdicts_positive = 0;
+  std::uint64_t verdicts_negative = 0;
+  std::uint64_t verdicts_evicted = 0;
+  std::uint64_t verdicts_degraded = 0;
+  /// Verdicts decided by a finality proof (subset of the kinds above).
+  std::uint64_t verdicts_early = 0;
+  /// Seconds since a flow was last evicted under a pressure bound
+  /// (flow-count or memory; idle-TTL expiry is normal churn).  Negative
+  /// when no pressure eviction has ever happened.  Unlike the rest of the
+  /// snapshot this is computed at status() time from a wall-clock-free
+  /// monotonic stamp, so /healthz sees pressure end even if no flush runs.
+  double seconds_since_pressure = -1.0;
+  std::vector<Shard> shards;
+  std::vector<HotFlow> hottest;
+};
+
 struct StreamOptions {
   Algorithm algorithm = Algorithm::kGreedyPlus;
   FlowTableConfig table;
@@ -92,6 +138,8 @@ struct StreamOptions {
   /// resilient ladder: when enabled, a pair exceeding its budget degrades
   /// tier by tier instead of stalling the engine (verdict kind kDegraded).
   ResilientOptions admission;
+  /// Hottest flows reported in EngineStatus (0 disables the ranking walk).
+  std::size_t status_top_k = 10;
 };
 
 class StreamEngine {
@@ -122,6 +170,11 @@ class StreamEngine {
   /// (flow_seq, upstream) order; clears the buffer.
   std::vector<StreamVerdict> drain_verdicts();
 
+  /// Copy of the status published at the last flush()/finish() (see
+  /// EngineStatus).  Thread-safe; the one engine entry point a telemetry
+  /// thread may call concurrently with ingest.
+  EngineStatus status() const;
+
   std::uint64_t packets_ingested() const { return next_seq_; }
   std::size_t live_flows() const { return table_.flows(); }
   std::uint64_t buffered_packets() const { return table_.buffered_packets(); }
@@ -140,7 +193,8 @@ class StreamEngine {
   void emit(std::size_t shard, StreamVerdict verdict);
   void flush_held(std::size_t shard, FlowState& state);
   void handle_evictions(std::size_t shard, std::vector<EvictedFlow> evicted);
-  void record_verdict_metrics(const StreamVerdict& verdict);
+  void record_verdict_metrics(std::size_t shard, const StreamVerdict& verdict);
+  void publish_status();
 
   std::vector<std::shared_ptr<const OnlineUpstream>> upstreams_;
   CorrelatorConfig config_;
@@ -150,6 +204,15 @@ class StreamEngine {
   std::uint64_t next_seq_ = 0;
   std::size_t pending_total_ = 0;
   bool finished_ = false;
+
+  mutable std::mutex status_mutex_;
+  EngineStatus status_;
+  /// Monotonic microsecond stamp of the last pressure eviction; -1 =
+  /// never.  Written by workers (relaxed), read by status().
+  std::atomic<std::int64_t> last_pressure_us_{-1};
+  /// Throttle for the O(flows) hottest-flow walk (serial points only).
+  std::int64_t last_topk_us_ = -1;
+  std::vector<EngineStatus::HotFlow> cached_hottest_;
 };
 
 }  // namespace sscor::stream

@@ -1,0 +1,78 @@
+// The live ops surface of the streaming daemon: /metrics, /healthz,
+// /statusz.
+//
+// StreamTelemetry glues the three observer-only layers together — the
+// metrics registry (counters/gauges/histograms), the engine's published
+// EngineStatus, and the HTTP stats server — into the endpoints an operator
+// or scraper consumes:
+//
+//   /metrics  Prometheus text exposition of the whole registry, plus
+//             per-counter rates (packets/s, verdicts/s, evictions/s)
+//             computed between consecutive scrapes by a DeltaTracker;
+//   /healthz  liveness + overload state: "ok" until a pressure eviction
+//             (flow-count or memory bound) happened within the overload
+//             window, then "overloaded" until the window drains;
+//   /statusz  one JSON document for humans and `sscor_tool top`: uptime,
+//             per-shard flow/buffer/verdict tallies, verdict totals and
+//             the hottest flows from the last engine publish.
+//
+// Everything here reads atomics or mutex-guarded copies; nothing touches
+// shard-owned state, so scraping is safe at any moment of a run and
+// cannot change any correlation output (the determinism parity check in
+// tools/run_checks.sh pins exactly that).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sscor/net/stats_server.hpp"
+#include "sscor/stream/stream_engine.hpp"
+#include "sscor/util/gauge.hpp"
+
+namespace sscor::stream {
+
+struct TelemetryOptions {
+  /// /healthz reports "overloaded" while the last pressure eviction is
+  /// younger than this many seconds.
+  double overload_window_s = 5.0;
+};
+
+class StreamTelemetry {
+ public:
+  explicit StreamTelemetry(StreamEngine& engine, TelemetryOptions options = {});
+
+  StreamTelemetry(const StreamTelemetry&) = delete;
+  StreamTelemetry& operator=(const StreamTelemetry&) = delete;
+
+  /// Binds `host:port` (port 0 = ephemeral; read back via port()) and
+  /// starts serving the three endpoints.  Throws IoError on bind failure.
+  void start(const std::string& host, std::uint16_t port);
+  void stop();
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+
+  /// Endpoint bodies, exposed directly so tests and tools can render
+  /// without a socket.  metrics_text() advances the rate tracker (each
+  /// call is "a scrape"); the other two are pure reads.
+  std::string metrics_text();
+  std::string statusz_json() const;
+  std::string healthz_json() const;
+
+  /// True while the engine's last pressure eviction is inside the window.
+  bool overloaded() const;
+
+ private:
+  double uptime_seconds() const;
+
+  StreamEngine& engine_;
+  TelemetryOptions options_;
+  net::StatsServer server_;
+  std::int64_t start_us_ = 0;  ///< steady-clock birth of this surface
+  mutable std::mutex scrape_mutex_;  ///< serialises the DeltaTracker
+  metrics::DeltaTracker tracker_;
+};
+
+}  // namespace sscor::stream

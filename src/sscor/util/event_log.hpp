@@ -1,0 +1,96 @@
+// Structured, rate-limited operational event log (JSONL).
+//
+// Counters tell an operator *how much* is happening; the event log tells
+// them *what* happened: this flow was admitted, that one was evicted under
+// the memory cap, a verdict degraded to a cheaper tier.  Events are JSON
+// objects, one per line, appended to a file an operator can `tail -f` or
+// ship to a log pipeline.
+//
+// Design constraints, in order:
+//   * observer-only — enabling the log must not change any correlation
+//     output.  Events never feed back into the engine;
+//   * cheap when off — call sites guard with `if (eventlog::enabled())`
+//     (one relaxed atomic load), so a daemon without --event-log pays one
+//     branch per event site;
+//   * bounded when on — a flood (eviction storm, verdict burst) must not
+//     turn the log into the bottleneck or fill the disk.  A token bucket
+//     caps sustained volume: severities below kWarn consume one token per
+//     event and are *dropped* (counted, never blocked) when the bucket is
+//     empty; kWarn and kError always pass, so the events that signal
+//     trouble survive exactly when the limiter is busiest.  Drops are
+//     visible as the `eventlog.suppressed` registry counter and the
+//     `suppressed` field of the next emitted record.
+//
+// Timestamps are wall-clock microseconds (system_clock): this is an ops
+// log correlated with the outside world, unlike the deterministic
+// correlation outputs which never touch wall time.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace sscor::eventlog {
+
+enum class Severity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* to_string(Severity severity);
+
+struct Options {
+  /// Events below this severity are ignored outright.
+  Severity min_severity = Severity::kDebug;
+  /// Sustained events/second admitted for severities below kWarn.
+  double tokens_per_second = 500.0;
+  /// Bucket capacity: the burst admitted after a quiet period.
+  double burst = 1000.0;
+};
+
+/// One key/value field of an event.  Values are pre-rendered to their JSON
+/// form at the call site (strings quoted+escaped, numbers/bools raw) so
+/// emit() just concatenates.
+struct Field {
+  Field(std::string_view key, std::string_view value);
+  Field(std::string_view key, const char* value)
+      : Field(key, std::string_view(value)) {}
+  Field(std::string_view key, const std::string& value)
+      : Field(key, std::string_view(value)) {}
+  Field(std::string_view key, std::uint64_t value);
+  Field(std::string_view key, std::int64_t value);
+  Field(std::string_view key, double value);
+  Field(std::string_view key, bool value);
+
+  std::string key;
+  std::string json_value;
+};
+
+/// Opens `path` for appending and enables the log (throws IoError when the
+/// file cannot be opened).  Reconfiguring an open log closes it first.
+void open(const std::string& path, const Options& options = {});
+
+/// Flushes and disables the log (idempotent).
+void close();
+
+/// True when a log is open — the guard call sites use before building
+/// fields.  One relaxed atomic load.
+bool enabled();
+
+/// Appends one event record:
+///   {"ts_us":..., "seq":N, "severity":"...", "event":"...", fields...,
+///    "suppressed":N}   (suppressed only present when nonzero)
+/// Thread-safe; rate-limited as described above.  A no-op when disabled.
+void emit(Severity severity, std::string_view event,
+          std::initializer_list<Field> fields);
+
+/// Records written / records dropped by the rate limiter since open().
+std::uint64_t emitted();
+std::uint64_t suppressed();
+
+}  // namespace sscor::eventlog

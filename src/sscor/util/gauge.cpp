@@ -1,0 +1,34 @@
+#include "sscor/util/gauge.hpp"
+
+#include "sscor/util/metrics.hpp"
+
+namespace sscor::metrics {
+
+std::vector<RateSample> DeltaTracker::update(const Snapshot& snap,
+                                             double now_seconds) {
+  std::vector<RateSample> rates;
+  const double interval = now_seconds - last_seconds_;
+  const bool usable = !first_ && interval > 0.0;
+  if (usable) rates.reserve(snap.counters.size());
+  std::map<std::string, std::uint64_t> current;
+  for (const auto& c : snap.counters) {
+    current.emplace(c.name, c.value);
+    if (!usable) continue;
+    const auto it = previous_.find(c.name);
+    // A counter first seen this scrape, or one that went backwards, is
+    // treated as (re)started from zero at the interval start.
+    const std::uint64_t prev =
+        (it != previous_.end() && it->second <= c.value) ? it->second : 0;
+    RateSample sample;
+    sample.name = c.name;
+    sample.delta = c.value - prev;
+    sample.per_second = static_cast<double>(sample.delta) / interval;
+    rates.push_back(std::move(sample));
+  }
+  previous_ = std::move(current);
+  last_seconds_ = now_seconds;
+  first_ = false;
+  return rates;
+}
+
+}  // namespace sscor::metrics

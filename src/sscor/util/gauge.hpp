@@ -1,0 +1,71 @@
+// Gauges and the snapshot-delta layer for the live ops surface.
+//
+// Counters answer "how many ever"; a running daemon also needs "how many
+// right now" (live flows, buffered packets per shard) and "how fast"
+// (packets/s, verdicts/s, evictions/s between two scrapes).  Gauge is the
+// first: a settable atomic level the engine publishes at flush boundaries,
+// read lock-free by the stats server thread.  DeltaTracker is the second:
+// it remembers the counter values of the previous scrape and turns the
+// next snapshot into per-counter rates, so scrape-to-scrape rates come out
+// of the existing wait-free counters without touching any hot path.
+//
+// Rate semantics follow the Prometheus conventions a scraper expects:
+//   * the first scrape establishes the baseline and yields no rates;
+//   * a counter that went backwards (a registry reset, e.g. between test
+//     cases) is treated as restarted from zero — the delta is the current
+//     value, never negative;
+//   * an interval of zero (or negative, from clock misuse) yields no rates
+//     rather than dividing by it.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sscor::metrics {
+
+struct Snapshot;
+
+/// A settable level (current value, not an accumulating total).  set() and
+/// add() are wait-free relaxed atomics, safe from any thread.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// One counter's activity between two consecutive snapshots.
+struct RateSample {
+  std::string name;          ///< registry counter name
+  std::uint64_t delta = 0;   ///< events since the previous snapshot
+  double per_second = 0.0;   ///< delta / interval
+};
+
+/// Turns successive registry snapshots into per-counter rates (see the
+/// header comment for the first-scrape / counter-reset / zero-interval
+/// rules).  Not thread-safe: the owner (one stats server) serialises
+/// update() calls.
+class DeltaTracker {
+ public:
+  /// `now_seconds` is any monotonic clock reading in seconds (the caller
+  /// supplies it so the math is testable).  Returns one sample per counter
+  /// in `snap`, sorted by name (snapshots are already sorted).
+  std::vector<RateSample> update(const Snapshot& snap, double now_seconds);
+
+ private:
+  bool first_ = true;
+  double last_seconds_ = 0.0;
+  std::map<std::string, std::uint64_t> previous_;
+};
+
+}  // namespace sscor::metrics

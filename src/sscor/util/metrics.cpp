@@ -17,6 +17,7 @@ struct Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<TimerStat>> timers;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
 };
 
 Registry& registry() {
@@ -58,6 +59,14 @@ Histogram& histogram(const std::string& name) {
   return *slot;
 }
 
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Snapshot snapshot() {
   Registry& r = registry();
   Snapshot snap;
@@ -74,6 +83,10 @@ Snapshot snapshot() {
   for (const auto& [name, h] : r.histograms) {
     snap.histograms.push_back({name, h->snapshot()});
   }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
   return snap;
 }
 
@@ -83,6 +96,7 @@ void reset() {
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, t] : r.timers) t->reset();
   for (const auto& [name, h] : r.histograms) h->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
 }
 
 TextTable Snapshot::to_table() const {
@@ -94,6 +108,10 @@ TextTable Snapshot::to_table() const {
   for (const auto& t : timers) {
     table.add_row({"timer", t.name, TextTable::cell(t.count),
                    format_seconds(t.seconds) + "s", "", "", ""});
+  }
+  for (const auto& g : gauges) {
+    table.add_row({"gauge", g.name, "", TextTable::cell(g.value), "", "",
+                   ""});
   }
   for (const auto& h : histograms) {
     table.add_row({"hist", h.name, TextTable::cell(h.data.count),
@@ -138,6 +156,15 @@ std::string Snapshot::to_json() const {
            ", \"p95\": " + std::to_string(h.data.percentile(0.95)) +
            ", \"p99\": " + std::to_string(h.data.percentile(0.99)) +
            ", \"max\": " + std::to_string(h.data.max) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json::append_escaped(out, g.name);
+    out += ": " + std::to_string(g.value);
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "sscor/util/gauge.hpp"
 #include "sscor/util/histogram.hpp"
 #include "sscor/util/table.hpp"
 
@@ -65,12 +66,13 @@ class TimerStat {
   std::atomic<std::int64_t> total_us_{0};
 };
 
-/// Returns the counter / timer / histogram registered under `name`,
-/// creating it on first use.  References remain valid for the process
-/// lifetime.
+/// Returns the counter / timer / histogram / gauge registered under
+/// `name`, creating it on first use.  References remain valid for the
+/// process lifetime.
 Counter& counter(const std::string& name);
 TimerStat& timer(const std::string& name);
 Histogram& histogram(const std::string& name);
+Gauge& gauge(const std::string& name);
 
 /// RAII wall-clock measurement added to timer(name) on destruction.  The
 /// clock is std::chrono::steady_clock (never wall time, which can step) and
@@ -110,16 +112,22 @@ struct Snapshot {
     std::string name;
     HistogramData data;
   };
+  struct GaugeEntry {
+    std::string name;
+    std::int64_t value = 0;
+  };
   std::vector<CounterEntry> counters;
   std::vector<TimerEntry> timers;
   std::vector<HistogramEntry> histograms;
+  std::vector<GaugeEntry> gauges;
 
   /// Renders all sections as one table
   /// (kind | name | count | value | p50 | p95 | p99); the percentile
   /// columns are filled for histograms (value = mean) and empty otherwise.
   TextTable to_table() const;
   /// {"counters": {name: value...}, "timers": {name: {count, seconds}...},
-  ///  "histograms": {name: {count, sum, mean, p50, p95, p99, max}...}}
+  ///  "histograms": {name: {count, sum, mean, p50, p95, p99, max}...},
+  ///  "gauges": {name: value...}}
   std::string to_json() const;
 };
 

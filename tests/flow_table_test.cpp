@@ -5,19 +5,24 @@
 // evicted yield verdicts identical to an unbounded run.
 //
 // The StreamStress suite at the bottom drives concurrent multi-shard
-// ingest and is also run under TSan by run_checks.sh.
+// ingest — with and without a telemetry scraper hammering the stats
+// endpoints — and is also run under TSan by run_checks.sh.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "sscor/experiment/stream_corpus.hpp"
+#include "sscor/net/http_client.hpp"
 #include "sscor/stream/flow_table.hpp"
 #include "sscor/stream/stream_engine.hpp"
+#include "sscor/stream/telemetry.hpp"
 
 namespace sscor::stream {
 namespace {
@@ -370,6 +375,73 @@ TEST(StreamStress, ConcurrentShardIngestMatchesSerial) {
   StreamOptions threaded = serial;
   threaded.threads = 4;
   const std::vector<StreamVerdict> verdicts = run_engine(capture, threaded);
+
+  ASSERT_EQ(verdicts.size(), golden.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i].tuple, golden[i].tuple) << "verdict " << i;
+    EXPECT_EQ(verdicts[i].flow_seq, golden[i].flow_seq) << "verdict " << i;
+    EXPECT_EQ(verdicts[i].upstream, golden[i].upstream) << "verdict " << i;
+    EXPECT_EQ(verdicts[i].kind, golden[i].kind) << "verdict " << i;
+    EXPECT_EQ(verdicts[i].result.cost, golden[i].result.cost)
+        << "verdict " << i;
+  }
+}
+
+// The observer-only contract under contention: a scraper thread hammers
+// /metrics, /statusz, /healthz, and engine.status() while the worker pool
+// ingests — TSan must stay quiet and the verdict stream must still equal
+// the serial golden run.
+TEST(StreamStress, ConcurrentScrapeLeavesVerdictsUntouched) {
+  const TwoPhaseCapture capture = make_two_phase_capture();
+
+  StreamOptions serial;
+  serial.table.shards = 4;
+  serial.table.max_flows = 8;
+  serial.table.idle_ttl = seconds(std::int64_t{3600});
+  serial.batch_size = 64;
+  serial.threads = 1;
+  const std::vector<StreamVerdict> golden = run_engine(capture, serial);
+
+  StreamOptions threaded = serial;
+  threaded.threads = 4;
+  StreamEngine engine(capture.upstreams, corpus_correlator_config(),
+                      threaded);
+  StreamTelemetry telemetry(engine);
+  telemetry.start("127.0.0.1", 0);
+  const std::uint16_t port = telemetry.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const net::HttpResult metrics =
+          net::http_get("127.0.0.1", port, "/metrics");
+      EXPECT_EQ(metrics.status, 200);
+      const net::HttpResult statusz =
+          net::http_get("127.0.0.1", port, "/statusz");
+      EXPECT_EQ(statusz.status, 200);
+      const net::HttpResult healthz =
+          net::http_get("127.0.0.1", port, "/healthz");
+      EXPECT_EQ(healthz.status, 200);
+      const EngineStatus status = engine.status();
+      EXPECT_LE(status.flows_live, 8u);
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (const StreamPacket& packet : capture.packets) engine.ingest(packet);
+  engine.finish();
+  std::vector<StreamVerdict> verdicts = engine.drain_verdicts();
+
+  // Guarantee at least one full scrape round overlapped the run before
+  // releasing the scraper (endpoints stay live until telemetry.stop()).
+  while (scrapes.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  telemetry.stop();
+  EXPECT_GE(scrapes.load(), 1u) << "scraper never completed a round";
 
   ASSERT_EQ(verdicts.size(), golden.size());
   for (std::size_t i = 0; i < verdicts.size(); ++i) {

@@ -417,6 +417,85 @@ TEST(Metrics, RegistryTimersAndSnapshot) {
   EXPECT_EQ(metrics::counter("test.events").value(), 0u);
 }
 
+TEST(Metrics, GaugeSetAddAndSnapshot) {
+  metrics::reset();
+  metrics::Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+
+  metrics::gauge("test.level").set(42);
+  metrics::gauge("test.depth").add(-5);
+  const auto snap = metrics::snapshot();
+  bool found = false;
+  for (const auto& entry : snap.gauges) {
+    if (entry.name == "test.level") {
+      found = true;
+      EXPECT_EQ(entry.value, 42);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.level\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"test.depth\": -5"), std::string::npos);
+  EXPECT_NE(snap.to_table().to_string().find("test.level"),
+            std::string::npos);
+  metrics::reset();
+  EXPECT_EQ(metrics::gauge("test.level").value(), 0);
+}
+
+TEST(Metrics, HistogramRecordConcurrentWithSnapshot) {
+  // The stats server snapshots the registry while workers keep recording.
+  // Mid-flight snapshots may be mutually torn between fields (documented),
+  // but each field must be exact: never exceeding the true total, and the
+  // final snapshot must account for every write (no lost updates).
+  metrics::reset();
+  constexpr std::uint64_t kPerThread = 20'000;
+  constexpr unsigned kWriters = 4;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    while (!done.load()) {
+      const auto snap = metrics::snapshot();
+      for (const auto& h : snap.histograms) {
+        if (h.name != "test.concurrent") continue;
+        std::uint64_t bucket_sum = 0;
+        for (const auto b : h.data.buckets) bucket_sum += b;
+        EXPECT_LE(bucket_sum, kPerThread * kWriters);
+        EXPECT_LE(h.data.count, kPerThread * kWriters);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto& hist = metrics::histogram("test.concurrent");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist.record(w * 13 + i % 7);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true);
+  snapshotter.join();
+
+  const auto snap = metrics::snapshot();
+  bool found = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.concurrent") {
+      found = true;
+      EXPECT_EQ(h.data.count, kPerThread * kWriters);
+      std::uint64_t bucket_sum = 0;
+      for (const auto b : h.data.buckets) bucket_sum += b;
+      EXPECT_EQ(bucket_sum, kPerThread * kWriters);
+    }
+  }
+  EXPECT_TRUE(found);
+  metrics::reset();
+}
+
 TEST(Table, RenderAndCsv) {
   TextTable table({"x", "value"});
   table.add_row({"1", "alpha"});

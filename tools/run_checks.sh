@@ -37,7 +37,14 @@
 #      correlator, cost included — DESIGN.md §13), a batch_decode bench
 #      smoke under the sanitized -DSSCOR_SIMD=ON tree, then a separate
 #      -DSSCOR_SIMD=OFF tree whose scalar-dispatch batch_kernel_test and
-#      batch_decode smoke must produce the same byte-identical results.
+#      batch_decode smoke must produce the same byte-identical results;
+#   9. live ops surface: run `sscor_tool watch --stats-addr 127.0.0.1:0
+#      --event-log`, scrape /metrics (strict Prometheus 0.0.4 validation
+#      via trace_check --prom --fetch), /statusz and /healthz (strict
+#      JSON), render one `sscor_tool top` frame against the live daemon,
+#      validate the event log as JSONL, and assert the stdout verdict
+#      stream is byte-identical with telemetry on vs off at shard counts
+#      1 and 8 (the observer-only contract — DESIGN.md §14).
 #
 # Every step runs under its own timeout(1) budget — a hung build or a
 # wedged decode fails that step instead of stalling the whole run — and
@@ -212,6 +219,67 @@ step_8() {  # batched decode kernel: parity fuzz + SIMD on/off bench smoke
     --reps=1 --json="$scalar_dir/BENCH_batch_decode.json"
 }
 
+step_9() {  # live ops surface: stats endpoints + top + observer-only parity
+  cmake --build "$build_dir" -j "$jobs" --target sscor_tool trace_check
+  local ops_dir
+  ops_dir="$(mktemp -d)"
+  trap 'rm -rf "$ops_dir"' RETURN
+  local tool="$build_dir/tools/sscor_tool"
+  local check="$build_dir/tools/trace_check"
+  "$tool" generate --out "$ops_dir/corpus.pcap" --flows 2 --packets 600 \
+    --seed 23
+  "$tool" embed --in "$ops_dir/corpus.pcap" --out "$ops_dir/marked.pcap" \
+    --key-out "$ops_dir/secret.key"
+  "$tool" perturb --in "$ops_dir/marked.pcap" \
+    --out "$ops_dir/perturbed.pcap" --max-delay-s 2 --chaff 2.0
+
+  # Live daemon on an ephemeral port; --linger-s keeps the endpoints up
+  # after the replay drains so the scrapes below always find them.
+  "$tool" watch --up "$ops_dir/marked.pcap" --key "$ops_dir/secret.key" \
+    --in "$ops_dir/perturbed.pcap" --max-delay-s 9 --shards 4 \
+    --stats-addr 127.0.0.1:0 --event-log "$ops_dir/events.jsonl" \
+    --linger-s 30 >"$ops_dir/watch_live.out" 2>"$ops_dir/watch_live.err" &
+  local watch_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n \
+      's#^stats server listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' \
+      "$ops_dir/watch_live.err")"
+    [[ -n "$port" ]] && break
+    sleep 0.2
+  done
+  if [[ -z "$port" ]]; then
+    echo "stats server never announced its port" >&2
+    kill "$watch_pid" 2>/dev/null || true
+    return 1
+  fi
+  # Strict format validation of all three endpoints, then one rendered
+  # frame of the live dashboard — all against the running daemon.
+  "$check" --prom --fetch "http://127.0.0.1:$port/metrics"
+  "$check" --fetch "http://127.0.0.1:$port/statusz"
+  "$check" --fetch "http://127.0.0.1:$port/healthz"
+  "$tool" top --addr "127.0.0.1:$port" --count 1 --no-clear
+  kill "$watch_pid" 2>/dev/null || true
+  wait "$watch_pid" 2>/dev/null || true
+  grep -q "POSITIVE" "$ops_dir/watch_live.out"
+  "$check" --jsonl "$ops_dir/events.jsonl"
+
+  # Observer-only contract: the verdict stream on stdout must be
+  # byte-identical with the whole telemetry surface on vs off, at one
+  # shard and at eight.
+  local shards
+  for shards in 1 8; do
+    "$tool" watch --up "$ops_dir/marked.pcap" --key "$ops_dir/secret.key" \
+      --in "$ops_dir/perturbed.pcap" --max-delay-s 9 --shards "$shards" \
+      >"$ops_dir/off_$shards.out" 2>/dev/null
+    "$tool" watch --up "$ops_dir/marked.pcap" --key "$ops_dir/secret.key" \
+      --in "$ops_dir/perturbed.pcap" --max-delay-s 9 --shards "$shards" \
+      --stats-addr 127.0.0.1:0 --event-log "$ops_dir/events_$shards.jsonl" \
+      >"$ops_dir/on_$shards.out" 2>/dev/null
+    cmp "$ops_dir/off_$shards.out" "$ops_dir/on_$shards.out"
+  done
+}
+
 step_names=(
   "default build + full test suite"
   "ThreadSanitizer build + concurrency smoke tests"
@@ -221,10 +289,11 @@ step_names=(
   "chaos harness: seeded fault injection under ASan/UBSan"
   "streaming smoke: parity fuzz + watch e2e + throughput baseline"
   "batched decode kernel: parity fuzz + SIMD on/off bench smoke"
+  "live ops surface: stats endpoints + top + observer-only parity"
 )
 # Per-step wall-clock budgets (seconds).  Generous: these exist to convert
 # a hang into a step failure, not to race the machine.
-step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800)
+step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800 900)
 
 # Self-reexec dispatcher: `timeout` runs an external command, so each step
 # re-enters this script with --step N and the same directory arguments.
@@ -241,19 +310,19 @@ fi
 
 overall=0
 step_results=()
-for n in 1 2 3 4 5 6 7 8; do
+for n in 1 2 3 4 5 6 7 8 9; do
   name="${step_names[$((n - 1))]}"
   limit="${step_timeouts[$((n - 1))]}"
-  echo "== [$n/8] $name (timeout ${limit}s) =="
+  echo "== [$n/9] $name (timeout ${limit}s) =="
   if timeout --foreground --kill-after=30 "$limit" \
     "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir" "$scalar_dir"; then
-    step_results+=("PASS  [$n/8] $name")
+    step_results+=("PASS  [$n/9] $name")
   else
     rc=$?
     if [[ $rc -eq 124 ]]; then
-      step_results+=("FAIL  [$n/8] $name (timed out after ${limit}s)")
+      step_results+=("FAIL  [$n/9] $name (timed out after ${limit}s)")
     else
-      step_results+=("FAIL  [$n/8] $name (exit $rc)")
+      step_results+=("FAIL  [$n/9] $name (exit $rc)")
     fi
     overall=1
   fi

@@ -26,6 +26,10 @@
 //                       [--max-flows N] [--max-buffered-packets N]
 //                       [--ttl-s N] [--deadline-ms N] [--budget N]
 //                       [--metrics-json PATH] [--metrics-interval N]
+//                       [--stats-addr HOST:PORT] [--event-log PATH]
+//                       [--linger-s N]
+//   sscor_tool top      --addr HOST:PORT [--interval-ms 1000]
+//                       [--count N] [--no-clear]
 //
 // watch is the streaming daemon: it replays --in as a live packet stream
 // (--speed 1 paces it in real time; --feed text reads the line-delimited
@@ -37,6 +41,17 @@
 // resilient ladder as per-pair admission control for the final decodes;
 // --metrics-json snapshots the metrics registry every --metrics-interval
 // packets (and at exit).
+//
+// The live ops surface (DESIGN.md §14): --stats-addr serves /metrics
+// (Prometheus text format), /healthz and /statusz over HTTP while the
+// stream runs (PORT 0 binds an ephemeral port, reported on stderr);
+// --event-log appends the structured JSONL event log; --linger-s keeps the
+// stats server up that many seconds after the stream ends so a final
+// scrape can land.  All of it is observer-only: verdict output on stdout
+// is byte-identical with the surface on or off.  top polls a daemon's
+// /statusz once per --interval-ms and redraws a per-shard dashboard with
+// scrape-to-scrape rates (--count N stops after N polls, --no-clear
+// appends instead of redrawing).
 //
 // detect's --deadline-ms / --budget bound each decode's wall clock /
 // packet accesses; when a decode blows its budget the resilient fallback
@@ -56,6 +71,8 @@
 // the shell; see README.md for a walkthrough.
 
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -64,6 +81,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sscor/correlation/correlator.hpp"
@@ -71,8 +89,13 @@
 #include "sscor/correlation/robust.hpp"
 #include "sscor/experiment/bench_main.hpp"
 #include "sscor/experiment/sweep.hpp"
+#include "sscor/net/http_client.hpp"
+#include "sscor/net/stats_server.hpp"
 #include "sscor/stream/packet_source.hpp"
 #include "sscor/stream/stream_engine.hpp"
+#include "sscor/stream/telemetry.hpp"
+#include "sscor/util/event_log.hpp"
+#include "sscor/util/json_parse.hpp"
 #include "sscor/flow/flow_extractor.hpp"
 #include "sscor/flow/pcap_synth.hpp"
 #include "sscor/traffic/chaff.hpp"
@@ -119,14 +142,61 @@ class Args {
     return *v;
   }
 
+  /// Numeric flags parse strictly: a value that is not a complete number
+  /// ("6x", "", "--shards four") is an error, not a silent fallback to 0.
+  /// An absent flag (or a bare `--flag` with no value) takes `fallback`.
   std::uint64_t u64(const std::string& name, std::uint64_t fallback) const {
     const auto v = get(name);
-    return v ? std::strtoull(v->c_str(), nullptr, 0) : fallback;
+    if (!v || v->empty()) return fallback;
+    if ((*v)[0] == '-') {
+      throw InvalidArgument("--" + name + " must be non-negative, got \"" +
+                            *v + "\"");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+    if (errno != 0 || end == v->c_str() || *end != '\0') {
+      throw InvalidArgument("--" + name + " expects an integer, got \"" + *v +
+                            "\"");
+    }
+    return parsed;
+  }
+
+  /// u64 that additionally rejects an explicit zero (for flags where 0 is
+  /// meaningless, e.g. a polling interval).
+  std::uint64_t u64_positive(const std::string& name,
+                             std::uint64_t fallback) const {
+    const std::uint64_t value = u64(name, fallback);
+    const auto v = get(name);
+    if (v && !v->empty() && value == 0) {
+      throw InvalidArgument("--" + name + " must be positive, got \"" + *v +
+                            "\"");
+    }
+    return value;
   }
 
   double number(const std::string& name, double fallback) const {
     const auto v = get(name);
-    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+    if (!v || v->empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (errno != 0 || end == v->c_str() || *end != '\0') {
+      throw InvalidArgument("--" + name + " expects a number, got \"" + *v +
+                            "\"");
+    }
+    return parsed;
+  }
+
+  /// number that additionally rejects an explicit value <= 0.
+  double number_positive(const std::string& name, double fallback) const {
+    const double value = number(name, fallback);
+    const auto v = get(name);
+    if (v && !v->empty() && value <= 0.0) {
+      throw InvalidArgument("--" + name + " must be positive, got \"" + *v +
+                            "\"");
+    }
+    return value;
   }
 
   bool flag(const std::string& name) const { return get(name).has_value(); }
@@ -453,20 +523,37 @@ int cmd_watch(const Args& args) {
     }
   } else if (feed == "pcap") {
     stream::ReplayOptions replay;
-    replay.speed = args.number("speed", 0.0);
+    replay.speed = args.number_positive("speed", 0.0);
     source = std::make_unique<stream::CaptureReplaySource>(in, replay);
   } else {
     throw InvalidArgument("unknown feed: " + feed);
   }
 
   const std::string metrics_json = args.get("metrics-json").value_or("");
-  const auto metrics_interval = args.u64("metrics-interval", 0);
+  const auto metrics_interval = args.u64_positive("metrics-interval", 0);
+  const std::string stats_addr = args.get("stats-addr").value_or("");
+  const std::string event_log_path = args.get("event-log").value_or("");
+  const double linger_s = args.number("linger-s", 0.0);
 
   std::printf("watching %s (%zu upstream(s), %zu shard(s), algorithm %s)\n",
               in.c_str(), upstreams.size(), options.table.shards,
               to_string(options.algorithm).c_str());
 
+  // The ops surface announces itself on stderr only: stdout carries the
+  // verdict stream and must stay byte-identical with telemetry on or off.
+  if (!event_log_path.empty()) {
+    eventlog::open(event_log_path);
+    std::fprintf(stderr, "event log: %s\n", event_log_path.c_str());
+  }
+
   stream::StreamEngine engine(std::move(upstreams), config, options);
+  stream::StreamTelemetry telemetry(engine);
+  if (!stats_addr.empty()) {
+    const net::HostPort addr = net::parse_host_port(stats_addr);
+    telemetry.start(addr.host, addr.port);
+    std::fprintf(stderr, "stats server listening on http://%s:%u\n",
+                 addr.host.c_str(), telemetry.port());
+  }
   std::map<std::string, std::size_t> kind_counts;
   const auto drain = [&] {
     for (const auto& verdict : engine.drain_verdicts()) {
@@ -500,14 +587,143 @@ int cmd_watch(const Args& args) {
     experiment::write_metrics_json(metrics_json);
     std::fprintf(stderr, "metrics json written: %s\n", metrics_json.c_str());
   }
+  if (telemetry.running() && linger_s > 0.0) {
+    // The verdict stream is complete at this point; flush it so a reader
+    // (or a signal that kills the lingering daemon) never loses it to
+    // stdio buffering.
+    std::fflush(stdout);
+    std::fprintf(stderr, "stats server lingering %.1fs\n", linger_s);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+  }
+  if (telemetry.running()) {
+    std::fprintf(stderr, "stats server served %llu request(s)\n",
+                 static_cast<unsigned long long>(telemetry.requests_served()));
+    telemetry.stop();
+  }
+  if (eventlog::enabled()) {
+    std::fprintf(stderr,
+                 "event log: %llu emitted, %llu suppressed\n",
+                 static_cast<unsigned long long>(eventlog::emitted()),
+                 static_cast<unsigned long long>(eventlog::suppressed()));
+    eventlog::close();
+  }
+  return 0;
+}
+
+int cmd_top(const Args& args) {
+  const net::HostPort addr = net::parse_host_port(args.require_str("addr"));
+  const auto interval_ms = args.u64_positive("interval-ms", 1000);
+  const auto count = args.u64("count", 0);  // 0 = poll until the daemon goes
+  const bool clear = !args.flag("no-clear");
+
+  bool have_prev = false;
+  double prev_packets = 0.0;
+  double prev_verdicts = 0.0;
+  std::vector<double> prev_shard_verdicts;
+
+  for (std::uint64_t iteration = 0; count == 0 || iteration < count;
+       ++iteration) {
+    if (iteration > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    net::HttpResult response;
+    try {
+      response = net::http_get(addr.host, addr.port, "/statusz");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "top: %s\n", e.what());
+      return iteration == 0 ? 1 : 0;  // a daemon that exited is not an error
+    }
+    if (response.status != 200) {
+      std::fprintf(stderr, "top: /statusz returned HTTP %d\n",
+                   response.status);
+      return 1;
+    }
+    const json::Value doc = json::parse(response.body);
+    const double interval_s =
+        static_cast<double>(interval_ms) / 1000.0;
+
+    const double packets = doc.at("packets_ingested").as_number();
+    const json::Value& verdicts = doc.at("verdicts");
+    const double verdicts_total = verdicts.at("total").as_number();
+    const auto& shards = doc.at("shards").as_array();
+
+    const auto rate = [&](double cur, double prev) -> std::string {
+      if (!have_prev) return "-";
+      const double delta = cur >= prev ? cur - prev : cur;
+      return TextTable::cell(delta / interval_s, 1) + "/s";
+    };
+
+    if (clear) std::printf("\x1b[2J\x1b[H");
+    std::printf("sscor top — http://%s:%u/statusz   uptime %.1fs   %s\n",
+                addr.host.c_str(), addr.port, doc.at("uptime_s").as_number(),
+                doc.at("finished").as_bool() ? "finished" : "streaming");
+    std::printf(
+        "packets %llu (%s)   flows %llu   buffered %llu   verdicts %llu "
+        "(%s)\n",
+        static_cast<unsigned long long>(doc.at("packets_ingested").as_uint()),
+        rate(packets, prev_packets).c_str(),
+        static_cast<unsigned long long>(doc.at("flows_live").as_uint()),
+        static_cast<unsigned long long>(doc.at("buffered_packets").as_uint()),
+        static_cast<unsigned long long>(verdicts.at("total").as_uint()),
+        rate(verdicts_total, prev_verdicts).c_str());
+    std::printf(
+        "verdicts: %llu positive, %llu negative, %llu evicted, "
+        "%llu degraded (%llu early)\n",
+        static_cast<unsigned long long>(verdicts.at("positive").as_uint()),
+        static_cast<unsigned long long>(verdicts.at("negative").as_uint()),
+        static_cast<unsigned long long>(verdicts.at("evicted").as_uint()),
+        static_cast<unsigned long long>(verdicts.at("degraded").as_uint()),
+        static_cast<unsigned long long>(verdicts.at("early").as_uint()));
+    const double pressure_age = doc.at("seconds_since_pressure").as_number();
+    if (pressure_age >= 0.0) {
+      std::printf("last pressure eviction: %.1fs ago\n", pressure_age);
+    }
+
+    TextTable shard_table(
+        {"shard", "flows", "buffered", "verdicts", "verdicts/s"});
+    if (prev_shard_verdicts.size() != shards.size()) {
+      prev_shard_verdicts.assign(shards.size(), 0.0);
+      have_prev = false;
+    }
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const json::Value& shard = shards[i];
+      const double shard_verdicts = shard.at("verdicts").as_number();
+      shard_table.add_row(
+          {std::to_string(shard.at("shard").as_uint()),
+           std::to_string(shard.at("flows").as_uint()),
+           std::to_string(shard.at("buffered_packets").as_uint()),
+           std::to_string(shard.at("verdicts").as_uint()),
+           rate(shard_verdicts, prev_shard_verdicts[i])});
+      prev_shard_verdicts[i] = shard_verdicts;
+    }
+    std::printf("\n%s", shard_table.to_string().c_str());
+
+    const auto& hottest = doc.at("hottest").as_array();
+    if (!hottest.empty()) {
+      TextTable hot_table({"hottest flow", "flow_seq", "packets", "buffered"});
+      for (const json::Value& flow : hottest) {
+        hot_table.add_row(
+            {flow.at("tuple").as_string(),
+             std::to_string(flow.at("flow_seq").as_uint()),
+             std::to_string(flow.at("packets").as_uint()),
+             std::to_string(flow.at("buffered").as_uint())});
+      }
+      std::printf("\n%s", hot_table.to_string().c_str());
+    }
+    std::fflush(stdout);
+
+    prev_packets = packets;
+    prev_verdicts = verdicts_total;
+    have_prev = true;
+  }
   return 0;
 }
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sscor_tool <generate|stats|embed|perturb|detect|sweep|watch> "
-      "[flags]\n"
+      "usage: sscor_tool "
+      "<generate|stats|embed|perturb|detect|sweep|watch|top> [flags]\n"
       "       (append --metrics to print run counters/timers on exit;\n"
       "        --trace PATH writes decode introspection JSONL and\n"
       "        --trace-spans PATH writes Chrome trace JSON)\n"
@@ -541,6 +757,8 @@ int main(int argc, char** argv) {
       rc = cmd_sweep(args);
     } else if (command == "watch") {
       rc = cmd_watch(args);
+    } else if (command == "top") {
+      rc = cmd_top(args);
     } else {
       return usage();
     }
