@@ -1,0 +1,198 @@
+// Cluster-sweep scaling baseline: runs the Fig-3 grid serially
+// (threads=1), then as N forked single-threaded worker processes for
+// N in {1, 2, 4} journaling into a shared directory (DESIGN.md §15),
+// merges each directory, and checks every merged table is byte-identical
+// to the serial run — the distributed backend's correctness contract —
+// while recording the multi-process speedup as BENCH_cluster_sweep.json.
+//
+// Workers run with stealing off so each timing measures the clean
+// point % N partition, not steal races; every worker pays its own
+// dataset-build startup, so the speedup numbers are honest end-to-end
+// process times.
+//
+//   cluster_sweep [--flows=N] [--packets=N] [--fp-pairs=N] [--seed=N]
+//                 [--json=PATH]       (default BENCH_cluster_sweep.json)
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sscor/experiment/bench_main.hpp"
+#include "sscor/experiment/checkpoint.hpp"
+#include "sscor/util/json.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace {
+
+using namespace sscor;
+using namespace sscor::experiment;
+
+namespace fs = std::filesystem;
+
+struct ClusterRun {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  bool identical = false;
+};
+
+/// Forks `workers` single-threaded shard processes over one directory and
+/// returns the wall-clock of the slowest worker plus the merged CSV.
+ClusterRun run_cluster(const ExperimentConfig& config, const SweepSpec& spec,
+                       std::size_t workers, const std::string& serial_csv) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("sscor-cluster-bench-" + std::to_string(getpid()) + "-" +
+       std::to_string(workers));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  ExperimentConfig worker_config = config;
+  worker_config.threads = 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < workers; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid == 0) {
+      ShardSpec shard;
+      shard.index = i;
+      shard.count = workers;
+      shard.journal_dir = dir.string();
+      shard.steal = false;
+      try {
+        run_sweep_shard(worker_config, spec, shard);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker %zu/%zu failed: %s\n", i, workers,
+                     e.what());
+        _exit(1);
+      }
+      _exit(0);
+    }
+    pids.push_back(pid);
+  }
+  bool workers_ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      workers_ok = false;
+    }
+  }
+  ClusterRun run;
+  run.workers = workers;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::string merged_csv;
+  try {
+    merged_csv = merge_cluster(scan_journal_dir(dir.string())).to_csv();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "merge of %zu-way directory failed: %s\n", workers,
+                 e.what());
+  }
+  fs::remove_all(dir, ec);
+  run.identical = workers_ok && merged_csv == serial_csv;
+  std::printf("cluster (workers=%zu): %.3fs | merged == serial: %s\n",
+              workers, run.seconds, run.identical ? "yes" : "NO");
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_cluster_sweep.json";
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  ExperimentConfig defaults;
+  defaults.flows = 6;
+  defaults.packets_per_flow = 600;
+  defaults.fp_pairs = 24;
+  const BenchOptions options = parse_bench_options(
+      static_cast<int>(rest.size()), rest.data(), defaults);
+
+  SweepSpec spec;
+  spec.metric = Metric::kDetectionRate;
+  spec.axis = SweepAxis::kChaffRate;
+  spec.fixed_delay = kFig3FixedDelay;
+
+  std::printf("== cluster_sweep: Fig-3 grid, serial vs N worker processes "
+              "==\n");
+  std::printf("flows: %zu | packets/flow: %zu | fp pairs: %zu | seed: %llu"
+              " | hardware threads: %u\n",
+              options.config.flows, options.config.packets_per_flow,
+              options.config.fp_pairs,
+              static_cast<unsigned long long>(options.config.master_seed),
+              std::thread::hardware_concurrency());
+
+  ExperimentConfig serial_config = options.config;
+  serial_config.threads = 1;
+  const auto serial_start = std::chrono::steady_clock::now();
+  const std::string serial_csv = run_sweep(serial_config, spec).to_csv();
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serial_start)
+          .count();
+  std::printf("serial (threads=1): %.3fs\n", serial_s);
+
+  std::vector<ClusterRun> runs;
+  bool all_identical = true;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    runs.push_back(run_cluster(options.config, spec, workers, serial_csv));
+    all_identical = all_identical && runs.back().identical;
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": " << json::escape("cluster_sweep") << ",\n"
+      << "  \"sweep\": "
+      << json::escape("fig03 grid (detection rate vs chaff rate)") << ",\n"
+      << "  \"flows\": " << options.config.flows << ",\n"
+      << "  \"packets_per_flow\": " << options.config.packets_per_flow
+      << ",\n"
+      << "  \"fp_pairs\": " << options.config.fp_pairs << ",\n"
+      << "  \"seed\": " << options.config.master_seed << ",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n"
+      << "  \"serial_seconds\": " << json::number(serial_s, 3) << ",\n"
+      << "  \"clusters\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const double speedup =
+        runs[i].seconds > 0.0 ? serial_s / runs[i].seconds : 0.0;
+    out << "    {\"workers\": " << runs[i].workers
+        << ", \"seconds\": " << json::number(runs[i].seconds, 3)
+        << ", \"speedup\": " << json::number(speedup, 3)
+        << ", \"identical\": " << (runs[i].identical ? "true" : "false")
+        << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"all_identical\": " << (all_identical ? "true" : "false")
+      << "\n}\n";
+  std::printf("json written: %s\n", json_path.c_str());
+
+  return all_identical ? 0 : 1;
+}

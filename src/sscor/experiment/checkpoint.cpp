@@ -1,9 +1,13 @@
 #include "sscor/experiment/checkpoint.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "sscor/util/error.hpp"
@@ -78,18 +82,23 @@ bool parse_line(std::string_view line, std::string& data) {
   return true;
 }
 
-// ---- minimal tolerant parsing of the sweep record shapes ----------------
+// ---- strict parsing of the sweep record shapes ---------------------------
+// The encoder emits one canonical byte sequence per record kind, so the
+// decoders demand exactly that shape, cursor-advancing over literal
+// fragments.  Anything else — reordered keys, trailing garbage, an
+// overflowing size — is a reject, never a guess.
 
-/// Scans `data` for `"key":` at top nesting level and returns the position
-/// just past the colon, or npos.
-std::size_t find_key(std::string_view data, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  const auto pos = data.find(needle);
-  return pos == std::string_view::npos ? std::string_view::npos
-                                       : pos + needle.size();
+/// Advances `pos` past `literal` iff `data` continues with it.
+bool eat(std::string_view data, std::size_t& pos, std::string_view literal) {
+  if (data.substr(pos, literal.size()) != literal) return false;
+  pos += literal.size();
+  return true;
 }
 
-bool parse_size_at(std::string_view data, std::size_t pos, std::size_t& out) {
+/// Parses a decimal size at `pos`, advancing past it.  Rejects on uint64
+/// overflow: a corrupt-but-checksummed 25-digit field must not wrap into a
+/// plausible point index.
+bool parse_size(std::string_view data, std::size_t& pos, std::size_t& out) {
   if (pos >= data.size() ||
       std::isdigit(static_cast<unsigned char>(data[pos])) == 0) {
     return false;
@@ -97,7 +106,9 @@ bool parse_size_at(std::string_view data, std::size_t pos, std::size_t& out) {
   std::uint64_t value = 0;
   while (pos < data.size() &&
          std::isdigit(static_cast<unsigned char>(data[pos])) != 0) {
-    value = value * 10 + static_cast<std::uint64_t>(data[pos] - '0');
+    const auto digit = static_cast<std::uint64_t>(data[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
     ++pos;
   }
   out = static_cast<std::size_t>(value);
@@ -151,6 +162,26 @@ bool parse_string_at(std::string_view data, std::size_t& pos,
   return false;  // unterminated
 }
 
+/// Parses a JSON array of strings starting at the '[' and advances past
+/// the closing ']'.
+bool parse_string_array(std::string_view data, std::size_t& pos,
+                        std::vector<std::string>& out) {
+  out.clear();
+  if (!eat(data, pos, "[")) return false;
+  if (eat(data, pos, "]")) return true;
+  while (true) {
+    std::string item;
+    if (!parse_string_at(data, pos, item)) return false;
+    out.push_back(std::move(item));
+    if (pos < data.size() && data[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  return eat(data, pos, "]");
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::string_view data) {
@@ -171,28 +202,84 @@ std::uint64_t fnv1a64(std::string_view data) {
   return hash;
 }
 
+std::size_t repair_torn_tail(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) return 0;  // nothing to repair
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    throw IoError("cannot seek checkpoint file: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size <= 0) {
+    std::fclose(file);
+    return 0;
+  }
+  // Walk backwards in chunks until the last '\n'; a journal's tail is
+  // normally the final record, so the first chunk almost always suffices.
+  long keep = 0;  // bytes up to and including the last newline
+  char buffer[4096];
+  long end = size;
+  while (end > 0 && keep == 0) {
+    const long begin = std::max(0L, end - static_cast<long>(sizeof buffer));
+    const auto span = static_cast<std::size_t>(end - begin);
+    if (std::fseek(file, begin, SEEK_SET) != 0 ||
+        std::fread(buffer, 1, span, file) != span) {
+      std::fclose(file);
+      throw IoError("cannot read checkpoint tail: " + path);
+    }
+    for (std::size_t i = span; i-- > 0;) {
+      if (buffer[i] == '\n') {
+        keep = begin + static_cast<long>(i) + 1;
+        break;
+      }
+    }
+    end = begin;
+  }
+  if (keep == size) {
+    std::fclose(file);
+    return 0;  // clean tail: the file ends in '\n'
+  }
+  const int fd = ::fileno(file);
+  if (fd < 0 || ::ftruncate(fd, keep) != 0) {
+    std::fclose(file);
+    throw IoError("cannot truncate torn checkpoint tail: " + path);
+  }
+  std::fclose(file);
+  const auto removed = static_cast<std::size_t>(size - keep);
+  metrics::counter("checkpoint.torn_tail_bytes").add(removed);
+  return removed;
+}
+
 CheckpointJournal CheckpointJournal::create(const std::string& path,
-                                            const std::string& header_data) {
+                                            const std::string& header_data,
+                                            bool fsync) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw IoError("cannot create checkpoint file: " + path);
   }
-  CheckpointJournal journal(file);
+  CheckpointJournal journal(file, fsync);
   journal.append(header_data);
   journal.appended_ = 0;  // the header is not a body record
   return journal;
 }
 
-CheckpointJournal CheckpointJournal::append_to(const std::string& path) {
+CheckpointJournal CheckpointJournal::append_to(const std::string& path,
+                                               bool fsync) {
+  // A SIGKILL mid-write leaves a torn final line; appending blindly would
+  // glue the next record onto the fragment, producing one CRC-corrupt
+  // line that loses both records on the next load.  Truncate the
+  // fragment first so every append starts on a fresh line.
+  repair_torn_tail(path);
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     throw IoError("cannot open checkpoint file for append: " + path);
   }
-  return CheckpointJournal(file);
+  return CheckpointJournal(file, fsync);
 }
 
 CheckpointJournal::CheckpointJournal(CheckpointJournal&& other) noexcept
     : file_(std::exchange(other.file_, nullptr)),
+      fsync_(other.fsync_),
       appended_(other.appended_) {}
 
 CheckpointJournal& CheckpointJournal::operator=(
@@ -200,6 +287,7 @@ CheckpointJournal& CheckpointJournal::operator=(
   if (this != &other) {
     if (file_ != nullptr) std::fclose(file_);
     file_ = std::exchange(other.file_, nullptr);
+    fsync_ = other.fsync_;
     appended_ = other.appended_;
   }
   return *this;
@@ -222,6 +310,13 @@ void CheckpointJournal::append(const std::string& data) {
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
     throw IoError("checkpoint append failed (disk full?)");
+  }
+  if (fsync_) {
+    const int fd = ::fileno(file_);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      throw IoError("checkpoint fsync failed");
+    }
+    metrics::counter("checkpoint.fsyncs").add();
   }
   ++appended_;
   metrics::counter("checkpoint.records").add();
@@ -278,30 +373,50 @@ LoadedCheckpoint load_checkpoint(const std::string& path) {
 }
 
 std::string encode_checkpoint_header(std::uint64_t fingerprint,
-                                     std::size_t points,
-                                     std::size_t columns) {
+                                     std::size_t points, std::size_t columns,
+                                     const std::vector<std::string>& names) {
   std::string out = "{\"fingerprint\":\"" + hex64(fingerprint) +
                     "\",\"points\":" + std::to_string(points) +
-                    ",\"columns\":" + std::to_string(columns) + "}";
+                    ",\"columns\":" + std::to_string(columns);
+  if (!names.empty()) {
+    out += ",\"names\":[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ',';
+      json::append_escaped(out, names[i]);
+    }
+    out += ']';
+  }
+  out += '}';
   return out;
 }
 
 bool decode_checkpoint_header(const std::string& data,
                               std::uint64_t& fingerprint, std::size_t& points,
-                              std::size_t& columns) {
-  const std::size_t fp_pos = find_key(data, "fingerprint");
-  const std::size_t points_pos = find_key(data, "points");
-  const std::size_t columns_pos = find_key(data, "columns");
-  if (fp_pos == std::string::npos || points_pos == std::string::npos ||
-      columns_pos == std::string::npos) {
+                              std::size_t& columns,
+                              std::vector<std::string>& names) {
+  std::size_t pos = 0;
+  if (!eat(data, pos, "{\"fingerprint\":\"")) return false;
+  if (pos + 16 > data.size() ||
+      !parse_hex(std::string_view(data).substr(pos, 16), fingerprint)) {
     return false;
   }
-  std::size_t cursor = fp_pos;
-  std::string fp_hex;
-  if (!parse_string_at(data, cursor, fp_hex)) return false;
-  if (!parse_hex(fp_hex, fingerprint)) return false;
-  return parse_size_at(data, points_pos, points) &&
-         parse_size_at(data, columns_pos, columns);
+  pos += 16;
+  if (!eat(data, pos, "\",\"points\":")) return false;
+  if (!parse_size(data, pos, points)) return false;
+  if (!eat(data, pos, ",\"columns\":")) return false;
+  if (!parse_size(data, pos, columns)) return false;
+  names.clear();
+  if (eat(data, pos, ",\"names\":")) {
+    if (!parse_string_array(data, pos, names)) return false;
+  }
+  return eat(data, pos, "}") && pos == data.size();
+}
+
+bool decode_checkpoint_header(const std::string& data,
+                              std::uint64_t& fingerprint, std::size_t& points,
+                              std::size_t& columns) {
+  std::vector<std::string> names;
+  return decode_checkpoint_header(data, fingerprint, points, columns, names);
 }
 
 std::string encode_checkpoint_row(std::size_t point,
@@ -317,29 +432,174 @@ std::string encode_checkpoint_row(std::size_t point,
 
 bool decode_checkpoint_row(const std::string& data, std::size_t& point,
                            std::vector<std::string>& row) {
-  const std::size_t point_pos = find_key(data, "point");
-  const std::size_t row_pos = find_key(data, "row");
-  if (point_pos == std::string::npos || row_pos == std::string::npos) {
-    return false;
+  std::size_t pos = 0;
+  if (!eat(data, pos, "{\"point\":")) return false;
+  if (!parse_size(data, pos, point)) return false;
+  if (!eat(data, pos, ",\"row\":")) return false;
+  if (!parse_string_array(data, pos, row)) return false;
+  return eat(data, pos, "}") && pos == data.size();
+}
+
+std::string encode_checkpoint_claim(std::size_t point, std::size_t shard) {
+  return "{\"claim\":" + std::to_string(point) +
+         ",\"shard\":" + std::to_string(shard) + "}";
+}
+
+bool decode_checkpoint_claim(const std::string& data, std::size_t& point,
+                             std::size_t& shard) {
+  std::size_t pos = 0;
+  if (!eat(data, pos, "{\"claim\":")) return false;
+  if (!parse_size(data, pos, point)) return false;
+  if (!eat(data, pos, ",\"shard\":")) return false;
+  if (!parse_size(data, pos, shard)) return false;
+  return eat(data, pos, "}") && pos == data.size();
+}
+
+std::string shard_journal_name(std::size_t index, std::size_t count) {
+  return "shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+         ".jsonl";
+}
+
+bool parse_shard_journal_name(std::string_view name, std::size_t& index,
+                              std::size_t& count) {
+  std::size_t pos = 0;
+  if (!eat(name, pos, "shard-")) return false;
+  if (!parse_size(name, pos, index)) return false;
+  if (!eat(name, pos, "-of-")) return false;
+  if (!parse_size(name, pos, count)) return false;
+  if (!eat(name, pos, ".jsonl") || pos != name.size()) return false;
+  return count > 0 && index < count;
+}
+
+ClusterScan scan_journal_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  ClusterScan scan;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return scan;  // nothing journaled yet
+
+  // Collect (index, path) for every well-formed shard filename, then sort
+  // by index: directory iteration order is unspecified, and the fold must
+  // be deterministic for the merge to be.
+  std::vector<std::pair<std::size_t, fs::path>> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::size_t index = 0, count = 0;
+    const std::string name = entry.path().filename().string();
+    if (!parse_shard_journal_name(name, index, count)) continue;
+    if (scan.shard_count == 0) {
+      scan.shard_count = count;
+    } else if (scan.shard_count != count) {
+      throw IoError("journal directory mixes shard counts (" +
+                    std::to_string(scan.shard_count) + " and " +
+                    std::to_string(count) + "): " + dir);
+    }
+    files.emplace_back(index, entry.path());
   }
-  if (!parse_size_at(data, point_pos, point)) return false;
-  row.clear();
-  std::size_t cursor = row_pos;
-  if (cursor >= data.size() || data[cursor] != '[') return false;
-  ++cursor;
-  if (cursor < data.size() && data[cursor] == ']') return true;
-  while (cursor < data.size()) {
-    std::string cell;
-    if (!parse_string_at(data, cursor, cell)) return false;
-    row.push_back(std::move(cell));
-    if (cursor >= data.size()) return false;
-    if (data[cursor] == ',') {
-      ++cursor;
+  std::sort(files.begin(), files.end());
+
+  bool saw_header = false;
+  for (const auto& [shard, path] : files) {
+    LoadedCheckpoint loaded;
+    try {
+      loaded = load_checkpoint(path.string());
+    } catch (const IoError&) {
+      // A worker that died before its header line hit the disk leaves an
+      // empty or torn-header journal; its points simply recompute.
+      ++scan.skipped_files;
       continue;
     }
-    return data[cursor] == ']';
+    std::uint64_t fingerprint = 0;
+    std::size_t points = 0, columns = 0;
+    std::vector<std::string> names;
+    if (!decode_checkpoint_header(loaded.header, fingerprint, points, columns,
+                                  names)) {
+      ++scan.skipped_files;
+      continue;
+    }
+    if (!saw_header) {
+      scan.fingerprint = fingerprint;
+      scan.points = points;
+      scan.columns = columns;
+      scan.names = std::move(names);
+      scan.rows.assign(points, {});
+      scan.have.assign(points, 0);
+      scan.row_shard.assign(points, 0);
+      saw_header = true;
+    } else if (fingerprint != scan.fingerprint || points != scan.points ||
+               columns != scan.columns || names != scan.names) {
+      throw IoError("shard journal written by a different sweep: " +
+                    path.string());
+    }
+    scan.dropped_lines += loaded.dropped_lines;
+    for (const std::string& record : loaded.records) {
+      std::size_t p = 0;
+      std::vector<std::string> row;
+      std::size_t claim_shard = 0;
+      if (decode_checkpoint_row(record, p, row)) {
+        if (p >= scan.points || row.size() != scan.columns) {
+          ++scan.dropped_lines;
+          continue;
+        }
+        if (scan.have[p] != 0) {
+          if (scan.rows[p] != row) {
+            throw IoError("conflicting rows for point " + std::to_string(p) +
+                          " (shards " + std::to_string(scan.row_shard[p]) +
+                          " and " + std::to_string(shard) + "): " + dir);
+          }
+          ++scan.duplicate_rows;
+          continue;
+        }
+        scan.rows[p] = std::move(row);
+        scan.have[p] = 1;
+        scan.row_shard[p] = shard;
+      } else if (decode_checkpoint_claim(record, p, claim_shard)) {
+        if (p >= scan.points) {
+          ++scan.dropped_lines;
+          continue;
+        }
+        const auto entry = std::make_pair(claim_shard, p);
+        if (std::find(scan.claims.begin(), scan.claims.end(), entry) !=
+            scan.claims.end()) {
+          ++scan.duplicate_claims;
+          continue;
+        }
+        scan.claims.push_back(entry);
+      } else {
+        ++scan.dropped_lines;
+      }
+    }
+    ++scan.shard_files;
   }
-  return false;
+  return scan;
+}
+
+TextTable merge_cluster(const ClusterScan& scan) {
+  if (scan.shard_files == 0) {
+    throw IoError("no readable shard journals to merge");
+  }
+  if (scan.names.empty()) {
+    throw IoError(
+        "shard journal headers carry no column names (pre-cluster format); "
+        "re-run the sweep to merge");
+  }
+  if (scan.names.size() != scan.columns) {
+    throw IoError("shard journal header is inconsistent: " +
+                  std::to_string(scan.names.size()) + " names for " +
+                  std::to_string(scan.columns) + " columns");
+  }
+  if (!scan.complete()) {
+    std::string missing;
+    for (const std::size_t p : scan.missing_points()) {
+      if (!missing.empty()) missing += ',';
+      missing += std::to_string(p);
+    }
+    throw IoError("cluster journal is incomplete; missing point(s) " +
+                  missing + " — resume the owning/claiming worker(s) first");
+  }
+  TextTable table(scan.names);
+  for (std::size_t p = 0; p < scan.points; ++p) {
+    table.add_row(scan.rows[p]);
+  }
+  return table;
 }
 
 }  // namespace sscor::experiment

@@ -1,10 +1,13 @@
-// Crash-safe sweep checkpointing.
+// Crash-safe sweep checkpointing and the cluster journal directory.
 //
 // A full paper sweep is minutes of CPU; a crash (OOM kill, power loss,
 // impatient ^C) used to throw all completed points away.  run_sweep can now
 // journal each finished point to an append-only checkpoint file and, on
 // --resume, replay the journal and recompute only the missing points — the
-// resulting table is byte-identical to an uninterrupted run.
+// resulting table is byte-identical to an uninterrupted run.  A *directory*
+// of per-shard journals turns the same format into a multi-process work
+// queue: N `sweep --shard i/N` workers journal disjoint points and a
+// deterministic merge reconstructs the serial table (DESIGN.md §15).
 //
 // Format: JSON Lines, one self-validating record per line:
 //
@@ -13,13 +16,17 @@
 // The CRC-32 (IEEE, reflected 0xEDB88320) covers exactly the serialized
 // `data` substring, so any torn or bit-flipped line is detected in
 // isolation.  The first line is a header record carrying a fingerprint of
-// (ExperimentConfig, SweepSpec) minus scheduling knobs; body records each
-// carry one completed point's row.  Each append is written and flushed as a
+// (ExperimentConfig, SweepSpec) minus scheduling knobs plus the table's
+// column names; body records carry one completed point's row, or — in
+// sharded journals — a claim marking a point this shard has taken from
+// another shard's partition.  Each append is written and flushed as a
 // single line, so after a SIGKILL the file is a valid journal plus at most
-// one torn tail line, which the loader drops.  Corrupt *body* lines only
-// cost their point (it is recomputed); a corrupt or mismatched header fails
-// the resume with IoError — silently recomputing under a different config
-// would masquerade as the old sweep.
+// one torn tail line, which the loader drops and append_to truncates
+// before writing anything new (a blind append would glue the next record
+// onto the torn fragment and corrupt both).  Corrupt *body* lines only
+// cost their point (it is recomputed); a corrupt or mismatched header
+// fails the resume with IoError — silently recomputing under a different
+// config would masquerade as the old sweep.
 
 #pragma once
 
@@ -27,7 +34,10 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "sscor/util/table.hpp"
 
 namespace sscor::experiment {
 
@@ -39,18 +49,31 @@ std::uint64_t fnv1a64(std::string_view data);
 
 /// Checkpointing knobs carried into run_sweep via SweepControl.
 struct CheckpointOptions {
-  /// Journal path; empty disables checkpointing entirely.
+  /// Journal path; empty disables checkpointing entirely.  Ignored by the
+  /// sharded entry point, which derives per-shard paths from the journal
+  /// directory.
   std::string path;
-  /// Replay `path` and recompute only missing points.  When false an
+  /// Replay the journal and recompute only missing points.  When false an
   /// existing journal is truncated and the sweep starts fresh.
   bool resume = false;
+  /// Pay one fsync per appended record (see the durability contract in
+  /// DESIGN.md §15).  Off by default: a single-machine sweep only needs to
+  /// survive process death, not power loss.
+  bool fsync = false;
   /// Crash-injection test hook: raise(SIGKILL) immediately after this many
   /// body records have been appended (< 0 = disabled).  Used by the
-  /// kill-and-resume test and the chaos harness; never set in production.
+  /// kill-and-resume tests and the chaos harness; never set in production.
   std::int64_t sigkill_after_points = -1;
 
   bool enabled() const { return !path.empty(); }
 };
+
+/// Truncates any torn final line (bytes after the last '\n') left behind by
+/// a mid-write SIGKILL, so a subsequent append starts on a fresh line.
+/// Returns the number of bytes removed; a missing file or one that already
+/// ends in '\n' is left untouched.  A file with no newline at all (death
+/// mid-header) truncates to empty.
+std::size_t repair_torn_tail(const std::string& path);
 
 /// Append-only writer.  Not thread-safe; callers serialise appends (the
 /// sweep holds a mutex around journal writes).
@@ -58,10 +81,14 @@ class CheckpointJournal {
  public:
   /// Opens `path` truncated and writes the header record.
   static CheckpointJournal create(const std::string& path,
-                                  const std::string& header_data);
+                                  const std::string& header_data,
+                                  bool fsync = false);
   /// Opens `path` for appending after a successful load (header already
-  /// present and verified by the caller).
-  static CheckpointJournal append_to(const std::string& path);
+  /// present and verified by the caller).  Repairs a torn tail first —
+  /// appending blindly after a SIGKILL would concatenate the new record
+  /// onto the torn fragment and lose both lines.
+  static CheckpointJournal append_to(const std::string& path,
+                                     bool fsync = false);
 
   CheckpointJournal(CheckpointJournal&& other) noexcept;
   CheckpointJournal& operator=(CheckpointJournal&& other) noexcept;
@@ -69,18 +96,22 @@ class CheckpointJournal {
   CheckpointJournal& operator=(const CheckpointJournal&) = delete;
   ~CheckpointJournal();
 
-  /// Appends one checksummed record line and flushes it to the OS.  A
-  /// process killed right after append() returns cannot lose the record
-  /// short of the whole machine going down.
+  /// Appends one checksummed record line and flushes it to the OS page
+  /// cache, so the record survives process death.  It does NOT survive a
+  /// power cut or kernel panic unless the journal was opened with
+  /// fsync=true, which forces every record to the platter before append()
+  /// returns (DESIGN.md §15).
   void append(const std::string& data);
 
   /// Body records appended through this writer (excludes the header).
   std::uint64_t appended() const { return appended_; }
 
  private:
-  explicit CheckpointJournal(std::FILE* file) : file_(file) {}
+  explicit CheckpointJournal(std::FILE* file, bool fsync)
+      : file_(file), fsync_(fsync) {}
 
   std::FILE* file_ = nullptr;
+  bool fsync_ = false;
   std::uint64_t appended_ = 0;
 };
 
@@ -99,13 +130,23 @@ LoadedCheckpoint load_checkpoint(const std::string& path);
 
 // --- sweep record codecs -------------------------------------------------
 // The sweep stores plain row data; these helpers keep the JSON shape in one
-// place.  Decoders are tolerant: they return false on malformed input
-// instead of throwing (a corrupt-but-checksummed record only costs a
-// recompute).
+// place.  Decoders return false on malformed input instead of throwing (a
+// corrupt-but-checksummed record only costs a recompute), but they are
+// strict: the canonical encoder shape must match exactly, end of payload
+// included — trailing garbage or an overflowing numeric field is a reject,
+// never a silently mangled value.
 
-/// {"fingerprint":"<16hex>","points":N,"columns":M}
+/// {"fingerprint":"<16hex>","points":N,"columns":M,"names":["c",...]}
+/// `names` carries the table's column headers so a journal directory can be
+/// merged into the full table without re-deriving the detector line-up;
+/// decode accepts the pre-cluster 3-field form (names left empty).
 std::string encode_checkpoint_header(std::uint64_t fingerprint,
-                                     std::size_t points, std::size_t columns);
+                                     std::size_t points, std::size_t columns,
+                                     const std::vector<std::string>& names = {});
+bool decode_checkpoint_header(const std::string& data,
+                              std::uint64_t& fingerprint, std::size_t& points,
+                              std::size_t& columns,
+                              std::vector<std::string>& names);
 bool decode_checkpoint_header(const std::string& data,
                               std::uint64_t& fingerprint, std::size_t& points,
                               std::size_t& columns);
@@ -115,5 +156,79 @@ std::string encode_checkpoint_row(std::size_t point,
                                   const std::vector<std::string>& row);
 bool decode_checkpoint_row(const std::string& data, std::size_t& point,
                            std::vector<std::string>& row);
+
+/// {"claim":P,"shard":S} — shard S has taken point P from another shard's
+/// partition.  Advisory: claims stop other live workers from duplicating
+/// the steal, and on resume pin the point back onto shard S.
+std::string encode_checkpoint_claim(std::size_t point, std::size_t shard);
+bool decode_checkpoint_claim(const std::string& data, std::size_t& point,
+                             std::size_t& shard);
+
+// --- cluster journal directory -------------------------------------------
+
+/// Canonical per-shard journal filename: "shard-<i>-of-<N>.jsonl".
+std::string shard_journal_name(std::size_t index, std::size_t count);
+/// Strictly parses a shard journal filename; rejects anything else
+/// (including index >= count).
+bool parse_shard_journal_name(std::string_view name, std::size_t& index,
+                              std::size_t& count);
+
+/// Everything one pass over a journal directory learns: the shared header,
+/// every verified row folded by point index, and every claim.  Duplicate
+/// identical rows (two workers raced the same steal) are tolerated and
+/// counted; two *different* rows for one point mean the directory mixes
+/// incompatible runs and scanning throws.
+struct ClusterScan {
+  std::uint64_t fingerprint = 0;
+  std::size_t points = 0;
+  std::size_t columns = 0;
+  std::size_t shard_count = 0;  ///< N from the filenames; 0 when no files
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> rows;  ///< by point; valid iff have
+  std::vector<char> have;
+  std::vector<std::size_t> row_shard;  ///< shard that journaled rows[p]
+  /// (shard, point) claim records in (shard, file order).
+  std::vector<std::pair<std::size_t, std::size_t>> claims;
+  std::size_t shard_files = 0;     ///< journals folded in
+  std::size_t skipped_files = 0;   ///< unreadable-header journals skipped
+  std::size_t dropped_lines = 0;   ///< torn/corrupt body lines across files
+  std::size_t duplicate_rows = 0;  ///< identical re-journaled rows
+  std::size_t duplicate_claims = 0;
+
+  bool complete() const {
+    for (const char h : have) {
+      if (h == 0) return false;
+    }
+    return true;
+  }
+  std::vector<std::size_t> missing_points() const {
+    std::vector<std::size_t> missing;
+    for (std::size_t p = 0; p < have.size(); ++p) {
+      if (have[p] == 0) missing.push_back(p);
+    }
+    return missing;
+  }
+  bool claimed(std::size_t point) const {
+    for (const auto& [shard, p] : claims) {
+      if (p == point) return true;
+    }
+    return false;
+  }
+};
+
+/// Scans `dir` for shard-<i>-of-<N>.jsonl journals (sorted by shard index,
+/// so the fold is deterministic regardless of directory order) and folds
+/// every verified record.  Journals whose header cannot be read (a worker
+/// that died mid-header-write) are skipped and counted — their points just
+/// recompute.  Throws IoError on a fingerprint/shape/shard-count mismatch
+/// across files or on two conflicting rows for one point.  An empty or
+/// missing directory returns a scan with shard_files == 0.
+ClusterScan scan_journal_dir(const std::string& dir);
+
+/// Deterministic merge: rebuilds the full sweep table from a complete scan,
+/// byte-identical to the serial single-process run.  Throws IoError when
+/// points are missing (naming them) or when the headers predate the
+/// cluster format (no column names).
+TextTable merge_cluster(const ClusterScan& scan);
 
 }  // namespace sscor::experiment

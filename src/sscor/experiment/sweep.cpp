@@ -1,7 +1,9 @@
 #include "sscor/experiment/sweep.hpp"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 
@@ -50,6 +52,78 @@ bool file_exists(const std::string& path) {
     return true;
   }
   return false;
+}
+
+/// The resolved sweep: the point grid, the table header (the swept axis
+/// plus one column per detector), and the config/spec fingerprint — shared
+/// by the serial and sharded drivers so their tables agree byte for byte.
+struct SweepPlan {
+  struct Point {
+    DurationUs delay;
+    double chaff;
+    std::string label;
+  };
+  std::vector<Point> points;
+  std::vector<std::string> header;
+  std::string x_header;
+  std::uint64_t fingerprint = 0;
+};
+
+SweepPlan build_plan(const ExperimentConfig& config, const SweepSpec& spec) {
+  SweepPlan plan;
+  std::vector<double> chaff_rates;
+  std::vector<DurationUs> max_delays;
+  resolve_axes(spec, chaff_rates, max_delays);
+  if (spec.axis == SweepAxis::kChaffRate) {
+    for (const double rate : chaff_rates) {
+      plan.points.push_back(
+          {spec.fixed_delay, rate, TextTable::cell(rate, 1)});
+    }
+  } else {
+    for (const DurationUs delay : max_delays) {
+      plan.points.push_back(
+          {delay, spec.fixed_chaff, TextTable::cell(to_seconds(delay), 0)});
+    }
+  }
+  plan.x_header = spec.axis == SweepAxis::kChaffRate ? "chaff_rate_pps"
+                                                     : "max_delay_s";
+  plan.header.push_back(plan.x_header);
+  {
+    // Column names come from the detector line-up (delay value irrelevant).
+    const auto detectors = paper_detectors(config, plan.points.front().delay);
+    for (const auto& d : detectors) plan.header.push_back(d->name());
+  }
+  plan.fingerprint = sweep_fingerprint(config, spec);
+  return plan;
+}
+
+/// Evaluates one sweep point into its table row.  A pure function of
+/// (config, spec, point): every cell is deterministic, so any scheduling —
+/// threads, shards, kill/resume splits — yields identical bytes.
+std::vector<std::string> compute_row(const Dataset& dataset,
+                                     const ExperimentConfig& config,
+                                     const SweepSpec& spec,
+                                     const SweepPlan::Point& point) {
+  const sscor::metrics::ScopedTimer point_timer("sweep.point");
+  TRACE_SPAN("sweep.point");
+  const auto detectors = paper_detectors(config, point.delay);
+  EvaluationRequest request;
+  request.max_delay = point.delay;
+  request.chaff_rate = point.chaff;
+  request.run_detection = needs_detection(spec.metric);
+  request.run_false_positive = !request.run_detection;
+  const auto point_metrics = evaluate_point(dataset, detectors, request);
+
+  std::vector<std::string> row{point.label};
+  for (const auto& m : point_metrics) {
+    const double value = metric_value(spec.metric, m);
+    const int precision = (spec.metric == Metric::kCostCorrelated ||
+                           spec.metric == Metric::kCostUncorrelated)
+                              ? 0
+                              : 4;
+    row.push_back(TextTable::cell(value, precision));
+  }
+  return row;
 }
 
 }  // namespace
@@ -106,41 +180,12 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
                     const ProgressFn& progress, const SweepControl& control) {
   const metrics::ScopedTimer sweep_timer("sweep.run");
   TRACE_SPAN("sweep.run");
-  std::vector<double> chaff_rates;
-  std::vector<DurationUs> max_delays;
-  resolve_axes(spec, chaff_rates, max_delays);
-
-  struct Point {
-    DurationUs delay;
-    double chaff;
-    std::string label;
-  };
-  std::vector<Point> points;
-  if (spec.axis == SweepAxis::kChaffRate) {
-    for (const double rate : chaff_rates) {
-      points.push_back(
-          {spec.fixed_delay, rate, TextTable::cell(rate, 1)});
-    }
-  } else {
-    for (const DurationUs delay : max_delays) {
-      points.push_back(
-          {delay, spec.fixed_chaff, TextTable::cell(to_seconds(delay), 0)});
-    }
-  }
+  const SweepPlan plan = build_plan(config, spec);
+  const auto& points = plan.points;
   metrics::counter("sweep.points").add(points.size());
 
   const Dataset dataset = Dataset::build(config);
-
-  const std::string x_header = spec.axis == SweepAxis::kChaffRate
-                                   ? "chaff_rate_pps"
-                                   : "max_delay_s";
-  std::vector<std::string> header{x_header};
-  {
-    // Column names come from the detector line-up (delay value irrelevant).
-    const auto detectors = paper_detectors(config, points.front().delay);
-    for (const auto& d : detectors) header.push_back(d->name());
-  }
-  TextTable table(header);
+  TextTable table(plan.header);
 
   // Crash-safe checkpointing: replay previously journaled points (resume),
   // then journal each newly completed point as one checksummed line.
@@ -149,7 +194,6 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
   std::optional<CheckpointJournal> journal;
   std::mutex journal_mutex;
   if (control.checkpoint.enabled()) {
-    const std::uint64_t fingerprint = sweep_fingerprint(config, spec);
     const bool resuming =
         control.checkpoint.resume && file_exists(control.checkpoint.path);
     if (resuming) {
@@ -158,10 +202,13 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
       std::uint64_t got_fingerprint = 0;
       std::size_t got_points = 0;
       std::size_t got_columns = 0;
+      std::vector<std::string> got_names;
       if (!decode_checkpoint_header(loaded.header, got_fingerprint,
-                                    got_points, got_columns) ||
-          got_fingerprint != fingerprint || got_points != points.size() ||
-          got_columns != header.size()) {
+                                    got_points, got_columns, got_names) ||
+          got_fingerprint != plan.fingerprint ||
+          got_points != points.size() ||
+          got_columns != plan.header.size() ||
+          (!got_names.empty() && got_names != plan.header)) {
         throw IoError(
             "checkpoint was written by a different sweep "
             "(config or spec changed): " +
@@ -172,8 +219,8 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
         std::size_t p = 0;
         std::vector<std::string> row;
         if (!decode_checkpoint_row(record, p, row) || p >= points.size() ||
-            row.size() != header.size() || have[p] != 0) {
-          continue;  // malformed or duplicate record: recompute the point
+            row.size() != plan.header.size() || have[p] != 0) {
+          continue;  // malformed, duplicate, or claim record: recompute
         }
         rows[p] = std::move(row);
         have[p] = 1;
@@ -182,12 +229,14 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
       metrics::counter("checkpoint.resumed_points").add(resumed);
       metrics::counter("checkpoint.dropped_lines")
           .add(loaded.dropped_lines);
-      journal.emplace(CheckpointJournal::append_to(control.checkpoint.path));
+      journal.emplace(CheckpointJournal::append_to(control.checkpoint.path,
+                                                   control.checkpoint.fsync));
     } else {
       journal.emplace(CheckpointJournal::create(
           control.checkpoint.path,
-          encode_checkpoint_header(fingerprint, points.size(),
-                                   header.size())));
+          encode_checkpoint_header(plan.fingerprint, points.size(),
+                                   plan.header.size(), plan.header),
+          control.checkpoint.fsync));
     }
   }
 
@@ -202,32 +251,11 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
       points.size(),
       [&](std::size_t p) {
         if (have[p] != 0) return;  // replayed from the checkpoint
-        const auto& point = points[p];
         if (progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
-          progress(p, points.size(), x_header + "=" + point.label);
+          progress(p, points.size(), plan.x_header + "=" + points[p].label);
         }
-        const sscor::metrics::ScopedTimer point_timer("sweep.point");
-        TRACE_SPAN("sweep.point");
-        const auto detectors = paper_detectors(config, point.delay);
-        EvaluationRequest request;
-        request.max_delay = point.delay;
-        request.chaff_rate = point.chaff;
-        request.run_detection = needs_detection(spec.metric);
-        request.run_false_positive = !request.run_detection;
-        const auto point_metrics = evaluate_point(dataset, detectors, request);
-
-        std::vector<std::string> row{point.label};
-        for (const auto& m : point_metrics) {
-          const double value = metric_value(spec.metric, m);
-          const int precision =
-              (spec.metric == Metric::kCostCorrelated ||
-               spec.metric == Metric::kCostUncorrelated)
-                  ? 0
-                  : 4;
-          row.push_back(TextTable::cell(value, precision));
-        }
-        rows[p] = std::move(row);
+        rows[p] = compute_row(dataset, config, spec, points[p]);
         if (journal) {
           const std::lock_guard<std::mutex> lock(journal_mutex);
           journal->append(encode_checkpoint_row(p, rows[p]));
@@ -253,6 +281,208 @@ TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
     table.add_row(std::move(row));
   }
   return table;
+}
+
+std::optional<TextTable> run_sweep_shard(const ExperimentConfig& config,
+                                         const SweepSpec& spec,
+                                         const ShardSpec& shard,
+                                         const ProgressFn& progress,
+                                         const SweepControl& control) {
+  namespace fs = std::filesystem;
+  require(shard.count > 0, "shard count must be positive");
+  require(shard.index < shard.count, "shard index out of range");
+  require(!shard.journal_dir.empty(), "sharded sweep needs a journal dir");
+
+  const metrics::ScopedTimer sweep_timer("sweep.run_shard");
+  TRACE_SPAN("sweep.run_shard");
+  const SweepPlan plan = build_plan(config, spec);
+  const std::size_t point_count = plan.points.size();
+  const std::string header_data = encode_checkpoint_header(
+      plan.fingerprint, point_count, plan.header.size(), plan.header);
+
+  fs::create_directories(shard.journal_dir);
+  const std::string own_path =
+      (fs::path(shard.journal_dir) /
+       shard_journal_name(shard.index, shard.count))
+          .string();
+
+  // Open (or fresh-create) this shard's journal.  repair_torn_tail runs
+  // inside append_to; a journal torn all the way back to an unreadable
+  // header (death mid-first-write) is recreated from scratch — its records
+  // were unrecoverable anyway.
+  std::optional<CheckpointJournal> journal;
+  if (control.checkpoint.resume && file_exists(own_path)) {
+    repair_torn_tail(own_path);
+    bool readable = false;
+    try {
+      const LoadedCheckpoint own = load_checkpoint(own_path);
+      std::uint64_t got_fingerprint = 0;
+      std::size_t got_points = 0, got_columns = 0;
+      std::vector<std::string> got_names;
+      if (decode_checkpoint_header(own.header, got_fingerprint, got_points,
+                                   got_columns, got_names)) {
+        if (got_fingerprint != plan.fingerprint ||
+            got_points != point_count ||
+            got_columns != plan.header.size() ||
+            (!got_names.empty() && got_names != plan.header)) {
+          throw IoError(
+              "shard journal was written by a different sweep "
+              "(config or spec changed): " +
+              own_path);
+        }
+        readable = true;
+      }
+    } catch (const IoError& e) {
+      // Distinguish "wrong sweep" (fatal, rethrown above as a fresh
+      // IoError with that message) from "unreadable header" (recreate).
+      if (std::string(e.what()).find("different sweep") !=
+          std::string::npos) {
+        throw;
+      }
+      readable = false;
+    }
+    if (readable) {
+      journal.emplace(
+          CheckpointJournal::append_to(own_path, control.checkpoint.fsync));
+    } else {
+      journal.emplace(CheckpointJournal::create(own_path, header_data,
+                                                control.checkpoint.fsync));
+    }
+  } else {
+    journal.emplace(CheckpointJournal::create(own_path, header_data,
+                                              control.checkpoint.fsync));
+  }
+
+  // Fold the whole directory: completed points anywhere count as done, and
+  // claims pin stolen points to their claimer.
+  auto scan_all = [&]() {
+    ClusterScan scan = scan_journal_dir(shard.journal_dir);
+    if (scan.shard_files > 0) {
+      if (scan.shard_count != shard.count) {
+        throw IoError("journal dir belongs to a " +
+                      std::to_string(scan.shard_count) +
+                      "-way cluster, not " + std::to_string(shard.count) +
+                      ": " + shard.journal_dir);
+      }
+      if (scan.fingerprint != plan.fingerprint ||
+          scan.points != point_count ||
+          scan.columns != plan.header.size()) {
+        throw IoError(
+            "journal dir was written by a different sweep "
+            "(config or spec changed): " +
+            shard.journal_dir);
+      }
+    }
+    if (scan.have.size() != point_count) {
+      scan.rows.assign(point_count, {});
+      scan.have.assign(point_count, 0);
+      scan.row_shard.assign(point_count, 0);
+      scan.points = point_count;
+    }
+    return scan;
+  };
+
+  ClusterScan scan = scan_all();
+  metrics::counter("cluster.resumed_points")
+      .add(static_cast<std::uint64_t>(
+          std::count(scan.have.begin(), scan.have.end(), char{1})));
+
+  const auto mine = [&](std::size_t p) {
+    if (p % shard.count == shard.index) return true;
+    for (const auto& [claimer, point] : scan.claims) {
+      if (point == p && claimer == shard.index) return true;
+    }
+    return false;
+  };
+
+  // The dataset is the expensive part of startup; a worker that resumes
+  // into an already-complete partition never builds it.
+  std::optional<Dataset> dataset;
+  const auto ensure_dataset = [&]() -> const Dataset& {
+    if (!dataset) dataset.emplace(Dataset::build(config));
+    return *dataset;
+  };
+
+  std::mutex journal_mutex;
+  std::mutex progress_mutex;
+  const auto compute_targets = [&](const std::vector<std::size_t>& targets) {
+    if (targets.empty()) return;
+    const Dataset& data = ensure_dataset();
+    parallel_for(
+        targets.size(),
+        [&](std::size_t i) {
+          const std::size_t p = targets[i];
+          if (progress) {
+            const std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(p, point_count,
+                     plan.x_header + "=" + plan.points[p].label);
+          }
+          auto row = compute_row(data, config, spec, plan.points[p]);
+          {
+            const std::lock_guard<std::mutex> lock(journal_mutex);
+            journal->append(encode_checkpoint_row(p, row));
+            if (control.checkpoint.sigkill_after_points >= 0 &&
+                journal->appended() >=
+                    static_cast<std::uint64_t>(
+                        control.checkpoint.sigkill_after_points)) {
+              std::raise(SIGKILL);
+            }
+          }
+          scan.rows[p] = std::move(row);
+          scan.have[p] = 1;
+        },
+        config.threads, control.cancel);
+    if (control.cancel != nullptr && control.cancel->stop_requested()) {
+      metrics::counter("sweep.cancelled").add();
+      throw Cancelled("shard " + std::to_string(shard.index) +
+                      " cancelled; journal is resumable");
+    }
+  };
+
+  // Pass 1: this shard's partition — owned points plus points it claimed
+  // in a previous (killed) incarnation.
+  std::vector<std::size_t> owned;
+  for (std::size_t p = 0; p < point_count; ++p) {
+    if (scan.have[p] == 0 && mine(p)) owned.push_back(p);
+  }
+  compute_targets(owned);
+
+  // Pass 2 (work stealing): rescan for points no shard has completed or
+  // claimed — typically the unstarted share of a crashed worker.  The
+  // claim is journaled before the compute so other live workers skip the
+  // point and a post-claim death pins it to this shard's resume.
+  if (shard.steal) {
+    scan = scan_all();
+    std::vector<std::size_t> stolen;
+    for (std::size_t p = 0; p < point_count; ++p) {
+      if (scan.have[p] == 0 && !mine(p) && !scan.claimed(p)) {
+        stolen.push_back(p);
+      }
+    }
+    if (!stolen.empty()) {
+      {
+        const std::lock_guard<std::mutex> lock(journal_mutex);
+        for (const std::size_t p : stolen) {
+          journal->append(encode_checkpoint_claim(p, shard.index));
+          if (control.checkpoint.sigkill_after_points >= 0 &&
+              journal->appended() >=
+                  static_cast<std::uint64_t>(
+                      control.checkpoint.sigkill_after_points)) {
+            std::raise(SIGKILL);
+          }
+        }
+      }
+      metrics::counter("cluster.stolen_points").add(stolen.size());
+      compute_targets(stolen);
+    }
+  }
+
+  // Implicit merge on finalize: when the directory holds every point, any
+  // finishing worker can emit the table — the bytes are the same whoever
+  // does.  Otherwise other shards still own outstanding points.
+  scan = scan_all();
+  if (!scan.complete()) return std::nullopt;
+  return merge_cluster(scan);
 }
 
 }  // namespace sscor::experiment

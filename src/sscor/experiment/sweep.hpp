@@ -3,10 +3,14 @@
 // Each figure is one metric over one swept axis with the other parameter
 // fixed; run_sweep produces the table of series (one column per detector)
 // that the corresponding bench binary prints and writes as CSV.
+// run_sweep_shard is the multi-process variant: N workers journal disjoint
+// subsets of the same grid into a shared directory and the merge
+// reconstructs the serial table byte for byte (DESIGN.md §15).
 
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,13 +56,33 @@ using ProgressFn =
 /// Resilience controls for run_sweep; the default is a plain,
 /// uncheckpointed, uncancellable sweep identical to the previous behaviour.
 struct SweepControl {
-  /// Crash-safe journaling of completed points (checkpoint.hpp).
+  /// Crash-safe journaling of completed points (checkpoint.hpp).  In the
+  /// sharded entry point `path` is ignored (derived from the directory);
+  /// resume / fsync / the SIGKILL hook apply unchanged.
   CheckpointOptions checkpoint;
   /// Cooperative cancel polled between points (not owned).  When it trips,
   /// in-flight points finish and are journaled, unstarted points never run,
   /// and run_sweep throws Cancelled — a later resume picks up exactly the
   /// missing points.
   const CancellationToken* cancel = nullptr;
+};
+
+/// One worker's identity in a sharded cluster sweep.
+struct ShardSpec {
+  std::size_t index = 0;
+  /// Total workers; 0 disables sharding.
+  std::size_t count = 0;
+  /// Shared directory of per-shard journals (shard-<i>-of-<N>.jsonl).
+  std::string journal_dir;
+  /// After finishing its own partition (point % count == index, plus any
+  /// point it previously claimed), the worker opportunistically claims and
+  /// computes points no other shard has completed or claimed — so a dead
+  /// worker's unclaimed share still finishes.  A stolen point is pinned to
+  /// its claimer: if the claimer dies mid-compute, resume *that* shard to
+  /// finish it.
+  bool steal = true;
+
+  bool enabled() const { return count > 0; }
 };
 
 /// Fingerprint of everything that determines the sweep's values — the
@@ -76,5 +100,20 @@ std::uint64_t sweep_fingerprint(const ExperimentConfig& config,
 TextTable run_sweep(const ExperimentConfig& config, const SweepSpec& spec,
                     const ProgressFn& progress = {},
                     const SweepControl& control = {});
+
+/// One worker of an N-process cluster sweep: journals its share of the
+/// grid (owned partition, previously claimed points, then stolen points)
+/// into `shard.journal_dir` and, when the directory holds every point at
+/// exit, returns the merged table — byte-identical to the serial
+/// single-process run.  Returns nullopt while other shards' points are
+/// still outstanding (merge later with scan_journal_dir + merge_cluster).
+/// Honors control.checkpoint.resume / .fsync / .sigkill_after_points;
+/// control.checkpoint.path is ignored.  Throws IoError when the directory
+/// belongs to a different sweep or a different shard count.
+std::optional<TextTable> run_sweep_shard(const ExperimentConfig& config,
+                                         const SweepSpec& spec,
+                                         const ShardSpec& shard,
+                                         const ProgressFn& progress = {},
+                                         const SweepControl& control = {});
 
 }  // namespace sscor::experiment

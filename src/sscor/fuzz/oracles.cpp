@@ -1138,6 +1138,186 @@ class ChaosSweepOracle final : public Oracle {
   }
 };
 
+/// journal_merge: differential check of the cluster journal directory
+/// (scan_journal_dir + merge_cluster) against a reference table whose rows
+/// are derived purely from the case seed.  Rows are scattered across N
+/// shard journals with optional claims, duplicate rows/claims, torn tails,
+/// and corrupt lines; the merge must reproduce the reference bytes — or,
+/// for a conflicting row / missing point, fail with a clean IoError — and
+/// a second scan of the same directory must agree with the first.
+class JournalMergeOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "journal_merge"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    return serialize_case(
+        {{"seed", static_cast<std::int64_t>(rng())},
+         {"points", 2 + static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"columns", 2 + static_cast<std::int64_t>(rng.uniform_u64(2))},
+         {"shards", 1 + static_cast<std::int64_t>(rng.uniform_u64(4))},
+         {"dup_row", rng.bernoulli(0.3) ? 1 : 0},
+         {"dup_claim", rng.bernoulli(0.2) ? 1 : 0},
+         {"torn", rng.bernoulli(0.3) ? 1 : 0},
+         {"corrupt", rng.bernoulli(0.3) ? 1 : 0},
+         {"conflict", rng.bernoulli(0.15) ? 1 : 0},
+         {"drop_point", rng.bernoulli(0.2) ? 1 : 0}},
+        Flow());
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    namespace fs = std::filesystem;
+    const auto parsed = parse_case(payload);
+    if (!parsed) return skip_case();
+    const auto seed = static_cast<std::uint64_t>(
+        get_clamped(*parsed, "seed", 1, INT64_MIN, INT64_MAX));
+    const auto points = static_cast<std::size_t>(
+        get_clamped(*parsed, "points", 3, 2, 5));
+    const auto columns = static_cast<std::size_t>(
+        get_clamped(*parsed, "columns", 2, 2, 3));
+    const auto shards = static_cast<std::size_t>(
+        get_clamped(*parsed, "shards", 2, 1, 4));
+    const bool dup_row = get_clamped(*parsed, "dup_row", 0, 0, 1) != 0;
+    const bool dup_claim = get_clamped(*parsed, "dup_claim", 0, 0, 1) != 0;
+    const bool torn = get_clamped(*parsed, "torn", 0, 0, 1) != 0;
+    const bool corrupt = get_clamped(*parsed, "corrupt", 0, 0, 1) != 0;
+    const bool conflict = get_clamped(*parsed, "conflict", 0, 0, 1) != 0;
+    const bool drop_point =
+        get_clamped(*parsed, "drop_point", 0, 0, 1) != 0;
+
+    // Reference table, derived from the seed alone.
+    Rng rows_rng(seed);
+    std::vector<std::string> names{"x"};
+    for (std::size_t c = 1; c < columns; ++c) {
+      names.push_back("d" + std::to_string(c - 1));
+    }
+    std::vector<std::vector<std::string>> rows(points);
+    for (std::size_t p = 0; p < points; ++p) {
+      for (std::size_t c = 0; c < columns; ++c) {
+        rows[p].push_back(std::to_string(rows_rng.uniform_u64(10'000)));
+      }
+    }
+    TextTable reference(names);
+    for (const auto& row : rows) reference.add_row(std::vector(row));
+    const std::string expected = reference.to_string();
+
+    const std::uint64_t fingerprint = experiment::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(payload.data()),
+                         payload.size()));
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("sscor-journal-merge-" + std::to_string(fingerprint));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+
+    // The last point is reassigned from its owner to the next shard via a
+    // claim record (the work-stealing wire format); when drop_point is
+    // set, the claim lands but the row never does — a claimer that died
+    // mid-compute.
+    const std::size_t moved = points - 1;
+    const std::size_t moved_owner = moved % shards;
+    const std::size_t claimer = (moved_owner + 1) % shards;
+    const bool use_claim = shards > 1;
+    const std::string header_data = experiment::encode_checkpoint_header(
+        fingerprint, points, columns, names);
+    for (std::size_t i = 0; i < shards; ++i) {
+      auto journal = experiment::CheckpointJournal::create(
+          (dir / experiment::shard_journal_name(i, shards)).string(),
+          header_data);
+      if (use_claim && i == claimer) {
+        journal.append(experiment::encode_checkpoint_claim(moved, i));
+        if (dup_claim) {
+          journal.append(experiment::encode_checkpoint_claim(moved, i));
+        }
+      }
+      for (std::size_t p = 0; p < points; ++p) {
+        const std::size_t writer =
+            (use_claim && p == moved) ? claimer : p % shards;
+        if (writer != i) continue;
+        if (p == moved && drop_point) continue;
+        journal.append(experiment::encode_checkpoint_row(p, rows[p]));
+      }
+      if (dup_row && i == 0) {
+        // Identical bytes for a point someone else owns: a raced steal.
+        journal.append(experiment::encode_checkpoint_row(0, rows[0]));
+      }
+      if (conflict && i == shards - 1) {
+        auto bogus = rows[0];
+        bogus.back() += "X";
+        journal.append(experiment::encode_checkpoint_row(0, bogus));
+      }
+    }
+    if (corrupt) {
+      std::ofstream out(dir / experiment::shard_journal_name(0, shards),
+                        std::ios::app);
+      out << "{\"crc32\":\"00000000\",\"data\":{\"point\":0,\"row\":[\"ta"
+             "mpered\"]}}\n";
+    }
+    if (torn) {
+      std::ofstream out(
+          dir / experiment::shard_journal_name(shards - 1, shards),
+          std::ios::app);
+      out << "{\"crc32\":\"12";  // SIGKILL mid-write
+    }
+
+    // Scan + merge twice: the outcome (success bytes or failure kind)
+    // must be deterministic in the directory contents.
+    std::string outcome[2];
+    for (int round = 0; round < 2; ++round) {
+      try {
+        const experiment::ClusterScan scan =
+            experiment::scan_journal_dir(dir.string());
+        if (conflict) {
+          fs::remove_all(dir, ec);
+          return violation("conflicting rows for one point scanned "
+                           "cleanly instead of throwing");
+        }
+        const std::size_t tampered_lines = (torn ? 1u : 0u) +
+                                           (corrupt ? 1u : 0u);
+        if (scan.dropped_lines != tampered_lines) {
+          fs::remove_all(dir, ec);
+          return violation(
+              "scan dropped " + std::to_string(scan.dropped_lines) +
+              " line(s), expected " + std::to_string(tampered_lines));
+        }
+        if (scan.duplicate_rows != (dup_row ? 1u : 0u)) {
+          fs::remove_all(dir, ec);
+          return violation("duplicate-row count off: " +
+                           std::to_string(scan.duplicate_rows));
+        }
+        outcome[round] = "merged:" + experiment::merge_cluster(scan)
+                                         .to_string();
+      } catch (const IoError& e) {
+        if (!conflict && !drop_point) {
+          fs::remove_all(dir, ec);
+          return violation(std::string("clean directory failed to "
+                                       "merge: ") +
+                           e.what());
+        }
+        outcome[round] = std::string("io-error:") + e.what();
+      } catch (const std::exception& e) {
+        fs::remove_all(dir, ec);
+        return violation(std::string("non-IoError escaped the merge: ") +
+                         e.what());
+      }
+    }
+    fs::remove_all(dir, ec);
+    if (outcome[0] != outcome[1]) {
+      return violation("re-scan of an unchanged directory changed the "
+                       "outcome");
+    }
+    if (!conflict && !drop_point &&
+        outcome[0] != "merged:" + expected) {
+      return violation("merged table diverges from the reference rows");
+    }
+    if (drop_point && !conflict &&
+        outcome[0].rfind("io-error:", 0) != 0) {
+      return violation("merge of an incomplete directory succeeded");
+    }
+    return {};
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Oracles 7-9: reader robustness.
 
@@ -1659,6 +1839,7 @@ std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
   oracles.push_back(std::make_unique<ResilientParityOracle>());
   oracles.push_back(std::make_unique<ChaosDecodeOracle>());
   oracles.push_back(std::make_unique<ChaosSweepOracle>());
+  oracles.push_back(std::make_unique<JournalMergeOracle>());
   oracles.push_back(std::make_unique<PcapReaderOracle>());
   oracles.push_back(std::make_unique<PcapngReaderOracle>());
   oracles.push_back(std::make_unique<FlowTextReaderOracle>());

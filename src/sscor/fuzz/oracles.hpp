@@ -13,7 +13,7 @@
 //                    out-of-clamp — the shrinker legitimately produces
 //                    such payloads and they count as passes).
 //
-// The eleven oracles:
+// The twelve oracles:
 //
 //   qim_roundtrip    embed → decode of the QIM scheme is exact whenever all
 //                    IPDs exceed 2*step (no FIFO cascade).  Catches the
@@ -40,6 +40,12 @@
 //   chaos_sweep      mid-sweep abort + checkpoint tampering: cancel, then
 //                    resume over the (possibly tampered) journal must
 //                    reproduce the uncancelled table byte-for-byte.
+//   journal_merge    differential check of the cluster journal directory:
+//                    rows scattered across N tampered shard journals
+//                    (duplicates, claims, torn tails, corrupt lines) must
+//                    merge into the reference table byte-for-byte, or —
+//                    for conflicting rows / missing points — fail with a
+//                    clean IoError, deterministically on a re-scan.
 //   reader_pcap      classic-pcap parsing throws IoError or succeeds —
 //                    never crashes, never allocates past a fixed budget.
 //   reader_pcapng    same contract for the pcapng reader.
@@ -92,7 +98,7 @@ class Oracle {
   virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
 };
 
-/// All eleven oracles, in the round-robin order the fuzzer drives them.
+/// All twelve oracles, in the round-robin order the fuzzer drives them.
 std::vector<std::unique_ptr<Oracle>> make_default_oracles();
 
 /// Deterministic regression payloads reproducing the historical bugs this

@@ -448,6 +448,146 @@ TEST(Checkpoint, TornTailIsDropped) {
   fs::remove(path);
 }
 
+/// The headline regression pin for the torn-tail append bug: a SIGKILL
+/// mid-line leaves a fragment with no trailing '\n'; append_to must
+/// truncate it before writing, or the first new record glues onto the
+/// fragment and BOTH lines are lost on the next load.  Tear at several
+/// byte offsets to cover "lost the CRC", "lost half the data", and "lost
+/// only the newline".
+TEST(Checkpoint, AppendAfterTornTailRepairsTheJournal) {
+  const std::string intact_row = experiment::encode_checkpoint_row(0, {"a"});
+  const std::string torn_row = experiment::encode_checkpoint_row(1, {"b"});
+  const std::string new_row = experiment::encode_checkpoint_row(2, {"c"});
+  for (const std::size_t keep : {std::size_t{1}, std::size_t{8},
+                                 std::size_t{20}, std::size_t{35}}) {
+    const std::string path =
+        temp_path("ckpt-torn-append-" + std::to_string(keep));
+    std::uintmax_t full_size = 0;
+    {
+      auto journal = CheckpointJournal::create(
+          path, experiment::encode_checkpoint_header(1, 3, 1));
+      journal.append(intact_row);
+      full_size = fs::file_size(path);
+      journal.append(torn_row);
+    }
+    // Simulate the SIGKILL: keep only the first `keep` bytes of the final
+    // record's line (keep == line length - 1 tears just the newline).
+    const std::uintmax_t line_bytes = fs::file_size(path) - full_size;
+    ASSERT_LT(keep, line_bytes);
+    fs::resize_file(path, full_size + keep);
+
+    {
+      auto journal = CheckpointJournal::append_to(path);
+      journal.append(new_row);
+    }
+    const auto loaded = load_checkpoint(path);
+    EXPECT_EQ(loaded.dropped_lines, 0u) << "torn at byte " << keep;
+    ASSERT_EQ(loaded.records.size(), 2u) << "torn at byte " << keep;
+    EXPECT_EQ(loaded.records[0], intact_row);
+    EXPECT_EQ(loaded.records[1], new_row);
+    fs::remove(path);
+  }
+}
+
+TEST(Checkpoint, RepairTornTailReportsBytesRemoved) {
+  const std::string path = temp_path("ckpt-repair");
+  {
+    auto journal = CheckpointJournal::create(
+        path, experiment::encode_checkpoint_header(1, 1, 1));
+  }
+  EXPECT_EQ(experiment::repair_torn_tail(path), 0u);  // clean file: no-op
+  const auto clean_size = fs::file_size(path);
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"crc32\":\"0abc";
+  }
+  EXPECT_EQ(experiment::repair_torn_tail(path), 14u);
+  EXPECT_EQ(fs::file_size(path), clean_size);
+  EXPECT_EQ(experiment::repair_torn_tail("/nonexistent/nowhere.jsonl"), 0u);
+
+  // A file with no newline at all (death mid-header) truncates to empty.
+  const std::string headerless = temp_path("ckpt-headerless");
+  {
+    std::ofstream out(headerless, std::ios::trunc);
+    out << "{\"crc32\":\"12";
+  }
+  EXPECT_EQ(experiment::repair_torn_tail(headerless), 12u);
+  EXPECT_EQ(fs::file_size(headerless), 0u);
+  fs::remove(path);
+  fs::remove(headerless);
+}
+
+TEST(Checkpoint, OverflowingSizeFieldIsRejected) {
+  // 25 digits cannot fit in uint64; pre-fix the parser wrapped it into a
+  // plausible small index.
+  std::size_t point = 0;
+  std::vector<std::string> row;
+  EXPECT_FALSE(experiment::decode_checkpoint_row(
+      "{\"point\":1234567890123456789012345,\"row\":[\"a\"]}", point, row));
+  // UINT64_MAX is representable and must still parse...
+  EXPECT_TRUE(experiment::decode_checkpoint_row(
+      "{\"point\":18446744073709551615,\"row\":[\"a\"]}", point, row));
+  EXPECT_EQ(point, 18446744073709551615ull);
+  // ...but one more is an overflow, not a wrap to 0.
+  EXPECT_FALSE(experiment::decode_checkpoint_row(
+      "{\"point\":18446744073709551616,\"row\":[\"a\"]}", point, row));
+}
+
+TEST(Checkpoint, DecodersRejectTrailingGarbage) {
+  std::uint64_t fingerprint = 0;
+  std::size_t points = 0, columns = 0, point = 0, shard = 0;
+  std::vector<std::string> names, row;
+
+  const std::string header = experiment::encode_checkpoint_header(7, 2, 1);
+  ASSERT_TRUE(experiment::decode_checkpoint_header(header, fingerprint,
+                                                   points, columns, names));
+  EXPECT_FALSE(experiment::decode_checkpoint_header(
+      header + "junk", fingerprint, points, columns, names));
+
+  const std::string row_rec = experiment::encode_checkpoint_row(1, {"a"});
+  ASSERT_TRUE(experiment::decode_checkpoint_row(row_rec, point, row));
+  EXPECT_FALSE(
+      experiment::decode_checkpoint_row(row_rec + ",\"x\":1", point, row));
+  EXPECT_FALSE(experiment::decode_checkpoint_row(
+      "{\"point\":1,\"row\":[\"a\"]}}", point, row));
+
+  const std::string claim = experiment::encode_checkpoint_claim(3, 1);
+  ASSERT_TRUE(experiment::decode_checkpoint_claim(claim, point, shard));
+  EXPECT_FALSE(
+      experiment::decode_checkpoint_claim(claim + " ", point, shard));
+}
+
+TEST(Checkpoint, ClaimRecordRoundTrip) {
+  std::size_t point = 0, shard = 0;
+  ASSERT_TRUE(experiment::decode_checkpoint_claim(
+      experiment::encode_checkpoint_claim(7, 3), point, shard));
+  EXPECT_EQ(point, 7u);
+  EXPECT_EQ(shard, 3u);
+  // A claim is not a row and vice versa.
+  std::vector<std::string> row;
+  EXPECT_FALSE(experiment::decode_checkpoint_row(
+      experiment::encode_checkpoint_claim(7, 3), point, row));
+  EXPECT_FALSE(experiment::decode_checkpoint_claim(
+      experiment::encode_checkpoint_row(7, {"x"}), point, shard));
+}
+
+TEST(Checkpoint, ShardJournalNameRoundTrip) {
+  EXPECT_EQ(experiment::shard_journal_name(2, 4), "shard-2-of-4.jsonl");
+  std::size_t index = 0, count = 0;
+  ASSERT_TRUE(experiment::parse_shard_journal_name("shard-2-of-4.jsonl",
+                                                   index, count));
+  EXPECT_EQ(index, 2u);
+  EXPECT_EQ(count, 4u);
+  EXPECT_FALSE(
+      experiment::parse_shard_journal_name("shard-4-of-4.jsonl", index, count));
+  EXPECT_FALSE(
+      experiment::parse_shard_journal_name("shard-2-of-4.json", index, count));
+  EXPECT_FALSE(
+      experiment::parse_shard_journal_name("shard--1-of-4.jsonl", index, count));
+  EXPECT_FALSE(experiment::parse_shard_journal_name("serial.jsonl", index,
+                                                    count));
+}
+
 TEST(Checkpoint, CorruptHeaderIsFatal) {
   const std::string path = temp_path("ckpt-badheader");
   {
@@ -610,6 +750,47 @@ TEST(SweepCheckpoint, KillAndResumeReproducesTheTable) {
         << "kill after " << kill_after << " points";
     fs::remove(path);
   }
+}
+
+/// Exhaustive torn-tail sweep: whatever byte a crash tears the journal at,
+/// load + resume must reproduce the clean table byte for byte.  Truncate
+/// at EVERY offset within the final record's line (including losing just
+/// the trailing newline) and resume from each mutilated copy.
+TEST(SweepCheckpoint, TruncateEverywhereAlwaysResumes) {
+  const auto config = mini_config(83);
+  const auto spec = mini_spec();
+  const std::string clean = run_sweep(config, spec).to_string();
+
+  const std::string path = temp_path("sweep-truncate");
+  fs::remove(path);
+  {
+    experiment::SweepControl control;
+    control.checkpoint.path = path;
+    run_sweep(config, spec, {}, control);
+  }
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // Offsets spanning the whole final line: from "last record fully gone"
+  // to "only its newline missing".
+  const std::size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  for (std::size_t cut = last_line_start; cut < text.size(); ++cut) {
+    const std::string torn = temp_path("sweep-truncate-at");
+    {
+      std::ofstream out(torn, std::ios::trunc | std::ios::binary);
+      out << text.substr(0, cut);
+    }
+    experiment::SweepControl resume;
+    resume.checkpoint.path = torn;
+    resume.checkpoint.resume = true;
+    EXPECT_EQ(run_sweep(config, spec, {}, resume).to_string(), clean)
+        << "truncated at byte " << cut << " of " << text.size();
+    fs::remove(torn);
+  }
+  fs::remove(path);
 }
 
 // ------------------------------------------------ parallel_for cancel ---

@@ -44,7 +44,13 @@
 #      JSON), render one `sscor_tool top` frame against the live daemon,
 #      validate the event log as JSONL, and assert the stdout verdict
 #      stream is byte-identical with telemetry on vs off at shard counts
-#      1 and 8 (the observer-only contract — DESIGN.md §14).
+#      1 and 8 (the observer-only contract — DESIGN.md §14);
+#  10. cluster sweep: 400 journal_merge oracle iterations under ASan/UBSan
+#      (tampered shard directories merge byte-identically or fail with a
+#      clean IoError), then a real 4-shard `sweep --shard i/N` run with
+#      one worker kill -9'd mid-run, resumed, merged via
+#      `merge-journals`, and cmp'd against the serial table
+#      (DESIGN.md §15).
 #
 # Every step runs under its own timeout(1) budget — a hung build or a
 # wedged decode fails that step instead of stalling the whole run — and
@@ -280,6 +286,57 @@ step_9() {  # live ops surface: stats endpoints + top + observer-only parity
   done
 }
 
+step_10() {  # cluster sweep: journal-merge fuzz + 4-shard kill/resume/merge
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_fuzz
+  cmake --build "$build_dir" -j "$jobs" --target sscor_tool
+  # Tampered journal directories (duplicates, claims, torn tails, corrupt
+  # lines, conflicts) under ASan/UBSan: merge reproduces the reference
+  # bytes or fails with a clean IoError, deterministically.
+  "$asan_dir/tools/sscor_fuzz" --oracle journal_merge \
+    --iterations 400 --seed 1 --artifacts "$asan_dir/cluster-artifacts"
+
+  # Real multi-process run: 4 shards over one directory, worker 2 SIGKILLs
+  # itself after its first journaled point, the survivors finish (without
+  # stealing, so the dead shard's points stay its own), the victim
+  # resumes, and the merged table must equal the serial one byte for byte.
+  local cluster_dir
+  cluster_dir="$(mktemp -d)"
+  trap 'rm -rf "$cluster_dir"' RETURN
+  local tool="$build_dir/tools/sscor_tool"
+  local sweep_flags=(--flows=4 --packets=600 --fp-pairs=4 --axis=chaff
+                     --threads=1)
+  "$tool" sweep "${sweep_flags[@]}" --out="$cluster_dir/serial.csv" \
+    >/dev/null
+  local pids=()
+  local i
+  for i in 0 1 3; do
+    "$tool" sweep "${sweep_flags[@]}" --shard="$i/4" --no-steal \
+      --journal-dir="$cluster_dir/journals" >/dev/null 2>&1 &
+    pids+=($!)
+  done
+  "$tool" sweep "${sweep_flags[@]}" --shard=2/4 --no-steal --kill-after=1 \
+    --journal-dir="$cluster_dir/journals" >/dev/null 2>&1 && {
+    echo "kill-after shard worker was expected to die by SIGKILL" >&2
+    return 1
+  }
+  local pid
+  for pid in "${pids[@]}"; do
+    wait "$pid"
+  done
+  # The torn directory must refuse to merge while points are missing...
+  if "$tool" merge-journals --journal-dir="$cluster_dir/journals" \
+    >/dev/null 2>&1; then
+    echo "merge of an incomplete cluster directory unexpectedly passed" >&2
+    return 1
+  fi
+  # ...and resuming the killed shard completes it.
+  "$tool" sweep "${sweep_flags[@]}" --shard=2/4 --no-steal --resume \
+    --journal-dir="$cluster_dir/journals" >/dev/null
+  "$tool" merge-journals --journal-dir="$cluster_dir/journals" \
+    --expect-shards=4 --out="$cluster_dir/merged.csv" >/dev/null
+  cmp "$cluster_dir/serial.csv" "$cluster_dir/merged.csv"
+}
+
 step_names=(
   "default build + full test suite"
   "ThreadSanitizer build + concurrency smoke tests"
@@ -290,10 +347,11 @@ step_names=(
   "streaming smoke: parity fuzz + watch e2e + throughput baseline"
   "batched decode kernel: parity fuzz + SIMD on/off bench smoke"
   "live ops surface: stats endpoints + top + observer-only parity"
+  "cluster sweep: journal-merge fuzz + 4-shard kill/resume/merge"
 )
 # Per-step wall-clock budgets (seconds).  Generous: these exist to convert
 # a hang into a step failure, not to race the machine.
-step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800 900)
+step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800 900 1200)
 
 # Self-reexec dispatcher: `timeout` runs an external command, so each step
 # re-enters this script with --step N and the same directory arguments.
@@ -310,19 +368,19 @@ fi
 
 overall=0
 step_results=()
-for n in 1 2 3 4 5 6 7 8 9; do
+for n in 1 2 3 4 5 6 7 8 9 10; do
   name="${step_names[$((n - 1))]}"
   limit="${step_timeouts[$((n - 1))]}"
-  echo "== [$n/9] $name (timeout ${limit}s) =="
+  echo "== [$n/10] $name (timeout ${limit}s) =="
   if timeout --foreground --kill-after=30 "$limit" \
     "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir" "$scalar_dir"; then
-    step_results+=("PASS  [$n/9] $name")
+    step_results+=("PASS  [$n/10] $name")
   else
     rc=$?
     if [[ $rc -eq 124 ]]; then
-      step_results+=("FAIL  [$n/9] $name (timed out after ${limit}s)")
+      step_results+=("FAIL  [$n/10] $name (timed out after ${limit}s)")
     else
-      step_results+=("FAIL  [$n/9] $name (exit $rc)")
+      step_results+=("FAIL  [$n/10] $name (exit $rc)")
     fi
     overall=1
   fi

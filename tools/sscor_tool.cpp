@@ -17,7 +17,10 @@
 //                       [--fp-pairs N] [--seed S] [--threads N]
 //                       [--corpus interactive|tcplib] [--out table.csv]
 //                       [--checkpoint journal.jsonl] [--resume]
-//                       [--kill-after N]
+//                       [--kill-after N] [--fsync]
+//                       [--shard I/N --journal-dir DIR] [--no-steal]
+//   sscor_tool merge-journals --journal-dir DIR [--out table.csv]
+//                       [--expect-shards N]
 //   sscor_tool watch    --up marked.pcap --key secret.key --in capture.pcap
 //                       [--feed pcap|text] [--speed X]
 //                       [--algorithm greedy+] [--max-delay-s 7]
@@ -60,6 +63,18 @@
 // --checkpoint journals each completed point to an append-only checksummed
 // JSONL file and --resume replays it, recomputing only missing points;
 // --kill-after N SIGKILLs the process after N points (crash testing).
+//
+// sweep --shard I/N --journal-dir DIR is one worker of an N-process
+// cluster sweep (DESIGN.md §15): each worker journals its partition
+// (point % N == I, then opportunistic steals of points no live or dead
+// shard has completed or claimed; --no-steal disables stealing) into
+// DIR/shard-I-of-N.jsonl.  Whichever worker finds the directory complete
+// at exit prints the merged table — byte-identical to a serial run; a
+// worker that exits with other shards' points outstanding prints a notice
+// and exits 0.  merge-journals scans DIR after the fact and rebuilds the
+// table (--expect-shards asserts all N journals are present).  --fsync
+// forces every journal record to the platter (survives power loss, not
+// just process death) at a hefty throughput cost.
 //
 // Every command additionally accepts --metrics: print the run-metrics
 // registry (counters, timers, and histograms) to stderr on exit.  Commands
@@ -409,6 +424,40 @@ experiment::Metric parse_metric(const std::string& name) {
   throw InvalidArgument("unknown metric: " + name);
 }
 
+/// Strictly parses "I/N" (decimal, no signs or spaces, I < N, N >= 1).
+experiment::ShardSpec parse_shard(const std::string& value,
+                                  const std::string& journal_dir) {
+  const auto bad = [&]() {
+    throw InvalidArgument("--shard expects I/N with I < N, got \"" + value +
+                          "\"");
+  };
+  const auto slash = value.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 == value.size()) {
+    bad();
+  }
+  const auto digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  const std::string index_str = value.substr(0, slash);
+  const std::string count_str = value.substr(slash + 1);
+  if (!digits(index_str) || !digits(count_str)) bad();
+  errno = 0;
+  const unsigned long long index = std::strtoull(index_str.c_str(), nullptr, 10);
+  const unsigned long long count = std::strtoull(count_str.c_str(), nullptr, 10);
+  if (errno != 0 || count == 0 || index >= count) bad();
+
+  experiment::ShardSpec shard;
+  shard.index = static_cast<std::size_t>(index);
+  shard.count = static_cast<std::size_t>(count);
+  shard.journal_dir = journal_dir;
+  return shard;
+}
+
 int cmd_sweep(const Args& args) {
   experiment::ExperimentConfig config;
   // Scaled-down defaults so a shell invocation finishes in seconds; the
@@ -437,11 +486,24 @@ int cmd_sweep(const Args& args) {
   experiment::SweepControl control;
   control.checkpoint.path = args.get("checkpoint").value_or("");
   control.checkpoint.resume = args.flag("resume");
+  control.checkpoint.fsync = args.flag("fsync");
   if (args.flag("kill-after")) {
     control.checkpoint.sigkill_after_points =
         static_cast<std::int64_t>(args.u64("kill-after", 0));
   }
-  if (control.checkpoint.resume && !control.checkpoint.enabled()) {
+
+  const std::string journal_dir = args.get("journal-dir").value_or("");
+  const bool sharded = args.flag("shard");
+  if (sharded != !journal_dir.empty()) {
+    throw InvalidArgument("--shard I/N and --journal-dir DIR go together");
+  }
+  if (sharded && control.checkpoint.enabled()) {
+    throw InvalidArgument(
+        "--checkpoint PATH is for single-process sweeps; sharded journals "
+        "live under --journal-dir");
+  }
+  if (control.checkpoint.resume && !sharded &&
+      !control.checkpoint.enabled()) {
     throw InvalidArgument("--resume requires --checkpoint PATH");
   }
 
@@ -449,8 +511,58 @@ int cmd_sweep(const Args& args) {
                            const std::string& label) {
     std::fprintf(stderr, "[%zu/%zu] %s\n", index + 1, count, label.c_str());
   };
+
+  if (sharded) {
+    experiment::ShardSpec shard =
+        parse_shard(args.require_str("shard"), journal_dir);
+    shard.steal = !args.flag("no-steal");
+    const auto table =
+        experiment::run_sweep_shard(config, spec, shard, progress, control);
+    if (table) {
+      std::printf("%s", table->to_string().c_str());
+      if (const auto out = args.get("out"); out && !out->empty()) {
+        table->write_csv(*out);
+        std::fprintf(stderr, "csv written: %s\n", out->c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "shard %zu/%zu done; other shards still own outstanding "
+                   "points — merge later with: sscor_tool merge-journals "
+                   "--journal-dir %s\n",
+                   shard.index, shard.count, journal_dir.c_str());
+    }
+    return 0;
+  }
+
   const TextTable table =
       experiment::run_sweep(config, spec, progress, control);
+  std::printf("%s", table.to_string().c_str());
+  if (const auto out = args.get("out"); out && !out->empty()) {
+    table.write_csv(*out);
+    std::fprintf(stderr, "csv written: %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int cmd_merge_journals(const Args& args) {
+  const std::string dir = args.require_str("journal-dir");
+  const experiment::ClusterScan scan = experiment::scan_journal_dir(dir);
+  if (args.flag("expect-shards")) {
+    const std::uint64_t expected = args.u64_positive("expect-shards", 0);
+    if (scan.shard_files != expected) {
+      throw IoError("expected " + std::to_string(expected) +
+                    " shard journals in " + dir + ", found " +
+                    std::to_string(scan.shard_files));
+    }
+  }
+  std::fprintf(stderr,
+               "%zu shard journal(s) of %zu-way cluster; %zu skipped, "
+               "%zu dropped line(s), %zu duplicate row(s), "
+               "%zu duplicate claim(s)\n",
+               scan.shard_files, scan.shard_count, scan.skipped_files,
+               scan.dropped_lines, scan.duplicate_rows,
+               scan.duplicate_claims);
+  const TextTable table = experiment::merge_cluster(scan);
   std::printf("%s", table.to_string().c_str());
   if (const auto out = args.get("out"); out && !out->empty()) {
     table.write_csv(*out);
@@ -723,7 +835,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sscor_tool "
-      "<generate|stats|embed|perturb|detect|sweep|watch|top> [flags]\n"
+      "<generate|stats|embed|perturb|detect|sweep|merge-journals|watch|top>"
+      " [flags]\n"
       "       (append --metrics to print run counters/timers on exit;\n"
       "        --trace PATH writes decode introspection JSONL and\n"
       "        --trace-spans PATH writes Chrome trace JSON)\n"
@@ -755,6 +868,8 @@ int main(int argc, char** argv) {
       rc = cmd_detect(args);
     } else if (command == "sweep") {
       rc = cmd_sweep(args);
+    } else if (command == "merge-journals") {
+      rc = cmd_merge_journals(args);
     } else if (command == "watch") {
       rc = cmd_watch(args);
     } else if (command == "top") {
