@@ -37,15 +37,27 @@
 #include <utility>
 #include <vector>
 
+#include "sscor/util/journal.hpp"
 #include "sscor/util/table.hpp"
 
 namespace sscor::experiment {
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
-std::uint32_t crc32(std::string_view data);
+// The journalling core (checksummed JSONL lines, torn-tail repair, the
+// append-only writer, the verifying loader) lives in util/journal so the
+// streaming daemon's WAL and snapshots (stream/durability) share it
+// without a stream -> experiment dependency; these aliases keep the sweep
+// code and its callers on their historical names.
+using journal::crc32;
+using journal::fnv1a64;
+using journal::repair_torn_tail;
+using CheckpointJournal = journal::Journal;
+using LoadedCheckpoint = journal::LoadedJournal;
 
-/// FNV-1a 64-bit hash; the building block of the config fingerprint.
-std::uint64_t fnv1a64(std::string_view data);
+/// Reads and verifies `path`.  Throws IoError when the file cannot be read
+/// or its header line is missing/corrupt; body corruption is tolerated.
+inline LoadedCheckpoint load_checkpoint(const std::string& path) {
+  return journal::load_journal(path);
+}
 
 /// Checkpointing knobs carried into run_sweep via SweepControl.
 struct CheckpointOptions {
@@ -67,66 +79,6 @@ struct CheckpointOptions {
 
   bool enabled() const { return !path.empty(); }
 };
-
-/// Truncates any torn final line (bytes after the last '\n') left behind by
-/// a mid-write SIGKILL, so a subsequent append starts on a fresh line.
-/// Returns the number of bytes removed; a missing file or one that already
-/// ends in '\n' is left untouched.  A file with no newline at all (death
-/// mid-header) truncates to empty.
-std::size_t repair_torn_tail(const std::string& path);
-
-/// Append-only writer.  Not thread-safe; callers serialise appends (the
-/// sweep holds a mutex around journal writes).
-class CheckpointJournal {
- public:
-  /// Opens `path` truncated and writes the header record.
-  static CheckpointJournal create(const std::string& path,
-                                  const std::string& header_data,
-                                  bool fsync = false);
-  /// Opens `path` for appending after a successful load (header already
-  /// present and verified by the caller).  Repairs a torn tail first —
-  /// appending blindly after a SIGKILL would concatenate the new record
-  /// onto the torn fragment and lose both lines.
-  static CheckpointJournal append_to(const std::string& path,
-                                     bool fsync = false);
-
-  CheckpointJournal(CheckpointJournal&& other) noexcept;
-  CheckpointJournal& operator=(CheckpointJournal&& other) noexcept;
-  CheckpointJournal(const CheckpointJournal&) = delete;
-  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
-  ~CheckpointJournal();
-
-  /// Appends one checksummed record line and flushes it to the OS page
-  /// cache, so the record survives process death.  It does NOT survive a
-  /// power cut or kernel panic unless the journal was opened with
-  /// fsync=true, which forces every record to the platter before append()
-  /// returns (DESIGN.md §15).
-  void append(const std::string& data);
-
-  /// Body records appended through this writer (excludes the header).
-  std::uint64_t appended() const { return appended_; }
-
- private:
-  explicit CheckpointJournal(std::FILE* file, bool fsync)
-      : file_(file), fsync_(fsync) {}
-
-  std::FILE* file_ = nullptr;
-  bool fsync_ = false;
-  std::uint64_t appended_ = 0;
-};
-
-/// A parsed journal: the header record's data plus every body record whose
-/// checksum verified, in file order.  `dropped_lines` counts torn/corrupt
-/// body lines that were skipped.
-struct LoadedCheckpoint {
-  std::string header;
-  std::vector<std::string> records;
-  std::size_t dropped_lines = 0;
-};
-
-/// Reads and verifies `path`.  Throws IoError when the file cannot be read
-/// or its header line is missing/corrupt; body corruption is tolerated.
-LoadedCheckpoint load_checkpoint(const std::string& path);
 
 // --- sweep record codecs -------------------------------------------------
 // The sweep stores plain row data; these helpers keep the JSON shape in one

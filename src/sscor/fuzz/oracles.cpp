@@ -23,6 +23,7 @@
 #include "sscor/experiment/stream_corpus.hpp"
 #include "sscor/experiment/sweep.hpp"
 #include "sscor/flow/flow_io.hpp"
+#include "sscor/stream/frame.hpp"
 #include "sscor/stream/stream_engine.hpp"
 #include "sscor/fuzz/alloc_guard.hpp"
 #include "sscor/fuzz/generators.hpp"
@@ -1828,6 +1829,166 @@ class StreamParityOracle final : public Oracle {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Oracle 13: frame_parser.
+
+/// frame_parser: the `sscor-stream v1` parser's robustness contract on
+/// arbitrary bytes.  For any payload (well-formed frame streams, mutated
+/// streams, raw garbage):
+///
+///   * parsing never throws or crashes;
+///   * chunking independence: feeding the bytes whole and feeding them in
+///     payload-derived random chunks yield identical frame sequences AND
+///     identical resync/quarantine counters;
+///   * byte conservation: quarantined bytes + bytes consumed by parsed
+///     frames never exceed the input, and the unconsumed remainder is
+///     bounded by one maximal frame (the buffer bound);
+///   * re-encode idempotence: every parsed frame re-encodes to bytes that
+///     reparse to exactly that frame with zero quarantine;
+///   * packet round-trip: a kPacket payload that decodes re-encodes to the
+///     identical frame bytes.
+class FrameParserOracle final : public Oracle {
+ public:
+  std::string_view name() const override { return "frame_parser"; }
+
+  std::vector<std::uint8_t> generate(Rng& rng) override {
+    std::string stream;
+    if (rng.bernoulli(0.9)) stream += stream::encode_hello();
+    const std::size_t frames = 1 + rng.uniform_u64(24);
+    for (std::size_t i = 0; i < frames; ++i) {
+      switch (rng.uniform_u64(6)) {
+        case 0:
+          stream += stream::encode_heartbeat();
+          break;
+        case 1: {
+          // Raw garbage between frames: the resync path.
+          const std::size_t n = 1 + rng.uniform_u64(40);
+          for (std::size_t j = 0; j < n; ++j) {
+            stream += static_cast<char>(rng.uniform_u64(256));
+          }
+          break;
+        }
+        default: {
+          stream::StreamPacket packet;
+          packet.tuple = experiment::stream_corpus_tuple(
+              static_cast<std::size_t>(rng.uniform_u64(8)));
+          packet.packet.timestamp =
+              static_cast<TimeUs>(rng.uniform_u64(1'000'000'000));
+          packet.packet.size =
+              static_cast<std::uint32_t>(rng.uniform_u64(1500));
+          packet.packet.is_chaff = rng.bernoulli(0.3);
+          stream += stream::encode_packet_frame(packet);
+          break;
+        }
+      }
+    }
+    if (rng.bernoulli(0.5)) stream += stream::encode_end();
+    std::vector<std::uint8_t> bytes(stream.begin(), stream.end());
+    if (rng.bernoulli(0.7)) {
+      bytes = mutate_bytes(std::move(bytes), rng,
+                           1 + static_cast<int>(rng.uniform_u64(8)));
+    }
+    return bytes;
+  }
+
+  OracleResult check(const std::vector<std::uint8_t>& payload) override {
+    if (payload.size() > (std::size_t{64} << 10)) return skip_case();
+    const std::string text(payload.begin(), payload.end());
+    try {
+      // Whole-input parse: the reference.
+      stream::FrameParser whole;
+      whole.feed(text);
+      std::vector<stream::Frame> reference;
+      while (auto frame = whole.next()) reference.push_back(*frame);
+
+      // Chunked parse with payload-derived split points.
+      std::uint64_t seed = 0xcbf29ce484222325ull;
+      for (const std::uint8_t b : payload) {
+        seed = (seed ^ b) * 0x100000001b3ull;
+      }
+      Rng chunk_rng(seed);
+      stream::FrameParser chunked;
+      std::vector<stream::Frame> rechunked;
+      std::size_t pos = 0;
+      while (pos < text.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            1 + chunk_rng.uniform_u64(61), text.size() - pos);
+        chunked.feed(std::string_view(text).substr(pos, n));
+        pos += n;
+        while (auto frame = chunked.next()) rechunked.push_back(*frame);
+      }
+
+      if (reference.size() != rechunked.size()) {
+        return violation("chunked parse yielded " +
+                         std::to_string(rechunked.size()) + " frames, whole "
+                         "parse " + std::to_string(reference.size()));
+      }
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i].type != rechunked[i].type ||
+            reference[i].payload != rechunked[i].payload) {
+          return violation("frame " + std::to_string(i) +
+                           " differs between whole and chunked parse");
+        }
+      }
+      if (whole.frames_parsed() != chunked.frames_parsed() ||
+          whole.resyncs() != chunked.resyncs() ||
+          whole.bytes_quarantined() != chunked.bytes_quarantined()) {
+        return violation(
+            "parser counters depend on chunking: whole (" +
+            std::to_string(whole.frames_parsed()) + ", " +
+            std::to_string(whole.resyncs()) + ", " +
+            std::to_string(whole.bytes_quarantined()) + ") vs chunked (" +
+            std::to_string(chunked.frames_parsed()) + ", " +
+            std::to_string(chunked.resyncs()) + ", " +
+            std::to_string(chunked.bytes_quarantined()) + ")");
+      }
+
+      // Byte conservation and the buffer bound.
+      std::uint64_t frame_bytes = 0;
+      for (const stream::Frame& frame : reference) {
+        frame_bytes += stream::kFrameHeaderBytes + frame.payload.size();
+      }
+      if (whole.bytes_quarantined() + frame_bytes > text.size()) {
+        return violation("parser accounted for more bytes than fed: " +
+                         std::to_string(whole.bytes_quarantined()) +
+                         " quarantined + " + std::to_string(frame_bytes) +
+                         " framed > " + std::to_string(text.size()));
+      }
+      const std::uint64_t leftover =
+          text.size() - whole.bytes_quarantined() - frame_bytes;
+      if (leftover >= stream::kFrameHeaderBytes + stream::kMaxFramePayload) {
+        return violation("parser buffered " + std::to_string(leftover) +
+                         " unconsumed bytes, beyond the one-frame bound");
+      }
+
+      // Re-encode idempotence (and the packet payload round-trip).
+      for (const stream::Frame& frame : reference) {
+        const std::string encoded =
+            stream::encode_frame(frame.type, frame.payload);
+        stream::FrameParser reparse;
+        reparse.feed(encoded);
+        const auto back = reparse.next();
+        if (!back || back->type != frame.type ||
+            back->payload != frame.payload || reparse.resyncs() != 0 ||
+            reparse.bytes_quarantined() != 0 || reparse.next()) {
+          return violation("re-encoded frame did not reparse to itself");
+        }
+        if (frame.type == stream::FrameType::kPacket) {
+          stream::StreamPacket decoded;
+          if (stream::decode_packet_payload(frame.payload, decoded) &&
+              stream::encode_packet_frame(decoded) != encoded) {
+            return violation(
+                "packet payload decode/encode round-trip diverged");
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      return violation(std::string("frame parser threw: ") + e.what());
+    }
+    return {};
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
@@ -1844,6 +2005,7 @@ std::vector<std::unique_ptr<Oracle>> make_default_oracles() {
   oracles.push_back(std::make_unique<PcapngReaderOracle>());
   oracles.push_back(std::make_unique<FlowTextReaderOracle>());
   oracles.push_back(std::make_unique<StreamParityOracle>());
+  oracles.push_back(std::make_unique<FrameParserOracle>());
   return oracles;
 }
 

@@ -13,7 +13,7 @@
 //                    out-of-clamp — the shrinker legitimately produces
 //                    such payloads and they count as passes).
 //
-// The twelve oracles:
+// The thirteen oracles:
 //
 //   qim_roundtrip    embed → decode of the QIM scheme is exact whenever all
 //                    IPDs exceed 2*step (no FIFO cascade).  Catches the
@@ -59,6 +59,13 @@
 //                    Correlator::correlate at shard counts 1 and N (same
 //                    order, same costs), and with early exits on the
 //                    decisions still agree.
+//   frame_parser     the `sscor-stream v1` frame parser never crashes on
+//                    arbitrary bytes, is chunking-independent (same frames
+//                    and same quarantine counters for any split of the
+//                    stream across feed() calls), accounts for every byte
+//                    (frames + quarantined + bounded leftover = input),
+//                    and re-encoding any parsed frame reparses to itself
+//                    cleanly.
 
 #pragma once
 
@@ -98,7 +105,7 @@ class Oracle {
   virtual void add_seed(std::vector<std::uint8_t> seed) { (void)seed; }
 };
 
-/// All twelve oracles, in the round-robin order the fuzzer drives them.
+/// All thirteen oracles, in the round-robin order the fuzzer drives them.
 std::vector<std::unique_ptr<Oracle>> make_default_oracles();
 
 /// Deterministic regression payloads reproducing the historical bugs this

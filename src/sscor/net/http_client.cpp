@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "sscor/net/io.hpp"
 #include "sscor/net/stats_server.hpp"
 #include "sscor/util/error.hpp"
 
@@ -47,26 +48,23 @@ HttpResult http_get(const std::string& host, std::uint16_t port,
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  if (connect_with_timeout(fd.get(),
+                           reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr), timeout_ms) != 0) {
     throw IoError("http_get: cannot connect to " + host + ":" +
                   std::to_string(port) + " (" + std::strerror(errno) + ")");
   }
 
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd.get(), request.data() + sent,
-                             request.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) throw IoError("http_get: send failed");
-    sent += static_cast<std::size_t>(n);
+  if (!send_all(fd.get(), request.data(), request.size())) {
+    throw IoError("http_get: send failed");
   }
 
   std::string raw;
   char buf[4096];
   while (true) {
-    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    const long n = recv_some(fd.get(), buf, sizeof(buf));
     if (n < 0) throw IoError("http_get: receive failed or timed out");
     if (n == 0) break;
     raw.append(buf, static_cast<std::size_t>(n));

@@ -1,0 +1,82 @@
+#include "sscor/net/io.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace sscor::net {
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* buf, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+int poll_in(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc > 0) return 1;  // readable, error, or hangup — recv disambiguates
+    return rc;
+  }
+}
+
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                         int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return -1;
+  int rc;
+  do {
+    rc = ::connect(fd, addr, len);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) return -1;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int polled;
+    do {
+      polled = ::poll(&pfd, 1, timeout_ms);
+    } while (polled < 0 && errno == EINTR);
+    if (polled == 0) {
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    if (polled < 0) return -1;
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+      return -1;
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return -1;
+  return 0;
+}
+
+}  // namespace sscor::net

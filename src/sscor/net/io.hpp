@@ -1,0 +1,39 @@
+// EINTR-safe socket I/O primitives shared by every send/recv loop in the
+// repo (stats server, HTTP client, the live-feed socket source, the chaos
+// proxy).
+//
+// The watch daemon installs SIGTERM/SIGINT handlers without SA_RESTART
+// (util/shutdown), so from PR 10 on EVERY blocking syscall in the process
+// can return EINTR at any moment — a path that treats EINTR as a fatal
+// error turns a graceful shutdown request into a spurious I/O failure.
+// These wrappers retry interrupted syscalls uniformly; timeouts
+// (EAGAIN/EWOULDBLOCK from SO_RCVTIMEO/SO_SNDTIMEO) and real errors still
+// surface, because those the caller genuinely needs to handle.
+
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cstddef>
+
+namespace sscor::net {
+
+/// Sends all `len` bytes (MSG_NOSIGNAL), retrying EINTR and short writes.
+/// Returns false on any other error, including a send timeout.
+bool send_all(int fd, const void* data, std::size_t len);
+
+/// recv() retrying EINTR.  Returns bytes read (> 0), 0 on orderly EOF, -1
+/// on error with errno set (EAGAIN/EWOULDBLOCK = receive timeout).
+long recv_some(int fd, void* buf, std::size_t len);
+
+/// poll(POLLIN) retrying EINTR.  Returns 1 when readable (or the peer hung
+/// up), 0 on timeout, -1 on error.
+int poll_in(int fd, int timeout_ms);
+
+/// Nonblocking connect with a timeout: returns 0 on success, -1 on
+/// failure/timeout with errno set.  The socket is returned to blocking
+/// mode on success.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len,
+                         int timeout_ms);
+
+}  // namespace sscor::net

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "sscor/net/io.hpp"
 #include "sscor/util/error.hpp"
 #include "sscor/util/metrics.hpp"
 
@@ -23,17 +24,6 @@ void set_socket_timeouts(int fd) {
   tv.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 const char* status_text(int status) {
@@ -160,8 +150,8 @@ void StatsServer::handle_connection(int fd) {
   char buf[1024];
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < kMaxRequestBytes) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    const long n = recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF, timeout, or error: serve what arrived
     request.append(buf, static_cast<std::size_t>(n));
   }
 
@@ -208,7 +198,7 @@ void StatsServer::handle_connection(int fd) {
                     "\r\nContent-Length: " +
                     std::to_string(response.body.size()) +
                     "\r\nConnection: close\r\n\r\n" + response.body;
-  send_all(fd, out);
+  send_all(fd, out.data(), out.size());
   requests_.fetch_add(1, std::memory_order_relaxed);
   metrics::counter("stats_server.requests").add();
 }

@@ -1,0 +1,212 @@
+#include "sscor/stream/chaos_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "sscor/net/io.hpp"
+#include "sscor/net/stats_server.hpp"
+#include "sscor/util/error.hpp"
+
+namespace sscor::stream {
+namespace {
+
+constexpr int kPollSliceMs = 100;
+constexpr std::size_t kChunkBytes = 128;
+
+enum class Fault {
+  kCorrupt = 0,
+  kStall = 1,
+  kSplitStall = 2,
+  kDrop = 3,
+  kSlowLoris = 4,
+  kDisconnect = 5,
+};
+constexpr int kFaultKinds = 6;
+
+int dial_tcp(const std::string& endpoint, int timeout_ms) {
+  const net::HostPort hp = net::parse_host_port(endpoint);
+  const std::string host = hp.host == "localhost" ? "127.0.0.1" : hp.host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (net::connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr), timeout_ms) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void nap_ms(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  require(!options_.upstream.empty(), "chaos proxy upstream must be set");
+  net::parse_host_port(options_.upstream);  // throws on malformed spec
+  require(options_.fault_rate >= 0.0 && options_.fault_rate <= 1.0,
+          "fault_rate must be in [0, 1]");
+  require(options_.max_upstream_failures >= 1,
+          "max_upstream_failures must be >= 1");
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  require(listen_fd_ < 0, "chaos proxy already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("chaos proxy: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 4) != 0) {
+    ::close(fd);
+    throw IoError("chaos proxy: cannot bind 127.0.0.1");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    throw IoError("chaos proxy: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ChaosProxy::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ChaosProxy::wait() {
+  while (!done_.load(std::memory_order_relaxed) &&
+         !stopping_.load(std::memory_order_relaxed)) {
+    nap_ms(20);
+  }
+}
+
+void ChaosProxy::run() {
+  int upstream_failures = 0;
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !done_.load(std::memory_order_relaxed)) {
+    const int rc = net::poll_in(listen_fd_, kPollSliceMs);
+    if (rc <= 0) continue;
+    int client;
+    do {
+      client = ::accept(listen_fd_, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
+    if (client < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    const int upstream = dial_tcp(options_.upstream, 2000);
+    if (upstream < 0) {
+      ::close(client);
+      if (++upstream_failures >= options_.max_upstream_failures) {
+        // The feed is gone for good: nothing left to proxy.
+        done_.store(true, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    upstream_failures = 0;
+    relay(client, upstream);
+    ::close(client);
+    ::close(upstream);
+  }
+}
+
+void ChaosProxy::relay(int client_fd, int upstream_fd) {
+  char chunk[kChunkBytes];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int rc = net::poll_in(upstream_fd, kPollSliceMs);
+    if (rc == 0) continue;
+    if (rc < 0) return;
+    const long n = net::recv_some(upstream_fd, chunk, sizeof(chunk));
+    if (n == 0) {
+      // Upstream finished cleanly; everything it sent has been relayed
+      // (possibly mangled).  The proxy's job is done.
+      done_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (n < 0) return;
+    const auto len = static_cast<std::size_t>(n);
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!rng_.bernoulli(options_.fault_rate)) {
+      if (!net::send_all(client_fd, chunk, len)) return;
+      continue;
+    }
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    switch (static_cast<Fault>(rng_.uniform_u64(kFaultKinds))) {
+      case Fault::kCorrupt: {
+        const std::size_t flips =
+            1 + static_cast<std::size_t>(rng_.uniform_u64(4));
+        for (std::size_t i = 0; i < flips; ++i) {
+          const std::size_t at =
+              static_cast<std::size_t>(rng_.uniform_u64(len));
+          chunk[at] = static_cast<char>(rng_.uniform_u64(256));
+        }
+        if (!net::send_all(client_fd, chunk, len)) return;
+        break;
+      }
+      case Fault::kStall:
+        nap_ms(rng_.uniform_i64(5, 50));
+        if (!net::send_all(client_fd, chunk, len)) return;
+        break;
+      case Fault::kSplitStall: {
+        const std::size_t cut =
+            1 + static_cast<std::size_t>(rng_.uniform_u64(len));
+        if (!net::send_all(client_fd, chunk, cut)) return;
+        nap_ms(rng_.uniform_i64(5, 20));
+        if (cut < len &&
+            !net::send_all(client_fd, chunk + cut, len - cut)) {
+          return;
+        }
+        break;
+      }
+      case Fault::kDrop:
+        break;  // swallow the chunk; the parser downstream resyncs
+      case Fault::kSlowLoris: {
+        const std::size_t dribble = std::min<std::size_t>(len, 32);
+        for (std::size_t i = 0; i < dribble; ++i) {
+          if (!net::send_all(client_fd, chunk + i, 1)) return;
+          nap_ms(1);
+        }
+        if (dribble < len &&
+            !net::send_all(client_fd, chunk + dribble, len - dribble)) {
+          return;
+        }
+        break;
+      }
+      case Fault::kDisconnect:
+        return;  // tear the client down mid-stream; it will reconnect
+    }
+  }
+}
+
+}  // namespace sscor::stream

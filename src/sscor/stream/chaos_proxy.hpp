@@ -1,0 +1,86 @@
+// Fault-injecting TCP proxy for torturing the live-feed daemon.
+//
+// The chaos proxy sits between a frame feeder and a SocketPacketSource
+// and mangles the byte stream the way a hostile network would: it
+// corrupts bytes (CRC quarantine path), stalls (idle-timeout path),
+// splits writes (chunking-independence path), drops chunks (resync
+// path), dribbles bytes one at a time (slow-loris), and tears the
+// connection down mid-frame (reconnect path).  Faults are drawn from a
+// seeded Rng, so a chaos run is reproducible.
+//
+// It is the adversary half of the chaos oracle: run the daemon through
+// the proxy under ASan/UBSan and assert it exits cleanly with zero
+// sanitizer findings no matter what arrived on the wire.  The proxy
+// stops itself once the upstream feed ends (EOF relayed) or becomes
+// unreachable.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor::stream {
+
+struct ChaosProxyOptions {
+  /// Upstream feed to dial per client connection, "HOST:PORT".
+  std::string upstream;
+  /// Probability that a relayed chunk gets a fault.
+  double fault_rate = 0.3;
+  std::uint64_t seed = 1;
+  /// Consecutive failed upstream dials before the proxy concludes the
+  /// feed is gone and exits.
+  int max_upstream_failures = 3;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts relaying on an
+  /// internal thread.  Throws IoError on bind failure.
+  void start();
+
+  /// Stops relaying and joins (idempotent; called by the destructor).
+  void stop();
+
+  /// Blocks until the proxy finishes on its own (upstream EOF or gone).
+  void wait();
+
+  std::uint16_t port() const { return port_; }
+  bool done() const { return done_.load(std::memory_order_relaxed); }
+  std::uint64_t faults_injected() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunks_relayed() const {
+    return chunks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t client_connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  /// Relays upstream->client until EOF, fault-disconnect, or error.
+  void relay(int client_fd, int upstream_fd);
+
+  ChaosProxyOptions options_;
+  Rng rng_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> faults_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> connections_{0};
+};
+
+}  // namespace sscor::stream

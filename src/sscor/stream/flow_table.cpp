@@ -16,6 +16,20 @@ void TimestampRing::push(TimeUs t) {
   ++pushed_;
 }
 
+void TimestampRing::restore(std::uint64_t pushed,
+                            const std::vector<TimeUs>& held) {
+  const auto expected = static_cast<std::size_t>(
+      std::min<std::uint64_t>(pushed, buffer_.size()));
+  require(held.size() == expected,
+          "ring restore size does not match its push count");
+  pushed_ = pushed;
+  const std::uint64_t oldest =
+      pushed_ > buffer_.size() ? pushed_ % buffer_.size() : 0;
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    buffer_[(oldest + i) % buffer_.size()] = held[i];
+  }
+}
+
 std::size_t TimestampRing::size() const {
   return static_cast<std::size_t>(
       std::min<std::uint64_t>(pushed_, buffer_.size()));
@@ -144,6 +158,31 @@ bool FlowTable::add_buffered(std::size_t shard, FlowEntry* entry,
     evict(s, victim, EvictionCause::kMemory, evicted);
   }
   return true;
+}
+
+FlowEntry* FlowTable::restore_entry(std::size_t shard,
+                                    const FlowRestore& record) {
+  Shard& s = shards_[shard];
+  require(s.flows.find(record.tuple) == s.flows.end(),
+          "restore of an already-live flow: " + record.tuple.to_string());
+  auto owned = std::make_unique<FlowEntry>(config_.ring_capacity);
+  FlowEntry* entry = owned.get();
+  entry->tuple = record.tuple;
+  entry->first_seen_seq = record.first_seen_seq;
+  entry->first_seen = record.first_seen;
+  entry->last_seen = record.last_seen;
+  entry->packets = record.packets;
+  entry->tombstone = record.tombstone;
+  entry->ring.restore(record.ring_pushed, record.ring);
+  s.flows.emplace(record.tuple, std::move(owned));
+  entry->lru_ = s.lru.insert(s.lru.end(), entry);
+  return entry;
+}
+
+void FlowTable::restore_buffered(std::size_t shard, FlowEntry* entry,
+                                 std::uint64_t n) {
+  entry->buffered += n;
+  shards_[shard].buffered += n;
 }
 
 void FlowTable::tombstone(std::size_t shard, FlowEntry* entry) {

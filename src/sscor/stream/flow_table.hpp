@@ -51,6 +51,11 @@ class TimestampRing {
 
   void push(TimeUs t);
 
+  /// Rebuilds the ring exactly as recorded by a snapshot: `held` are the
+  /// retained timestamps oldest-first (size() afterwards) and `pushed` the
+  /// lifetime push count (so dropped() survives the round trip).
+  void restore(std::uint64_t pushed, const std::vector<TimeUs>& held);
+
   std::size_t capacity() const { return buffer_.size(); }
   /// Timestamps currently held (min(pushed, capacity)).
   std::size_t size() const;
@@ -117,6 +122,21 @@ struct EvictedFlow {
   std::unique_ptr<FlowUserState> state;
 };
 
+/// The table-owned fields of one flow as recorded by a snapshot — the
+/// input to restore_entry().  Engine-owned state (packet buffer, pair
+/// decoders, held verdicts) is the engine's side of the snapshot.
+struct FlowRestore {
+  net::FiveTuple tuple;
+  std::uint64_t first_seen_seq = 0;
+  TimeUs first_seen = 0;
+  TimeUs last_seen = 0;
+  std::uint64_t packets = 0;
+  bool tombstone = false;
+  std::uint64_t ring_pushed = 0;
+  /// Retained ring timestamps, oldest first.
+  std::vector<TimeUs> ring;
+};
+
 struct FlowTableConfig {
   std::size_t shards = 1;
   /// Maximum tracked flows across all shards; 0 = unbounded.  Split evenly
@@ -156,6 +176,17 @@ class FlowTable {
   /// `entry` is dangling and its eviction record is in `evicted`).
   bool add_buffered(std::size_t shard, FlowEntry* entry, std::uint64_t n,
                     std::vector<EvictedFlow>& evicted);
+
+  /// Re-creates a snapshotted flow, appended at the most-recent end of the
+  /// shard's LRU — callers restore flows in recorded LRU order, which
+  /// reproduces the original list exactly.  No bound runs: a restored flow
+  /// was live at snapshot time and therefore satisfied every bound then.
+  /// Returns the live entry (same validity contract as touch()).
+  FlowEntry* restore_entry(std::size_t shard, const FlowRestore& record);
+
+  /// Charges restored buffered packets without the eviction sweep —
+  /// restore re-admits a state that already respected the memory cap.
+  void restore_buffered(std::size_t shard, FlowEntry* entry, std::uint64_t n);
 
   /// Marks `entry` decided: its buffer charge is returned and later
   /// packets are absorbed without decode work.  The engine releases the

@@ -1,0 +1,188 @@
+#include "sscor/stream/frame.hpp"
+
+#include "sscor/util/journal.hpp"
+
+namespace sscor::stream {
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint16_t get_u16(std::string_view in, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(in[at]) |
+      (static_cast<unsigned char>(in[at + 1]) << 8));
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string body;
+  body.reserve(2 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.push_back('\0');  // reserved
+  body.append(payload);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kFrameSync0));
+  out.push_back(static_cast<char>(kFrameSync1));
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, journal::crc32(body));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_hello() {
+  return encode_frame(FrameType::kHello, kHelloPayload);
+}
+
+std::string encode_heartbeat() {
+  return encode_frame(FrameType::kHeartbeat, {});
+}
+
+std::string encode_end() { return encode_frame(FrameType::kEnd, {}); }
+
+std::string encode_packet_frame(const StreamPacket& packet) {
+  std::string payload;
+  payload.reserve(kPacketPayloadBytes);
+  put_u32(payload, packet.tuple.src_ip.value);
+  put_u32(payload, packet.tuple.dst_ip.value);
+  put_u16(payload, packet.tuple.src_port);
+  put_u16(payload, packet.tuple.dst_port);
+  payload.push_back(static_cast<char>(packet.tuple.protocol));
+  payload.push_back(packet.packet.is_chaff ? '\x01' : '\x00');
+  put_u32(payload, packet.packet.size);
+  put_u64(payload, static_cast<std::uint64_t>(packet.packet.timestamp));
+  return encode_frame(FrameType::kPacket, payload);
+}
+
+bool decode_packet_payload(std::string_view payload, StreamPacket& out) {
+  if (payload.size() != kPacketPayloadBytes) return false;
+  const auto proto = static_cast<unsigned char>(payload[12]);
+  const auto chaff = static_cast<unsigned char>(payload[13]);
+  if (proto != static_cast<unsigned char>(net::IpProtocol::kTcp) &&
+      proto != static_cast<unsigned char>(net::IpProtocol::kUdp)) {
+    return false;
+  }
+  if (chaff > 1) return false;
+  out.tuple.src_ip.value = get_u32(payload, 0);
+  out.tuple.dst_ip.value = get_u32(payload, 4);
+  out.tuple.src_port = get_u16(payload, 8);
+  out.tuple.dst_port = get_u16(payload, 10);
+  out.tuple.protocol = static_cast<net::IpProtocol>(proto);
+  out.packet.is_chaff = chaff == 1;
+  out.packet.size = get_u32(payload, 14);
+  out.packet.timestamp = static_cast<TimeUs>(get_u64(payload, 18));
+  return true;
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  buffer_.append(bytes);
+  parse_buffer();
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+void FrameParser::reset_stream() {
+  // Bytes abandoned mid-frame by a disconnect are quarantined, not
+  // silently forgotten: the counters are the observability contract.
+  bytes_quarantined_ += buffer_.size();
+  buffer_.clear();
+}
+
+void FrameParser::parse_buffer() {
+  std::size_t pos = 0;
+  const auto at = [&](std::size_t i) {
+    return static_cast<unsigned char>(buffer_[i]);
+  };
+  while (true) {
+    // Scan to the next sync candidate, quarantining everything before it.
+    const std::size_t scan_start = pos;
+    while (pos < buffer_.size() && at(pos) != kFrameSync0) ++pos;
+    bytes_quarantined_ += pos - scan_start;
+    if (pos >= buffer_.size()) break;       // nothing left
+    if (pos + 1 >= buffer_.size()) break;   // lone sync0 at the tail: wait
+    if (at(pos + 1) != kFrameSync1) {       // false sync mark
+      ++bytes_quarantined_;
+      ++pos;
+      continue;
+    }
+    if (buffer_.size() - pos < kFrameHeaderBytes) break;  // partial header
+    const std::uint8_t type = at(pos + 2);
+    const std::uint8_t reserved = at(pos + 3);
+    const std::uint32_t length = get_u32(buffer_, pos + 4);
+    const std::uint32_t crc = get_u32(buffer_, pos + 8);
+    const bool plausible =
+        reserved == 0 &&
+        type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+        type <= static_cast<std::uint8_t>(FrameType::kEnd) &&
+        length <= kMaxFramePayload;
+    if (!plausible) {
+      // Abandon this sync mark; the giant-length guard here is what bounds
+      // the buffer — a hostile 4 GiB length field must not make the parser
+      // wait for 4 GiB.
+      ++resyncs_;
+      bytes_quarantined_ += 2;
+      pos += 2;
+      continue;
+    }
+    if (buffer_.size() - pos < kFrameHeaderBytes + length) break;  // partial
+    std::string body;
+    body.reserve(2 + length);
+    body.push_back(buffer_[pos + 2]);
+    body.push_back(buffer_[pos + 3]);
+    body.append(buffer_, pos + kFrameHeaderBytes, length);
+    if (journal::crc32(body) != crc) {
+      ++resyncs_;
+      bytes_quarantined_ += 2;
+      pos += 2;
+      continue;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload = body.substr(2);
+    ready_.push_back(std::move(frame));
+    ++frames_parsed_;
+    pos += kFrameHeaderBytes + length;
+  }
+  buffer_.erase(0, pos);
+}
+
+}  // namespace sscor::stream

@@ -1,0 +1,118 @@
+// The `sscor-stream v1` wire format: length-prefixed, checksummed frames
+// carrying classified packets to a live correlation daemon.
+//
+// A live tap feeds the daemon over a byte stream (TCP or a Unix-domain
+// socket) that can be torn mid-frame, corrupted by a flaky relay, or
+// resumed mid-garbage after a reconnect.  The framing therefore
+// self-synchronises: every frame starts with a two-byte sync mark and
+// carries a CRC-32 over its body, so a parser dropped at an arbitrary
+// byte offset finds the next healthy frame by scanning — and a corrupted
+// frame is quarantined (counted, skipped) rather than crashing the daemon
+// or, worse, decoding as a plausible packet.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     1  sync0 = 0xA5
+//        1     1  sync1 = 0x5C
+//        2     1  type  (FrameType)
+//        3     1  reserved = 0
+//        4     4  payload length (<= kMaxFramePayload)
+//        8     4  CRC-32 over [type, reserved, payload]
+//       12     n  payload
+//
+// Frame types: kHello opens every connection with the literal protocol
+// string (a version/endianness handshake); kPacket carries one classified
+// packet (see encode_packet_frame); kHeartbeat keeps an idle connection
+// distinguishable from a dead one; kEnd marks a clean end of stream —
+// everything else (EOF, timeout, reset) is a fault the source recovers
+// from by reconnecting.
+//
+// FrameParser is incremental and chunking-independent: feeding the same
+// bytes in any split yields the same frames and the same counters.  Its
+// buffer is bounded by one maximal frame, so hostile input cannot balloon
+// memory.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sscor/stream/packet_source.hpp"
+
+namespace sscor::stream {
+
+inline constexpr unsigned char kFrameSync0 = 0xA5;
+inline constexpr unsigned char kFrameSync1 = 0x5C;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::size_t kMaxFramePayload = 4096;
+inline constexpr std::string_view kHelloPayload = "sscor-stream v1";
+inline constexpr std::size_t kPacketPayloadBytes = 26;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kPacket = 2,
+  kHeartbeat = 3,
+  kEnd = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// One encoded frame: sync + header + payload, ready to send.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+std::string encode_hello();
+std::string encode_heartbeat();
+std::string encode_end();
+
+/// kPacket payload (26 bytes, little-endian): src_ip u32, dst_ip u32,
+/// src_port u16, dst_port u16, protocol u8, is_chaff u8, size u32,
+/// timestamp i64.
+std::string encode_packet_frame(const StreamPacket& packet);
+
+/// Strict decode of a kPacket payload: exact length, protocol in {6, 17},
+/// chaff in {0, 1}.  Returns false (out untouched on the false path's
+/// visible fields) on anything else.
+bool decode_packet_payload(std::string_view payload, StreamPacket& out);
+
+/// Incremental frame parser with bounded resync.
+///
+/// feed() bytes as they arrive; next() pops completed frames.  Malformed
+/// input — bad sync, oversized length, unknown type, CRC mismatch — never
+/// throws: the parser skips forward to the next sync candidate, counting
+/// every skipped byte in bytes_quarantined() and every abandoned frame
+/// attempt in resyncs().  Results are independent of how the byte stream
+/// is chunked across feed() calls.
+class FrameParser {
+ public:
+  /// Appends bytes and parses as far as they allow.
+  void feed(std::string_view bytes);
+
+  /// The next completed frame, oldest first.
+  std::optional<Frame> next();
+
+  /// Drops buffered partial input (a new connection starts mid-nothing);
+  /// counters survive — they describe the parser's lifetime.
+  void reset_stream();
+
+  std::uint64_t frames_parsed() const { return frames_parsed_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t bytes_quarantined() const { return bytes_quarantined_; }
+
+ private:
+  void parse_buffer();
+
+  std::string buffer_;
+  std::deque<Frame> ready_;
+  std::uint64_t frames_parsed_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t bytes_quarantined_ = 0;
+};
+
+}  // namespace sscor::stream

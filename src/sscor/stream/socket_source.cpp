@@ -1,0 +1,406 @@
+#include "sscor/stream/socket_source.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "sscor/net/io.hpp"
+#include "sscor/net/stats_server.hpp"
+#include "sscor/util/error.hpp"
+#include "sscor/util/event_log.hpp"
+
+namespace sscor::stream {
+namespace {
+
+constexpr std::string_view kUnixPrefix = "unix:";
+constexpr int kPollSliceMs = 100;
+constexpr int kSleepSliceMs = 50;
+
+bool is_unix_endpoint(const std::string& endpoint) {
+  return endpoint.rfind(kUnixPrefix, 0) == 0;
+}
+
+/// Creates and dials a socket for `endpoint`; returns -1 with errno set
+/// on failure.  The endpoint has been validated by the constructor.
+int dial(const std::string& endpoint, int timeout_ms) {
+  if (is_unix_endpoint(endpoint)) {
+    const std::string path = endpoint.substr(kUnixPrefix.size());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (net::connect_with_timeout(
+            fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+            timeout_ms) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const net::HostPort hp = net::parse_host_port(endpoint);
+  const std::string host = hp.host == "localhost" ? "127.0.0.1" : hp.host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (net::connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr),
+                                sizeof(addr), timeout_ms) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+SocketPacketSource::SocketPacketSource(SocketSourceOptions options)
+    : options_(std::move(options)),
+      backoff_(options_.backoff, options_.backoff_seed) {
+  require(!options_.endpoint.empty(), "socket source endpoint must be set");
+  if (is_unix_endpoint(options_.endpoint)) {
+    const std::string path = options_.endpoint.substr(kUnixPrefix.size());
+    require(!path.empty(), "unix endpoint path must not be empty");
+    sockaddr_un probe{};
+    require(path.size() < sizeof(probe.sun_path),
+            "unix endpoint path too long: " + path);
+  } else {
+    net::parse_host_port(options_.endpoint);  // throws on malformed spec
+  }
+  require(options_.connect_timeout_ms > 0, "connect_timeout_ms must be > 0");
+  require(options_.read_timeout_ms > 0, "read_timeout_ms must be > 0");
+  require(options_.max_reconnects >= 1, "max_reconnects must be >= 1");
+}
+
+SocketPacketSource::~SocketPacketSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketPacketSource::stop_requested() const {
+  return options_.should_stop && options_.should_stop();
+}
+
+void SocketPacketSource::sync_parser_stats() {
+  frames_.store(parser_.frames_parsed(), std::memory_order_relaxed);
+  resyncs_.store(parser_.resyncs(), std::memory_order_relaxed);
+  const std::uint64_t quarantined = parser_.bytes_quarantined();
+  bytes_quarantined_.store(quarantined, std::memory_order_relaxed);
+  // Surface quarantine in the ops log, but on a doubling threshold: a
+  // hostile feed of pure garbage must not turn the event log into a
+  // second copy of the garbage (kWarn bypasses the rate limiter).
+  if (quarantined > 0 && quarantined >= quarantine_log_threshold_ &&
+      eventlog::enabled()) {
+    eventlog::emit(eventlog::Severity::kWarn, "source.quarantine",
+                   {{"endpoint", options_.endpoint},
+                    {"bytes_quarantined",
+                     static_cast<std::int64_t>(quarantined)},
+                    {"resyncs",
+                     static_cast<std::int64_t>(parser_.resyncs())}});
+    quarantine_log_threshold_ =
+        quarantined < 2 ? 2 : quarantined * 2;
+  }
+}
+
+void SocketPacketSource::drop_connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connected_.store(false, std::memory_order_relaxed);
+  parser_.reset_stream();
+  sync_parser_stats();
+}
+
+bool SocketPacketSource::sleep_interruptible(std::int64_t ms) {
+  std::int64_t waited = 0;
+  while (waited < ms) {
+    if (stop_requested()) return false;
+    const auto slice = std::min<std::int64_t>(kSleepSliceMs, ms - waited);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    waited += slice;
+  }
+  return !stop_requested();
+}
+
+bool SocketPacketSource::connect_once() {
+  const int fd = dial(options_.endpoint, options_.connect_timeout_ms);
+  if (fd < 0) return false;
+  fd_ = fd;
+  return true;
+}
+
+bool SocketPacketSource::ensure_connected() {
+  while (fd_ < 0) {
+    if (stop_requested()) return false;
+    if (connect_once()) {
+      consecutive_failures_ = 0;
+      backoff_.reset();
+      awaiting_hello_ = true;
+      const bool first = !ever_connected_;
+      ever_connected_ = true;
+      connects_.fetch_add(1, std::memory_order_relaxed);
+      connected_.store(true, std::memory_order_relaxed);
+      if (!first && eventlog::enabled()) {
+        eventlog::emit(eventlog::Severity::kInfo, "source.reconnected",
+                       {{"endpoint", options_.endpoint}});
+      }
+      return true;
+    }
+    ++consecutive_failures_;
+    reconnect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (consecutive_failures_ >= options_.max_reconnects) {
+      gave_up_.store(true, std::memory_order_relaxed);
+      if (eventlog::enabled()) {
+        eventlog::emit(eventlog::Severity::kError, "source.gave_up",
+                       {{"endpoint", options_.endpoint},
+                        {"attempts",
+                         static_cast<std::int64_t>(consecutive_failures_)}});
+      }
+      return false;
+    }
+    if (!sleep_interruptible(backoff_.next_delay_ms())) return false;
+  }
+  return true;
+}
+
+std::optional<StreamPacket> SocketPacketSource::next() {
+  while (!finished_) {
+    if (stop_requested()) {
+      stopped_.store(true, std::memory_order_relaxed);
+      finished_ = true;
+      break;
+    }
+
+    // Drain already-parsed frames before touching the socket: a
+    // disconnect must not discard frames that arrived intact.
+    if (auto frame = parser_.next()) {
+      switch (frame->type) {
+        case FrameType::kHello:
+          if (!awaiting_hello_ || frame->payload != kHelloPayload) {
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            disconnects_.fetch_add(1, std::memory_order_relaxed);
+            drop_connection();
+          } else {
+            awaiting_hello_ = false;
+          }
+          continue;
+        case FrameType::kPacket: {
+          if (awaiting_hello_) {
+            // The peer skipped the handshake; assume a protocol mismatch
+            // and reconnect rather than trust its framing.
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            disconnects_.fetch_add(1, std::memory_order_relaxed);
+            drop_connection();
+            continue;
+          }
+          StreamPacket packet;
+          if (!decode_packet_payload(frame->payload, packet)) {
+            // Structurally valid frame, semantically bad payload: skip it
+            // like any other quarantined input.
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          packets_.fetch_add(1, std::memory_order_relaxed);
+          return packet;
+        }
+        case FrameType::kHeartbeat:
+          heartbeats_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        case FrameType::kEnd:
+          ended_cleanly_.store(true, std::memory_order_relaxed);
+          finished_ = true;
+          return std::nullopt;
+      }
+      continue;
+    }
+
+    if (fd_ < 0) {
+      if (!ensure_connected()) {
+        if (stop_requested()) {
+          stopped_.store(true, std::memory_order_relaxed);
+        }
+        finished_ = true;
+        break;
+      }
+      continue;
+    }
+
+    // Wait for bytes in slices so should_stop is honoured promptly; a
+    // connection silent past read_timeout_ms is presumed dead.
+    int waited = 0;
+    bool readable = false;
+    bool interrupted = false;
+    while (waited < options_.read_timeout_ms) {
+      if (stop_requested()) {
+        interrupted = true;
+        break;
+      }
+      const int slice =
+          std::min(kPollSliceMs, options_.read_timeout_ms - waited);
+      const int rc = net::poll_in(fd_, slice);
+      if (rc > 0) {
+        readable = true;
+        break;
+      }
+      if (rc < 0) break;  // poll error: treat as idle timeout below
+      waited += slice;
+    }
+    if (interrupted) continue;  // top of loop records the stop
+    if (!readable) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (eventlog::enabled()) {
+        eventlog::emit(eventlog::Severity::kWarn, "source.idle_timeout",
+                       {{"endpoint", options_.endpoint},
+                        {"timeout_ms",
+                         static_cast<std::int64_t>(options_.read_timeout_ms)}});
+      }
+      drop_connection();
+      continue;
+    }
+
+    char buf[4096];
+    const long n = net::recv_some(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      drop_connection();
+      continue;
+    }
+    parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    sync_parser_stats();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    connected_.store(false, std::memory_order_relaxed);
+  }
+  return std::nullopt;
+}
+
+SocketSourceStats SocketPacketSource::stats() const {
+  SocketSourceStats stats;
+  stats.connects = connects_.load(std::memory_order_relaxed);
+  stats.reconnect_attempts =
+      reconnect_attempts_.load(std::memory_order_relaxed);
+  stats.disconnects = disconnects_.load(std::memory_order_relaxed);
+  stats.frames = frames_.load(std::memory_order_relaxed);
+  stats.packets = packets_.load(std::memory_order_relaxed);
+  stats.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  stats.resyncs = resyncs_.load(std::memory_order_relaxed);
+  stats.bytes_quarantined =
+      bytes_quarantined_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.connected = connected_.load(std::memory_order_relaxed);
+  stats.ended_cleanly = ended_cleanly_.load(std::memory_order_relaxed);
+  stats.gave_up = gave_up_.load(std::memory_order_relaxed);
+  stats.stopped = stopped_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+FrameFeeder::FrameFeeder(std::vector<StreamPacket> packets,
+                         FrameFeederOptions options)
+    : packets_(std::move(packets)), options_(options) {}
+
+FrameFeeder::~FrameFeeder() { stop(); }
+
+void FrameFeeder::start() {
+  require(listen_fd_ < 0, "feeder already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError("feeder: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 4) != 0) {
+    ::close(fd);
+    throw IoError("feeder: cannot bind 127.0.0.1");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    throw IoError("feeder: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void FrameFeeder::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void FrameFeeder::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !finished_.load(std::memory_order_relaxed)) {
+    const int rc = net::poll_in(listen_fd_, kPollSliceMs);
+    if (rc <= 0) continue;
+    int client;
+    do {
+      client = ::accept(listen_fd_, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
+    if (client < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void FrameFeeder::serve_client(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string hello = encode_hello();
+  if (!net::send_all(fd, hello.data(), hello.size())) return;
+  std::size_t sent_this_connection = 0;
+  while (cursor_ < packets_.size()) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (options_.heartbeat_every != 0 && sent_this_connection != 0 &&
+        sent_this_connection % options_.heartbeat_every == 0) {
+      const std::string beat = encode_heartbeat();
+      if (!net::send_all(fd, beat.data(), beat.size())) return;
+    }
+    const std::string frame = encode_packet_frame(packets_[cursor_]);
+    if (!net::send_all(fd, frame.data(), frame.size())) return;
+    // The cursor advances only after the whole frame is queued, so a
+    // drop lands on a frame boundary and the resumed stream loses
+    // nothing the client had not already received.
+    ++cursor_;
+    ++sent_this_connection;
+    if (options_.drop_after_frames != 0 &&
+        sent_this_connection >= options_.drop_after_frames) {
+      return;  // deliberate disconnect; next connection resumes at cursor_
+    }
+    if (options_.pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.pace_us));
+    }
+  }
+  const std::string end = encode_end();
+  if (net::send_all(fd, end.data(), end.size())) {
+    finished_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sscor::stream

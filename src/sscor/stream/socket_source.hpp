@@ -1,0 +1,196 @@
+// Live socket ingestion for the streaming daemon.
+//
+// SocketPacketSource is the PacketSource that makes `sscor_tool watch` a
+// live-feed daemon: it connects to a `sscor-stream v1` feed over TCP
+// ("HOST:PORT") or a Unix-domain socket ("unix:/path"), validates the
+// hello handshake, and yields decoded packets.  Everything that can go
+// wrong on a real wire is survived, never fatal:
+//
+//  * connect failures and mid-stream disconnects trigger reconnection
+//    under a capped exponential backoff with deterministic seeded jitter
+//    (BackoffSchedule), bounded by max_reconnects before the source
+//    reports end-of-stream;
+//  * malformed bytes are quarantined by the frame parser (resync, count,
+//    continue) — a corrupt feed degrades throughput, not correctness;
+//  * a silent connection is bounded by an idle read timeout (heartbeat
+//    frames keep a legitimately quiet feed alive);
+//  * every blocking syscall retries on EINTR but re-checks should_stop,
+//    so SIGTERM during a connect sleep still drains promptly.
+//
+// FrameFeeder is the matching transmit side: it serves a fixed packet
+// list as a framed stream over TCP, resuming from a cursor across client
+// reconnects (frames already sent are not re-sent, so delivery is
+// at-most-once; on frame-boundary disconnects it is exact).  It exists
+// for tests and for `sscor_tool feed`, which turns any capture into a
+// live feed a daemon — or a chaos proxy — can dial.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sscor/stream/frame.hpp"
+#include "sscor/stream/packet_source.hpp"
+#include "sscor/util/backoff.hpp"
+
+namespace sscor::stream {
+
+struct SocketSourceOptions {
+  /// "unix:/path/to.sock" or "HOST:PORT" (IPv4 or "localhost").
+  std::string endpoint;
+  /// Reconnect backoff; delays are deterministic per (policy, seed).
+  BackoffPolicy backoff;
+  std::uint64_t backoff_seed = 0x55c0;
+  /// Per-attempt connect timeout.
+  int connect_timeout_ms = 2000;
+  /// Idle timeout: a connection with no bytes for this long is presumed
+  /// dead and reconnected.
+  int read_timeout_ms = 5000;
+  /// Consecutive failed connect attempts before the source gives up and
+  /// reports end-of-stream.  A successful connect resets the count.
+  int max_reconnects = 8;
+  /// Polled between blocking steps; true => stop promptly (next() returns
+  /// nullopt, stats.stopped set).  Wire this to the shutdown flag.
+  std::function<bool()> should_stop;
+};
+
+/// Counter snapshot for /healthz and the final metrics dump.
+struct SocketSourceStats {
+  std::uint64_t connects = 0;          ///< successful connections
+  std::uint64_t reconnect_attempts = 0;///< failed connect attempts
+  std::uint64_t disconnects = 0;       ///< connections lost mid-stream
+  std::uint64_t frames = 0;            ///< frames parsed (all types)
+  std::uint64_t packets = 0;           ///< packet frames yielded
+  std::uint64_t heartbeats = 0;
+  std::uint64_t resyncs = 0;           ///< abandoned frame attempts
+  std::uint64_t bytes_quarantined = 0; ///< bytes skipped as garbage
+  std::uint64_t protocol_errors = 0;   ///< bad hello / bad packet payload
+  bool connected = false;
+  bool ended_cleanly = false;          ///< saw a kEnd frame
+  bool gave_up = false;                ///< reconnect budget exhausted
+  bool stopped = false;                ///< should_stop requested
+};
+
+class SocketPacketSource : public PacketSource {
+ public:
+  /// Validates options (throws InvalidArgument) but does not connect;
+  /// the first next() dials.
+  explicit SocketPacketSource(SocketSourceOptions options);
+  ~SocketPacketSource() override;
+
+  SocketPacketSource(const SocketPacketSource&) = delete;
+  SocketPacketSource& operator=(const SocketPacketSource&) = delete;
+
+  /// The next decoded packet.  nullopt means the stream is over: clean
+  /// end, reconnect budget exhausted, or stop requested — stats() says
+  /// which.
+  std::optional<StreamPacket> next() override;
+
+  /// Thread-safe counter snapshot (telemetry reads this from the stats
+  /// server thread while next() runs on the ingest thread).
+  SocketSourceStats stats() const;
+
+ private:
+  bool ensure_connected();
+  bool connect_once();
+  void drop_connection();
+  bool sleep_interruptible(std::int64_t ms);
+  bool stop_requested() const;
+  void sync_parser_stats();
+
+  SocketSourceOptions options_;
+  BackoffSchedule backoff_;
+  FrameParser parser_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  bool awaiting_hello_ = true;
+  int consecutive_failures_ = 0;
+  bool finished_ = false;
+  /// Next bytes_quarantined total that warrants a "source.quarantine"
+  /// event-log record (doubles each time, so a garbage flood logs
+  /// O(log bytes) records).
+  std::uint64_t quarantine_log_threshold_ = 1;
+
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> reconnect_attempts_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> packets_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+  std::atomic<std::uint64_t> bytes_quarantined_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> ended_cleanly_{false};
+  std::atomic<bool> gave_up_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+struct FrameFeederOptions {
+  /// Emit a heartbeat frame after every N packet frames (0 = never).
+  std::size_t heartbeat_every = 0;
+  /// Close each connection abruptly after sending N packet frames
+  /// (0 = never) — a deterministic disconnect fault on a frame boundary.
+  std::size_t drop_after_frames = 0;
+  /// Sleep this long after each packet frame (0 = blast).  Pacing keeps
+  /// the in-flight window small, so a mid-stream disconnect (a chaos
+  /// proxy's favourite fault) loses little — without it the whole stream
+  /// sits in socket buffers and one disconnect can swallow it.
+  std::int64_t pace_us = 0;
+};
+
+/// Serves a packet list as a `sscor-stream v1` feed on 127.0.0.1.
+///
+/// Accepts one client at a time; each connection gets a hello, then
+/// packet frames from the global cursor onward, then kEnd.  A dropped
+/// client does not rewind the cursor: the next connection resumes where
+/// the last stopped.  The accept loop runs on an internal thread; the
+/// feeder stops itself after kEnd is delivered, or on stop()/destruction.
+class FrameFeeder {
+ public:
+  FrameFeeder(std::vector<StreamPacket> packets, FrameFeederOptions options);
+  ~FrameFeeder();
+
+  FrameFeeder(const FrameFeeder&) = delete;
+  FrameFeeder& operator=(const FrameFeeder&) = delete;
+
+  /// Binds an ephemeral port and starts serving.  Throws IoError on bind
+  /// failure.
+  void start();
+
+  /// Stops accepting and joins the serve thread (idempotent).
+  void stop();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// True once kEnd has been sent to a client.
+  bool finished() const { return finished_.load(std::memory_order_relaxed); }
+
+  /// Connections accepted (tests assert reconnects happened).
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void serve_client(int fd);
+
+  std::vector<StreamPacket> packets_;
+  FrameFeederOptions options_;
+  std::size_t cursor_ = 0;  // serve-thread only
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<std::uint64_t> connections_{0};
+};
+
+}  // namespace sscor::stream

@@ -86,7 +86,12 @@ void StreamEngine::ingest(const StreamPacket& packet) {
   metrics::counter("stream.packets.ingested").add();
   const std::size_t shard = table_.shard_of(packet.tuple);
   shards_[shard]->pending.emplace_back(seq, packet);
-  if (++pending_total_ >= options_.batch_size) flush();
+  ++pending_total_;
+  // Aligned to the absolute sequence (not packets-since-last-flush) so an
+  // extra mid-batch flush — a snapshot point, a signal drain — never shifts
+  // later flush boundaries, and a resumed run flushes exactly where the
+  // uninterrupted one did.
+  if (next_seq_ % options_.batch_size == 0) flush();
 }
 
 void StreamEngine::flush() {
@@ -112,6 +117,98 @@ void StreamEngine::finish() {
   parallel_for(
       shards_.size(), [this](std::size_t shard) { finalize_shard(shard); },
       options_.threads);
+  publish_status();
+}
+
+EngineSnapshot StreamEngine::snapshot() {
+  check_invariant(pending_total_ == 0,
+                  "snapshot of an engine with pending packets (flush first)");
+  check_invariant(!finished_, "snapshot after finish()");
+  EngineSnapshot snap;
+  snap.next_seq = next_seq_;
+  snap.shards.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& shard = *shards_[i];
+    check_invariant(shard.verdicts.empty(),
+                    "snapshot with undrained verdicts (drain first)");
+    EngineSnapshot::Shard& out = snap.shards[i];
+    out.verdicts_emitted = shard.verdicts_emitted;
+    std::copy(std::begin(shard.tally_by_kind), std::end(shard.tally_by_kind),
+              std::begin(out.tally_by_kind));
+    out.tally_early = shard.tally_early;
+    table_.for_each(i, [&](FlowEntry& entry) {
+      EngineSnapshot::Flow flow;
+      flow.entry.tuple = entry.tuple;
+      flow.entry.first_seen_seq = entry.first_seen_seq;
+      flow.entry.first_seen = entry.first_seen;
+      flow.entry.last_seen = entry.last_seen;
+      flow.entry.packets = entry.packets;
+      flow.entry.tombstone = entry.tombstone;
+      flow.entry.ring_pushed = entry.ring.pushed();
+      flow.entry.ring.reserve(entry.ring.size());
+      for (std::size_t j = 0; j < entry.ring.size(); ++j) {
+        flow.entry.ring.push_back(entry.ring.at(j));
+      }
+      const auto* state = static_cast<const FlowState*>(entry.state.get());
+      if (state != nullptr) {
+        flow.held = state->held;
+        if (!entry.tombstone) {
+          flow.buffered.reserve(state->buffer->size());
+          for (std::size_t j = 0; j < state->buffer->size(); ++j) {
+            flow.buffered.push_back(state->buffer->packet(j));
+          }
+        }
+      }
+      out.flows.push_back(std::move(flow));
+    });
+  }
+  return snap;
+}
+
+void StreamEngine::restore(const EngineSnapshot& snapshot) {
+  check_invariant(next_seq_ == 0 && !finished_ && pending_total_ == 0,
+                  "restore requires a fresh engine");
+  check_invariant(snapshot.shards.size() == shards_.size(),
+                  "snapshot shard count does not match the engine");
+  next_seq_ = snapshot.next_seq;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const EngineSnapshot::Shard& in = snapshot.shards[i];
+    ShardState& shard = *shards_[i];
+    shard.verdicts_emitted = in.verdicts_emitted;
+    std::copy(std::begin(in.tally_by_kind), std::end(in.tally_by_kind),
+              std::begin(shard.tally_by_kind));
+    shard.tally_early = in.tally_early;
+    for (const EngineSnapshot::Flow& flow : in.flows) {
+      FlowEntry* entry = table_.restore_entry(i, flow.entry);
+      auto state = std::make_unique<FlowState>();
+      if (!flow.entry.tombstone) {
+        state->pairs.reserve(upstreams_.size());
+        for (const auto& upstream : upstreams_) {
+          state->pairs.emplace_back(upstream, state->buffer, config_,
+                                    options_.algorithm,
+                                    OnlineOptions{options_.early_exit});
+        }
+        // Replay the buffer through fresh decoders, one append at a time —
+        // the exact call pattern of the original run — so every pair lands
+        // in the same decided/undecided state it had at snapshot time.
+        // Decisions reached during the replay are intentionally dropped:
+        // their verdicts surfaced before the snapshot (emitted, or sitting
+        // in the restored `held` list below).
+        for (const PacketRecord& record : flow.buffered) {
+          state->buffer->append(record);
+          for (OnlineCorrelator& pair : state->pairs) {
+            if (!pair.decided()) pair.ingest_appended();
+          }
+        }
+      }
+      state->held = flow.held;
+      entry->state = std::move(state);
+      if (!flow.buffered.empty()) {
+        table_.restore_buffered(i, entry, flow.buffered.size());
+      }
+    }
+  }
+  metrics::counter("stream.restores").add();
   publish_status();
 }
 

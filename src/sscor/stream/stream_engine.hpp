@@ -116,6 +116,35 @@ struct EngineStatus {
   std::vector<HotFlow> hottest;
 };
 
+/// Value-type image of a quiescent engine (no pending packets, verdict
+/// buffers drained): everything needed to rebuild an equivalent engine in
+/// a fresh process.  Pair-decoder state is deliberately NOT stored —
+/// restore() re-ingests each flow's buffered packets through fresh
+/// decoders, which reproduces every pair's decision state exactly because
+/// decoding is a deterministic function of the buffer (verdicts generated
+/// during that replay are discarded; they were already surfaced before the
+/// snapshot).  That keeps the snapshot format a plain data inventory with
+/// no dependence on decoder internals.
+struct EngineSnapshot {
+  struct Flow {
+    FlowRestore entry;
+    /// The flow's buffered packets, append order (empty for tombstones).
+    std::vector<PacketRecord> buffered;
+    /// Verdicts decided but held under the min_packets filter.
+    std::vector<StreamVerdict> held;
+  };
+  struct Shard {
+    std::uint64_t verdicts_emitted = 0;
+    std::uint64_t tally_by_kind[4] = {0, 0, 0, 0};
+    std::uint64_t tally_early = 0;
+    /// Live flows in LRU order (front = least recently touched).
+    std::vector<Flow> flows;
+  };
+  /// Packets ingested; the resumed feed skips this many.
+  std::uint64_t next_seq = 0;
+  std::vector<Shard> shards;
+};
+
 struct StreamOptions {
   Algorithm algorithm = Algorithm::kGreedyPlus;
   FlowTableConfig table;
@@ -154,8 +183,10 @@ class StreamEngine {
   StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// Queues one packet (timestamps per flow must be non-decreasing; an
-  /// out-of-order packet is counted and dropped, never fatal).  Triggers a
-  /// flush every `batch_size` ingests.
+  /// out-of-order packet is counted and dropped, never fatal).  Flushes
+  /// whenever the absolute ingest sequence reaches a multiple of
+  /// `batch_size` — absolute, not since-last-flush, so a restore()d
+  /// engine flushes at the same packets the uninterrupted run did.
   void ingest(const StreamPacket& packet);
 
   /// Processes every queued packet now (parallel across shards).
@@ -169,6 +200,19 @@ class StreamEngine {
   /// All verdicts finalised since the last drain, in deterministic
   /// (flow_seq, upstream) order; clears the buffer.
   std::vector<StreamVerdict> drain_verdicts();
+
+  /// Captures the full engine state for crash recovery.  Requires a
+  /// quiescent engine: flush()ed, drain_verdicts()ed, not finished (throws
+  /// InternalError otherwise).
+  EngineSnapshot snapshot();
+
+  /// Rebuilds the captured state into this engine.  Requires a fresh
+  /// engine (nothing ingested) constructed with the same upstreams,
+  /// config and options as the snapshotting one; after restore the engine
+  /// continues exactly where the snapshot left off — same flush
+  /// boundaries (they align to absolute ingest sequence), same verdicts,
+  /// same tallies.
+  void restore(const EngineSnapshot& snapshot);
 
   /// Copy of the status published at the last flush()/finish() (see
   /// EngineStatus).  Thread-safe; the one engine entry point a telemetry

@@ -71,8 +71,13 @@ std::string StreamTelemetry::healthz_json() const {
   const EngineStatus status = engine_.status();
   const bool over = status.seconds_since_pressure >= 0.0 &&
                     status.seconds_since_pressure < options_.overload_window_s;
+  const bool drain = draining();
   std::string out = "{\"status\": ";
-  out += over ? "\"overloaded\"" : "\"ok\"";
+  // Draining outranks overloaded: a load balancer must stop routing to a
+  // shutting-down instance even if it is otherwise healthy.
+  out += drain ? "\"draining\"" : over ? "\"overloaded\"" : "\"ok\"";
+  out += ", \"draining\": ";
+  out += drain ? "true" : "false";
   out += ", \"uptime_s\": " + json::number(uptime_seconds(), 3);
   out += ", \"finished\": ";
   out += status.finished ? "true" : "false";
@@ -80,6 +85,46 @@ std::string StreamTelemetry::healthz_json() const {
          json::number(status.seconds_since_pressure, 3);
   out += ", \"overload_window_s\": " +
          json::number(options_.overload_window_s, 3);
+
+  // The load-shed policy in force: the table bounds that cut work off
+  // under pressure.  Static config, surfaced so an operator reading
+  // "overloaded" can see what the daemon sheds and at what thresholds.
+  const FlowTableConfig& table = engine_.table().config();
+  out += ", \"load_shed\": {\"max_flows\": " +
+         std::to_string(table.max_flows);
+  out += ", \"max_buffered_packets\": " +
+         std::to_string(table.max_buffered_packets);
+  out += ", \"idle_ttl_us\": " + std::to_string(table.idle_ttl);
+  out += ", \"shedding\": ";
+  out += over ? "true" : "false";
+  out += "}";
+
+  std::function<SocketSourceStats()> provider;
+  {
+    const std::lock_guard<std::mutex> lock(source_mutex_);
+    provider = source_stats_;
+  }
+  if (provider) {
+    const SocketSourceStats source = provider();
+    out += ", \"source\": {\"connected\": ";
+    out += source.connected ? "true" : "false";
+    out += ", \"connects\": " + std::to_string(source.connects);
+    out += ", \"reconnect_attempts\": " +
+           std::to_string(source.reconnect_attempts);
+    out += ", \"disconnects\": " + std::to_string(source.disconnects);
+    out += ", \"frames\": " + std::to_string(source.frames);
+    out += ", \"packets\": " + std::to_string(source.packets);
+    out += ", \"resyncs\": " + std::to_string(source.resyncs);
+    out += ", \"bytes_quarantined\": " +
+           std::to_string(source.bytes_quarantined);
+    out += ", \"protocol_errors\": " +
+           std::to_string(source.protocol_errors);
+    out += ", \"ended_cleanly\": ";
+    out += source.ended_cleanly ? "true" : "false";
+    out += ", \"gave_up\": ";
+    out += source.gave_up ? "true" : "false";
+    out += "}";
+  }
   out += "}\n";
   return out;
 }

@@ -23,11 +23,14 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
 #include "sscor/net/stats_server.hpp"
+#include "sscor/stream/socket_source.hpp"
 #include "sscor/stream/stream_engine.hpp"
 #include "sscor/util/gauge.hpp"
 
@@ -64,6 +67,24 @@ class StreamTelemetry {
   /// True while the engine's last pressure eviction is inside the window.
   bool overloaded() const;
 
+  /// Marks the daemon as draining (a shutdown signal arrived; the final
+  /// flush/snapshot is in progress).  /healthz switches to "draining" so
+  /// a load balancer stops routing new work while the drain completes.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Wires the live packet source's counters into /healthz (optional;
+  /// file-feed daemons have no socket source).  The provider must be
+  /// thread-safe — it is called from the stats-server thread.
+  void set_source_stats_provider(std::function<SocketSourceStats()> provider) {
+    const std::lock_guard<std::mutex> lock(source_mutex_);
+    source_stats_ = std::move(provider);
+  }
+
  private:
   double uptime_seconds() const;
 
@@ -73,6 +94,9 @@ class StreamTelemetry {
   std::int64_t start_us_ = 0;  ///< steady-clock birth of this surface
   mutable std::mutex scrape_mutex_;  ///< serialises the DeltaTracker
   metrics::DeltaTracker tracker_;
+  std::atomic<bool> draining_{false};
+  mutable std::mutex source_mutex_;  ///< guards the provider swap
+  std::function<SocketSourceStats()> source_stats_;
 };
 
 }  // namespace sscor::stream

@@ -1,0 +1,41 @@
+#include "sscor/util/backoff.hpp"
+
+#include <algorithm>
+
+#include "sscor/util/error.hpp"
+
+namespace sscor {
+
+BackoffSchedule::BackoffSchedule(BackoffPolicy policy, std::uint64_t seed)
+    : policy_(policy), seed_(seed), rng_(seed) {
+  require(policy.initial_ms >= 0, "backoff initial delay must be >= 0");
+  require(policy.max_ms >= policy.initial_ms,
+          "backoff max delay must be >= the initial delay");
+  require(policy.multiplier >= 1.0, "backoff multiplier must be >= 1");
+  require(policy.jitter >= 0.0 && policy.jitter <= 1.0,
+          "backoff jitter must be in [0, 1]");
+}
+
+std::int64_t BackoffSchedule::next_delay_ms() {
+  // Grow by repeated multiplication with a saturation clamp instead of
+  // pow(): the schedule must be bit-identical across libm implementations.
+  double base = static_cast<double>(policy_.initial_ms);
+  const double cap = static_cast<double>(policy_.max_ms);
+  for (std::uint64_t i = 0; i < attempts_ && base < cap; ++i) {
+    base *= policy_.multiplier;
+  }
+  base = std::min(base, cap);
+  ++attempts_;
+  double delay = base;
+  if (policy_.jitter > 0.0) {
+    delay = base * (1.0 - policy_.jitter * rng_.uniform01());
+  }
+  return static_cast<std::int64_t>(delay);
+}
+
+void BackoffSchedule::reset() {
+  attempts_ = 0;
+  rng_ = Rng(seed_);
+}
+
+}  // namespace sscor

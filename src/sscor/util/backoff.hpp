@@ -1,0 +1,56 @@
+// Capped exponential backoff with deterministic seeded jitter.
+//
+// Reconnect storms are the classic self-inflicted outage: a collector
+// restart makes every daemon retry on the same schedule and the listener
+// drowns.  The textbook fix is exponential backoff with jitter — but this
+// repo's reproducibility contract (EXPERIMENTS.md) extends to its failure
+// handling: a retry schedule must be a pure function of its seed so a
+// flaky-feed incident can be replayed exactly and the backoff tests can
+// pin the schedule byte-for-byte.  Jitter therefore comes from the repo's
+// own seeded Rng, never from wall clock or std::random_device.
+
+#pragma once
+
+#include <cstdint>
+
+#include "sscor/util/rng.hpp"
+
+namespace sscor {
+
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  std::int64_t initial_ms = 100;
+  /// Hard ceiling on any single delay.
+  std::int64_t max_ms = 5000;
+  /// Growth factor per attempt (>= 1.0).
+  double multiplier = 2.0;
+  /// Fraction of the base delay randomised away: a delay is drawn
+  /// uniformly from [base * (1 - jitter), base].  0 disables jitter.
+  double jitter = 0.5;
+};
+
+/// The delay sequence for one retry loop.  next_delay_ms() advances the
+/// attempt counter and the jitter stream; two schedules built from the
+/// same (policy, seed) produce identical sequences.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(BackoffPolicy policy, std::uint64_t seed);
+
+  /// Delay to sleep before the next attempt, in milliseconds.
+  std::int64_t next_delay_ms();
+
+  /// Attempts drawn so far (the count of next_delay_ms() calls).
+  std::uint64_t attempts() const { return attempts_; }
+
+  /// Rewinds to attempt 0 with a fresh jitter stream (same seed): after a
+  /// successful connect, the next outage starts from the initial delay.
+  void reset();
+
+ private:
+  BackoffPolicy policy_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace sscor

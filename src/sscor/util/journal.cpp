@@ -1,0 +1,268 @@
+#include "sscor/util/journal.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <utility>
+
+#include "sscor/util/error.hpp"
+#include "sscor/util/metrics.hpp"
+
+namespace sscor::journal {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::string_view kCrcPrefix = "{\"crc32\":\"";
+constexpr std::string_view kDataPrefix = "\",\"data\":";
+
+std::string hex32(std::uint32_t value) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08" PRIx32, value);
+  return buf;
+}
+
+/// Splits one journal line into its verified data payload.  Returns false
+/// on any structural or checksum failure.
+bool parse_line(std::string_view line, std::string& data) {
+  if (line.size() < kCrcPrefix.size() + 8 + kDataPrefix.size() + 1) {
+    return false;
+  }
+  if (line.substr(0, kCrcPrefix.size()) != kCrcPrefix) return false;
+  const std::string_view crc_hex = line.substr(kCrcPrefix.size(), 8);
+  if (line.substr(kCrcPrefix.size() + 8, kDataPrefix.size()) != kDataPrefix) {
+    return false;
+  }
+  if (line.back() != '}') return false;
+  const std::string_view payload = line.substr(
+      kCrcPrefix.size() + 8 + kDataPrefix.size(),
+      line.size() - (kCrcPrefix.size() + 8 + kDataPrefix.size()) - 1);
+  std::uint64_t expected = 0;
+  if (!parse_hex(crc_hex, expected)) return false;
+  if (crc32(payload) != static_cast<std::uint32_t>(expected)) return false;
+  data.assign(payload);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : data) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, value);
+  return buf;
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  out = 0;
+  if (s.empty() || s.size() > 16) return false;
+  for (const char ch : s) {
+    out <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      out |= static_cast<std::uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      out |= static_cast<std::uint64_t>(ch - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t repair_torn_tail(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) return 0;  // nothing to repair
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    throw IoError("cannot seek journal file: " + path);
+  }
+  const long size = std::ftell(file);
+  if (size <= 0) {
+    std::fclose(file);
+    return 0;
+  }
+  // Walk backwards in chunks until the last '\n'; a journal's tail is
+  // normally the final record, so the first chunk almost always suffices.
+  long keep = 0;  // bytes up to and including the last newline
+  char buffer[4096];
+  long end = size;
+  while (end > 0 && keep == 0) {
+    const long begin = std::max(0L, end - static_cast<long>(sizeof buffer));
+    const auto span = static_cast<std::size_t>(end - begin);
+    if (std::fseek(file, begin, SEEK_SET) != 0 ||
+        std::fread(buffer, 1, span, file) != span) {
+      std::fclose(file);
+      throw IoError("cannot read journal tail: " + path);
+    }
+    for (std::size_t i = span; i-- > 0;) {
+      if (buffer[i] == '\n') {
+        keep = begin + static_cast<long>(i) + 1;
+        break;
+      }
+    }
+    end = begin;
+  }
+  if (keep == size) {
+    std::fclose(file);
+    return 0;  // clean tail: the file ends in '\n'
+  }
+  const int fd = ::fileno(file);
+  if (fd < 0 || ::ftruncate(fd, keep) != 0) {
+    std::fclose(file);
+    throw IoError("cannot truncate torn journal tail: " + path);
+  }
+  std::fclose(file);
+  const auto removed = static_cast<std::size_t>(size - keep);
+  metrics::counter("checkpoint.torn_tail_bytes").add(removed);
+  return removed;
+}
+
+Journal Journal::create(const std::string& path,
+                        const std::string& header_data, bool fsync) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw IoError("cannot create journal file: " + path);
+  }
+  Journal journal(file, fsync);
+  journal.append(header_data);
+  journal.appended_ = 0;  // the header is not a body record
+  return journal;
+}
+
+Journal Journal::append_to(const std::string& path, bool fsync) {
+  // A SIGKILL mid-write leaves a torn final line; appending blindly would
+  // glue the next record onto the fragment, producing one CRC-corrupt
+  // line that loses both records on the next load.  Truncate the
+  // fragment first so every append starts on a fresh line.
+  repair_torn_tail(path);
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw IoError("cannot open journal file for append: " + path);
+  }
+  return Journal(file, fsync);
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      fsync_(other.fsync_),
+      appended_(other.appended_) {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    fsync_ = other.fsync_;
+    appended_ = other.appended_;
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::append(const std::string& data) {
+  check_invariant(file_ != nullptr, "append on a moved-from journal");
+  const metrics::ScopedTimer timer("checkpoint.write_us");
+  std::string line;
+  line.reserve(data.size() + 32);
+  line.append(kCrcPrefix);
+  line.append(hex32(crc32(data)));
+  line.append(kDataPrefix);
+  line.append(data);
+  line.append("}\n");
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    throw IoError("journal append failed (disk full?)");
+  }
+  if (fsync_) {
+    const int fd = ::fileno(file_);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      throw IoError("journal fsync failed");
+    }
+    metrics::counter("checkpoint.fsyncs").add();
+  }
+  ++appended_;
+  metrics::counter("checkpoint.records").add();
+}
+
+LoadedJournal load_journal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw IoError("cannot read journal file: " + path);
+  }
+  std::string contents;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) throw IoError("error reading journal file: " + path);
+
+  LoadedJournal loaded;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < contents.size()) {
+    auto newline = contents.find('\n', pos);
+    const bool torn_tail = newline == std::string::npos;
+    if (torn_tail) newline = contents.size();
+    const std::string_view line(contents.data() + pos, newline - pos);
+    pos = newline + 1;
+    if (line.empty()) continue;
+    std::string data;
+    if (!parse_line(line, data)) {
+      if (!saw_header) {
+        // A journal whose very first line is unreadable is not this run's
+        // journal (or lost its header to corruption): refuse to resume.
+        throw IoError("journal header corrupt in " + path);
+      }
+      // A torn final line is the expected SIGKILL signature; a corrupt
+      // middle line just costs that record.
+      ++loaded.dropped_lines;
+      continue;
+    }
+    if (!saw_header) {
+      loaded.header = std::move(data);
+      saw_header = true;
+    } else {
+      loaded.records.push_back(std::move(data));
+    }
+  }
+  if (!saw_header) {
+    throw IoError("journal file has no header record: " + path);
+  }
+  return loaded;
+}
+
+}  // namespace sscor::journal

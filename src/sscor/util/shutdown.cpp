@@ -1,0 +1,47 @@
+#include "sscor/util/shutdown.hpp"
+
+#include <csignal>
+
+namespace sscor::shutdown {
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_signal(int signal) {
+  g_signal = signal;
+  // Second signal: restore the default disposition so the next delivery
+  // terminates — the escape hatch when the graceful path itself wedges.
+  std::signal(signal, SIG_DFL);
+}
+
+}  // namespace
+
+void install() {
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking syscalls must see EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int requested() { return static_cast<int>(g_signal); }
+
+const char* signal_name(int signal) {
+  switch (signal) {
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGINT:
+      return "SIGINT";
+    default:
+      return "signal";
+  }
+}
+
+void reset() {
+  g_signal = 0;
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace sscor::shutdown

@@ -1,0 +1,34 @@
+// Cooperative SIGTERM/SIGINT handling for the long-running tools.
+//
+// A daemon killed interactively used to drop its event log, its final
+// metrics snapshot, and any undrained verdicts on the floor.  install()
+// replaces the default fatal disposition with a handler that records the
+// signal in a sig_atomic_t flag; loops poll requested() at their batch
+// boundaries and unwind normally — drain, snapshot, flush, exit — under
+// the documented exit-code contract (DESIGN.md §16: 0 complete, 1 error,
+// 2 usage, 3 graceful shutdown after a signal).
+//
+// The handlers are installed WITHOUT SA_RESTART, so a signal also
+// interrupts blocking syscalls (accept, recv, poll) with EINTR and the
+// EINTR-retry loops in net/io get a chance to observe the flag instead of
+// blocking forever on a quiet socket.  A second signal while the first is
+// still draining falls back to the default disposition (terminate), so an
+// operator is never more than two ^C away from exit.
+
+#pragma once
+
+namespace sscor::shutdown {
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent).
+void install();
+
+/// The signal number that was delivered, or 0 while none has been.
+int requested();
+
+/// "SIGTERM" / "SIGINT" / "signal <n>" for the exit message.
+const char* signal_name(int signal);
+
+/// Clears the flag and restores default dispositions (tests only).
+void reset();
+
+}  // namespace sscor::shutdown

@@ -51,6 +51,14 @@
 #      one worker kill -9'd mid-run, resumed, merged via
 #      `merge-journals`, and cmp'd against the serial table
 #      (DESIGN.md §15).
+#  11. live-feed daemon: 1000 frame_parser oracle iterations under
+#      ASan/UBSan (arbitrary bytes never crash the framing, chunking
+#      independence, byte conservation), a kill -9 + `watch --resume`
+#      round trip at shard counts 1 and 8 whose resumed verdict stream
+#      must cmp byte-identical to the uninterrupted run, and a chaos
+#      soak: paced feeder -> fault-injecting chaos-proxy -> ASan/UBSan
+#      daemon, accumulating >= 1000 injected wire faults across rounds
+#      with the daemon exiting cleanly every time (DESIGN.md §16).
 #
 # Every step runs under its own timeout(1) budget — a hung build or a
 # wedged decode fails that step instead of stalling the whole run — and
@@ -337,6 +345,108 @@ step_10() {  # cluster sweep: journal-merge fuzz + 4-shard kill/resume/merge
   cmp "$cluster_dir/serial.csv" "$cluster_dir/merged.csv"
 }
 
+step_11() {  # live-feed daemon: frame fuzz + kill -9/resume cmp + chaos soak
+  cmake --build "$build_dir" -j "$jobs" --target sscor_tool
+  cmake --build "$asan_dir" -j "$jobs" --target sscor_tool sscor_fuzz
+  # Arbitrary bytes through the frame parser under ASan/UBSan: no crash,
+  # chunking independence, byte conservation, re-encode idempotence.
+  "$asan_dir/tools/sscor_fuzz" --oracle frame_parser \
+    --iterations 1000 --seed 1 --artifacts "$asan_dir/frame-artifacts"
+
+  local live_dir
+  live_dir="$(mktemp -d)"
+  trap 'rm -rf "$live_dir"' RETURN
+  local tool="$build_dir/tools/sscor_tool"
+  local asan_tool="$asan_dir/tools/sscor_tool"
+  # Six flows, flow 0 carrying the watermark; the perturbed capture keeps
+  # every flow so the daemon produces a multi-verdict stream (the decoys
+  # reject early, which is what makes a mid-run kill interesting).
+  "$tool" generate --out "$live_dir/corpus.pcap" --flows 6 --packets 400 \
+    --seed 5
+  "$tool" embed --in "$live_dir/corpus.pcap" --out "$live_dir/marked.pcap" \
+    --key-out "$live_dir/secret.key"
+  "$tool" perturb --in "$live_dir/corpus.pcap" \
+    --out "$live_dir/perturbed.pcap" --chaff 1.0
+
+  # kill -9 + --resume round trip: the daemon SIGKILLs itself after its
+  # 3rd committed verdict; `watch --resume` must re-emit the committed
+  # verdicts from the WAL and continue, byte-identical to a run that was
+  # never interrupted.
+  local shards
+  for shards in 1 8; do
+    local watch_flags=(--up "$live_dir/marked.pcap"
+                       --key "$live_dir/secret.key"
+                       --in "$live_dir/perturbed.pcap"
+                       --max-delay-s 9 --shards "$shards" --batch 64)
+    "$tool" watch "${watch_flags[@]}" >"$live_dir/ref$shards.out"
+    if "$tool" watch "${watch_flags[@]}" \
+      --state-dir "$live_dir/state$shards" --snapshot-interval 256 \
+      --kill-after-verdicts 3 \
+      >"$live_dir/crash$shards.out" 2>"$live_dir/crash$shards.err"; then
+      echo "watch --kill-after-verdicts was expected to die by SIGKILL" >&2
+      return 1
+    fi
+    "$tool" watch "${watch_flags[@]}" \
+      --state-dir "$live_dir/state$shards" --resume \
+      >"$live_dir/resume$shards.out"
+    cmp "$live_dir/ref$shards.out" "$live_dir/resume$shards.out"
+  done
+
+  # Chaos soak: paced feeder -> fault-injecting proxy -> ASan/UBSan
+  # daemon.  Pacing keeps the in-flight window small so disconnect faults
+  # cost little; rounds accumulate until >= 1000 faults hit the wire.
+  # Every round the daemon must exit 0 — ended cleanly or gave up
+  # reconnecting, but never crashed and never tripped a sanitizer.
+  local total_faults=0 round=0 feed_port proxy_port faults
+  while (( total_faults < 1000 && round < 8 )); do
+    round=$((round + 1))
+    "$tool" feed --in "$live_dir/perturbed.pcap" --pace-us 2000 \
+      >"$live_dir/feed$round.out" 2>"$live_dir/feed$round.err" &
+    local feed_pid=$!
+    feed_port=""
+    for _ in $(seq 1 100); do
+      feed_port="$(sed -n \
+        's/^feeding .* on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$live_dir/feed$round.out")"
+      [[ -n "$feed_port" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$feed_port" ]]
+    "$asan_tool" chaos-proxy --upstream "127.0.0.1:$feed_port" \
+      --fault-rate 0.3 --seed "$round" \
+      >"$live_dir/proxy$round.out" 2>"$live_dir/proxy$round.err" &
+    local proxy_pid=$!
+    proxy_port=""
+    for _ in $(seq 1 100); do
+      proxy_port="$(sed -n \
+        's/^chaos proxy on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+        "$live_dir/proxy$round.out")"
+      [[ -n "$proxy_port" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$proxy_port" ]]
+    "$asan_tool" watch --up "$live_dir/marked.pcap" \
+      --key "$live_dir/secret.key" --connect "127.0.0.1:$proxy_port" \
+      --max-delay-s 9 --shards 4 --backoff-ms 5 --backoff-max-ms 50 \
+      --backoff-seed "$round" --read-timeout-ms 1000 --reconnect-max 100 \
+      >"$live_dir/chaos_watch$round.out"
+    kill "$proxy_pid" 2>/dev/null || true
+    wait "$proxy_pid" 2>/dev/null || true
+    kill "$feed_pid" 2>/dev/null || true
+    wait "$feed_pid" 2>/dev/null || true
+    faults="$(sed -n \
+      's/^chaos proxy: .* relayed, \([0-9]*\) fault(s) injected.*/\1/p' \
+      "$live_dir/proxy$round.err")"
+    total_faults=$((total_faults + ${faults:-0}))
+    echo "chaos round $round: ${faults:-0} fault(s) injected," \
+      "total $total_faults"
+  done
+  if (( total_faults < 1000 )); then
+    echo "chaos soak injected only $total_faults fault(s) (< 1000)" >&2
+    return 1
+  fi
+}
+
 step_names=(
   "default build + full test suite"
   "ThreadSanitizer build + concurrency smoke tests"
@@ -348,10 +458,11 @@ step_names=(
   "batched decode kernel: parity fuzz + SIMD on/off bench smoke"
   "live ops surface: stats endpoints + top + observer-only parity"
   "cluster sweep: journal-merge fuzz + 4-shard kill/resume/merge"
+  "live-feed daemon: frame fuzz + kill -9/resume cmp + chaos soak"
 )
 # Per-step wall-clock budgets (seconds).  Generous: these exist to convert
 # a hang into a step failure, not to race the machine.
-step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800 900 1200)
+step_timeouts=(2400 1800 1800 600 2400 2400 1200 1800 900 1200 1800)
 
 # Self-reexec dispatcher: `timeout` runs an external command, so each step
 # re-enters this script with --step N and the same directory arguments.
@@ -368,19 +479,19 @@ fi
 
 overall=0
 step_results=()
-for n in 1 2 3 4 5 6 7 8 9 10; do
+for n in 1 2 3 4 5 6 7 8 9 10 11; do
   name="${step_names[$((n - 1))]}"
   limit="${step_timeouts[$((n - 1))]}"
-  echo "== [$n/10] $name (timeout ${limit}s) =="
+  echo "== [$n/11] $name (timeout ${limit}s) =="
   if timeout --foreground --kill-after=30 "$limit" \
     "$0" --step "$n" "$build_dir" "$tsan_dir" "$asan_dir" "$scalar_dir"; then
-    step_results+=("PASS  [$n/10] $name")
+    step_results+=("PASS  [$n/11] $name")
   else
     rc=$?
     if [[ $rc -eq 124 ]]; then
-      step_results+=("FAIL  [$n/10] $name (timed out after ${limit}s)")
+      step_results+=("FAIL  [$n/11] $name (timed out after ${limit}s)")
     else
-      step_results+=("FAIL  [$n/10] $name (exit $rc)")
+      step_results+=("FAIL  [$n/11] $name (exit $rc)")
     fi
     overall=1
   fi

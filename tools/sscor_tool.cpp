@@ -22,7 +22,14 @@
 //   sscor_tool merge-journals --journal-dir DIR [--out table.csv]
 //                       [--expect-shards N]
 //   sscor_tool watch    --up marked.pcap --key secret.key --in capture.pcap
-//                       [--feed pcap|text] [--speed X]
+//                       [--feed pcap|text|socket] [--speed X]
+//                       [--connect HOST:PORT|unix:/path]
+//                       [--reconnect-max N] [--backoff-ms N]
+//                       [--backoff-max-ms N] [--backoff-seed S]
+//                       [--read-timeout-ms N]
+//                       [--state-dir DIR] [--resume]
+//                       [--snapshot-interval N] [--fsync]
+//                       [--kill-after-verdicts N]
 //                       [--algorithm greedy+] [--max-delay-s 7]
 //                       [--threshold 7] [--shards N] [--threads N]
 //                       [--batch N] [--min-packets N] [--no-early-exit]
@@ -31,8 +38,13 @@
 //                       [--metrics-json PATH] [--metrics-interval N]
 //                       [--stats-addr HOST:PORT] [--event-log PATH]
 //                       [--linger-s N]
+//   sscor_tool feed     --in capture.pcap [--feed pcap|text]
+//                       [--heartbeat-every N] [--drop-after-frames N]
+//                       [--pace-us N]
+//   sscor_tool chaos-proxy --upstream HOST:PORT [--fault-rate 0.3]
+//                       [--seed S] [--max-upstream-failures N]
 //   sscor_tool top      --addr HOST:PORT [--interval-ms 1000]
-//                       [--count N] [--no-clear]
+//                       [--count N] [--no-clear] [--retries N]
 //
 // watch is the streaming daemon: it replays --in as a live packet stream
 // (--speed 1 paces it in real time; --feed text reads the line-delimited
@@ -44,6 +56,30 @@
 // resilient ladder as per-pair admission control for the final decodes;
 // --metrics-json snapshots the metrics registry every --metrics-interval
 // packets (and at exit).
+//
+// The live-feed daemon (DESIGN.md §16): --feed socket dials a
+// `sscor-stream v1` framed feed with --connect (TCP "HOST:PORT" or
+// "unix:/path") and survives everything a real wire does — disconnects
+// reconnect under capped exponential backoff with seeded jitter
+// (--backoff-ms/--backoff-max-ms/--backoff-seed, --reconnect-max attempts
+// before giving up), corrupt bytes are quarantined by the frame parser,
+// silent connections are bounded by --read-timeout-ms.  `sscor_tool feed`
+// is the transmit side: it serves a capture as a framed feed on an
+// ephemeral port; `chaos-proxy` relays a feed while injecting faults
+// (corruption, stalls, splits, drops, slow-loris, disconnects) for crash
+// testing.
+//
+// Crash durability (DESIGN.md §16): --state-dir DIR journals every
+// verdict to a write-ahead log *before* printing it and snapshots the
+// flow table every --snapshot-interval packets; after a crash (or kill
+// -9), --resume re-emits every committed verdict byte-identically, then
+// continues the stream without duplicating or losing any.  --fsync
+// upgrades durability from process-death to power-loss.
+// --kill-after-verdicts N SIGKILLs the daemon after N fresh commits
+// (crash testing).  SIGTERM/SIGINT drain gracefully: flush + commit what
+// is in flight, write a final snapshot, flush the event log and metrics
+// snapshot, exit 3 (exit codes: 0 complete, 1 error, 2 usage, 3 graceful
+// signal shutdown).
 //
 // The live ops surface (DESIGN.md §14): --stats-addr serves /metrics
 // (Prometheus text format), /healthz and /statusz over HTTP while the
@@ -85,6 +121,7 @@
 // generate -> embed -> perturb -> detect exercises the full system from
 // the shell; see README.md for a walkthrough.
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -106,11 +143,16 @@
 #include "sscor/experiment/sweep.hpp"
 #include "sscor/net/http_client.hpp"
 #include "sscor/net/stats_server.hpp"
+#include "sscor/stream/chaos_proxy.hpp"
+#include "sscor/stream/durability.hpp"
 #include "sscor/stream/packet_source.hpp"
+#include "sscor/stream/socket_source.hpp"
 #include "sscor/stream/stream_engine.hpp"
 #include "sscor/stream/telemetry.hpp"
 #include "sscor/util/event_log.hpp"
+#include "sscor/util/journal.hpp"
 #include "sscor/util/json_parse.hpp"
+#include "sscor/util/shutdown.hpp"
 #include "sscor/flow/flow_extractor.hpp"
 #include "sscor/flow/pcap_synth.hpp"
 #include "sscor/traffic/chaff.hpp"
@@ -590,6 +632,37 @@ void print_verdict(const stream::StreamVerdict& verdict) {
               static_cast<unsigned long long>(r.cost), annotation.c_str());
 }
 
+/// Fingerprint of everything that shapes the verdict stream: resuming a
+/// WAL into a differently-configured daemon would interleave two
+/// incompatible verdict streams, so DurableSession refuses a mismatch.
+std::uint64_t watch_fingerprint(const WatermarkSecret& secret,
+                                const std::vector<WatermarkedFlow>& upstreams,
+                                const CorrelatorConfig& config,
+                                const stream::StreamOptions& options) {
+  std::string d = "sscor-watch-fingerprint v1";
+  d += "|key=" + journal::hex64(secret.key);
+  d += "|wm=" + secret.watermark.to_string();
+  d += "|bits=" + std::to_string(secret.params.bits);
+  d += "|red=" + std::to_string(secret.params.redundancy);
+  d += "|embed_delay=" + std::to_string(secret.params.embedding_delay);
+  for (const auto& up : upstreams) {
+    d += "|up=" + std::to_string(up.flow.size());
+  }
+  d += "|max_delay=" + std::to_string(config.max_delay);
+  d += "|threshold=" + std::to_string(config.hamming_threshold);
+  d += "|algo=" + to_string(options.algorithm);
+  d += "|early=" + std::to_string(options.early_exit ? 1 : 0);
+  d += "|min_packets=" + std::to_string(options.min_packets);
+  d += "|batch=" + std::to_string(options.batch_size);
+  d += "|shards=" + std::to_string(options.table.shards);
+  d += "|max_flows=" + std::to_string(options.table.max_flows);
+  d += "|max_buffered=" + std::to_string(options.table.max_buffered_packets);
+  d += "|ttl=" + std::to_string(options.table.idle_ttl);
+  d += "|deadline=" + std::to_string(options.admission.deadline_us);
+  d += "|budget=" + std::to_string(options.admission.max_cost_per_attempt);
+  return journal::fnv1a64(d);
+}
+
 int cmd_watch(const Args& args) {
   const auto upstream_flows = extract_flows_from_file(args.require_str("up"));
   const WatermarkSecret secret = read_secret_file(args.require_str("key"));
@@ -621,11 +694,36 @@ int cmd_watch(const Args& args) {
       millis(static_cast<std::int64_t>(args.u64("deadline-ms", 0)));
   options.admission.max_cost_per_attempt = args.u64("budget", 0);
 
-  const std::string in = args.require_str("in");
-  const std::string feed = args.get("feed").value_or("pcap");
+  // The daemon drains gracefully on SIGTERM/SIGINT: loops below poll
+  // shutdown::requested() at batch boundaries and unwind normally.
+  shutdown::install();
+
+  const std::string feed = args.get("feed").value_or(
+      args.get("connect") ? "socket" : "pcap");
+  std::string in;
   std::ifstream text_file;
   std::unique_ptr<stream::PacketSource> source;
-  if (feed == "text") {
+  stream::SocketPacketSource* socket_source = nullptr;
+  if (feed == "socket") {
+    stream::SocketSourceOptions socket_options;
+    socket_options.endpoint = args.require_str("connect");
+    socket_options.backoff.initial_ms =
+        static_cast<std::int64_t>(args.u64_positive("backoff-ms", 100));
+    socket_options.backoff.max_ms =
+        static_cast<std::int64_t>(args.u64_positive("backoff-max-ms", 5000));
+    socket_options.backoff_seed = args.u64("backoff-seed", 0x55c0);
+    socket_options.read_timeout_ms =
+        static_cast<int>(args.u64_positive("read-timeout-ms", 5000));
+    socket_options.max_reconnects =
+        static_cast<int>(args.u64_positive("reconnect-max", 8));
+    socket_options.should_stop = [] { return shutdown::requested() != 0; };
+    auto owned =
+        std::make_unique<stream::SocketPacketSource>(socket_options);
+    socket_source = owned.get();
+    source = std::move(owned);
+    in = socket_options.endpoint;
+  } else if (feed == "text") {
+    in = args.require_str("in");
     if (in == "-") {
       source = std::make_unique<stream::FlowTextStreamSource>(std::cin);
     } else {
@@ -634,11 +732,32 @@ int cmd_watch(const Args& args) {
       source = std::make_unique<stream::FlowTextStreamSource>(text_file);
     }
   } else if (feed == "pcap") {
+    in = args.require_str("in");
     stream::ReplayOptions replay;
     replay.speed = args.number_positive("speed", 0.0);
     source = std::make_unique<stream::CaptureReplaySource>(in, replay);
   } else {
     throw InvalidArgument("unknown feed: " + feed);
+  }
+
+  const std::string state_dir = args.get("state-dir").value_or("");
+  const bool resume = args.flag("resume");
+  if (resume && state_dir.empty()) {
+    throw InvalidArgument("--resume requires --state-dir DIR");
+  }
+  std::unique_ptr<stream::DurableSession> session;
+  if (!state_dir.empty()) {
+    stream::DurabilityOptions durability;
+    durability.state_dir = state_dir;
+    durability.snapshot_interval =
+        args.u64_positive("snapshot-interval", 4096);
+    durability.fsync = args.flag("fsync");
+    if (args.flag("kill-after-verdicts")) {
+      durability.sigkill_after_commits =
+          static_cast<std::int64_t>(args.u64("kill-after-verdicts", 0));
+    }
+    session = std::make_unique<stream::DurableSession>(
+        durability, watch_fingerprint(secret, upstreams, config, options));
   }
 
   const std::string metrics_json = args.get("metrics-json").value_or("");
@@ -660,6 +779,10 @@ int cmd_watch(const Args& args) {
 
   stream::StreamEngine engine(std::move(upstreams), config, options);
   stream::StreamTelemetry telemetry(engine);
+  if (socket_source) {
+    telemetry.set_source_stats_provider(
+        [socket_source] { return socket_source->stats(); });
+  }
   if (!stats_addr.empty()) {
     const net::HostPort addr = net::parse_host_port(stats_addr);
     telemetry.start(addr.host, addr.port);
@@ -669,37 +792,125 @@ int cmd_watch(const Args& args) {
   std::map<std::string, std::size_t> kind_counts;
   const auto drain = [&] {
     for (const auto& verdict : engine.drain_verdicts()) {
+      // Commit-before-print: once a verdict is on stdout it is in the WAL,
+      // so a crash can never show an uncommitted verdict.  A false return
+      // is a catch-up duplicate of a verdict a previous incarnation
+      // committed — it was already re-printed during WAL replay.
+      if (session && !session->commit(verdict)) continue;
       print_verdict(verdict);
       ++kind_counts[to_string(verdict.kind)];
     }
   };
 
-  std::uint64_t ingested = 0;
+  // Resume: re-emit every committed verdict in its original order, then
+  // restore the flow table from the snapshot (when one is usable) so the
+  // stream continues exactly where it stopped.  A replayable file feed
+  // starts over from packet zero, so the snapshot's packets are skipped;
+  // a socket feed resumes at the feeder's cursor and skips nothing.
+  std::uint64_t skip = 0;
+  if (session) {
+    if (resume) {
+      const stream::ResumeState recovered = session->resume();
+      for (const auto& verdict : recovered.committed) {
+        print_verdict(verdict);
+        ++kind_counts[to_string(verdict.kind)];
+      }
+      if (recovered.have_snapshot) {
+        engine.restore(recovered.snapshot);
+        if (!socket_source) skip = recovered.snapshot.next_seq;
+      }
+      std::fprintf(
+          stderr, "resumed: %zu committed verdict(s) replayed, %llu packet(s) "
+          "restored%s\n",
+          recovered.committed.size(),
+          static_cast<unsigned long long>(
+              recovered.have_snapshot ? recovered.snapshot.next_seq : 0),
+          recovered.dropped_lines != 0 ? " (corrupt WAL line(s) dropped)"
+                                       : "");
+    } else {
+      session->begin_fresh();
+    }
+  }
+
   const metrics::ScopedTimer timer("tool.watch");
-  while (const auto packet = source->next()) {
+  while (shutdown::requested() == 0) {
+    const auto packet = source->next();
+    if (!packet) break;
+    if (skip > 0) {
+      --skip;
+      continue;
+    }
     engine.ingest(*packet);
-    ++ingested;
-    if (ingested % options.batch_size == 0) drain();
+    const std::uint64_t ingested = engine.packets_ingested();
+    if (ingested % options.batch_size == 0) {
+      // The engine flushed inside ingest() (absolute-sequence alignment),
+      // so it is quiescent here: drain + commit, then maybe snapshot.
+      drain();
+      if (session) session->maybe_snapshot(engine);
+    }
     if (metrics_interval != 0 && !metrics_json.empty() &&
         ingested % metrics_interval == 0) {
       experiment::write_metrics_json(metrics_json);
     }
   }
-  engine.finish();
-  drain();
 
-  std::printf("stream over: %llu packets, %zu tracked flow(s)",
-              static_cast<unsigned long long>(engine.packets_ingested()),
-              engine.live_flows());
+  const int signal = shutdown::requested();
+  if (signal != 0) {
+    // Graceful drain: finish what is queued and commit it, then leave a
+    // final snapshot behind so `watch --resume` continues from here.  The
+    // engine is NOT finish()ed — finalising live flows would decide pairs
+    // the uninterrupted run had not decided yet.
+    telemetry.set_draining(true);
+    engine.flush();
+    drain();
+    if (session) session->final_snapshot(engine);
+    std::printf("shutdown (%s): %llu packets, %zu tracked flow(s)",
+                shutdown::signal_name(signal),
+                static_cast<unsigned long long>(engine.packets_ingested()),
+                engine.live_flows());
+  } else {
+    engine.finish();
+    drain();
+    std::printf("stream over: %llu packets, %zu tracked flow(s)",
+                static_cast<unsigned long long>(engine.packets_ingested()),
+                engine.live_flows());
+  }
   for (const auto& [kind, count] : kind_counts) {
     std::printf(", %zu %s", count, kind.c_str());
   }
   std::printf("\n");
+  std::fflush(stdout);
+  if (socket_source) {
+    const stream::SocketSourceStats stats = socket_source->stats();
+    std::fprintf(
+        stderr,
+        "source: %llu connect(s), %llu reconnect attempt(s), %llu "
+        "disconnect(s), %llu frame(s), %llu resync(s), %llu byte(s) "
+        "quarantined%s%s%s\n",
+        static_cast<unsigned long long>(stats.connects),
+        static_cast<unsigned long long>(stats.reconnect_attempts),
+        static_cast<unsigned long long>(stats.disconnects),
+        static_cast<unsigned long long>(stats.frames),
+        static_cast<unsigned long long>(stats.resyncs),
+        static_cast<unsigned long long>(stats.bytes_quarantined),
+        stats.ended_cleanly ? ", ended cleanly" : "",
+        stats.gave_up ? ", gave up reconnecting" : "",
+        stats.stopped ? ", stopped by signal" : "");
+  }
+  if (session) {
+    std::fprintf(stderr,
+                 "durable state: %llu verdict(s) committed (%llu fresh), "
+                 "%llu snapshot(s) -> %s\n",
+                 static_cast<unsigned long long>(session->commits()),
+                 static_cast<unsigned long long>(session->fresh_commits()),
+                 static_cast<unsigned long long>(session->snapshots_written()),
+                 state_dir.c_str());
+  }
   if (!metrics_json.empty()) {
     experiment::write_metrics_json(metrics_json);
     std::fprintf(stderr, "metrics json written: %s\n", metrics_json.c_str());
   }
-  if (telemetry.running() && linger_s > 0.0) {
+  if (telemetry.running() && signal == 0 && linger_s > 0.0) {
     // The verdict stream is complete at this point; flush it so a reader
     // (or a signal that kills the lingering daemon) never loses it to
     // stdio buffering.
@@ -719,7 +930,86 @@ int cmd_watch(const Args& args) {
                  static_cast<unsigned long long>(eventlog::suppressed()));
     eventlog::close();
   }
-  return 0;
+  return signal != 0 ? 3 : 0;
+}
+
+/// Serves a capture as a live `sscor-stream v1` feed on an ephemeral
+/// 127.0.0.1 port — the transmit side a `watch --feed socket` daemon (or
+/// a chaos proxy) dials.
+int cmd_feed(const Args& args) {
+  const std::string in = args.require_str("in");
+  const std::string feed = args.get("feed").value_or("pcap");
+  std::vector<stream::StreamPacket> packets;
+  if (feed == "text") {
+    std::ifstream text_file(in);
+    if (!text_file) throw IoError("cannot open stream feed: " + in);
+    stream::FlowTextStreamSource source(text_file);
+    while (const auto packet = source.next()) packets.push_back(*packet);
+  } else if (feed == "pcap") {
+    stream::CaptureReplaySource source(in, stream::ReplayOptions{});
+    while (const auto packet = source.next()) packets.push_back(*packet);
+  } else {
+    throw InvalidArgument("unknown feed: " + feed);
+  }
+
+  stream::FrameFeederOptions options;
+  options.heartbeat_every = args.u64("heartbeat-every", 0);
+  options.drop_after_frames = args.u64("drop-after-frames", 0);
+  options.pace_us = static_cast<std::int64_t>(args.u64("pace-us", 0));
+
+  shutdown::install();
+  const std::size_t total = packets.size();
+  stream::FrameFeeder feeder(std::move(packets), options);
+  feeder.start();
+  // The port line goes to stdout (and is flushed immediately) so a script
+  // can scrape it and hand the endpoint to a daemon or proxy.
+  std::printf("feeding %zu packet(s) on 127.0.0.1:%u\n", total,
+              feeder.port());
+  std::fflush(stdout);
+  while (!feeder.finished() && shutdown::requested() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int signal = shutdown::requested();
+  feeder.stop();
+  std::fprintf(stderr, "feeder: %llu connection(s)%s\n",
+               static_cast<unsigned long long>(feeder.connections()),
+               signal != 0 ? ", interrupted" : ", stream delivered");
+  return signal != 0 ? 3 : 0;
+}
+
+/// Fault-injecting relay in front of a feed (DESIGN.md §16): listens on
+/// an ephemeral port, dials --upstream per client, and mangles the bytes
+/// in transit.  The chaos half of the crash-robustness check.
+int cmd_chaos_proxy(const Args& args) {
+  stream::ChaosProxyOptions options;
+  options.upstream = args.require_str("upstream");
+  options.fault_rate = args.number("fault-rate", 0.3);
+  options.seed = args.u64("seed", 1);
+  options.max_upstream_failures =
+      static_cast<int>(args.u64_positive("max-upstream-failures", 3));
+  require(options.fault_rate >= 0.0 && options.fault_rate <= 1.0,
+          "--fault-rate must be in [0, 1]");
+
+  shutdown::install();
+  stream::ChaosProxy proxy(options);
+  proxy.start();
+  std::printf("chaos proxy on 127.0.0.1:%u -> %s (fault rate %.2f, seed "
+              "%llu)\n",
+              proxy.port(), options.upstream.c_str(), options.fault_rate,
+              static_cast<unsigned long long>(options.seed));
+  std::fflush(stdout);
+  while (!proxy.done() && shutdown::requested() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int signal = shutdown::requested();
+  proxy.stop();
+  std::fprintf(stderr,
+               "chaos proxy: %llu chunk(s) relayed, %llu fault(s) injected, "
+               "%llu connection(s)\n",
+               static_cast<unsigned long long>(proxy.chunks_relayed()),
+               static_cast<unsigned long long>(proxy.faults_injected()),
+               static_cast<unsigned long long>(proxy.client_connections()));
+  return signal != 0 && !proxy.done() ? 3 : 0;
 }
 
 int cmd_top(const Args& args) {
@@ -727,29 +1017,63 @@ int cmd_top(const Args& args) {
   const auto interval_ms = args.u64_positive("interval-ms", 1000);
   const auto count = args.u64("count", 0);  // 0 = poll until the daemon goes
   const bool clear = !args.flag("no-clear");
+  // Transient scrape failures (daemon mid-restart, listen queue full) are
+  // retried with a growing bounded delay; only --retries consecutive
+  // failures conclude the daemon is gone.
+  const auto retries = args.u64("retries", 3);
 
   bool have_prev = false;
+  bool ever_scraped = false;
+  std::uint64_t consecutive_failures = 0;
   double prev_packets = 0.0;
   double prev_verdicts = 0.0;
   std::vector<double> prev_shard_verdicts;
 
-  for (std::uint64_t iteration = 0; count == 0 || iteration < count;
-       ++iteration) {
-    if (iteration > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  std::uint64_t polls = 0;  // successful scrapes; failures don't consume
+  while (count == 0 || polls < count) {
+    if (polls > 0 || consecutive_failures > 0) {
+      // Failed scrapes back off: interval, 2x, 3x, ... capped at 5x.
+      const std::uint64_t factor =
+          consecutive_failures == 0
+              ? 1
+              : std::min<std::uint64_t>(consecutive_failures + 1, 5);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(interval_ms * factor));
     }
     net::HttpResult response;
+    bool scrape_ok = false;
+    std::string scrape_error;
     try {
       response = net::http_get(addr.host, addr.port, "/statusz");
+      if (response.status == 200) {
+        scrape_ok = true;
+      } else {
+        scrape_error = "/statusz returned HTTP " +
+                       std::to_string(response.status);
+      }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "top: %s\n", e.what());
-      return iteration == 0 ? 1 : 0;  // a daemon that exited is not an error
+      scrape_error = e.what();
     }
-    if (response.status != 200) {
-      std::fprintf(stderr, "top: /statusz returned HTTP %d\n",
-                   response.status);
-      return 1;
+    if (!scrape_ok) {
+      ++consecutive_failures;
+      if (consecutive_failures > retries) {
+        std::fprintf(stderr, "top: %s\n", scrape_error.c_str());
+        // A daemon that served at least one scrape and then exited is a
+        // normal end of watch, not an error.
+        return ever_scraped ? 0 : 1;
+      }
+      std::fprintf(stderr, "top: scrape failed (%llu/%llu): %s\n",
+                   static_cast<unsigned long long>(consecutive_failures),
+                   static_cast<unsigned long long>(retries),
+                   scrape_error.c_str());
+      continue;
     }
+    const std::uint64_t missed = consecutive_failures;
+    consecutive_failures = 0;
+    ever_scraped = true;
+    ++polls;
+    // Rates span an unknown gap after a missed scrape; show "-" once.
+    if (missed > 0) have_prev = false;
     const json::Value doc = json::parse(response.body);
     const double interval_s =
         static_cast<double>(interval_ms) / 1000.0;
@@ -766,9 +1090,14 @@ int cmd_top(const Args& args) {
     };
 
     if (clear) std::printf("\x1b[2J\x1b[H");
-    std::printf("sscor top — http://%s:%u/statusz   uptime %.1fs   %s\n",
+    std::printf("sscor top — http://%s:%u/statusz   uptime %.1fs   %s",
                 addr.host.c_str(), addr.port, doc.at("uptime_s").as_number(),
                 doc.at("finished").as_bool() ? "finished" : "streaming");
+    if (missed > 0) {
+      std::printf("   (%llu scrape(s) missed)",
+                  static_cast<unsigned long long>(missed));
+    }
+    std::printf("\n");
     std::printf(
         "packets %llu (%s)   flows %llu   buffered %llu   verdicts %llu "
         "(%s)\n",
@@ -835,7 +1164,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: sscor_tool "
-      "<generate|stats|embed|perturb|detect|sweep|merge-journals|watch|top>"
+      "<generate|stats|embed|perturb|detect|sweep|merge-journals|watch|"
+      "feed|chaos-proxy|top>"
       " [flags]\n"
       "       (append --metrics to print run counters/timers on exit;\n"
       "        --trace PATH writes decode introspection JSONL and\n"
@@ -872,6 +1202,10 @@ int main(int argc, char** argv) {
       rc = cmd_merge_journals(args);
     } else if (command == "watch") {
       rc = cmd_watch(args);
+    } else if (command == "feed") {
+      rc = cmd_feed(args);
+    } else if (command == "chaos-proxy") {
+      rc = cmd_chaos_proxy(args);
     } else if (command == "top") {
       rc = cmd_top(args);
     } else {
